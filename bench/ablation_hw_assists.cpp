@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Ablation: the hardware-assist knobs section 5.2 names as the key
+ * acceleration targets for a production QPIP interface — receive
+ * checksums, a hardware multiplier (the RTT-estimator math), the
+ * doorbell FIFO and connection demultiplexing — plus the full
+ * "Infiniband-grade" design point. Each row reports 1-byte TCP RTT
+ * and 16 KB ttcp throughput under one configuration.
+ */
+
+#include "apps/pingpong.hh"
+#include "apps/ttcp.hh"
+#include "bench_common.hh"
+
+using namespace qpip;
+using namespace qpip::apps;
+using qpip::bench::Row;
+
+namespace {
+
+Row
+runConfig(const std::string &name, const nic::FirmwareCostModel &costs)
+{
+    nic::QpipNicParams params;
+    params.costs = costs;
+
+    double rtt_us = 0.0;
+    {
+        QpipTestbed bed(2, qpipNativeMtu, 1, params);
+        rtt_us = runQpipTcpPingPong(bed, 200).rttUs;
+    }
+    TtcpResult t;
+    {
+        QpipTestbed bed(2, qpipNativeMtu, 1, params);
+        t = runQpipTtcp(bed, std::size_t(10) << 20);
+    }
+
+    Row r;
+    r.name = name;
+    r.hasPaper = false;
+    r.measured = rtt_us;
+    r.unit = "us";
+    r.simSeconds = t.elapsedMs * 1e-3;
+    r.counters["ttcp_MBps"] = t.mbPerSec;
+    return r;
+}
+
+std::vector<Row>
+build()
+{
+    std::vector<Row> rows;
+
+    rows.push_back(runConfig("prototype (fw rx cksum)",
+                             nic::lanai9FirmwareCosts()));
+    rows.push_back(runConfig("+ hw rx checksum",
+                             nic::lanai9EmulatedHwChecksum()));
+    {
+        auto c = nic::lanai9EmulatedHwChecksum();
+        c.hwMultiply = true;
+        rows.push_back(runConfig("+ hw multiply", c));
+    }
+    {
+        auto c = nic::lanai9EmulatedHwChecksum();
+        c.hwMultiply = true;
+        c.hwDemux = true;
+        rows.push_back(runConfig("+ hw demux", c));
+    }
+    {
+        auto c = nic::lanai9EmulatedHwChecksum();
+        c.hwDoorbell = false; // ablate the doorbell FIFO *away*
+        rows.push_back(runConfig("- hw doorbell (sw poll)", c));
+    }
+    rows.push_back(runConfig("Infiniband-grade hardware",
+                             nic::infinibandGradeCosts()));
+    return rows;
+}
+
+} // namespace
+
+QPIP_BENCH_MAIN("Ablation: hardware assists (RTT us; ttcp MB/s as"
+                " counter)",
+                build)

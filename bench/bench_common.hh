@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Shared harness for the paper-reproduction benches. Each bench binary
+ * computes its rows by running full-system simulations, prints a
+ * paper-vs-measured table, and registers one google-benchmark entry
+ * per row (manual time = simulated duration, plus custom counters) so
+ * the standard benchmark tooling/JSON output works too.
+ */
+
+#ifndef QPIP_BENCH_BENCH_COMMON_HH
+#define QPIP_BENCH_BENCH_COMMON_HH
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace qpip::bench {
+
+/** One result row: a bar in a figure or a line in a table. */
+struct Row
+{
+    std::string name;
+    /** The paper's reported value (NaN if the paper gives no number). */
+    double paper = 0.0;
+    bool hasPaper = true;
+    double measured = 0.0;
+    std::string unit;
+    /** Simulated duration backing the measurement (for benchmark). */
+    double simSeconds = 1e-3;
+    std::map<std::string, double> counters;
+};
+
+inline void
+printTable(const std::string &title, const std::vector<Row> &rows)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+    std::printf("%-34s %12s %12s %8s\n", "case", "paper", "measured",
+                "unit");
+    for (const auto &r : rows) {
+        if (r.hasPaper) {
+            std::printf("%-34s %12.2f %12.2f %8s", r.name.c_str(),
+                        r.paper, r.measured, r.unit.c_str());
+        } else {
+            std::printf("%-34s %12s %12.2f %8s", r.name.c_str(), "-",
+                        r.measured, r.unit.c_str());
+        }
+        for (const auto &[k, v] : r.counters)
+            std::printf("  %s=%.3g", k.c_str(), v);
+        std::printf("\n");
+    }
+    std::printf("\n");
+}
+
+inline void
+registerRows(const std::vector<Row> &rows)
+{
+    for (const auto &row : rows) {
+        benchmark::RegisterBenchmark(
+            row.name.c_str(),
+            [row](benchmark::State &state) {
+                for (auto _ : state)
+                    state.SetIterationTime(row.simSeconds);
+                state.counters["measured_" + row.unit] = row.measured;
+                if (row.hasPaper)
+                    state.counters["paper_" + row.unit] = row.paper;
+                for (const auto &[k, v] : row.counters)
+                    state.counters[k] = v;
+            })
+            ->Iterations(1)
+            ->UseManualTime();
+    }
+}
+
+/** Standard main body for a bench binary. */
+inline int
+benchMain(int argc, char **argv, const std::string &title,
+          std::vector<Row> (*build)())
+{
+    auto rows = build();
+    printTable(title, rows);
+    registerRows(rows);
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}
+
+} // namespace qpip::bench
+
+#define QPIP_BENCH_MAIN(title, build)                                  \
+    int main(int argc, char **argv)                                    \
+    {                                                                   \
+        return qpip::bench::benchMain(argc, argv, title, build);        \
+    }
+
+#endif // QPIP_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Figure 3: application-to-application round-trip time of a 1-byte
+ * message, UDP and TCP, for the three systems. The paper reports the
+ * emulated-hardware-checksum QPIP numbers in the figure and gives the
+ * firmware-checksum values in the text (73 us UDP, 113 us TCP); the
+ * figure's host-stack bars are read off the chart (approximate).
+ */
+
+#include "apps/pingpong.hh"
+#include "bench_common.hh"
+
+using namespace qpip;
+using namespace qpip::apps;
+using qpip::bench::Row;
+
+namespace {
+
+constexpr std::size_t iterations = 400;
+
+Row
+row(const std::string &name, double paper, bool has_paper,
+    const PingPongResult &r)
+{
+    Row out;
+    out.name = name;
+    out.paper = paper;
+    out.hasPaper = has_paper;
+    out.measured = r.rttUs;
+    out.unit = "us";
+    out.simSeconds = r.rttUs * 1e-6 * static_cast<double>(r.iterations);
+    out.counters["iters"] = static_cast<double>(r.iterations);
+    return out;
+}
+
+std::vector<Row>
+build()
+{
+    std::vector<Row> rows;
+    {
+        SocketsTestbed bed(2, SocketsFabric::GigabitEthernet);
+        rows.push_back(row("IP/GigE UDP", 105, true,
+                           runSocketUdpPingPong(bed, iterations)));
+    }
+    {
+        SocketsTestbed bed(2, SocketsFabric::GigabitEthernet);
+        rows.push_back(row("IP/GigE TCP", 118, true,
+                           runSocketTcpPingPong(bed, iterations)));
+    }
+    {
+        SocketsTestbed bed(2, SocketsFabric::MyrinetIp);
+        rows.push_back(row("IP/Myrinet UDP", 110, true,
+                           runSocketUdpPingPong(bed, iterations)));
+    }
+    {
+        SocketsTestbed bed(2, SocketsFabric::MyrinetIp);
+        rows.push_back(row("IP/Myrinet TCP", 125, true,
+                           runSocketTcpPingPong(bed, iterations)));
+    }
+    {
+        QpipTestbed bed(2);
+        rows.push_back(row("QPIP UDP (emulated hw cksum)", 60, true,
+                           runQpipUdpPingPong(bed, iterations)));
+    }
+    {
+        QpipTestbed bed(2);
+        rows.push_back(row("QPIP TCP (emulated hw cksum)", 100, true,
+                           runQpipTcpPingPong(bed, iterations)));
+    }
+    {
+        nic::QpipNicParams p;
+        p.costs = nic::lanai9FirmwareCosts();
+        QpipTestbed bed(2, qpipNativeMtu, 1, p);
+        rows.push_back(row("QPIP UDP (firmware cksum)", 73, true,
+                           runQpipUdpPingPong(bed, iterations)));
+    }
+    {
+        nic::QpipNicParams p;
+        p.costs = nic::lanai9FirmwareCosts();
+        QpipTestbed bed(2, qpipNativeMtu, 1, p);
+        rows.push_back(row("QPIP TCP (firmware cksum)", 113, true,
+                           runQpipTcpPingPong(bed, iterations)));
+    }
+    return rows;
+}
+
+} // namespace
+
+QPIP_BENCH_MAIN("Figure 3: application-to-application RTT (1-byte)",
+                build)

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Figure 4: ttcp application throughput and CPU utilization — a 10 MB
+ * transfer in 16 KB chunks with TCP_NODELAY, native MTUs, plus the
+ * QPIP MTU sweep and firmware-checksum variant the paper reports in
+ * the text. CPU utilization is the transmitting host's (the receiver
+ * is reported as a counter).
+ */
+
+#include <cstdlib>
+
+#include "apps/ttcp.hh"
+#include "bench_common.hh"
+
+using namespace qpip;
+using namespace qpip::apps;
+using qpip::bench::Row;
+
+namespace {
+
+std::size_t
+transferBytes()
+{
+    if (const char *env = std::getenv("QPIP_TTCP_MB"))
+        return static_cast<std::size_t>(std::atoi(env)) << 20;
+    return std::size_t(10) << 20; // the paper's 10 MB
+}
+
+Row
+row(const std::string &name, double paper_mbps, const TtcpResult &r)
+{
+    Row out;
+    out.name = name;
+    out.paper = paper_mbps;
+    out.measured = r.mbPerSec;
+    out.unit = "MB/s";
+    out.simSeconds = r.elapsedMs * 1e-3;
+    out.counters["tx_cpu_pct"] = r.txCpuUtil * 100.0;
+    out.counters["rx_cpu_pct"] = r.rxCpuUtil * 100.0;
+    return out;
+}
+
+std::vector<Row>
+build()
+{
+    const std::size_t bytes = transferBytes();
+    std::vector<Row> rows;
+    {
+        SocketsTestbed bed(2, SocketsFabric::GigabitEthernet);
+        rows.push_back(
+            row("IP/GigE (1500 MTU)", 45.4, runSocketsTtcp(bed, bytes)));
+    }
+    {
+        SocketsTestbed bed(2, SocketsFabric::MyrinetIp);
+        rows.push_back(row("IP/Myrinet (9000 MTU)", 60.0,
+                           runSocketsTtcp(bed, bytes)));
+    }
+    {
+        QpipTestbed bed(2, qpipNativeMtu);
+        rows.push_back(
+            row("QPIP (native 16K MTU)", 75.6, runQpipTtcp(bed, bytes)));
+    }
+    {
+        QpipTestbed bed(2, 9000);
+        rows.push_back(
+            row("QPIP (9000 MTU)", 70.1, runQpipTtcp(bed, bytes)));
+    }
+    {
+        QpipTestbed bed(2, 1500);
+        rows.push_back(
+            row("QPIP (1500 MTU)", 35.4, runQpipTtcp(bed, bytes)));
+    }
+    {
+        nic::QpipNicParams p;
+        p.costs = nic::lanai9FirmwareCosts();
+        QpipTestbed bed(2, qpipNativeMtu, 1, p);
+        rows.push_back(row("QPIP (firmware cksum, 16K)", 26.4,
+                           runQpipTtcp(bed, bytes)));
+    }
+    return rows;
+}
+
+} // namespace
+
+QPIP_BENCH_MAIN("Figure 4: ttcp throughput and CPU utilization (10 MB,"
+                " 16 KB chunks, NODELAY)",
+                build)

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Table 2: transmit-side network-interface processing costs per
+ * stage, for data sends (sender NIC) and ACK sends (receiver NIC),
+ * measured exactly as the paper did — from the firmware processor's
+ * per-stage occupancy instrumentation during 1-byte message traffic.
+ */
+
+#include "occupancy_common.hh"
+
+using namespace qpip;
+using namespace qpip::bench;
+using nic::FwStage;
+
+namespace {
+
+std::vector<Row>
+build()
+{
+    apps::QpipTestbed bed(2);
+    if (!runOccupancyWorkload(bed, 400))
+        sim::fatal("table2 workload did not complete");
+    auto &tx_nic = bed.nicOf(0); // data sends
+    auto &rx_nic = bed.nicOf(1); // ACK sends
+
+    std::vector<Row> rows;
+    rows.push_back(stageRow("Data: Doorbell Process", 1.0, true,
+                            tx_nic, FwStage::DoorbellProcess));
+    rows.push_back(
+        stageRow("Data: Schedule", 2.0, true, tx_nic,
+                 FwStage::Schedule));
+    rows.push_back(
+        stageRow("Data: Get WR", 5.5, true, tx_nic, FwStage::GetWr));
+    rows.push_back(stageRow("Data: Get Data", 4.5, true, tx_nic,
+                            FwStage::GetData));
+    rows.push_back(stageRow("Data: Build TCP Hdr", 5.0, true, tx_nic,
+                            FwStage::BuildTcpHdr));
+    rows.push_back(stageRow("Data: Build IP Hdr", 1.0, true, tx_nic,
+                            FwStage::BuildIpHdr));
+    rows.push_back(
+        stageRow("Data: Send", 1.0, true, tx_nic, FwStage::MediaSend));
+    rows.push_back(stageRow("Data: Update", 1.5, true, tx_nic,
+                            FwStage::UpdateTx));
+
+    rows.push_back(stageRow("ACK: Doorbell Process", 1.0, true,
+                            rx_nic, FwStage::DoorbellProcess));
+    rows.push_back(
+        stageRow("ACK: Schedule", 2.0, true, rx_nic, FwStage::Schedule));
+    rows.push_back(stageRow("ACK: Build TCP Hdr", 5.0, true, rx_nic,
+                            FwStage::BuildTcpHdr));
+    rows.push_back(stageRow("ACK: Build IP Hdr", 1.0, true, rx_nic,
+                            FwStage::BuildIpHdr));
+    rows.push_back(
+        stageRow("ACK: Send", 1.0, true, rx_nic, FwStage::MediaSend));
+    rows.push_back(stageRow("ACK: Update", 1.5, true, rx_nic,
+                            FwStage::UpdateTx));
+    return rows;
+}
+
+} // namespace
+
+QPIP_BENCH_MAIN("Table 2: transmit-side NI processing costs (us)",
+                build)

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Table 3: receive-side network-interface processing costs per stage.
+ * Data receives are measured on the receiver NIC; ACK receives on the
+ * sender NIC, whose "TCP Parse" carries the software-multiply RTT
+ * estimator penalty of the multiplier-less LANai 9 and whose "Update"
+ * writes back both the WR status and QP state.
+ */
+
+#include "occupancy_common.hh"
+
+using namespace qpip;
+using namespace qpip::bench;
+using nic::FwStage;
+
+namespace {
+
+std::vector<Row>
+build()
+{
+    apps::QpipTestbed bed(2);
+    if (!runOccupancyWorkload(bed, 400))
+        sim::fatal("table3 workload did not complete");
+    auto &tx_nic = bed.nicOf(0); // receives ACKs
+    auto &rx_nic = bed.nicOf(1); // receives data
+
+    std::vector<Row> rows;
+    rows.push_back(stageRow("Data: Doorbell Process", 1.0, true,
+                            rx_nic, FwStage::DoorbellProcess));
+    rows.push_back(stageRow("Data: Media Rcv", 1.0, true, rx_nic,
+                            FwStage::MediaRcv));
+    rows.push_back(stageRow("Data: IP Parse", 1.5, true, rx_nic,
+                            FwStage::IpParse));
+    rows.push_back(stageRow("Data: TCP Parse", 7.0, true, rx_nic,
+                            FwStage::TcpParse));
+    rows.push_back(
+        stageRow("Data: Get WR", 5.5, true, rx_nic, FwStage::GetWr));
+    rows.push_back(stageRow("Data: Put Data", 4.5, true, rx_nic,
+                            FwStage::PutData));
+    rows.push_back(stageRow("Data: Update", 1.5, true, rx_nic,
+                            FwStage::UpdateRx));
+
+    rows.push_back(stageRow("ACK: Doorbell Process", 1.0, true,
+                            tx_nic, FwStage::DoorbellProcess));
+    rows.push_back(stageRow("ACK: Media Rcv", 1.0, true, tx_nic,
+                            FwStage::MediaRcv));
+    rows.push_back(stageRow("ACK: IP Parse", 1.5, true, tx_nic,
+                            FwStage::IpParse));
+    rows.push_back(stageRow("ACK: TCP Parse (sw multiply)", 14.0, true,
+                            tx_nic, FwStage::TcpParse));
+    rows.push_back(stageRow("ACK: Update (WR + QP state)", 9.0, true,
+                            tx_nic, FwStage::UpdateRx));
+    return rows;
+}
+
+} // namespace
+
+QPIP_BENCH_MAIN("Table 3: receive-side NI processing costs (us)",
+                build)

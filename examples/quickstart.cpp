@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Quickstart: the smallest complete QPIP program. Two hosts on a
+ * Myrinet fabric, one reliable queue pair each; the client posts a
+ * receive, connects, sends a message, and both sides reap their
+ * completion queues — the paper's PostSend/PostRecv/Poll workflow in
+ * ~80 lines.
+ *
+ *   $ ./quickstart
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "apps/testbed.hh"
+#include "apps/verbs_util.hh"
+
+using namespace qpip;
+using namespace qpip::apps;
+
+int
+main()
+{
+    // A two-node SAN: hosts, QPIP NICs, switch, routes.
+    QpipTestbed bed(2);
+    auto &sim = bed.sim();
+
+    // --- server (host 1): park an idle QP on port 7 ----------------
+    auto &sprov = bed.provider(1);
+    auto scq = sprov.createCq();
+    std::vector<std::uint8_t> sbuf(4096);
+    auto smr = sprov.registerMemory(sbuf);
+
+    verbs::Acceptor acceptor(sprov, 7, scq, scq);
+    std::shared_ptr<verbs::QueuePair> server_qp;
+    acceptor.acceptOne([&](std::shared_ptr<verbs::QueuePair> qp) {
+        std::printf("[server] connection mated to QP %u\n", qp->num());
+        server_qp = qp;
+        qp->postRecv(/*wr_id=*/1, *smr, 0, sbuf.size());
+    });
+
+    // --- client (host 0): connect and send -------------------------
+    auto &cprov = bed.provider(0);
+    auto ccq = cprov.createCq();
+    std::vector<std::uint8_t> cbuf(4096);
+    auto cmr = cprov.registerMemory(cbuf);
+    auto client_qp =
+        cprov.createQp(nic::QpType::ReliableTcp, ccq, ccq);
+
+    const char greeting[] = "hello, queue pair IP!";
+    client_qp->connect(bed.addr(1, 7), [&](bool ok) {
+        if (!ok) {
+            std::printf("[client] connect failed\n");
+            return;
+        }
+        std::printf("[client] connected, posting send\n");
+        std::memcpy(cbuf.data(), greeting, sizeof(greeting));
+        client_qp->postSend(/*wr_id=*/2, *cmr, 0, sizeof(greeting));
+    });
+
+    // --- reap completions -------------------------------------------
+    bool server_got = false, client_done = false;
+    spinLoop(sprov, *scq, [&](verbs::Completion c) {
+        std::printf("[server] completion: wr=%llu %s, %zu bytes: "
+                    "\"%s\"\n",
+                    static_cast<unsigned long long>(c.wrId),
+                    nic::wcStatusName(c.status), c.byteLen,
+                    reinterpret_cast<const char *>(sbuf.data()));
+        server_got = true;
+    });
+    spinLoop(cprov, *ccq, [&](verbs::Completion c) {
+        std::printf("[client] send completion: wr=%llu %s "
+                    "(message ACKed end-to-end)\n",
+                    static_cast<unsigned long long>(c.wrId),
+                    nic::wcStatusName(c.status));
+        client_done = true;
+    });
+
+    sim.runUntilCondition([&] { return server_got && client_done; },
+                          sim.now() + 10 * sim::oneSec);
+    std::printf("done at t=%.1f us (simulated)\n",
+                sim::ticksToUs(sim.now()));
+    return server_got && client_done ? 0 : 1;
+}

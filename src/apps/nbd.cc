@@ -1,0 +1,687 @@
+#include "apps/nbd.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "apps/verbs_util.hh"
+#include "net/serialize.hh"
+#include "sim/logging.hh"
+
+namespace qpip::apps {
+
+using host::TcpSocket;
+using sim::Tick;
+
+namespace {
+
+constexpr Tick runDeadline = 1200 * sim::oneSec;
+
+/** Each client run gets a fresh source port (old conns may linger). */
+std::uint16_t
+nextClientPort()
+{
+    static std::uint16_t port = 30100;
+    return port++;
+}
+
+/** Deterministic device pattern byte for an absolute offset. */
+std::uint8_t
+patternByte(std::uint64_t off)
+{
+    return static_cast<std::uint8_t>((off >> 12) * 31 + (off & 0xff));
+}
+
+void
+fillPattern(std::uint64_t off, std::span<std::uint8_t> out)
+{
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] = patternByte(off + i);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Wire format
+// ---------------------------------------------------------------------
+
+std::vector<std::uint8_t>
+serializeNbdRequest(const NbdRequest &req,
+                    std::span<const std::uint8_t> payload)
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(nbdRequestHeaderBytes + payload.size());
+    net::ByteWriter w(out);
+    w.u32(nbdRequestMagic);
+    w.u32(static_cast<std::uint32_t>(req.type));
+    w.u64(req.handle);
+    w.u64(req.offset);
+    w.u32(req.length);
+    w.bytes(payload);
+    return out;
+}
+
+bool
+parseNbdRequest(std::span<const std::uint8_t> bytes, NbdRequest &out)
+{
+    if (bytes.size() < nbdRequestHeaderBytes)
+        return false;
+    net::ByteReader r(bytes);
+    if (r.u32() != nbdRequestMagic)
+        return false;
+    out.type = static_cast<NbdOp>(r.u32());
+    out.handle = r.u64();
+    out.offset = r.u64();
+    out.length = r.u32();
+    return r.ok();
+}
+
+std::vector<std::uint8_t>
+serializeNbdReply(std::uint64_t handle, std::uint32_t error,
+                  std::span<const std::uint8_t> payload)
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(nbdReplyHeaderBytes + payload.size());
+    net::ByteWriter w(out);
+    w.u32(nbdReplyMagic);
+    w.u32(error);
+    w.u64(handle);
+    w.bytes(payload);
+    return out;
+}
+
+bool
+parseNbdReply(std::span<const std::uint8_t> bytes,
+              std::uint64_t &handle, std::uint32_t &error)
+{
+    if (bytes.size() < nbdReplyHeaderBytes)
+        return false;
+    net::ByteReader r(bytes);
+    if (r.u32() != nbdReplyMagic)
+        return false;
+    error = r.u32();
+    handle = r.u64();
+    return r.ok();
+}
+
+// ---------------------------------------------------------------------
+// Sockets server
+// ---------------------------------------------------------------------
+
+NbdSocketServer::NbdSocketServer(host::HostStack &stack,
+                                 ServerStore &store,
+                                 NbdServerConfig config)
+    : stack_(stack), store_(store), cfg_(config)
+{
+    auto cfg = stack_.defaultTcpConfig();
+    cfg.noDelay = true;
+    stack_.tcpListen(cfg_.port, cfg,
+                     [this](std::shared_ptr<TcpSocket> sock) {
+                         serve(std::move(sock));
+                     });
+}
+
+void
+NbdSocketServer::serve(std::shared_ptr<TcpSocket> sock)
+{
+    auto loop = std::make_shared<std::function<void()>>();
+    *loop = [this, sock, loop] {
+        sock->recvExact(
+            nbdRequestHeaderBytes,
+            [this, sock, loop](std::vector<std::uint8_t> hdr) {
+                NbdRequest req;
+                if (!parseNbdRequest(hdr, req))
+                    return; // EOF or protocol error: stop serving
+                switch (req.type) {
+                  case NbdOp::Read:
+                    stack_.os().charge(cfg_.serverFsReadCyclesPerPage *
+                                       (req.length / 4096 + 1));
+                    store_.read(req.offset, req.length, [this, sock,
+                                                         loop, req] {
+                        std::vector<std::uint8_t> data(req.length);
+                        if (cfg_.content != nullptr) {
+                            std::copy_n(cfg_.content->begin() +
+                                            static_cast<std::ptrdiff_t>(
+                                                req.offset),
+                                        req.length, data.begin());
+                        } else {
+                            fillPattern(req.offset, data);
+                        }
+                        sock->sendAll(
+                            serializeNbdReply(req.handle, 0, data),
+                            [loop] { (*loop)(); });
+                    });
+                    break;
+                  case NbdOp::Write:
+                    sock->recvExact(
+                        req.length,
+                        [this, sock, loop,
+                         req](std::vector<std::uint8_t> data) {
+                            if (data.size() < req.length)
+                                return; // EOF mid-request
+                            stack_.os().charge(
+                                cfg_.serverFsWriteCyclesPerPage *
+                                (req.length / 4096 + 1));
+                            if (cfg_.content != nullptr) {
+                                std::copy(
+                                    data.begin(), data.end(),
+                                    cfg_.content->begin() +
+                                        static_cast<std::ptrdiff_t>(
+                                            req.offset));
+                            }
+                            store_.write(
+                                req.offset, req.length,
+                                [sock, loop, req] {
+                                    sock->sendAll(serializeNbdReply(
+                                                      req.handle, 0),
+                                                  [loop] { (*loop)(); });
+                                });
+                        });
+                    break;
+                  case NbdOp::Flush:
+                    store_.flush([sock, loop, req] {
+                        sock->sendAll(serializeNbdReply(req.handle, 0),
+                                      [loop] { (*loop)(); });
+                    });
+                    break;
+                }
+            });
+    };
+    (*loop)();
+}
+
+// ---------------------------------------------------------------------
+// QPIP server
+// ---------------------------------------------------------------------
+
+NbdQpipServer::NbdQpipServer(verbs::Provider &provider,
+                             ServerStore &store, NbdServerConfig config)
+    : provider_(provider), store_(store), cfg_(config)
+{
+    cq_ = provider_.createCq(4096);
+    const std::size_t req_slot =
+        nbdRequestHeaderBytes + cfg_.maxRequestBytes;
+    const std::size_t rep_slot =
+        nbdReplyHeaderBytes + cfg_.maxRequestBytes;
+    reqBuf_ = std::make_shared<std::vector<std::uint8_t>>(req_slot *
+                                                          slots_);
+    repBuf_ = std::make_shared<std::vector<std::uint8_t>>(rep_slot *
+                                                          slots_);
+    reqMr_ = provider_.registerMemory(*reqBuf_);
+    repMr_ = provider_.registerMemory(*repBuf_);
+    acceptor_ = std::make_shared<verbs::Acceptor>(provider_, cfg_.port,
+                                                  cq_, cq_);
+    armAccept();
+}
+
+void
+NbdQpipServer::armAccept()
+{
+    // Serve one client at a time; when a connection mates, park
+    // another idle QP for the next mount (the paper's NBD server is
+    // single-client too).
+    acceptor_->acceptOne([this](std::shared_ptr<verbs::QueuePair> qp) {
+        qp_ = std::move(qp);
+        const std::size_t slot =
+            nbdRequestHeaderBytes + cfg_.maxRequestBytes;
+        for (std::size_t i = 0; i < slots_; ++i)
+            qp_->postRecv(i, *reqMr_, i * slot, slot);
+        pump();
+        armAccept();
+    });
+}
+
+void
+NbdQpipServer::pump()
+{
+    if (pumping_)
+        return;
+    pumping_ = true;
+    cq_->wait([this](verbs::Completion c) {
+        pumping_ = false;
+        if (!c.isSend && c.status == verbs::WcStatus::Success) {
+            const std::size_t slot =
+                nbdRequestHeaderBytes + cfg_.maxRequestBytes;
+            const std::size_t base = c.wrId * slot;
+            std::vector<std::uint8_t> msg(
+                reqBuf_->begin() + static_cast<std::ptrdiff_t>(base),
+                reqBuf_->begin() +
+                    static_cast<std::ptrdiff_t>(base + c.byteLen));
+            // Re-arm the slot right away; single-outstanding clients
+            // never overrun four slots.
+            qp_->postRecv(c.wrId, *reqMr_, base, slot);
+            onRequest(qp_, std::move(msg));
+        }
+        pump();
+    });
+}
+
+void
+NbdQpipServer::onRequest(std::shared_ptr<verbs::QueuePair> qp,
+                         std::vector<std::uint8_t> msg)
+{
+    NbdRequest req;
+    if (!parseNbdRequest(msg, req))
+        return;
+    const std::size_t rep_slot =
+        nbdReplyHeaderBytes + cfg_.maxRequestBytes;
+    const std::size_t rep_base =
+        (req.handle % slots_) * rep_slot;
+
+    auto send_reply = [this, qp, req, rep_base](
+                          std::span<const std::uint8_t> payload) {
+        auto reply = serializeNbdReply(req.handle, 0, payload);
+        std::copy(reply.begin(), reply.end(),
+                  repBuf_->begin() +
+                      static_cast<std::ptrdiff_t>(rep_base));
+        qp->postSend(1000 + (req.handle % slots_), *repMr_, rep_base,
+                     reply.size());
+    };
+
+    switch (req.type) {
+      case NbdOp::Read:
+        provider_.host().os().charge(cfg_.serverFsReadCyclesPerPage *
+                                     (req.length / 4096 + 1));
+        store_.read(req.offset, req.length,
+                    [this, req, send_reply] {
+                        std::vector<std::uint8_t> data(req.length);
+                        if (cfg_.content != nullptr) {
+                            std::copy_n(cfg_.content->begin() +
+                                            static_cast<std::ptrdiff_t>(
+                                                req.offset),
+                                        req.length, data.begin());
+                        } else {
+                            fillPattern(req.offset, data);
+                        }
+                        send_reply(data);
+                    });
+        break;
+      case NbdOp::Write: {
+        provider_.host().os().charge(cfg_.serverFsWriteCyclesPerPage *
+                                     (req.length / 4096 + 1));
+        auto payload = std::span<const std::uint8_t>(msg).subspan(
+            nbdRequestHeaderBytes);
+        if (cfg_.content != nullptr && payload.size() == req.length) {
+            std::copy(payload.begin(), payload.end(),
+                      cfg_.content->begin() +
+                          static_cast<std::ptrdiff_t>(req.offset));
+        }
+        store_.write(req.offset, req.length,
+                     [send_reply] { send_reply({}); });
+        break;
+      }
+      case NbdOp::Flush:
+        store_.flush([send_reply] { send_reply({}); });
+        break;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Client runners
+// ---------------------------------------------------------------------
+
+namespace {
+
+struct ClientWindow
+{
+    Tick t0 = 0;
+    Tick busy0 = 0;
+};
+
+NbdRunResult
+finishRun(const ClientWindow &w, Tick t_end, Tick busy_end,
+          std::uint64_t total_bytes, bool completed, bool data_ok)
+{
+    NbdRunResult r;
+    const Tick wall = t_end - w.t0;
+    if (wall == 0)
+        return r;
+    const double mb = static_cast<double>(total_bytes) / (1024.0 * 1024.0);
+    r.mbPerSec = mb / sim::ticksToSec(wall);
+    r.clientCpuUtil =
+        host::CpuModel::utilization(busy_end - w.busy0, wall);
+    const double cpu_sec = sim::ticksToSec(busy_end - w.busy0);
+    r.mbPerCpuSec = cpu_sec > 0 ? mb / cpu_sec : 0.0;
+    r.completed = completed;
+    r.dataOk = data_ok;
+    return r;
+}
+
+} // namespace
+namespace {
+
+/** Shared measurement window helpers (defined above). */
+
+} // namespace
+
+NbdRunResult
+runNbdSocketsSequential(SocketsTestbed &bed, std::size_t client_idx,
+                        std::size_t server_idx, bool is_write,
+                        std::uint64_t total_bytes,
+                        NbdClientParams params, std::uint16_t port)
+{
+    auto &sim = bed.sim();
+    auto &client = bed.host(client_idx);
+    auto cfg = client.stack().defaultTcpConfig();
+    cfg.noDelay = true;
+
+    auto sock = client.stack().tcpConnect(
+        bed.addr(client_idx, nextClientPort()),
+        bed.addr(server_idx, port), cfg, nullptr);
+    sim.runUntilCondition([&] { return sock->connected(); },
+                          sim.now() + runDeadline);
+
+    ClientWindow window;
+    window.t0 = sim.now();
+    window.busy0 = client.cpu().busyTotal();
+
+    // Pipelined block layer: up to params.pipelineDepth requests in
+    // flight, like the kernel driver's request queue.
+    struct St
+    {
+        std::uint64_t nextOffset = 0;
+        std::uint64_t completed = 0;
+        std::size_t outstanding = 0;
+        std::uint64_t handle = 1;
+        std::unordered_map<std::uint64_t,
+                           std::pair<std::uint64_t, std::uint32_t>>
+            reqs;
+        bool senderActive = false;
+        bool done = false;
+        bool dataOk = true;
+        sim::Tick tEnd = 0;
+    };
+    auto st = std::make_shared<St>();
+
+    const sim::Cycles fs_per_req =
+        params.fsCyclesPerPage *
+        (params.requestBytes / params.fsPageBytes);
+
+    auto sender = std::make_shared<std::function<void()>>();
+    auto reader = std::make_shared<std::function<void()>>();
+    auto finish_write = std::make_shared<std::function<void()>>();
+
+    *sender = [&sim, &client, sock, st, sender, total_bytes, is_write,
+               params, fs_per_req] {
+        if (st->senderActive || st->done)
+            return;
+        if (st->nextOffset >= total_bytes ||
+            st->outstanding >= params.pipelineDepth) {
+            return;
+        }
+        st->senderActive = true;
+        const auto len = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(params.requestBytes,
+                                    total_bytes - st->nextOffset));
+        NbdRequest req;
+        req.type = is_write ? NbdOp::Write : NbdOp::Read;
+        req.handle = st->handle++;
+        req.offset = st->nextOffset;
+        req.length = len;
+        st->reqs[req.handle] = {req.offset, len};
+        st->nextOffset += len;
+        ++st->outstanding;
+
+        // Filesystem / block-layer work above the NBD driver.
+        client.os().defer(fs_per_req, [sock, st, sender, req,
+                                       is_write, len] {
+            std::vector<std::uint8_t> wire;
+            if (is_write) {
+                std::vector<std::uint8_t> payload(len);
+                fillPattern(req.offset, payload);
+                wire = serializeNbdRequest(req, payload);
+            } else {
+                wire = serializeNbdRequest(req);
+            }
+            sock->sendAll(std::move(wire), [st, sender] {
+                st->senderActive = false;
+                (*sender)();
+            });
+        });
+    };
+
+    *reader = [&sim, sock, st, sender, reader, finish_write,
+               total_bytes, is_write, params] {
+        sock->recvExact(
+            nbdReplyHeaderBytes,
+            [&sim, sock, st, sender, reader, finish_write,
+             total_bytes, is_write, params](std::vector<std::uint8_t> h) {
+                std::uint64_t handle = 0;
+                std::uint32_t err = 0;
+                if (!parseNbdReply(h, handle, err) || err != 0) {
+                    st->dataOk = st->dataOk && h.empty() == false;
+                    st->done = true;
+                    return;
+                }
+                const auto [req_off, len] = st->reqs[handle];
+                st->reqs.erase(handle);
+                auto complete = [&sim, st, sender, reader,
+                                 finish_write, total_bytes,
+                                 is_write](std::uint32_t n) {
+                    --st->outstanding;
+                    st->completed += n;
+                    if (st->completed >= total_bytes) {
+                        if (is_write)
+                            (*finish_write)();
+                        else {
+                            st->tEnd = sim.now();
+                            st->done = true;
+                        }
+                        return;
+                    }
+                    (*sender)();
+                    (*reader)();
+                };
+                if (is_write) {
+                    complete(len);
+                } else {
+                    sock->recvExact(
+                        len,
+                        [st, len, req_off, complete,
+                         params](std::vector<std::uint8_t> d) {
+                            if (d.size() < len) {
+                                st->dataOk = false;
+                                st->done = true;
+                                return;
+                            }
+                            if (params.verifyContent) {
+                                for (std::size_t i = 0; i < len; ++i) {
+                                    if (d[i] !=
+                                        patternByte(req_off + i)) {
+                                        st->dataOk = false;
+                                        break;
+                                    }
+                                }
+                            }
+                            complete(len);
+                        });
+                }
+            });
+    };
+
+    *finish_write = [&sim, sock, st] {
+        // 'sync': flush the server's dirty buffer to disk.
+        NbdRequest req;
+        req.type = NbdOp::Flush;
+        req.handle = 0xffff;
+        sock->sendAll(serializeNbdRequest(req), [] {});
+        sock->recvExact(nbdReplyHeaderBytes,
+                        [&sim, st](std::vector<std::uint8_t>) {
+                            st->tEnd = sim.now();
+                            st->done = true;
+                        });
+    };
+
+    (*sender)();
+    (*reader)();
+
+    const bool ok = sim.runUntilCondition([&] { return st->done; },
+                                          sim.now() + runDeadline);
+    return finishRun(window, st->tEnd, client.cpu().busyTotal(),
+                     total_bytes, ok && st->done, st->dataOk);
+}
+
+NbdRunResult
+runNbdQpipSequential(QpipTestbed &bed, std::size_t client_idx,
+                     std::size_t server_idx, bool is_write,
+                     std::uint64_t total_bytes, NbdClientParams params,
+                     std::uint16_t port)
+{
+    auto &sim = bed.sim();
+    auto &client = bed.host(client_idx);
+    auto &prov = bed.provider(client_idx);
+
+    const std::size_t depth = params.pipelineDepth;
+    auto cq = prov.createCq(4096);
+    const std::size_t req_slot =
+        nbdRequestHeaderBytes + params.requestBytes;
+    const std::size_t rep_slot =
+        nbdReplyHeaderBytes + params.requestBytes;
+    auto req_buf = std::make_shared<std::vector<std::uint8_t>>(
+        req_slot * depth);
+    auto rep_buf = std::make_shared<std::vector<std::uint8_t>>(
+        rep_slot * depth);
+    auto req_mr = prov.registerMemory(*req_buf);
+    auto rep_mr = prov.registerMemory(*rep_buf);
+    auto qp = prov.createQp(nic::QpType::ReliableTcp, cq, cq,
+                            depth * 2 + 8, depth + 4);
+
+    auto connected = std::make_shared<bool>(false);
+    qp->connect(bed.addr(server_idx, port),
+                [connected](bool ok) { *connected = ok; });
+    sim.runUntilCondition([&] { return *connected; },
+                          sim.now() + runDeadline);
+
+    ClientWindow window;
+    window.t0 = sim.now();
+    window.busy0 = client.cpu().busyTotal();
+
+    struct St
+    {
+        std::uint64_t nextOffset = 0;
+        std::uint64_t completed = 0;
+        std::size_t outstanding = 0;
+        std::uint64_t handle = 1;
+        std::unordered_map<std::uint64_t, std::uint32_t> lens;
+        bool done = false;
+        bool flushing = false;
+        bool dataOk = true;
+        sim::Tick tEnd = 0;
+    };
+    auto st = std::make_shared<St>();
+
+    const sim::Cycles fs_per_req =
+        params.fsCyclesPerPage *
+        (params.requestBytes / params.fsPageBytes);
+
+    // Issue requests into pipeline slots (handle % depth).
+    auto issue = std::make_shared<std::function<void()>>();
+    *issue = [&client, qp, req_mr, rep_mr, req_buf, st, total_bytes,
+              is_write, params, fs_per_req, req_slot, rep_slot,
+              depth] {
+        while (!st->done && st->nextOffset < total_bytes &&
+               st->outstanding < depth) {
+            const auto len = static_cast<std::uint32_t>(
+                std::min<std::uint64_t>(params.requestBytes,
+                                        total_bytes - st->nextOffset));
+            NbdRequest req;
+            req.type = is_write ? NbdOp::Write : NbdOp::Read;
+            req.handle = st->handle++;
+            req.offset = st->nextOffset;
+            req.length = len;
+            st->nextOffset += len;
+            st->lens[req.handle] = len;
+            ++st->outstanding;
+            const std::size_t slot = req.handle % depth;
+
+            client.os().defer(
+                fs_per_req,
+                [qp, req_mr, rep_mr, req_buf, req, is_write, len,
+                 slot, req_slot, rep_slot] {
+                    std::vector<std::uint8_t> msg;
+                    if (is_write) {
+                        std::vector<std::uint8_t> payload(len);
+                        fillPattern(req.offset, payload);
+                        msg = serializeNbdRequest(req, payload);
+                    } else {
+                        msg = serializeNbdRequest(req);
+                    }
+                    std::copy(msg.begin(), msg.end(),
+                              req_buf->begin() +
+                                  static_cast<std::ptrdiff_t>(
+                                      slot * req_slot));
+                    qp->postRecv(slot, *rep_mr, slot * rep_slot,
+                                 rep_slot);
+                    qp->postSend(100 + slot, *req_mr,
+                                 slot * req_slot, msg.size());
+                });
+        }
+    };
+
+    auto start_flush = [qp, req_mr, rep_mr, req_buf, st, req_slot,
+                        rep_slot] {
+        st->flushing = true;
+        NbdRequest req;
+        req.type = NbdOp::Flush;
+        req.handle = 0xffff;
+        auto msg = serializeNbdRequest(req);
+        std::copy(msg.begin(), msg.end(), req_buf->begin());
+        qp->postRecv(0, *rep_mr, 0, rep_slot);
+        qp->postSend(100, *req_mr, 0, msg.size());
+    };
+
+    // Completion pump: the kernel NBD driver blocks on CQ events.
+    auto pump = std::make_shared<std::function<void()>>();
+    *pump = [&sim, cq, rep_buf, st, issue, pump, total_bytes,
+             is_write, rep_slot, start_flush, depth] {
+        cq->wait([&sim, cq, rep_buf, st, issue, pump, total_bytes,
+                  is_write, rep_slot, start_flush,
+                  depth](verbs::Completion c) {
+            if (!c.isSend && c.status == verbs::WcStatus::Success) {
+                if (st->flushing) {
+                    st->tEnd = sim.now();
+                    st->done = true;
+                    return;
+                }
+                const std::size_t base =
+                    static_cast<std::size_t>(c.wrId) * rep_slot;
+                std::uint64_t handle = 0;
+                std::uint32_t err = 0;
+                std::span<const std::uint8_t> rep(
+                    rep_buf->data() + base, c.byteLen);
+                if (!parseNbdReply(rep, handle, err) || err != 0) {
+                    st->dataOk = false;
+                } else {
+                    auto it = st->lens.find(handle);
+                    if (it != st->lens.end()) {
+                        st->completed += it->second;
+                        st->lens.erase(it);
+                    }
+                }
+                --st->outstanding;
+                (*issue)();
+                if (st->completed >= total_bytes &&
+                    st->outstanding == 0) {
+                    if (is_write) {
+                        start_flush();
+                    } else {
+                        st->tEnd = sim.now();
+                        st->done = true;
+                        return;
+                    }
+                }
+            }
+            if (!st->done)
+                (*pump)();
+        });
+    };
+
+    (*issue)();
+    (*pump)();
+
+    const bool ok = sim.runUntilCondition([&] { return st->done; },
+                                          sim.now() + runDeadline);
+    return finishRun(window, st->tEnd, client.cpu().busyTotal(),
+                     total_bytes, ok && st->done, st->dataOk);
+}
+
+} // namespace qpip::apps

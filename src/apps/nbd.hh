@@ -1,0 +1,165 @@
+/**
+ * @file
+ * The Network Block Device (Figure 5/6/7): a client whose block I/O
+ * requests are forwarded to a server emulating a network-attached
+ * disk. Two transports, as in the paper: the classic sockets version
+ * (client driver in the kernel doing socket calls) and the QPIP port
+ * (requests and replies as QP messages; "integrating the QP interface
+ * into NBD was straightforward and proved simpler than the socket
+ * implementation").
+ *
+ * Wire format (classic NBD):
+ *   request: magic(4) type(4) handle(8) offset(8) length(4) [+data]
+ *   reply:   magic(4) error(4) handle(8) [+data]
+ */
+
+#ifndef QPIP_APPS_NBD_HH
+#define QPIP_APPS_NBD_HH
+
+#include <optional>
+
+#include "apps/disk.hh"
+#include "apps/testbed.hh"
+
+namespace qpip::apps {
+
+constexpr std::uint32_t nbdRequestMagic = 0x25609513;
+constexpr std::uint32_t nbdReplyMagic = 0x67446698;
+constexpr std::size_t nbdRequestHeaderBytes = 28;
+constexpr std::size_t nbdReplyHeaderBytes = 16;
+
+/** NBD request opcodes. */
+enum class NbdOp : std::uint32_t { Read = 0, Write = 1, Flush = 3 };
+
+/** Parsed NBD request header. */
+struct NbdRequest
+{
+    NbdOp type = NbdOp::Read;
+    std::uint64_t handle = 0;
+    std::uint64_t offset = 0;
+    std::uint32_t length = 0;
+};
+
+/** Serialize a request header (+ optional write payload). */
+std::vector<std::uint8_t>
+serializeNbdRequest(const NbdRequest &req,
+                    std::span<const std::uint8_t> payload = {});
+
+/** Parse a request header. @return false on bad magic/truncation. */
+bool parseNbdRequest(std::span<const std::uint8_t> bytes,
+                     NbdRequest &out);
+
+/** Serialize a reply header (+ optional read payload). */
+std::vector<std::uint8_t>
+serializeNbdReply(std::uint64_t handle, std::uint32_t error,
+                  std::span<const std::uint8_t> payload = {});
+
+/** Parse a reply header. */
+bool parseNbdReply(std::span<const std::uint8_t> bytes,
+                   std::uint64_t &handle, std::uint32_t &error);
+
+/** Server configuration. */
+struct NbdServerConfig
+{
+    std::uint16_t port = 10809;
+    std::size_t maxRequestBytes = 65536;
+    /**
+     * Optional real device contents (small devices, integrity
+     * tests). When null the server serves a deterministic pattern.
+     */
+    std::vector<std::uint8_t> *content = nullptr;
+    /** Server-side filesystem work per 4 kB page (write path). */
+    sim::Cycles serverFsWriteCyclesPerPage = 10000;
+    /** Server-side page-cache copy per 4 kB page (read path). */
+    sim::Cycles serverFsReadCyclesPerPage = 6000;
+};
+
+/** The sockets-based server (user-level, as shipped with Linux). */
+class NbdSocketServer
+{
+  public:
+    NbdSocketServer(host::HostStack &stack, ServerStore &store,
+                    NbdServerConfig config);
+
+  private:
+    struct Session;
+    void serve(std::shared_ptr<host::TcpSocket> sock);
+
+    host::HostStack &stack_;
+    ServerStore &store_;
+    NbdServerConfig cfg_;
+};
+
+/** The QPIP server (requests/replies as QP messages). */
+class NbdQpipServer
+{
+  public:
+    NbdQpipServer(verbs::Provider &provider, ServerStore &store,
+                  NbdServerConfig config);
+
+  private:
+    void onRequest(std::shared_ptr<verbs::QueuePair> qp,
+                   std::vector<std::uint8_t> msg);
+    void pump();
+    void armAccept();
+
+    verbs::Provider &provider_;
+    ServerStore &store_;
+    NbdServerConfig cfg_;
+    std::shared_ptr<verbs::CompletionQueue> cq_;
+    std::shared_ptr<verbs::Acceptor> acceptor_;
+    std::shared_ptr<verbs::QueuePair> qp_;
+    std::shared_ptr<std::vector<std::uint8_t>> reqBuf_;
+    std::shared_ptr<std::vector<std::uint8_t>> repBuf_;
+    std::shared_ptr<verbs::MemoryRegion> reqMr_;
+    std::shared_ptr<verbs::MemoryRegion> repMr_;
+    std::size_t slots_ = 16;
+    bool pumping_ = false;
+};
+
+/** Client-side cost/shape parameters (the "filesystem" above NBD). */
+struct NbdClientParams
+{
+    std::size_t requestBytes = 65536;
+    std::size_t fsPageBytes = 4096;
+    /** ext2 + buffer cache + block layer work per page. */
+    sim::Cycles fsCyclesPerPage = 10000;
+    /** Block requests kept in flight (kernel request queue depth). */
+    std::size_t pipelineDepth = 8;
+    bool verifyContent = false;
+};
+
+/** Result of one sequential NBD phase. */
+struct NbdRunResult
+{
+    double mbPerSec = 0.0;
+    double clientCpuUtil = 0.0;
+    /** CPU effectiveness: MB transferred per client CPU-second. */
+    double mbPerCpuSec = 0.0;
+    bool completed = false;
+    bool dataOk = true;
+};
+
+/**
+ * Run a sequential read or write of @p total_bytes from client host
+ * @p client_idx against a sockets NBD server already listening on
+ * host @p server_idx.
+ */
+NbdRunResult
+runNbdSocketsSequential(SocketsTestbed &bed, std::size_t client_idx,
+                        std::size_t server_idx, bool is_write,
+                        std::uint64_t total_bytes,
+                        NbdClientParams params = NbdClientParams{},
+                        std::uint16_t port = 10809);
+
+/** Same over QPIP. */
+NbdRunResult
+runNbdQpipSequential(QpipTestbed &bed, std::size_t client_idx,
+                     std::size_t server_idx, bool is_write,
+                     std::uint64_t total_bytes,
+                     NbdClientParams params = NbdClientParams{},
+                     std::uint16_t port = 10809);
+
+} // namespace qpip::apps
+
+#endif // QPIP_APPS_NBD_HH

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Application-to-application round-trip benchmark (Figure 3): one
+ * small message bounced between two processes, timed at user level.
+ * Sockets variants run over the host stack; QPIP variants post WRs
+ * and spin-poll the CQ (the prototype's low-latency completion path).
+ */
+
+#ifndef QPIP_APPS_PINGPONG_HH
+#define QPIP_APPS_PINGPONG_HH
+
+#include "apps/testbed.hh"
+
+namespace qpip::apps {
+
+/** Result of a ping-pong run. */
+struct PingPongResult
+{
+    /** Mean round-trip time over the measured iterations. */
+    double rttUs = 0.0;
+    std::size_t iterations = 0;
+    bool completed = false;
+};
+
+/** TCP ping-pong over the sockets stack (client = host 0). */
+PingPongResult runSocketTcpPingPong(SocketsTestbed &bed,
+                                    std::size_t iterations,
+                                    std::size_t msg_bytes = 1,
+                                    std::size_t warmup = 8);
+
+/** UDP ping-pong over the sockets stack. */
+PingPongResult runSocketUdpPingPong(SocketsTestbed &bed,
+                                    std::size_t iterations,
+                                    std::size_t msg_bytes = 1,
+                                    std::size_t warmup = 8);
+
+/** Reliable (TCP) QP ping-pong over QPIP. */
+PingPongResult runQpipTcpPingPong(QpipTestbed &bed,
+                                  std::size_t iterations,
+                                  std::size_t msg_bytes = 1,
+                                  std::size_t warmup = 8);
+
+/** Unreliable (UDP) QP ping-pong over QPIP. */
+PingPongResult runQpipUdpPingPong(QpipTestbed &bed,
+                                  std::size_t iterations,
+                                  std::size_t msg_bytes = 1,
+                                  std::size_t warmup = 8);
+
+} // namespace qpip::apps
+
+#endif // QPIP_APPS_PINGPONG_HH

@@ -1,0 +1,122 @@
+#include "apps/testbed.hh"
+
+#include "sim/logging.hh"
+
+namespace qpip::apps {
+
+namespace {
+
+inet::InetAddr
+v4Of(std::size_t i)
+{
+    auto a = inet::Ipv4Addr::parse("10.0.0." + std::to_string(i + 1));
+    return inet::InetAddr(*a);
+}
+
+inet::InetAddr
+v6Of(std::size_t i)
+{
+    auto a = inet::Ipv6Addr::parse("fd00::" + std::to_string(i + 1));
+    return inet::InetAddr(*a);
+}
+
+} // namespace
+
+SocketsTestbed::SocketsTestbed(std::size_t n_hosts,
+                               SocketsFabric fabric_kind,
+                               std::uint64_t seed,
+                               host::HostCostModel costs)
+    : sim_(seed)
+{
+    const bool gige = fabric_kind == SocketsFabric::GigabitEthernet;
+    net::LinkConfig link =
+        gige ? net::gigabitEthernetLink() : net::myrinetLink(9000);
+    fabric_ = std::make_unique<net::StarFabric>(sim_, "fabric", link);
+
+    for (std::size_t i = 0; i < n_hosts; ++i) {
+        auto node = static_cast<net::NodeId>(i);
+        net::Link &spoke = fabric_->addNode(node);
+        hosts_.push_back(std::make_unique<host::Host>(
+            sim_, "host" + std::to_string(i), costs));
+        nics_.push_back(std::make_unique<nic::EthNic>(
+            sim_, "host" + std::to_string(i) + ".nic",
+            hosts_[i]->stack(), spoke, node,
+            gige ? nic::pro1000Params() : nic::gmIpParams()));
+        hosts_[i]->stack().addAddress(v4Of(i));
+    }
+    // Full-mesh neighbor entries.
+    for (std::size_t i = 0; i < n_hosts; ++i) {
+        for (std::size_t j = 0; j < n_hosts; ++j) {
+            if (i != j) {
+                hosts_[i]->stack().routes().add(
+                    v4Of(j), static_cast<net::NodeId>(j));
+            }
+        }
+    }
+}
+
+SocketsTestbed::~SocketsTestbed()
+{
+    // Pending event closures can hold the last references to sockets
+    // and connections; release them while stacks and NICs still
+    // exist.
+    sim_.eventQueue().clear();
+}
+
+inet::SockAddr
+SocketsTestbed::addr(std::size_t i, std::uint16_t port) const
+{
+    return inet::SockAddr{v4Of(i), port};
+}
+
+inet::TcpConfig
+SocketsTestbed::tcpConfig() const
+{
+    return hosts_.at(0)->stack().defaultTcpConfig();
+}
+
+QpipTestbed::QpipTestbed(std::size_t n_hosts, std::uint32_t mtu,
+                         std::uint64_t seed,
+                         nic::QpipNicParams nic_params,
+                         host::HostCostModel costs)
+    : sim_(seed)
+{
+    fabric_ = std::make_unique<net::StarFabric>(sim_, "fabric",
+                                                net::myrinetLink(mtu));
+    for (std::size_t i = 0; i < n_hosts; ++i) {
+        auto node = static_cast<net::NodeId>(i);
+        net::Link &spoke = fabric_->addNode(node);
+        hosts_.push_back(std::make_unique<host::Host>(
+            sim_, "host" + std::to_string(i), costs));
+        nics_.push_back(std::make_unique<nic::QpipNic>(
+            sim_, "host" + std::to_string(i) + ".qnic", spoke, node,
+            nic_params));
+        nics_[i]->setAddress(v6Of(i));
+        providers_.push_back(std::make_unique<verbs::Provider>(
+            *hosts_[i], *nics_[i]));
+    }
+    for (std::size_t i = 0; i < n_hosts; ++i) {
+        for (std::size_t j = 0; j < n_hosts; ++j) {
+            if (i != j) {
+                nics_[i]->routes().add(v6Of(j),
+                                       static_cast<net::NodeId>(j));
+            }
+        }
+    }
+}
+
+QpipTestbed::~QpipTestbed()
+{
+    // Pending event closures can hold the last references to queue
+    // pairs and CQs; release them while providers and NICs still
+    // exist.
+    sim_.eventQueue().clear();
+}
+
+inet::SockAddr
+QpipTestbed::addr(std::size_t i, std::uint16_t port) const
+{
+    return inet::SockAddr{v6Of(i), port};
+}
+
+} // namespace qpip::apps

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Canned experiment fabrics. Every benchmark and integration test in
+ * the paper runs on a two-or-more-node star; these builders wire up
+ * the three systems under test:
+ *
+ *  - SocketsTestbed + gigE      -> the IP/GigE baseline
+ *  - SocketsTestbed + myrinetIp -> the IP/Myrinet (GM link) baseline
+ *  - QpipTestbed                -> the QPIP prototype
+ *
+ * Hosts get addresses 10.0.0.<i+1> (v4 baselines) or fd00::<i+1>
+ * (QPIP's IPv6), with routes and fabric addresses installed both
+ * ways.
+ */
+
+#ifndef QPIP_APPS_TESTBED_HH
+#define QPIP_APPS_TESTBED_HH
+
+#include <memory>
+#include <vector>
+
+#include "host/host.hh"
+#include "net/topology.hh"
+#include "nic/eth_nic.hh"
+#include "nic/qpip_nic.hh"
+#include "qpip/qpip.hh"
+#include "sim/simulation.hh"
+
+namespace qpip::apps {
+
+/** Which baseline fabric a sockets testbed models. */
+enum class SocketsFabric { GigabitEthernet, MyrinetIp };
+
+/**
+ * The QPIP prototype's "native" link MTU: a 16 KB message-segment
+ * plus TCP/IPv6 headers rides unfragmented (Myrinet supports
+ * arbitrary MTUs).
+ */
+constexpr std::uint32_t qpipNativeMtu = 16384 + 128;
+
+/**
+ * N hosts with the host-resident stack over a conventional NIC.
+ */
+class SocketsTestbed
+{
+  public:
+    SocketsTestbed(std::size_t n_hosts, SocketsFabric fabric_kind,
+                   std::uint64_t seed = 1,
+                   host::HostCostModel costs = host::HostCostModel{});
+    ~SocketsTestbed();
+
+    sim::Simulation &sim() { return sim_; }
+    host::Host &host(std::size_t i) { return *hosts_.at(i); }
+    nic::EthNic &nicOf(std::size_t i) { return *nics_.at(i); }
+    net::StarFabric &fabric() { return *fabric_; }
+
+    /** The v4 address of host @p i with @p port. */
+    inet::SockAddr addr(std::size_t i, std::uint16_t port) const;
+
+    /** MTU-derived TCP config for this fabric. */
+    inet::TcpConfig tcpConfig() const;
+
+  private:
+    sim::Simulation sim_;
+    std::unique_ptr<net::StarFabric> fabric_;
+    std::vector<std::unique_ptr<host::Host>> hosts_;
+    std::vector<std::unique_ptr<nic::EthNic>> nics_;
+};
+
+/**
+ * N hosts with QPIP NICs on a Myrinet fabric.
+ */
+class QpipTestbed
+{
+  public:
+    QpipTestbed(std::size_t n_hosts, std::uint32_t mtu = qpipNativeMtu,
+                std::uint64_t seed = 1,
+                nic::QpipNicParams nic_params = nic::QpipNicParams{},
+                host::HostCostModel costs = host::HostCostModel{});
+    ~QpipTestbed();
+
+    sim::Simulation &sim() { return sim_; }
+    host::Host &host(std::size_t i) { return *hosts_.at(i); }
+    nic::QpipNic &nicOf(std::size_t i) { return *nics_.at(i); }
+    verbs::Provider &provider(std::size_t i)
+    {
+        return *providers_.at(i);
+    }
+    net::StarFabric &fabric() { return *fabric_; }
+
+    /** The v6 address of host @p i with @p port. */
+    inet::SockAddr addr(std::size_t i, std::uint16_t port) const;
+
+  private:
+    sim::Simulation sim_;
+    std::unique_ptr<net::StarFabric> fabric_;
+    std::vector<std::unique_ptr<host::Host>> hosts_;
+    std::vector<std::unique_ptr<nic::QpipNic>> nics_;
+    std::vector<std::unique_ptr<verbs::Provider>> providers_;
+};
+
+} // namespace qpip::apps
+
+#endif // QPIP_APPS_TESTBED_HH

@@ -1,0 +1,216 @@
+#include "apps/ttcp.hh"
+
+#include "apps/verbs_util.hh"
+#include "sim/logging.hh"
+
+namespace qpip::apps {
+
+using host::TcpSocket;
+using sim::Tick;
+
+namespace {
+
+constexpr std::uint16_t ttcpPort = 5001;
+constexpr Tick runDeadline = 600 * sim::oneSec;
+
+struct Window
+{
+    Tick t0 = 0;
+    Tick busyTx0 = 0;
+    Tick busyRx0 = 0;
+};
+
+TtcpResult
+finish(const Window &w, sim::Tick t_end, Tick busy_tx, Tick busy_rx,
+       std::size_t total_bytes, bool completed)
+{
+    TtcpResult r;
+    const Tick wall = t_end - w.t0;
+    if (wall == 0)
+        return r;
+    r.mbPerSec = static_cast<double>(total_bytes) /
+                 (1024.0 * 1024.0) / sim::ticksToSec(wall);
+    r.txCpuUtil =
+        host::CpuModel::utilization(busy_tx - w.busyTx0, wall);
+    r.rxCpuUtil =
+        host::CpuModel::utilization(busy_rx - w.busyRx0, wall);
+    r.elapsedMs = sim::ticksToSec(wall) * 1e3;
+    r.completed = completed;
+    return r;
+}
+
+} // namespace
+
+TtcpResult
+runSocketsTtcp(SocketsTestbed &bed, std::size_t total_bytes,
+               std::size_t chunk_bytes)
+{
+    auto &sim = bed.sim();
+    auto cfg = bed.tcpConfig();
+    cfg.noDelay = true; // ttcp -D
+
+    auto received = std::make_shared<std::size_t>(0);
+    auto done = std::make_shared<bool>(false);
+    auto t_end = std::make_shared<Tick>(0);
+
+    // Receiver: drain until the expected byte count arrives.
+    auto drain = std::make_shared<
+        std::function<void(std::shared_ptr<TcpSocket>)>>();
+    *drain = [received, done, t_end, total_bytes, &sim,
+              drain](std::shared_ptr<TcpSocket> sock) {
+        sock->recv(262144, [received, done, t_end, total_bytes, &sim,
+                            drain, sock](std::vector<std::uint8_t> d) {
+            if (d.empty())
+                return; // EOF
+            *received += d.size();
+            if (*received >= total_bytes) {
+                *t_end = sim.now();
+                *done = true;
+                return;
+            }
+            (*drain)(sock);
+        });
+    };
+    bed.host(1).stack().tcpListen(
+        ttcpPort, cfg,
+        [drain](std::shared_ptr<TcpSocket> sock) { (*drain)(sock); });
+
+    // Sender.
+    auto window = std::make_shared<Window>();
+    auto sock = bed.host(0).stack().tcpConnect(
+        bed.addr(0, 30002), bed.addr(1, ttcpPort), cfg, nullptr);
+
+    sim.runUntilCondition([&] { return sock->connected(); },
+                          sim.now() + runDeadline);
+    window->t0 = sim.now();
+    window->busyTx0 = bed.host(0).cpu().busyTotal();
+    window->busyRx0 = bed.host(1).cpu().busyTotal();
+
+    auto sent = std::make_shared<std::size_t>(0);
+    auto pump = std::make_shared<std::function<void()>>();
+    *pump = [sock, sent, total_bytes, chunk_bytes, pump] {
+        if (*sent >= total_bytes)
+            return;
+        const std::size_t n =
+            std::min(chunk_bytes, total_bytes - *sent);
+        *sent += n;
+        sock->sendAll(std::vector<std::uint8_t>(n, 0xcd),
+                      [pump] { (*pump)(); });
+    };
+    (*pump)();
+
+    const bool ok = sim.runUntilCondition([&] { return *done; },
+                                          sim.now() + runDeadline);
+    return finish(*window, *t_end, bed.host(0).cpu().busyTotal(),
+                  bed.host(1).cpu().busyTotal(), total_bytes, ok);
+}
+
+TtcpResult
+runQpipTtcp(QpipTestbed &bed, std::size_t total_bytes,
+            std::size_t chunk_bytes, std::size_t pipeline_depth,
+            sim::Tick poll_interval)
+{
+    auto &sim = bed.sim();
+    auto &prov_tx = bed.provider(0);
+    auto &prov_rx = bed.provider(1);
+
+    const std::size_t n_msgs =
+        (total_bytes + chunk_bytes - 1) / chunk_bytes;
+
+    // --- receiver ------------------------------------------------------
+    auto cq_rx = prov_rx.createCq(8192);
+    auto buf_rx = std::make_shared<std::vector<std::uint8_t>>(
+        chunk_bytes * pipeline_depth);
+    auto mr_rx = prov_rx.registerMemory(*buf_rx);
+    auto acceptor = std::make_shared<verbs::Acceptor>(
+        prov_rx, ttcpPort, cq_rx, cq_rx);
+
+    auto received = std::make_shared<std::size_t>(0);
+    auto done = std::make_shared<bool>(false);
+    auto t_end = std::make_shared<Tick>(0);
+    auto qp_rx_keep =
+        std::make_shared<std::shared_ptr<verbs::QueuePair>>();
+
+    acceptor->acceptOne([&, received, done, t_end, qp_rx_keep, mr_rx,
+                         buf_rx](std::shared_ptr<verbs::QueuePair> qp) {
+        *qp_rx_keep = qp;
+        // Pre-post the whole pipeline of receive buffers.
+        for (std::size_t i = 0; i < pipeline_depth; ++i)
+            qp->postRecv(i, *mr_rx, i * chunk_bytes, chunk_bytes);
+        // Periodic reaper: drain completions, repost, count bytes.
+        periodicReaper(
+            prov_rx, poll_interval,
+            [&sim, qp, cq_rx, received, done, t_end, mr_rx,
+             pipeline_depth, chunk_bytes, total_bytes]() -> bool {
+                verbs::Completion c;
+                while (cq_rx->poll(c)) {
+                    if (c.isSend)
+                        continue;
+                    *received += c.byteLen;
+                    qp->postRecv(c.wrId, *mr_rx,
+                                 (c.wrId % pipeline_depth) * chunk_bytes,
+                                 chunk_bytes);
+                }
+                if (*received >= total_bytes) {
+                    *t_end = sim.now();
+                    *done = true;
+                    return false;
+                }
+                return true;
+            });
+    });
+
+    // --- sender --------------------------------------------------------
+    auto cq_tx = prov_tx.createCq(8192);
+    auto buf_tx =
+        std::make_shared<std::vector<std::uint8_t>>(chunk_bytes, 0xcd);
+    auto mr_tx = prov_tx.registerMemory(*buf_tx);
+    auto qp_tx = prov_tx.createQp(nic::QpType::ReliableTcp, cq_tx,
+                                  cq_tx, pipeline_depth + 8, 8);
+
+    auto window = std::make_shared<Window>();
+    auto posted = std::make_shared<std::size_t>(0);
+    auto completed_sends = std::make_shared<std::size_t>(0);
+    auto connected = std::make_shared<bool>(false);
+
+    qp_tx->connect(bed.addr(1, ttcpPort),
+                   [connected](bool ok) { *connected = ok; });
+    sim.runUntilCondition([&] { return *connected; },
+                          sim.now() + runDeadline);
+
+    window->t0 = sim.now();
+    window->busyTx0 = bed.host(0).cpu().busyTotal();
+    window->busyRx0 = bed.host(1).cpu().busyTotal();
+
+    // Fill the pipeline, then keep it full from the reaper.
+    auto top_up = [qp_tx, mr_tx, posted, completed_sends, n_msgs,
+                   pipeline_depth, chunk_bytes, total_bytes] {
+        while (*posted < n_msgs &&
+               *posted - *completed_sends < pipeline_depth) {
+            const std::size_t remaining =
+                total_bytes - *posted * chunk_bytes;
+            const std::size_t len = std::min(chunk_bytes, remaining);
+            if (!qp_tx->postSend(*posted, *mr_tx, 0, len))
+                break;
+            ++*posted;
+        }
+    };
+    top_up();
+    periodicReaper(prov_tx, poll_interval,
+                   [cq_tx, completed_sends, top_up, n_msgs]() -> bool {
+                       verbs::Completion c;
+                       while (cq_tx->poll(c)) {
+                           if (c.isSend)
+                               ++*completed_sends;
+                       }
+                       top_up();
+                       return *completed_sends < n_msgs;
+                   });
+
+    const bool ok = sim.runUntilCondition([&] { return *done; },
+                                          sim.now() + runDeadline);
+    return finish(*window, *t_end, bed.host(0).cpu().busyTotal(),
+                  bed.host(1).cpu().busyTotal(), total_bytes, ok);
+}
+
+} // namespace qpip::apps

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The ttcp-style throughput benchmark (Figure 4): a bulk transfer in
+ * fixed-size chunks with TCP_NODELAY, reporting sustained MB/s and
+ * the CPU utilization of both ends. QPIP mode posts 16 KB messages
+ * through a deep WR pipeline and reaps completions with a periodic
+ * poll, so the host does almost no work.
+ */
+
+#ifndef QPIP_APPS_TTCP_HH
+#define QPIP_APPS_TTCP_HH
+
+#include "apps/testbed.hh"
+
+namespace qpip::apps {
+
+/** Result of one ttcp run. */
+struct TtcpResult
+{
+    double mbPerSec = 0.0;
+    double txCpuUtil = 0.0;
+    double rxCpuUtil = 0.0;
+    double elapsedMs = 0.0;
+    bool completed = false;
+};
+
+/** Bulk TCP transfer over the sockets stack, host 0 -> host 1. */
+TtcpResult runSocketsTtcp(SocketsTestbed &bed, std::size_t total_bytes,
+                          std::size_t chunk_bytes = 16384);
+
+/**
+ * Bulk reliable-QP transfer over QPIP, host 0 -> host 1.
+ * @param pipeline_depth outstanding WRs kept posted on each side.
+ * @param poll_interval completion-reaper period.
+ */
+TtcpResult runQpipTtcp(QpipTestbed &bed, std::size_t total_bytes,
+                       std::size_t chunk_bytes = 16384,
+                       std::size_t pipeline_depth = 64,
+                       sim::Tick poll_interval = 200 * sim::oneUs);
+
+} // namespace qpip::apps
+
+#endif // QPIP_APPS_TTCP_HH

@@ -1,0 +1,58 @@
+#include "apps/verbs_util.hh"
+
+#include "sim/simulation.hh"
+
+namespace qpip::apps {
+
+void
+spinPoll(verbs::Provider &prov, verbs::CompletionQueue &cq,
+         std::function<void(verbs::Completion)> cb)
+{
+    verbs::Completion c;
+    if (cq.poll(c)) {
+        cb(c);
+        return;
+    }
+    // The empty poll charged the CPU; retry the moment it frees.
+    auto &os = prov.host().os();
+    const sim::Tick next = prov.host().cpu().busyUntil();
+    os.simulation().eventQueue().schedule(
+        next, [&prov, &cq, cb = std::move(cb)]() mutable {
+            spinPoll(prov, cq, std::move(cb));
+        });
+}
+
+void
+spinLoop(verbs::Provider &prov, verbs::CompletionQueue &cq,
+         std::function<void(verbs::Completion)> cb)
+{
+    spinPoll(prov, cq, [&prov, &cq, cb](verbs::Completion c) {
+        cb(c);
+        spinLoop(prov, cq, std::move(cb));
+    });
+}
+
+void
+waitLoop(verbs::CompletionQueue &cq,
+         std::function<void(verbs::Completion)> cb)
+{
+    cq.wait([&cq, cb](verbs::Completion c) {
+        cb(c);
+        waitLoop(cq, std::move(cb));
+    });
+}
+
+void
+periodicReaper(verbs::Provider &prov, sim::Tick interval,
+               std::function<bool()> drain)
+{
+    if (!drain())
+        return;
+    auto &os = prov.host().os();
+    os.simulation().eventQueue().scheduleIn(
+        interval, [&prov, interval, drain = std::move(drain)]() mutable {
+            periodicReaper(prov, interval, std::move(drain));
+        });
+}
+
+} // namespace qpip::apps

@@ -1,0 +1,10 @@
+#include "host/host.hh"
+
+namespace qpip::host {
+
+Host::Host(sim::Simulation &sim, const std::string &name,
+           HostCostModel costs)
+    : os_(sim, name + ".os", costs), stack_(sim, name + ".stack", os_)
+{}
+
+} // namespace qpip::host

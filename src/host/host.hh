@@ -1,0 +1,40 @@
+/**
+ * @file
+ * A host node: one CPU-accounted OS plus the in-kernel network stack.
+ * Testbeds construct Hosts, attach NIC models, assign addresses and
+ * routes, and run applications against the stack's socket API (or, on
+ * QPIP hosts, against the verbs library in src/qpip).
+ */
+
+#ifndef QPIP_HOST_HOST_HH
+#define QPIP_HOST_HOST_HH
+
+#include <memory>
+#include <string>
+
+#include "host/host_os.hh"
+#include "host/host_stack.hh"
+
+namespace qpip::host {
+
+/**
+ * One simulated host machine.
+ */
+class Host
+{
+  public:
+    Host(sim::Simulation &sim, const std::string &name,
+         HostCostModel costs = HostCostModel{});
+
+    HostOS &os() { return os_; }
+    HostStack &stack() { return stack_; }
+    CpuModel &cpu() { return os_.cpu(); }
+
+  private:
+    HostOS os_;
+    HostStack stack_;
+};
+
+} // namespace qpip::host
+
+#endif // QPIP_HOST_HOST_HH

@@ -1,0 +1,33 @@
+#include "host/host_os.hh"
+
+#include "sim/simulation.hh"
+
+namespace qpip::host {
+
+HostOS::HostOS(sim::Simulation &sim, std::string name,
+               HostCostModel costs)
+    : SimObject(sim, std::move(name)), costs_(costs),
+      cpu_(sim, this->name() + ".cpu", costs.cpuFreqHz)
+{}
+
+void
+HostOS::defer(sim::Cycles cycles, std::function<void()> fn)
+{
+    cpu_.run(cycles, std::move(fn));
+}
+
+void
+HostOS::interrupt(std::function<void()> isr)
+{
+    cpu_.run(costs_.interruptOverhead, std::move(isr));
+}
+
+sim::EventHandle
+HostOS::timer(sim::Tick delay, std::function<void()> fn)
+{
+    return scheduleIn(delay, [this, fn = std::move(fn)]() mutable {
+        cpu_.run(costs_.timerSoftirq, std::move(fn));
+    });
+}
+
+} // namespace qpip::host

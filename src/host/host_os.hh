@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Minimal host operating-system services: deferred work on the CPU
+ * (syscall/kernel paths), interrupt dispatch, and kernel timers. The
+ * "scheduler complexity" the paper contrasts against the NIC-resident
+ * runtime shows up here as wakeup and softirq charges.
+ */
+
+#ifndef QPIP_HOST_HOST_OS_HH
+#define QPIP_HOST_HOST_OS_HH
+
+#include <functional>
+
+#include "host/cost_model.hh"
+#include "host/cpu.hh"
+#include "sim/sim_object.hh"
+
+namespace qpip::host {
+
+/**
+ * The host OS kernel facade.
+ */
+class HostOS : public sim::SimObject
+{
+  public:
+    HostOS(sim::Simulation &sim, std::string name, HostCostModel costs);
+
+    CpuModel &cpu() { return cpu_; }
+    const HostCostModel &costs() const { return costs_; }
+
+    /** Run @p fn after charging @p cycles of CPU (serialized). */
+    void defer(sim::Cycles cycles, std::function<void()> fn);
+
+    /** Charge CPU with no continuation. */
+    void charge(sim::Cycles cycles) { cpu_.charge(cycles); }
+
+    /**
+     * Deliver a device interrupt: charges the interrupt overhead,
+     * then runs the service routine on the CPU.
+     */
+    void interrupt(std::function<void()> isr);
+
+    /**
+     * Arm a kernel timer. When it fires, the softirq charge is paid
+     * before @p fn runs.
+     */
+    sim::EventHandle timer(sim::Tick delay, std::function<void()> fn);
+
+    /** Convert cycles at this host's frequency to ticks. */
+    sim::Tick
+    cyclesToTicks(sim::Cycles c) const
+    {
+        return cpu_.clock().cyclesToTicks(c);
+    }
+
+    /** Cycles for a per-byte rate. */
+    static sim::Cycles
+    byteCycles(double per_byte, std::size_t n)
+    {
+        return static_cast<sim::Cycles>(per_byte *
+                                        static_cast<double>(n));
+    }
+
+  private:
+    HostCostModel costs_;
+    CpuModel cpu_;
+};
+
+} // namespace qpip::host
+
+#endif // QPIP_HOST_HOST_OS_HH

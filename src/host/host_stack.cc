@@ -1,0 +1,379 @@
+#include "host/host_stack.hh"
+
+#include "inet/ipv4.hh"
+#include "inet/ipv6.hh"
+#include "inet/udp.hh"
+#include "sim/logging.hh"
+#include "sim/simulation.hh"
+
+namespace qpip::host {
+
+using inet::IpDatagram;
+using inet::IpProto;
+
+HostStack::HostStack(sim::Simulation &sim, std::string name, HostOS &os)
+    : SimObject(sim, std::move(name)), os_(os)
+{}
+
+HostStack::~HostStack() = default;
+
+void
+HostStack::attachNic(HostNicDriver &nic)
+{
+    nic_ = &nic;
+}
+
+void
+HostStack::addAddress(const inet::InetAddr &addr)
+{
+    localAddrs_.insert(addr);
+}
+
+bool
+HostStack::isLocal(const inet::InetAddr &addr) const
+{
+    return localAddrs_.count(addr) != 0;
+}
+
+inet::TcpConfig
+HostStack::defaultTcpConfig() const
+{
+    inet::TcpConfig cfg;
+    const std::uint32_t mtu = nic_ ? nic_->mtu() : 1500;
+    // Conservative: leave room for a 40/60-byte network header plus
+    // TCP header with timestamps.
+    cfg.mss = mtu - 60 - 12;
+    cfg.tsGranularity = sim::oneMs; // Linux jiffies-ish
+    cfg.minRto = 200 * sim::oneMs;  // Linux 2.4 TCP_RTO_MIN
+    cfg.delAckTimeout = 40 * sim::oneMs;
+    cfg.windowScale = 2;
+    return cfg;
+}
+
+// ---------------------------------------------------------------------
+// Socket API
+// ---------------------------------------------------------------------
+
+std::shared_ptr<TcpSocket>
+HostStack::tcpConnect(const inet::SockAddr &local,
+                      const inet::SockAddr &remote,
+                      const inet::TcpConfig &cfg, TcpSocket::ConnectCb cb,
+                      std::size_t rcv_buf)
+{
+    auto sock = std::make_shared<TcpSocket>(*this, cfg, rcv_buf);
+    sock->connectCb_ = std::move(cb);
+    inet::FourTuple t{local, remote};
+    registerConn(t, sock->conn_.get(), sock);
+    // connect(2): syscall + handshake initiation.
+    os_.defer(costs().syscallOverhead + costs().sockSendBase,
+              [sock, local, remote] {
+                  sock->conn_->openActive(local, remote);
+              });
+    return sock;
+}
+
+void
+HostStack::tcpListen(std::uint16_t port, const inet::TcpConfig &cfg,
+                     AcceptCb on_accept, std::size_t rcv_buf)
+{
+    auto listener = std::make_unique<Listener>();
+    listener->cfg = cfg;
+    listener->onAccept = std::move(on_accept);
+    listener->rcvBuf = rcv_buf;
+    tcp_.insertListener(port, listener.get());
+    listeners_[port] = std::move(listener);
+}
+
+void
+HostStack::tcpUnlisten(std::uint16_t port)
+{
+    tcp_.eraseListener(port);
+    listeners_.erase(port);
+}
+
+std::shared_ptr<UdpSocket>
+HostStack::udpBind(const inet::SockAddr &local)
+{
+    if (udpPorts_.count(local.port))
+        sim::fatal("udp port %u already bound", local.port);
+    auto sock = std::make_shared<UdpSocket>(*this, local);
+    udpPorts_[local.port] = sock.get();
+    return sock;
+}
+
+void
+HostStack::udpUnbind(std::uint16_t port)
+{
+    udpPorts_.erase(port);
+}
+
+void
+HostStack::registerConn(const inet::FourTuple &t,
+                        inet::TcpConnection *conn,
+                        std::shared_ptr<TcpSocket> sock)
+{
+    tcp_.insertConn(t, conn);
+    socketsByConn_[conn] = std::move(sock);
+}
+
+// ---------------------------------------------------------------------
+// Transmit path
+// ---------------------------------------------------------------------
+
+void
+HostStack::tcpOutput(IpDatagram &&dgram, const inet::TcpSegMeta &meta)
+{
+    sim::Cycles c = costs().tcpOutputPerSeg + costs().ipPerPacket +
+                    costs().driverTxPerPkt;
+    // Retransmissions re-checksum data already resident in the kernel
+    // (the original checksum was folded into the user copy).
+    if (meta.retransmit && nic_ && !nic_->checksumOffload()) {
+        c += HostOS::byteCycles(costs().copyPerByte - 1.0,
+                                meta.payloadBytes);
+    }
+    os_.defer(c, [this, d = std::move(dgram)]() mutable {
+        sendToWire(std::move(d));
+    });
+}
+
+void
+HostStack::udpOutput(IpDatagram &&dgram)
+{
+    const sim::Cycles c = costs().udpOutputPerDgram +
+                          costs().ipPerPacket + costs().driverTxPerPkt;
+    os_.defer(c, [this, d = std::move(dgram)]() mutable {
+        sendToWire(std::move(d));
+    });
+}
+
+void
+HostStack::sendToWire(IpDatagram dgram)
+{
+    if (isLocal(dgram.dst)) {
+        // Loopback: straight back into ipInput with the receive-side
+        // protocol charges (no driver, no interrupt) — exactly the
+        // path the paper uses to bound host overhead in Table 1.
+        loopbackPkts.inc();
+        ipInput(std::move(dgram));
+        return;
+    }
+    if (nic_ == nullptr) {
+        sim::warn("%s: no NIC attached, dropping", name().c_str());
+        return;
+    }
+    auto route = routes_.lookup(dgram.dst);
+    if (!route) {
+        sim::warn("%s: no route to %s", name().c_str(),
+                  dgram.dst.toString().c_str());
+        return;
+    }
+
+    const std::uint32_t mtu = nic_->mtu();
+    pktsOut.inc();
+    if (dgram.dst.isV6()) {
+        // v6: end-to-end fragmentation when needed.
+        auto frames = fragmentIpv6(dgram, mtu, fragIdent_++);
+        for (std::size_t i = 0; i < frames.size(); ++i) {
+            auto pkt = net::makePacket();
+            pkt->src = nic_->nodeId();
+            pkt->dst = *route;
+            pkt->proto = net::NetProto::Ipv6;
+            pkt->data = std::move(frames[i]);
+            if (i > 0)
+                os_.charge(costs().ipPerPacket); // per extra fragment
+            nic_->transmit(std::move(pkt));
+        }
+    } else {
+        if (dgram.payload.size() + inet::ipv4HeaderBytes > mtu) {
+            sim::warn("%s: v4 datagram exceeds MTU, dropping",
+                      name().c_str());
+            return;
+        }
+        auto pkt = net::makePacket();
+        pkt->src = nic_->nodeId();
+        pkt->dst = *route;
+        pkt->proto = net::NetProto::Ipv4;
+        pkt->data = serializeIpv4(dgram, identCounter_++);
+        nic_->transmit(std::move(pkt));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Receive path
+// ---------------------------------------------------------------------
+
+void
+HostStack::nicReceive(net::PacketPtr pkt)
+{
+    pktsIn.inc();
+    os_.defer(costs().driverRxPerPkt, [this, pkt] {
+        processRx(pkt);
+    });
+}
+
+void
+HostStack::processRx(net::PacketPtr pkt)
+{
+    os_.charge(costs().ipPerPacket);
+    if (pkt->proto == net::NetProto::Ipv4) {
+        IpDatagram dgram;
+        if (!parseIpv4(pkt->data, dgram)) {
+            badPktsIn.inc();
+            return;
+        }
+        ipInput(std::move(dgram));
+        return;
+    }
+    if (pkt->proto == net::NetProto::Ipv6) {
+        inet::Ipv6Packet v6;
+        if (!parseIpv6(pkt->data, v6)) {
+            badPktsIn.inc();
+            return;
+        }
+        reass6_.expire(curTick());
+        auto dgram = reass6_.offer(v6, curTick());
+        if (dgram)
+            ipInput(std::move(*dgram));
+        return;
+    }
+    badPktsIn.inc();
+}
+
+void
+HostStack::ipInput(IpDatagram dgram)
+{
+    switch (dgram.proto) {
+      case IpProto::Tcp:
+        deliverTcp(dgram);
+        break;
+      case IpProto::Udp:
+        deliverUdp(dgram);
+        break;
+      default:
+        badPktsIn.inc();
+        break;
+    }
+}
+
+void
+HostStack::deliverTcp(IpDatagram &dgram)
+{
+    inet::TcpHeader hdr;
+    std::span<const std::uint8_t> payload;
+    if (!parseTcp(dgram.src, dgram.dst, dgram.payload, hdr, payload)) {
+        badPktsIn.inc();
+        return;
+    }
+
+    sim::Cycles c = costs().tcpInputPerSeg;
+    if (nic_ && !nic_->checksumOffload()) {
+        // The rx checksum pass over the payload.
+        c += HostOS::byteCycles(1.0, payload.size());
+    }
+    os_.charge(c);
+
+    inet::FourTuple t;
+    t.local = inet::SockAddr{dgram.dst, hdr.dstPort};
+    t.remote = inet::SockAddr{dgram.src, hdr.srcPort};
+    if (auto *conn = tcp_.lookupConn(t)) {
+        conn->segmentArrived(hdr, payload);
+        return;
+    }
+    // New connection?
+    if (hdr.has(inet::tcpflags::syn) && !hdr.has(inet::tcpflags::ack)) {
+        if (auto *listener = tcp_.lookupListener(hdr.dstPort)) {
+            auto cfg = listener->cfg;
+            auto sock = std::make_shared<TcpSocket>(*this, cfg,
+                                                    listener->rcvBuf);
+            auto *conn = sock->conn_.get();
+            registerConn(t, conn, sock);
+            // Stash the accept callback for onConnected.
+            sock->connectCb_ = [this, listener,
+                                sock](bool ok) {
+                if (ok && listener->onAccept)
+                    listener->onAccept(sock);
+            };
+            conn->openPassive(t.local, t.remote, hdr);
+            return;
+        }
+    }
+    noPortDrops.inc();
+    // RFC 793: RST for segments to nonexistent connections.
+    if (!hdr.has(inet::tcpflags::rst)) {
+        inet::TcpHeader rst;
+        rst.srcPort = hdr.dstPort;
+        rst.dstPort = hdr.srcPort;
+        rst.flags = inet::tcpflags::rst | inet::tcpflags::ack;
+        rst.seq = hdr.has(inet::tcpflags::ack) ? hdr.ack : 0;
+        rst.ack = hdr.seq + static_cast<std::uint32_t>(payload.size()) +
+                  (hdr.has(inet::tcpflags::syn) ? 1 : 0);
+        IpDatagram out;
+        out.src = dgram.dst;
+        out.dst = dgram.src;
+        out.proto = IpProto::Tcp;
+        out.payload = serializeTcp(out.src, out.dst, rst, {});
+        os_.defer(costs().tcpOutputPerSeg + costs().driverTxPerPkt,
+                  [this, d = std::move(out)]() mutable {
+                      sendToWire(std::move(d));
+                  });
+    }
+}
+
+void
+HostStack::deliverUdp(IpDatagram &dgram)
+{
+    inet::UdpHeader hdr;
+    std::span<const std::uint8_t> payload;
+    if (!parseUdp(dgram.src, dgram.dst, dgram.payload, hdr, payload)) {
+        badPktsIn.inc();
+        return;
+    }
+    sim::Cycles c = costs().udpInputPerDgram;
+    if (nic_ && !nic_->checksumOffload())
+        c += HostOS::byteCycles(1.0, payload.size());
+    os_.charge(c);
+
+    auto it = udpPorts_.find(hdr.dstPort);
+    if (it == udpPorts_.end()) {
+        noPortDrops.inc();
+        return;
+    }
+    UdpSocket::Datagram d;
+    d.data.assign(payload.begin(), payload.end());
+    d.from = inet::SockAddr{dgram.src, hdr.srcPort};
+    it->second->deliver(std::move(d));
+}
+
+// ---------------------------------------------------------------------
+// TcpEnv
+// ---------------------------------------------------------------------
+
+sim::Tick
+HostStack::now()
+{
+    return curTick();
+}
+
+sim::EventHandle
+HostStack::scheduleTimer(sim::Tick delay, std::function<void()> fn)
+{
+    return os_.timer(delay, std::move(fn));
+}
+
+std::uint32_t
+HostStack::randomIss()
+{
+    return static_cast<std::uint32_t>(rng().next());
+}
+
+void
+HostStack::connectionClosed(inet::TcpConnection &conn)
+{
+    tcp_.eraseConn(conn.tuple());
+    // Release the stack's reference once the current callback chain
+    // unwinds; the application may still hold the socket.
+    auto *key = &conn;
+    schedule(curTick(), [this, key] { socketsByConn_.erase(key); });
+}
+
+} // namespace qpip::host

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * The in-kernel inter-network stack of the baseline systems: a
+ * dual-family (IPv4/IPv6) IP layer with neighbor resolution and v6
+ * reassembly, the shared TCP engine in stream mode, UDP, and the
+ * sockets demultiplexer. Every path charges the host CPU through the
+ * HostCostModel; this is where the paper's "host-based nature of
+ * these implementations" becomes measurable overhead.
+ */
+
+#ifndef QPIP_HOST_HOST_STACK_HH
+#define QPIP_HOST_HOST_STACK_HH
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "host/host_os.hh"
+#include "host/socket.hh"
+#include "inet/ip_frag.hh"
+#include "inet/pcb_table.hh"
+#include "inet/route.hh"
+#include "inet/tcp_conn.hh"
+#include "net/packet.hh"
+#include "sim/sim_object.hh"
+
+namespace qpip::host {
+
+/**
+ * Driver-side interface a NIC model exposes to the stack.
+ */
+class HostNicDriver
+{
+  public:
+    virtual ~HostNicDriver() = default;
+
+    /** Queue a frame for transmission (driver cost already paid). */
+    virtual void transmit(net::PacketPtr pkt) = 0;
+
+    virtual std::uint32_t mtu() const = 0;
+    virtual net::NodeId nodeId() const = 0;
+
+    /** True if the NIC checksums TCP/UDP payloads in hardware. */
+    virtual bool checksumOffload() const = 0;
+};
+
+/**
+ * The host kernel network stack.
+ */
+class HostStack : public sim::SimObject, public inet::TcpEnv
+{
+  public:
+    using AcceptCb = std::function<void(std::shared_ptr<TcpSocket>)>;
+
+    HostStack(sim::Simulation &sim, std::string name, HostOS &os);
+    ~HostStack() override;
+
+    void attachNic(HostNicDriver &nic);
+
+    /** Register a local interface address. */
+    void addAddress(const inet::InetAddr &addr);
+    bool isLocal(const inet::InetAddr &addr) const;
+
+    inet::NeighborTable &routes() { return routes_; }
+    HostOS &os() { return os_; }
+
+    /** Default TCP config handed to sockets (mss derived from MTU). */
+    inet::TcpConfig defaultTcpConfig() const;
+
+    // --- socket API --------------------------------------------------
+    std::shared_ptr<TcpSocket>
+    tcpConnect(const inet::SockAddr &local, const inet::SockAddr &remote,
+               const inet::TcpConfig &cfg, TcpSocket::ConnectCb cb,
+               std::size_t rcv_buf = 256 * 1024);
+
+    /** Monitor @p port for incoming connections. */
+    void tcpListen(std::uint16_t port, const inet::TcpConfig &cfg,
+                   AcceptCb on_accept, std::size_t rcv_buf = 256 * 1024);
+    void tcpUnlisten(std::uint16_t port);
+
+    std::shared_ptr<UdpSocket> udpBind(const inet::SockAddr &local);
+    void udpUnbind(std::uint16_t port);
+
+    // --- NIC receive path (called from the NIC ISR) -------------------
+    void nicReceive(net::PacketPtr pkt);
+
+    // --- used by sockets ----------------------------------------------
+    void udpOutput(inet::IpDatagram &&dgram);
+    const HostCostModel &costs() const { return os_.costs(); }
+
+    /**
+     * Cycles for the user->kernel copy of @p n bytes; includes the
+     * checksum pass unless the NIC offloads checksums (Linux 2.4's
+     * csum_and_copy_from_user).
+     */
+    sim::Cycles
+    txCopyCycles(std::size_t n) const
+    {
+        const bool offload = nic_ && nic_->checksumOffload();
+        return HostOS::byteCycles(offload ? costs().copyPerByte
+                                          : costs().copyChecksumPerByte,
+                                  n);
+    }
+
+    // --- TcpEnv --------------------------------------------------------
+    sim::Tick now() override;
+    sim::EventHandle scheduleTimer(sim::Tick delay,
+                                   std::function<void()> fn) override;
+    void tcpOutput(inet::IpDatagram &&dgram,
+                   const inet::TcpSegMeta &meta) override;
+    std::uint32_t randomIss() override;
+    void connectionClosed(inet::TcpConnection &conn) override;
+
+    // Stats.
+    sim::Counter pktsOut;
+    sim::Counter pktsIn;
+    sim::Counter badPktsIn;
+    sim::Counter noPortDrops;
+    sim::Counter loopbackPkts;
+
+  private:
+    struct Listener
+    {
+        inet::TcpConfig cfg;
+        AcceptCb onAccept;
+        std::size_t rcvBuf;
+    };
+
+    friend class TcpSocket;
+    friend class UdpSocket;
+
+    /** Registration used by TcpSocket. */
+    void registerConn(const inet::FourTuple &t,
+                      inet::TcpConnection *conn,
+                      std::shared_ptr<TcpSocket> sock);
+
+    void processRx(net::PacketPtr pkt);
+    void ipInput(inet::IpDatagram dgram);
+    void deliverTcp(inet::IpDatagram &dgram);
+    void deliverUdp(inet::IpDatagram &dgram);
+    void sendToWire(inet::IpDatagram dgram);
+
+    HostOS &os_;
+    HostNicDriver *nic_ = nullptr;
+    inet::NeighborTable routes_;
+    std::unordered_set<inet::InetAddr, inet::InetAddrHash> localAddrs_;
+
+    inet::PcbTable<inet::TcpConnection, Listener> tcp_;
+    std::unordered_map<std::uint16_t, std::unique_ptr<Listener>>
+        listeners_;
+    std::unordered_map<inet::TcpConnection *, std::shared_ptr<TcpSocket>>
+        socketsByConn_;
+    std::unordered_map<std::uint16_t, UdpSocket *> udpPorts_;
+
+    inet::Ipv6Reassembler reass6_;
+    std::uint16_t identCounter_ = 1;
+    std::uint32_t fragIdent_ = 1;
+};
+
+} // namespace qpip::host
+
+#endif // QPIP_HOST_HOST_STACK_HH

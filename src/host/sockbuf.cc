@@ -1,0 +1,23 @@
+#include "host/sockbuf.hh"
+
+#include <algorithm>
+
+namespace qpip::host {
+
+void
+SockBuf::append(std::span<const std::uint8_t> data)
+{
+    fifo_.append(data);
+}
+
+std::vector<std::uint8_t>
+SockBuf::read(std::size_t max_bytes)
+{
+    const std::size_t n = std::min(max_bytes, fifo_.size());
+    std::vector<std::uint8_t> out(n);
+    fifo_.copyOut(0, n, out.data());
+    fifo_.drop(n);
+    return out;
+}
+
+} // namespace qpip::host

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Socket receive buffer with finite capacity. Its free space is what
+ * the host TCP advertises as the receive window — the "system calls
+ * and/or OS specific variables" tuning knob the paper contrasts with
+ * QPIP's posted-buffer window.
+ */
+
+#ifndef QPIP_HOST_SOCKBUF_HH
+#define QPIP_HOST_SOCKBUF_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "inet/byte_fifo.hh"
+
+namespace qpip::host {
+
+/**
+ * Bounded FIFO of received bytes.
+ */
+class SockBuf
+{
+  public:
+    explicit SockBuf(std::size_t capacity) : capacity_(capacity) {}
+
+    std::size_t capacity() const { return capacity_; }
+    std::size_t size() const { return fifo_.size(); }
+
+    std::size_t
+    freeSpace() const
+    {
+        return size() >= capacity_ ? 0 : capacity_ - size();
+    }
+
+    /**
+     * Append received bytes. The protocol layer should have respected
+     * the advertised window; anything beyond capacity is still stored
+     * (TCP windows are advisory by the time data is in flight).
+     */
+    void append(std::span<const std::uint8_t> data);
+
+    /** Remove and return up to @p max_bytes from the head. */
+    std::vector<std::uint8_t> read(std::size_t max_bytes);
+
+    bool empty() const { return fifo_.empty(); }
+
+  private:
+    std::size_t capacity_;
+    inet::ByteFifo fifo_;
+};
+
+} // namespace qpip::host
+
+#endif // QPIP_HOST_SOCKBUF_HH

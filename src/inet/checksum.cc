@@ -1,0 +1,50 @@
+#include "inet/checksum.hh"
+
+namespace qpip::inet {
+
+void
+ChecksumAccumulator::add(std::span<const std::uint8_t> data)
+{
+    std::size_t i = 0;
+    if (odd_ && !data.empty()) {
+        // Continue a previously odd-length stream: this byte is the
+        // low half of the pending word.
+        sum_ += data[0];
+        odd_ = false;
+        i = 1;
+    }
+    for (; i + 1 < data.size(); i += 2) {
+        sum_ += static_cast<std::uint16_t>(
+            (static_cast<std::uint16_t>(data[i]) << 8) | data[i + 1]);
+    }
+    if (i < data.size()) {
+        sum_ += static_cast<std::uint16_t>(
+            static_cast<std::uint16_t>(data[i]) << 8);
+        odd_ = true;
+    }
+}
+
+std::uint16_t
+ChecksumAccumulator::finish() const
+{
+    std::uint64_t s = sum_;
+    while (s >> 16)
+        s = (s & 0xffff) + (s >> 16);
+    return static_cast<std::uint16_t>(~s & 0xffff);
+}
+
+std::uint16_t
+internetChecksum(std::span<const std::uint8_t> data)
+{
+    ChecksumAccumulator acc;
+    acc.add(data);
+    return acc.finish();
+}
+
+bool
+checksumOk(std::span<const std::uint8_t> data)
+{
+    return internetChecksum(data) == 0;
+}
+
+} // namespace qpip::inet

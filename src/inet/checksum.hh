@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The Internet checksum (RFC 1071): 16-bit one's-complement of the
+ * one's-complement sum. Used by IPv4 headers, UDP and TCP (the latter
+ * two over a pseudo-header). The accumulator form lets callers fold in
+ * pseudo-header fields and payload spans incrementally, which is also
+ * how the LANai DMA engine's hardware checksum assist is modeled.
+ */
+
+#ifndef QPIP_INET_CHECKSUM_HH
+#define QPIP_INET_CHECKSUM_HH
+
+#include <cstdint>
+#include <span>
+
+namespace qpip::inet {
+
+/**
+ * Incremental one's-complement checksum accumulator.
+ */
+class ChecksumAccumulator
+{
+  public:
+    /** Fold a byte span into the sum (handles odd lengths/offsets). */
+    void add(std::span<const std::uint8_t> data);
+
+    /** Fold a single 16-bit value (already host order). */
+    void addU16(std::uint16_t v) { sum_ += v; }
+
+    /** Fold a 32-bit value as two 16-bit words. */
+    void
+    addU32(std::uint32_t v)
+    {
+        addU16(static_cast<std::uint16_t>(v >> 16));
+        addU16(static_cast<std::uint16_t>(v));
+    }
+
+    /** Final checksum value (one's complement of the folded sum). */
+    std::uint16_t finish() const;
+
+  private:
+    std::uint64_t sum_ = 0;
+    bool odd_ = false;
+};
+
+/** One-shot checksum of a span. */
+std::uint16_t internetChecksum(std::span<const std::uint8_t> data);
+
+/**
+ * Verify a span whose checksum field is included: the folded sum of
+ * valid data is 0xffff (so finish() == 0).
+ */
+bool checksumOk(std::span<const std::uint8_t> data);
+
+} // namespace qpip::inet
+
+#endif // QPIP_INET_CHECKSUM_HH

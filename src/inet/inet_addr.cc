@@ -1,0 +1,197 @@
+#include "inet/inet_addr.hh"
+
+#include <charconv>
+#include <cstdio>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace qpip::inet {
+
+std::optional<Ipv4Addr>
+Ipv4Addr::parse(std::string_view text)
+{
+    std::uint32_t value = 0;
+    int octets = 0;
+    std::size_t pos = 0;
+    while (octets < 4) {
+        std::size_t end = text.find('.', pos);
+        std::string_view part = (end == std::string_view::npos)
+            ? text.substr(pos)
+            : text.substr(pos, end - pos);
+        unsigned v = 0;
+        auto [p, ec] =
+            std::from_chars(part.data(), part.data() + part.size(), v);
+        if (ec != std::errc() || p != part.data() + part.size() ||
+            v > 255 || part.empty()) {
+            return std::nullopt;
+        }
+        value = (value << 8) | v;
+        ++octets;
+        if (end == std::string_view::npos)
+            break;
+        pos = end + 1;
+    }
+    if (octets != 4)
+        return std::nullopt;
+    return Ipv4Addr{value};
+}
+
+std::string
+Ipv4Addr::toString() const
+{
+    return sim::strfmt("%u.%u.%u.%u", (value >> 24) & 0xff,
+                       (value >> 16) & 0xff, (value >> 8) & 0xff,
+                       value & 0xff);
+}
+
+std::optional<Ipv6Addr>
+Ipv6Addr::parse(std::string_view text)
+{
+    // Split on "::" (at most one).
+    std::size_t dcolon = text.find("::");
+    if (dcolon != std::string_view::npos &&
+        text.find("::", dcolon + 1) != std::string_view::npos) {
+        return std::nullopt;
+    }
+
+    auto parse_groups =
+        [](std::string_view s,
+           std::vector<std::uint16_t> &out) -> bool {
+        if (s.empty())
+            return true;
+        std::size_t pos = 0;
+        while (true) {
+            std::size_t end = s.find(':', pos);
+            std::string_view part = (end == std::string_view::npos)
+                ? s.substr(pos)
+                : s.substr(pos, end - pos);
+            if (part.empty() || part.size() > 4)
+                return false;
+            unsigned v = 0;
+            auto [p, ec] = std::from_chars(
+                part.data(), part.data() + part.size(), v, 16);
+            if (ec != std::errc() || p != part.data() + part.size())
+                return false;
+            out.push_back(static_cast<std::uint16_t>(v));
+            if (end == std::string_view::npos)
+                return true;
+            pos = end + 1;
+        }
+    };
+
+    std::vector<std::uint16_t> head, tail;
+    if (dcolon == std::string_view::npos) {
+        if (!parse_groups(text, head) || head.size() != 8)
+            return std::nullopt;
+    } else {
+        if (!parse_groups(text.substr(0, dcolon), head) ||
+            !parse_groups(text.substr(dcolon + 2), tail) ||
+            head.size() + tail.size() > 7) {
+            return std::nullopt;
+        }
+    }
+
+    Ipv6Addr addr;
+    for (std::size_t i = 0; i < head.size(); ++i) {
+        addr.bytes[2 * i] = static_cast<std::uint8_t>(head[i] >> 8);
+        addr.bytes[2 * i + 1] = static_cast<std::uint8_t>(head[i]);
+    }
+    for (std::size_t i = 0; i < tail.size(); ++i) {
+        std::size_t g = 8 - tail.size() + i;
+        addr.bytes[2 * g] = static_cast<std::uint8_t>(tail[i] >> 8);
+        addr.bytes[2 * g + 1] = static_cast<std::uint8_t>(tail[i]);
+    }
+    return addr;
+}
+
+std::string
+Ipv6Addr::toString() const
+{
+    std::uint16_t groups[8];
+    for (int i = 0; i < 8; ++i) {
+        groups[i] = static_cast<std::uint16_t>(
+            (bytes[2 * i] << 8) | bytes[2 * i + 1]);
+    }
+    // Find the longest run of zero groups (>= 2) to compress.
+    int best_start = -1, best_len = 0;
+    for (int i = 0; i < 8;) {
+        if (groups[i] != 0) {
+            ++i;
+            continue;
+        }
+        int j = i;
+        while (j < 8 && groups[j] == 0)
+            ++j;
+        if (j - i > best_len) {
+            best_len = j - i;
+            best_start = i;
+        }
+        i = j;
+    }
+    if (best_len < 2)
+        best_start = -1;
+
+    std::string out;
+    for (int i = 0; i < 8; ++i) {
+        if (i == best_start) {
+            out += "::";
+            i += best_len - 1;
+            continue;
+        }
+        if (!out.empty() && out.back() != ':')
+            out += ':';
+        out += sim::strfmt("%x", groups[i]);
+    }
+    return out;
+}
+
+std::optional<InetAddr>
+InetAddr::parse(std::string_view text)
+{
+    if (text.find(':') != std::string_view::npos) {
+        auto v6 = Ipv6Addr::parse(text);
+        if (!v6)
+            return std::nullopt;
+        return InetAddr(*v6);
+    }
+    auto v4 = Ipv4Addr::parse(text);
+    if (!v4)
+        return std::nullopt;
+    return InetAddr(*v4);
+}
+
+std::string
+InetAddr::toString() const
+{
+    return isV6() ? v6.toString() : v4.toString();
+}
+
+std::string
+SockAddr::toString() const
+{
+    if (addr.isV6())
+        return sim::strfmt("[%s]:%u", addr.toString().c_str(), port);
+    return sim::strfmt("%s:%u", addr.toString().c_str(), port);
+}
+
+std::size_t
+InetAddrHash::operator()(const InetAddr &a) const
+{
+    std::size_t h = static_cast<std::size_t>(a.family) * 0x9e3779b9;
+    if (a.isV6()) {
+        for (auto b : a.v6.bytes)
+            h = h * 131 + b;
+    } else {
+        h = h * 131 + a.v4.value;
+    }
+    return h;
+}
+
+std::size_t
+SockAddrHash::operator()(const SockAddr &a) const
+{
+    return InetAddrHash()(a.addr) * 65599 + a.port;
+}
+
+} // namespace qpip::inet

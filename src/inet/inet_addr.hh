@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Internet addresses: IPv4, IPv6 (with full textual parse/format
+ * including "::" compression) and the family-agnostic InetAddr /
+ * SockAddr used by the transport layer. The QPIP prototype speaks
+ * IPv6; the host-based Linux baseline speaks IPv4, exactly as in the
+ * paper.
+ */
+
+#ifndef QPIP_INET_INET_ADDR_HH
+#define QPIP_INET_INET_ADDR_HH
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace qpip::inet {
+
+/** An IPv4 address in host byte order. */
+struct Ipv4Addr
+{
+    std::uint32_t value = 0;
+
+    static std::optional<Ipv4Addr> parse(std::string_view text);
+    std::string toString() const;
+
+    auto operator<=>(const Ipv4Addr &) const = default;
+};
+
+/** An IPv6 address as 16 network-order bytes. */
+struct Ipv6Addr
+{
+    std::array<std::uint8_t, 16> bytes{};
+
+    static std::optional<Ipv6Addr> parse(std::string_view text);
+    std::string toString() const;
+
+    auto operator<=>(const Ipv6Addr &) const = default;
+};
+
+/** Address family discriminator. */
+enum class Family : std::uint8_t { V4, V6 };
+
+/**
+ * A family-tagged address. The transport code (TCP/UDP) is family
+ * agnostic; only header serialization and the pseudo-header checksum
+ * differ.
+ */
+struct InetAddr
+{
+    Family family = Family::V4;
+    Ipv4Addr v4{};
+    Ipv6Addr v6{};
+
+    InetAddr() = default;
+    InetAddr(Ipv4Addr a) : family(Family::V4), v4(a) {}
+    InetAddr(Ipv6Addr a) : family(Family::V6), v6(a) {}
+
+    /** Parse either family from text (IPv6 if it contains ':'). */
+    static std::optional<InetAddr> parse(std::string_view text);
+
+    std::string toString() const;
+    bool isV6() const { return family == Family::V6; }
+
+    auto operator<=>(const InetAddr &) const = default;
+};
+
+/** Address + transport port. */
+struct SockAddr
+{
+    InetAddr addr;
+    std::uint16_t port = 0;
+
+    std::string toString() const;
+
+    auto operator<=>(const SockAddr &) const = default;
+};
+
+/** Hash support for unordered_map keys. */
+struct InetAddrHash
+{
+    std::size_t operator()(const InetAddr &a) const;
+};
+
+struct SockAddrHash
+{
+    std::size_t operator()(const SockAddr &a) const;
+};
+
+} // namespace qpip::inet
+
+#endif // QPIP_INET_INET_ADDR_HH

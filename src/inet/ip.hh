@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Family-agnostic network-layer datagram: what the transport hands to
+ * (and receives from) the IP layer. Serialization to real IPv4/IPv6
+ * wire bytes lives in ipv4.hh / ipv6.hh.
+ */
+
+#ifndef QPIP_INET_IP_HH
+#define QPIP_INET_IP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "inet/inet_addr.hh"
+
+namespace qpip::inet {
+
+/** IANA protocol numbers we implement. */
+enum class IpProto : std::uint8_t {
+    Tcp = 6,
+    Udp = 17,
+    Ipv6Frag = 44,
+};
+
+/**
+ * One network-layer datagram (unfragmented view).
+ */
+struct IpDatagram
+{
+    InetAddr src;
+    InetAddr dst;
+    IpProto proto = IpProto::Udp;
+    std::uint8_t hopLimit = 64;
+    /** Transport-layer bytes (TCP/UDP header + payload). */
+    std::vector<std::uint8_t> payload;
+};
+
+} // namespace qpip::inet
+
+#endif // QPIP_INET_IP_HH

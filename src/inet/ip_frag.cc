@@ -1,0 +1,112 @@
+#include "inet/ip_frag.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace qpip::inet {
+
+std::vector<std::vector<std::uint8_t>>
+fragmentIpv6(const IpDatagram &dgram, std::uint32_t link_mtu,
+             std::uint32_t ident)
+{
+    std::vector<std::vector<std::uint8_t>> out;
+    if (ipv6HeaderBytes + dgram.payload.size() <= link_mtu) {
+        out.push_back(serializeIpv6(dgram));
+        return out;
+    }
+
+    if (link_mtu < ipv6HeaderBytes + ipv6FragHeaderBytes + 8)
+        sim::fatal("link MTU %u too small to fragment", link_mtu);
+
+    // Per-fragment payload capacity, rounded down to 8 bytes as the
+    // offset field requires.
+    const std::size_t cap =
+        (link_mtu - ipv6HeaderBytes - ipv6FragHeaderBytes) & ~std::size_t(7);
+
+    std::span<const std::uint8_t> payload(dgram.payload);
+    std::size_t offset = 0;
+    while (offset < payload.size()) {
+        const std::size_t n = std::min(cap, payload.size() - offset);
+        const bool more = offset + n < payload.size();
+        out.push_back(serializeIpv6Fragment(
+            dgram, ident, static_cast<std::uint16_t>(offset), more,
+            payload.subspan(offset, n)));
+        offset += n;
+    }
+    return out;
+}
+
+std::optional<IpDatagram>
+Ipv6Reassembler::offer(const Ipv6Packet &pkt, sim::Tick now)
+{
+    if (!pkt.frag) {
+        IpDatagram d;
+        d.src = pkt.src;
+        d.dst = pkt.dst;
+        d.proto = pkt.proto;
+        d.hopLimit = pkt.hopLimit;
+        d.payload = pkt.payload;
+        return d;
+    }
+
+    fragmentsIn.inc();
+    const Key key{pkt.src, pkt.dst, pkt.frag->ident};
+    Partial &p = pending_[key];
+    if (p.slices.empty()) {
+        p.firstAt = now;
+        p.proto = pkt.proto;
+        p.hopLimit = pkt.hopLimit;
+    }
+    // Duplicate fragments simply overwrite.
+    p.slices[pkt.frag->offsetBytes] = pkt.payload;
+    if (!pkt.frag->moreFragments) {
+        p.sawLast = true;
+        p.totalLen = pkt.frag->offsetBytes +
+                     static_cast<std::uint32_t>(pkt.payload.size());
+    }
+    return tryComplete(key, p);
+}
+
+std::optional<IpDatagram>
+Ipv6Reassembler::tryComplete(const Key &key, Partial &p)
+{
+    if (!p.sawLast)
+        return std::nullopt;
+    // Check contiguity from offset 0.
+    std::uint32_t next = 0;
+    for (const auto &[off, bytes] : p.slices) {
+        if (off != next)
+            return std::nullopt;
+        next += static_cast<std::uint32_t>(bytes.size());
+    }
+    if (next != p.totalLen)
+        return std::nullopt;
+
+    IpDatagram d;
+    d.src = key.src;
+    d.dst = key.dst;
+    d.proto = p.proto;
+    d.hopLimit = p.hopLimit;
+    d.payload.reserve(p.totalLen);
+    for (const auto &[off, bytes] : p.slices)
+        d.payload.insert(d.payload.end(), bytes.begin(), bytes.end());
+    pending_.erase(key);
+    reassembled.inc();
+    return d;
+}
+
+void
+Ipv6Reassembler::expire(sim::Tick now)
+{
+    for (auto it = pending_.begin(); it != pending_.end();) {
+        if (now - it->second.firstAt > timeout_) {
+            it = pending_.erase(it);
+            expired.inc();
+        } else {
+            ++it;
+        }
+    }
+}
+
+} // namespace qpip::inet

@@ -1,0 +1,70 @@
+#include "inet/ipv4.hh"
+
+#include "inet/checksum.hh"
+#include "net/serialize.hh"
+#include "sim/logging.hh"
+
+namespace qpip::inet {
+
+std::vector<std::uint8_t>
+serializeIpv4(const IpDatagram &dgram, std::uint16_t ident)
+{
+    if (dgram.src.isV6() || dgram.dst.isV6())
+        sim::panic("serializeIpv4 with IPv6 addresses");
+
+    std::vector<std::uint8_t> out;
+    out.reserve(ipv4HeaderBytes + dgram.payload.size());
+    net::ByteWriter w(out);
+    w.u8(0x45); // version 4, IHL 5
+    w.u8(0);    // TOS
+    w.u16(static_cast<std::uint16_t>(ipv4HeaderBytes +
+                                     dgram.payload.size()));
+    w.u16(ident);
+    w.u16(0x4000); // DF set, offset 0 (TCP path-MTU era default)
+    w.u8(dgram.hopLimit);
+    w.u8(static_cast<std::uint8_t>(dgram.proto));
+    const std::size_t cksum_off = out.size();
+    w.u16(0); // checksum placeholder
+    w.u32(dgram.src.v4.value);
+    w.u32(dgram.dst.v4.value);
+    w.patchU16(cksum_off, internetChecksum(out));
+    w.bytes(dgram.payload);
+    return out;
+}
+
+bool
+parseIpv4(std::span<const std::uint8_t> wire, IpDatagram &out)
+{
+    if (wire.size() < ipv4HeaderBytes)
+        return false;
+    net::ByteReader r(wire);
+    const std::uint8_t ver_ihl = r.u8();
+    if ((ver_ihl >> 4) != 4 || (ver_ihl & 0x0f) != 5)
+        return false;
+    r.u8(); // TOS
+    const std::uint16_t total_len = r.u16();
+    r.u16(); // ident
+    r.u16(); // flags/frag
+    const std::uint8_t ttl = r.u8();
+    const std::uint8_t proto = r.u8();
+    r.u16(); // checksum (verified over whole header below)
+    const std::uint32_t src = r.u32();
+    const std::uint32_t dst = r.u32();
+    if (!r.ok())
+        return false;
+    if (total_len < ipv4HeaderBytes || total_len > wire.size())
+        return false;
+    if (!checksumOk(wire.subspan(0, ipv4HeaderBytes)))
+        return false;
+
+    out.src = InetAddr(Ipv4Addr{src});
+    out.dst = InetAddr(Ipv4Addr{dst});
+    out.proto = static_cast<IpProto>(proto);
+    out.hopLimit = ttl;
+    auto body = wire.subspan(ipv4HeaderBytes,
+                             total_len - ipv4HeaderBytes);
+    out.payload.assign(body.begin(), body.end());
+    return true;
+}
+
+} // namespace qpip::inet

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * IPv4 header (RFC 791, no options) serialization and parsing with
+ * header checksum generation/verification. Used by the host-based
+ * baseline stack (the paper's "Linux host-based IPv4 stack over
+ * Gigabit Ethernet").
+ */
+
+#ifndef QPIP_INET_IPV4_HH
+#define QPIP_INET_IPV4_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "inet/ip.hh"
+
+namespace qpip::inet {
+
+constexpr std::size_t ipv4HeaderBytes = 20;
+
+/**
+ * Serialize @p dgram into IPv4 wire bytes (header checksum computed).
+ * @param ident IP identification field (for fragment grouping).
+ * @pre both addresses are IPv4.
+ */
+std::vector<std::uint8_t> serializeIpv4(const IpDatagram &dgram,
+                                        std::uint16_t ident);
+
+/**
+ * Parse IPv4 wire bytes.
+ * @return false on truncation, bad version, bad checksum or length
+ *         mismatch; @p out is untouched on failure.
+ */
+bool parseIpv4(std::span<const std::uint8_t> wire, IpDatagram &out);
+
+} // namespace qpip::inet
+
+#endif // QPIP_INET_IPV4_HH

@@ -1,0 +1,110 @@
+#include "inet/ipv6.hh"
+
+#include "net/serialize.hh"
+#include "sim/logging.hh"
+
+namespace qpip::inet {
+
+namespace {
+
+void
+writeFixedHeader(net::ByteWriter &w, const IpDatagram &dgram,
+                 std::uint8_t next_header, std::size_t payload_len)
+{
+    w.u32(0x60000000); // version 6, tc 0, flow label 0
+    w.u16(static_cast<std::uint16_t>(payload_len));
+    w.u8(next_header);
+    w.u8(dgram.hopLimit);
+    w.bytes(dgram.src.v6.bytes);
+    w.bytes(dgram.dst.v6.bytes);
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+serializeIpv6(const IpDatagram &dgram)
+{
+    if (!dgram.src.isV6() || !dgram.dst.isV6())
+        sim::panic("serializeIpv6 with IPv4 addresses");
+    std::vector<std::uint8_t> out;
+    out.reserve(ipv6HeaderBytes + dgram.payload.size());
+    net::ByteWriter w(out);
+    writeFixedHeader(w, dgram, static_cast<std::uint8_t>(dgram.proto),
+                     dgram.payload.size());
+    w.bytes(dgram.payload);
+    return out;
+}
+
+std::vector<std::uint8_t>
+serializeIpv6Fragment(const IpDatagram &dgram, std::uint32_t ident,
+                      std::uint16_t offset_bytes, bool more_fragments,
+                      std::span<const std::uint8_t> slice)
+{
+    if (!dgram.src.isV6() || !dgram.dst.isV6())
+        sim::panic("serializeIpv6Fragment with IPv4 addresses");
+    if (offset_bytes % 8 != 0)
+        sim::panic("fragment offset %u not a multiple of 8",
+                   offset_bytes);
+
+    std::vector<std::uint8_t> out;
+    out.reserve(ipv6HeaderBytes + ipv6FragHeaderBytes + slice.size());
+    net::ByteWriter w(out);
+    writeFixedHeader(
+        w, dgram, static_cast<std::uint8_t>(IpProto::Ipv6Frag),
+        ipv6FragHeaderBytes + slice.size());
+    w.u8(static_cast<std::uint8_t>(dgram.proto)); // next header
+    w.u8(0);                                      // reserved
+    w.u16(static_cast<std::uint16_t>(offset_bytes |
+                                     (more_fragments ? 1 : 0)));
+    w.u32(ident);
+    w.bytes(slice);
+    return out;
+}
+
+bool
+parseIpv6(std::span<const std::uint8_t> wire, Ipv6Packet &out)
+{
+    if (wire.size() < ipv6HeaderBytes)
+        return false;
+    net::ByteReader r(wire);
+    const std::uint32_t vcf = r.u32();
+    if ((vcf >> 28) != 6)
+        return false;
+    const std::uint16_t payload_len = r.u16();
+    std::uint8_t next_header = r.u8();
+    out.hopLimit = r.u8();
+    Ipv6Addr src, dst;
+    r.bytes(src.bytes.data(), src.bytes.size());
+    r.bytes(dst.bytes.data(), dst.bytes.size());
+    if (!r.ok() || wire.size() < ipv6HeaderBytes + payload_len)
+        return false;
+    out.src = InetAddr(src);
+    out.dst = InetAddr(dst);
+    out.frag.reset();
+
+    std::size_t body_off = ipv6HeaderBytes;
+    std::size_t body_len = payload_len;
+    if (next_header == static_cast<std::uint8_t>(IpProto::Ipv6Frag)) {
+        if (body_len < ipv6FragHeaderBytes)
+            return false;
+        next_header = r.u8();
+        r.u8(); // reserved
+        const std::uint16_t off_flags = r.u16();
+        const std::uint32_t ident = r.u32();
+        if (!r.ok())
+            return false;
+        Ipv6Packet::FragInfo fi;
+        fi.ident = ident;
+        fi.offsetBytes = static_cast<std::uint16_t>(off_flags & ~7u);
+        fi.moreFragments = (off_flags & 1) != 0;
+        out.frag = fi;
+        body_off += ipv6FragHeaderBytes;
+        body_len -= ipv6FragHeaderBytes;
+    }
+    out.proto = static_cast<IpProto>(next_header);
+    auto body = wire.subspan(body_off, body_len);
+    out.payload.assign(body.begin(), body.end());
+    return true;
+}
+
+} // namespace qpip::inet

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * IPv6 (RFC 2460) fixed header plus the Fragment extension header.
+ * The QPIP firmware speaks IPv6 ("we believe it reflects the next
+ * generation of network systems"); its end-to-end-only fragmentation
+ * model is what makes NIC-resident fragmentation tractable, and is
+ * how the prototype carries 16 KB message-segments over 1500/9000 B
+ * MTUs in the Figure 4 sweep.
+ */
+
+#ifndef QPIP_INET_IPV6_HH
+#define QPIP_INET_IPV6_HH
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "inet/ip.hh"
+
+namespace qpip::inet {
+
+constexpr std::size_t ipv6HeaderBytes = 40;
+constexpr std::size_t ipv6FragHeaderBytes = 8;
+
+/** Parsed view of an IPv6 packet that may carry a fragment header. */
+struct Ipv6Packet
+{
+    InetAddr src;
+    InetAddr dst;
+    std::uint8_t hopLimit = 0;
+    /** Upper-layer protocol (after any fragment header). */
+    IpProto proto = IpProto::Udp;
+
+    /** Fragmentation info; nullopt for atomic packets. */
+    struct FragInfo
+    {
+        std::uint32_t ident = 0;
+        std::uint16_t offsetBytes = 0; ///< multiple of 8
+        bool moreFragments = false;
+    };
+    std::optional<FragInfo> frag;
+
+    /** Upper-layer bytes (this fragment's slice if fragmented). */
+    std::vector<std::uint8_t> payload;
+};
+
+/** Serialize an unfragmented IPv6 packet. @pre addresses are IPv6. */
+std::vector<std::uint8_t> serializeIpv6(const IpDatagram &dgram);
+
+/**
+ * Serialize one fragment: fixed header + fragment extension header +
+ * @p slice of the original upper-layer payload.
+ */
+std::vector<std::uint8_t>
+serializeIpv6Fragment(const IpDatagram &dgram, std::uint32_t ident,
+                      std::uint16_t offset_bytes, bool more_fragments,
+                      std::span<const std::uint8_t> slice);
+
+/**
+ * Parse IPv6 wire bytes (fixed header + optional fragment header).
+ * @return false on truncation or bad version.
+ */
+bool parseIpv6(std::span<const std::uint8_t> wire, Ipv6Packet &out);
+
+} // namespace qpip::inet
+
+#endif // QPIP_INET_IPV6_HH

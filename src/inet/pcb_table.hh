@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Protocol control block demultiplexing: maps a connection four-tuple
+ * (or a listening local port) to its endpoint object. Both the host
+ * stack and the QPIP NIC firmware use one of these; the paper calls
+ * out "UDP/TCP connection de-multiplexing" as one of the key places
+ * where hardware support pays off.
+ */
+
+#ifndef QPIP_INET_PCB_TABLE_HH
+#define QPIP_INET_PCB_TABLE_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "inet/inet_addr.hh"
+
+namespace qpip::inet {
+
+/** Connection identity: local and remote endpoints. */
+struct FourTuple
+{
+    SockAddr local;
+    SockAddr remote;
+
+    bool operator==(const FourTuple &) const = default;
+};
+
+struct FourTupleHash
+{
+    std::size_t
+    operator()(const FourTuple &t) const
+    {
+        SockAddrHash h;
+        return h(t.local) * 1000003 + h(t.remote);
+    }
+};
+
+/**
+ * Demux table: exact four-tuple matches first, then listeners by
+ * local port.
+ */
+template <typename Conn, typename Listener>
+class PcbTable
+{
+  public:
+    void
+    insertConn(const FourTuple &t, Conn *conn)
+    {
+        conns_[t] = conn;
+    }
+
+    void eraseConn(const FourTuple &t) { conns_.erase(t); }
+
+    Conn *
+    lookupConn(const FourTuple &t) const
+    {
+        auto it = conns_.find(t);
+        return it == conns_.end() ? nullptr : it->second;
+    }
+
+    void
+    insertListener(std::uint16_t port, Listener *l)
+    {
+        listeners_[port] = l;
+    }
+
+    void eraseListener(std::uint16_t port) { listeners_.erase(port); }
+
+    Listener *
+    lookupListener(std::uint16_t port) const
+    {
+        auto it = listeners_.find(port);
+        return it == listeners_.end() ? nullptr : it->second;
+    }
+
+    std::size_t connCount() const { return conns_.size(); }
+
+    /** Visit every connection (e.g. for teardown). */
+    template <typename Fn>
+    void
+    forEachConn(Fn fn) const
+    {
+        for (auto &[t, c] : conns_)
+            fn(t, c);
+    }
+
+  private:
+    std::unordered_map<FourTuple, Conn *, FourTupleHash> conns_;
+    std::unordered_map<std::uint16_t, Listener *> listeners_;
+};
+
+} // namespace qpip::inet
+
+#endif // QPIP_INET_PCB_TABLE_HH

@@ -1,0 +1,20 @@
+#include "inet/route.hh"
+
+namespace qpip::inet {
+
+void
+NeighborTable::add(const InetAddr &addr, net::NodeId node)
+{
+    table_[addr] = node;
+}
+
+std::optional<net::NodeId>
+NeighborTable::lookup(const InetAddr &addr) const
+{
+    auto it = table_.find(addr);
+    if (it == table_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+} // namespace qpip::inet

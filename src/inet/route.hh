@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Static neighbor/route table mapping IP addresses to fabric node ids
+ * — the moral equivalent of the prototype's "static table that maps
+ * IPv6 addresses to switch routes" (and of ARP for the v4 baseline).
+ */
+
+#ifndef QPIP_INET_ROUTE_HH
+#define QPIP_INET_ROUTE_HH
+
+#include <optional>
+#include <unordered_map>
+
+#include "inet/inet_addr.hh"
+#include "net/packet.hh"
+
+namespace qpip::inet {
+
+/**
+ * Address-to-link-destination resolution.
+ */
+class NeighborTable
+{
+  public:
+    void add(const InetAddr &addr, net::NodeId node);
+
+    /** @return fabric node for @p addr, or nullopt if unknown. */
+    std::optional<net::NodeId> lookup(const InetAddr &addr) const;
+
+    std::size_t size() const { return table_.size(); }
+
+  private:
+    std::unordered_map<InetAddr, net::NodeId, InetAddrHash> table_;
+};
+
+} // namespace qpip::inet
+
+#endif // QPIP_INET_ROUTE_HH

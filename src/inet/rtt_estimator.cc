@@ -1,0 +1,51 @@
+#include "inet/rtt_estimator.hh"
+
+#include <algorithm>
+
+namespace qpip::inet {
+
+RttEstimator::RttEstimator(sim::Tick min_rto, sim::Tick max_rto)
+    : minRto_(min_rto), maxRto_(max_rto)
+{}
+
+void
+RttEstimator::sample(sim::Tick rtt)
+{
+    if (!hasSample_) {
+        // RFC 6298 (2.2): SRTT <- R, RTTVAR <- R/2.
+        srtt_ = rtt;
+        rttvar_ = rtt / 2;
+        hasSample_ = true;
+        return;
+    }
+    // RTTVAR <- 3/4 RTTVAR + 1/4 |SRTT - R|
+    const sim::Tick err = rtt > srtt_ ? rtt - srtt_ : srtt_ - rtt;
+    rttvar_ = (3 * rttvar_ + err) / 4;
+    // SRTT <- 7/8 SRTT + 1/8 R
+    srtt_ = (7 * srtt_ + rtt) / 8;
+}
+
+sim::Tick
+RttEstimator::rto() const
+{
+    sim::Tick base = hasSample_ ? srtt_ + std::max<sim::Tick>(
+                                      4 * rttvar_, sim::oneMs)
+                                : sim::oneSec; // RFC 6298 initial 1 s
+    base = std::clamp(base, minRto_, maxRto_);
+    // Apply exponential backoff, saturating at maxRto_.
+    for (unsigned i = 0; i < backoffShift_; ++i) {
+        if (base >= maxRto_ / 2)
+            return maxRto_;
+        base *= 2;
+    }
+    return std::min(base, maxRto_);
+}
+
+void
+RttEstimator::backoff()
+{
+    if (backoffShift_ < 16)
+        ++backoffShift_;
+}
+
+} // namespace qpip::inet

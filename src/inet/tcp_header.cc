@@ -1,0 +1,162 @@
+#include "inet/tcp_header.hh"
+
+#include "inet/checksum.hh"
+#include "inet/udp.hh" // addPseudoHeader
+#include "net/serialize.hh"
+
+namespace qpip::inet {
+
+namespace {
+
+// Option kinds.
+constexpr std::uint8_t optEnd = 0;
+constexpr std::uint8_t optNop = 1;
+constexpr std::uint8_t optMss = 2;
+constexpr std::uint8_t optWscale = 3;
+constexpr std::uint8_t optTimestamps = 8;
+
+std::size_t
+optionBytes(const TcpHeader &hdr)
+{
+    std::size_t n = 0;
+    if (hdr.mss)
+        n += 4;
+    if (hdr.wscale)
+        n += 3;
+    if (hdr.timestamps)
+        n += 10;
+    return (n + 3) & ~std::size_t(3); // pad to 32-bit boundary
+}
+
+} // namespace
+
+std::size_t
+TcpHeader::headerBytes() const
+{
+    return tcpMinHeaderBytes + optionBytes(*this);
+}
+
+std::vector<std::uint8_t>
+serializeTcp(const InetAddr &src, const InetAddr &dst,
+             const TcpHeader &hdr, std::span<const std::uint8_t> payload)
+{
+    const std::size_t hdr_len = hdr.headerBytes();
+    std::vector<std::uint8_t> out;
+    out.reserve(hdr_len + payload.size());
+    net::ByteWriter w(out);
+    w.u16(hdr.srcPort);
+    w.u16(hdr.dstPort);
+    w.u32(hdr.seq);
+    w.u32(hdr.ack);
+    w.u8(static_cast<std::uint8_t>((hdr_len / 4) << 4));
+    w.u8(hdr.flags);
+    w.u16(hdr.wnd);
+    w.u16(0); // checksum placeholder
+    w.u16(hdr.urgent);
+
+    if (hdr.mss) {
+        w.u8(optMss);
+        w.u8(4);
+        w.u16(*hdr.mss);
+    }
+    if (hdr.wscale) {
+        w.u8(optWscale);
+        w.u8(3);
+        w.u8(*hdr.wscale);
+    }
+    if (hdr.timestamps) {
+        w.u8(optTimestamps);
+        w.u8(10);
+        w.u32(hdr.timestamps->value);
+        w.u32(hdr.timestamps->echo);
+    }
+    while (out.size() < hdr_len)
+        w.u8(optEnd);
+
+    w.bytes(payload);
+
+    ChecksumAccumulator acc;
+    addPseudoHeader(acc, src, dst, IpProto::Tcp,
+                    static_cast<std::uint32_t>(out.size()));
+    acc.add(out);
+    w.patchU16(16, acc.finish());
+    return out;
+}
+
+bool
+parseTcp(const InetAddr &src, const InetAddr &dst,
+         std::span<const std::uint8_t> bytes, TcpHeader &hdr,
+         std::span<const std::uint8_t> &payload)
+{
+    if (bytes.size() < tcpMinHeaderBytes)
+        return false;
+
+    ChecksumAccumulator acc;
+    addPseudoHeader(acc, src, dst, IpProto::Tcp,
+                    static_cast<std::uint32_t>(bytes.size()));
+    acc.add(bytes);
+    if (acc.finish() != 0)
+        return false;
+
+    net::ByteReader r(bytes);
+    hdr.srcPort = r.u16();
+    hdr.dstPort = r.u16();
+    hdr.seq = r.u32();
+    hdr.ack = r.u32();
+    const std::uint8_t off = r.u8();
+    hdr.flags = r.u8() & 0x3f;
+    hdr.wnd = r.u16();
+    r.u16(); // checksum (already verified)
+    hdr.urgent = r.u16();
+
+    const std::size_t hdr_len = std::size_t(off >> 4) * 4;
+    if (hdr_len < tcpMinHeaderBytes || hdr_len > bytes.size())
+        return false;
+
+    hdr.mss.reset();
+    hdr.wscale.reset();
+    hdr.timestamps.reset();
+
+    std::size_t pos = tcpMinHeaderBytes;
+    while (pos < hdr_len) {
+        const std::uint8_t kind = bytes[pos];
+        if (kind == optEnd)
+            break;
+        if (kind == optNop) {
+            ++pos;
+            continue;
+        }
+        if (pos + 1 >= hdr_len)
+            return false;
+        const std::uint8_t len = bytes[pos + 1];
+        if (len < 2 || pos + len > hdr_len)
+            return false;
+        net::ByteReader opt(bytes.subspan(pos + 2, len - 2));
+        switch (kind) {
+          case optMss:
+            if (len == 4)
+                hdr.mss = opt.u16();
+            break;
+          case optWscale:
+            if (len == 3)
+                hdr.wscale = opt.u8();
+            break;
+          case optTimestamps:
+            if (len == 10) {
+                TcpTimestamps ts;
+                ts.value = opt.u32();
+                ts.echo = opt.u32();
+                hdr.timestamps = ts;
+            }
+            break;
+          default:
+            break; // unknown options skipped
+        }
+        pos += len;
+    }
+
+    payload = bytes.subspan(hdr_len);
+    return true;
+}
+
+} // namespace qpip::inet

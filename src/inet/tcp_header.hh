@@ -1,0 +1,106 @@
+/**
+ * @file
+ * TCP header (RFC 793) with the option subset the prototype
+ * implements: MSS, window scale and RFC 1323 timestamps. Checksums
+ * run over the family-appropriate pseudo-header.
+ */
+
+#ifndef QPIP_INET_TCP_HEADER_HH
+#define QPIP_INET_TCP_HEADER_HH
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "inet/ip.hh"
+
+namespace qpip::inet {
+
+constexpr std::size_t tcpMinHeaderBytes = 20;
+
+/** TCP flag bits. */
+namespace tcpflags {
+constexpr std::uint8_t fin = 0x01;
+constexpr std::uint8_t syn = 0x02;
+constexpr std::uint8_t rst = 0x04;
+constexpr std::uint8_t psh = 0x08;
+constexpr std::uint8_t ack = 0x10;
+constexpr std::uint8_t urg = 0x20;
+} // namespace tcpflags
+
+/** RFC 1323 timestamp option payload. */
+struct TcpTimestamps
+{
+    std::uint32_t value = 0; ///< TSval: sender's clock
+    std::uint32_t echo = 0;  ///< TSecr: echoed peer clock
+};
+
+/** Parsed/to-serialize TCP header. */
+struct TcpHeader
+{
+    std::uint16_t srcPort = 0;
+    std::uint16_t dstPort = 0;
+    std::uint32_t seq = 0;
+    std::uint32_t ack = 0;
+    std::uint8_t flags = 0;
+    /** Raw window field (unscaled; scaling is connection state). */
+    std::uint16_t wnd = 0;
+    std::uint16_t urgent = 0;
+
+    /** Options (present only when sent/received). */
+    std::optional<std::uint16_t> mss;
+    std::optional<std::uint8_t> wscale;
+    std::optional<TcpTimestamps> timestamps;
+
+    bool has(std::uint8_t flag) const { return (flags & flag) != 0; }
+
+    /** Header length in bytes including options, padded to 4. */
+    std::size_t headerBytes() const;
+};
+
+/**
+ * Serialize header + payload, computing the pseudo-header checksum
+ * for the (src, dst) IP endpoints.
+ */
+std::vector<std::uint8_t>
+serializeTcp(const InetAddr &src, const InetAddr &dst,
+             const TcpHeader &hdr, std::span<const std::uint8_t> payload);
+
+/**
+ * Parse and verify TCP bytes delivered by the IP layer.
+ * @param[out] payload view into @p bytes past the options.
+ * @return false on truncation, bad offset or checksum failure.
+ */
+bool parseTcp(const InetAddr &src, const InetAddr &dst,
+              std::span<const std::uint8_t> bytes, TcpHeader &hdr,
+              std::span<const std::uint8_t> &payload);
+
+/** Sequence-number comparisons with wraparound (RFC 793 arithmetic). */
+inline bool
+seqLt(std::uint32_t a, std::uint32_t b)
+{
+    return static_cast<std::int32_t>(a - b) < 0;
+}
+
+inline bool
+seqLe(std::uint32_t a, std::uint32_t b)
+{
+    return static_cast<std::int32_t>(a - b) <= 0;
+}
+
+inline bool
+seqGt(std::uint32_t a, std::uint32_t b)
+{
+    return static_cast<std::int32_t>(a - b) > 0;
+}
+
+inline bool
+seqGe(std::uint32_t a, std::uint32_t b)
+{
+    return static_cast<std::int32_t>(a - b) >= 0;
+}
+
+} // namespace qpip::inet
+
+#endif // QPIP_INET_TCP_HEADER_HH

@@ -1,0 +1,77 @@
+#include "inet/udp.hh"
+
+#include "inet/checksum.hh"
+#include "net/serialize.hh"
+
+namespace qpip::inet {
+
+void
+addPseudoHeader(ChecksumAccumulator &acc, const InetAddr &src,
+                const InetAddr &dst, IpProto proto, std::uint32_t l4_len)
+{
+    if (src.isV6()) {
+        acc.add(src.v6.bytes);
+        acc.add(dst.v6.bytes);
+        acc.addU32(l4_len);
+        acc.addU32(static_cast<std::uint32_t>(proto));
+    } else {
+        acc.addU32(src.v4.value);
+        acc.addU32(dst.v4.value);
+        acc.addU16(static_cast<std::uint16_t>(proto));
+        acc.addU16(static_cast<std::uint16_t>(l4_len));
+    }
+}
+
+std::vector<std::uint8_t>
+serializeUdp(const InetAddr &src, const InetAddr &dst,
+             std::uint16_t src_port, std::uint16_t dst_port,
+             std::span<const std::uint8_t> payload)
+{
+    const auto len =
+        static_cast<std::uint16_t>(udpHeaderBytes + payload.size());
+    std::vector<std::uint8_t> out;
+    out.reserve(len);
+    net::ByteWriter w(out);
+    w.u16(src_port);
+    w.u16(dst_port);
+    w.u16(len);
+    w.u16(0); // checksum placeholder
+    w.bytes(payload);
+
+    ChecksumAccumulator acc;
+    addPseudoHeader(acc, src, dst, IpProto::Udp, len);
+    acc.add(out);
+    std::uint16_t cksum = acc.finish();
+    if (cksum == 0)
+        cksum = 0xffff; // RFC 768: 0 means "no checksum"
+    w.patchU16(6, cksum);
+    return out;
+}
+
+bool
+parseUdp(const InetAddr &src, const InetAddr &dst,
+         std::span<const std::uint8_t> bytes, UdpHeader &hdr,
+         std::span<const std::uint8_t> &payload)
+{
+    if (bytes.size() < udpHeaderBytes)
+        return false;
+    net::ByteReader r(bytes);
+    hdr.srcPort = r.u16();
+    hdr.dstPort = r.u16();
+    hdr.length = r.u16();
+    const std::uint16_t cksum = r.u16();
+    if (hdr.length < udpHeaderBytes || hdr.length > bytes.size())
+        return false;
+
+    if (cksum != 0) {
+        ChecksumAccumulator acc;
+        addPseudoHeader(acc, src, dst, IpProto::Udp, hdr.length);
+        acc.add(bytes.subspan(0, hdr.length));
+        if (acc.finish() != 0)
+            return false;
+    }
+    payload = bytes.subspan(udpHeaderBytes, hdr.length - udpHeaderBytes);
+    return true;
+}
+
+} // namespace qpip::inet

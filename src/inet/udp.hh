@@ -1,0 +1,58 @@
+/**
+ * @file
+ * UDP (RFC 768) with the v4/v6 pseudo-header checksum. The paper's
+ * unreliable QP service encapsulates each message directly in one UDP
+ * datagram, with no additional protocol layer.
+ */
+
+#ifndef QPIP_INET_UDP_HH
+#define QPIP_INET_UDP_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "inet/ip.hh"
+
+namespace qpip::inet {
+
+constexpr std::size_t udpHeaderBytes = 8;
+
+/** Parsed UDP header. */
+struct UdpHeader
+{
+    std::uint16_t srcPort = 0;
+    std::uint16_t dstPort = 0;
+    std::uint16_t length = 0;
+};
+
+/**
+ * Build UDP wire bytes (header + payload) with the checksum computed
+ * over the pseudo-header for the given IP endpoints.
+ */
+std::vector<std::uint8_t>
+serializeUdp(const InetAddr &src, const InetAddr &dst,
+             std::uint16_t src_port, std::uint16_t dst_port,
+             std::span<const std::uint8_t> payload);
+
+/**
+ * Parse and verify UDP bytes delivered by the IP layer.
+ * @param src,dst the IP endpoints (for the pseudo-header).
+ * @param[out] hdr parsed header.
+ * @param[out] payload view into @p bytes.
+ * @return false on truncation or checksum failure.
+ */
+bool parseUdp(const InetAddr &src, const InetAddr &dst,
+              std::span<const std::uint8_t> bytes, UdpHeader &hdr,
+              std::span<const std::uint8_t> &payload);
+
+/**
+ * Fold the TCP/UDP pseudo-header for either family into @p acc.
+ */
+void addPseudoHeader(class ChecksumAccumulator &acc, const InetAddr &src,
+                     const InetAddr &dst, IpProto proto,
+                     std::uint32_t l4_len);
+
+} // namespace qpip::inet
+
+#endif // QPIP_INET_UDP_HH

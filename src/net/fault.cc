@@ -1,0 +1,32 @@
+#include "net/fault.hh"
+
+namespace qpip::net {
+
+FaultDecision
+FaultInjector::apply(Packet &pkt)
+{
+    FaultDecision d;
+    if (rng_.bernoulli(config.dropProb)) {
+        d.drop = true;
+        drops.inc();
+        return d;
+    }
+    if (rng_.bernoulli(config.corruptProb) && !pkt.data.empty()) {
+        auto idx = static_cast<std::size_t>(
+            rng_.uniformInt(0, pkt.data.size() - 1));
+        auto mask = static_cast<std::uint8_t>(rng_.uniformInt(1, 255));
+        pkt.data[idx] ^= mask;
+        corruptions.inc();
+    }
+    if (rng_.bernoulli(config.dupProb)) {
+        d.duplicate = true;
+        dups.inc();
+    }
+    if (rng_.bernoulli(config.reorderProb)) {
+        d.extraDelay = config.reorderDelay;
+        reorders.inc();
+    }
+    return d;
+}
+
+} // namespace qpip::net

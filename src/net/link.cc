@@ -1,0 +1,124 @@
+#include "net/link.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+#include "sim/simulation.hh"
+
+namespace qpip::net {
+
+using sim::panic;
+using sim::warn;
+
+LinkConfig
+gigabitEthernetLink()
+{
+    LinkConfig cfg;
+    cfg.bitsPerSec = 1e9;
+    cfg.propDelay = sim::oneUs; // phy + cable across a machine room
+    cfg.mtu = 1500;
+    // preamble(8) + MACs(12) + type(2) + FCS(4) + IFG(12)
+    cfg.overheadBytes = 38;
+    cfg.txQueueCap = 512;
+    return cfg;
+}
+
+LinkConfig
+myrinetLink(std::uint32_t mtu)
+{
+    LinkConfig cfg;
+    cfg.bitsPerSec = 2e9;
+    cfg.propDelay = sim::oneUs / 2;
+    cfg.mtu = mtu;
+    cfg.overheadBytes = 8; // route bytes + type + CRC
+    // Myrinet applies link-level backpressure instead of dropping;
+    // a deep queue approximates that losslessness.
+    cfg.txQueueCap = 1 << 20;
+    return cfg;
+}
+
+Link::Link(sim::Simulation &sim, std::string name, LinkConfig config)
+    : SimObject(sim, std::move(name)), cfg_(config), faults_(sim.rng())
+{}
+
+void
+Link::attach(int side, NetReceiver &receiver)
+{
+    dir_.at(static_cast<std::size_t>(side)).receiver = &receiver;
+}
+
+sim::Tick
+Link::serializationDelay(std::size_t wire_bytes) const
+{
+    const double bits = static_cast<double>(wire_bytes) * 8.0;
+    return static_cast<sim::Tick>(
+        std::llround(bits / cfg_.bitsPerSec * 1e12));
+}
+
+sim::Tick
+Link::txIdleAt(int side) const
+{
+    return dir_.at(static_cast<std::size_t>(side)).busyUntil;
+}
+
+bool
+Link::send(int from_side, PacketPtr pkt)
+{
+    auto &tx = dir_.at(static_cast<std::size_t>(from_side));
+    const int to_side = from_side ^ 1;
+
+    if (pkt->data.size() > cfg_.mtu) {
+        oversizeDrops.inc();
+        warn("%s: dropping oversize packet (%zu > mtu %u)",
+             name().c_str(), pkt->data.size(), cfg_.mtu);
+        return false;
+    }
+
+    const sim::Tick now = curTick();
+    // Model queue depth by how far ahead of real time the transmitter
+    // is already committed.
+    if (tx.busyUntil > now) {
+        const sim::Tick backlog = tx.busyUntil - now;
+        const sim::Tick one_mtu =
+            serializationDelay(cfg_.mtu + cfg_.overheadBytes);
+        if (backlog > one_mtu * cfg_.txQueueCap) {
+            queueDrops.inc();
+            return false;
+        }
+    }
+
+    pkt->linkOverheadBytes = cfg_.overheadBytes;
+    if (pkt->injectedAt == 0)
+        pkt->injectedAt = now;
+
+    const sim::Tick start = std::max(now, tx.busyUntil);
+    const sim::Tick ser = serializationDelay(pkt->wireBytes());
+    tx.busyUntil = start + ser;
+
+    packetsSent.inc();
+    bytesSent.inc(pkt->wireBytes());
+
+    FaultDecision fault = faults_.apply(*pkt);
+    if (fault.drop)
+        return true; // consumed the wire, never arrives
+
+    deliver(to_side, pkt, fault.extraDelay);
+    if (fault.duplicate)
+        deliver(to_side, clonePacket(*pkt), fault.extraDelay);
+    return true;
+}
+
+void
+Link::deliver(int to_side, PacketPtr pkt, sim::Tick extra_delay)
+{
+    auto &rx = dir_.at(static_cast<std::size_t>(to_side));
+    if (rx.receiver == nullptr)
+        panic("%s: side %d has no receiver", name().c_str(), to_side);
+
+    auto &tx = dir_.at(static_cast<std::size_t>(to_side ^ 1));
+    const sim::Tick arrive = tx.busyUntil + cfg_.propDelay + extra_delay;
+    NetReceiver *receiver = rx.receiver;
+    schedule(arrive, [receiver, pkt] { receiver->onPacket(pkt); });
+}
+
+} // namespace qpip::net

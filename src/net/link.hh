@@ -1,0 +1,98 @@
+/**
+ * @file
+ * A full-duplex point-to-point link with finite bandwidth, fixed
+ * propagation delay, an MTU, and per-direction store-and-forward
+ * serialization. Each direction models the transmitter: packets queue
+ * behind one another and occupy the wire for wireBytes()*8/bandwidth.
+ *
+ * Two link personalities are used by the testbeds:
+ *  - Gigabit Ethernet: 1 Gb/s, 1500 B MTU, 38 B of framing overhead.
+ *  - Myrinet: 2 Gb/s full duplex, arbitrary MTU, 8 B framing,
+ *    effectively lossless (large queue, link-level backpressure).
+ */
+
+#ifndef QPIP_NET_LINK_HH
+#define QPIP_NET_LINK_HH
+
+#include <array>
+#include <deque>
+#include <string>
+
+#include "net/fault.hh"
+#include "net/packet.hh"
+#include "sim/sim_object.hh"
+#include "sim/stats.hh"
+
+namespace qpip::net {
+
+/** Static parameters of a link. */
+struct LinkConfig
+{
+    /** Raw bit rate in bits per second. */
+    double bitsPerSec = 1e9;
+    /** One-way propagation + phy delay. */
+    sim::Tick propDelay = sim::oneUs;
+    /** Maximum network-layer bytes per frame (excl. link overhead). */
+    std::uint32_t mtu = 1500;
+    /** Modeled link header/trailer bytes added to every frame. */
+    std::uint32_t overheadBytes = 38;
+    /** Transmit queue capacity in packets (drop-tail beyond). */
+    std::size_t txQueueCap = 1024;
+};
+
+/** Canned Gigabit Ethernet link parameters (Intel Pro1000-like). */
+LinkConfig gigabitEthernetLink();
+
+/** Canned Myrinet 2000 link parameters (2 Gb/s, LANai 9 era). */
+LinkConfig myrinetLink(std::uint32_t mtu = 16384);
+
+/**
+ * The link itself. Side 0 and side 1 are symmetrical.
+ */
+class Link : public sim::SimObject
+{
+  public:
+    Link(sim::Simulation &sim, std::string name, LinkConfig config);
+
+    /** Attach the receiver for @p side (0 or 1). */
+    void attach(int side, NetReceiver &receiver);
+
+    /**
+     * Enqueue @p pkt for transmission from @p from_side toward the
+     * other side. Oversized packets and queue overflow are dropped
+     * (counted), mirroring real hardware.
+     * @return false if the packet was dropped at enqueue time.
+     */
+    bool send(int from_side, PacketPtr pkt);
+
+    /** Tick at which the transmitter of @p side next goes idle. */
+    sim::Tick txIdleAt(int side) const;
+
+    /** Serialization time of @p wire_bytes on this link. */
+    sim::Tick serializationDelay(std::size_t wire_bytes) const;
+
+    const LinkConfig &config() const { return cfg_; }
+    FaultInjector &faults() { return faults_; }
+
+    sim::Counter packetsSent;
+    sim::Counter bytesSent;
+    sim::Counter oversizeDrops;
+    sim::Counter queueDrops;
+
+  private:
+    struct Direction
+    {
+        NetReceiver *receiver = nullptr;
+        sim::Tick busyUntil = 0;
+    };
+
+    void deliver(int to_side, PacketPtr pkt, sim::Tick extra_delay);
+
+    LinkConfig cfg_;
+    FaultInjector faults_;
+    std::array<Direction, 2> dir_;
+};
+
+} // namespace qpip::net
+
+#endif // QPIP_NET_LINK_HH

@@ -1,0 +1,25 @@
+#include "net/packet.hh"
+
+namespace qpip::net {
+
+namespace {
+std::uint64_t gNextPacketId = 1;
+} // namespace
+
+PacketPtr
+makePacket()
+{
+    auto pkt = std::make_shared<Packet>();
+    pkt->id = gNextPacketId++;
+    return pkt;
+}
+
+PacketPtr
+clonePacket(const Packet &pkt)
+{
+    auto copy = std::make_shared<Packet>(pkt);
+    copy->id = gNextPacketId++;
+    return copy;
+}
+
+} // namespace qpip::net

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The wire unit of the simulated fabric.
+ *
+ * A Packet carries the *real bytes* of the network layer and above
+ * (IPv4/IPv6 + TCP/UDP headers + payload) — these are serialized,
+ * checksummed and parsed exactly as on a real wire. The link layer is
+ * modeled: instead of serializing a Myrinet route header or Ethernet
+ * MAC header we carry fabric source/destination ids as metadata and
+ * account for the header's size in wireBytes(). This preserves all
+ * timing (serialization occupies the link for header + payload bytes)
+ * while keeping fabric addressing orthogonal to the protocol code.
+ */
+
+#ifndef QPIP_NET_PACKET_HH
+#define QPIP_NET_PACKET_HH
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace qpip::net {
+
+/** Fabric address of a node's link-layer attachment. */
+using NodeId = std::uint32_t;
+
+constexpr NodeId invalidNode = ~NodeId(0);
+
+/** Network-layer protocol carried in a packet (like EtherType). */
+enum class NetProto : std::uint16_t {
+    Raw = 0,
+    Ipv4 = 0x0800,
+    Ipv6 = 0x86dd,
+};
+
+/**
+ * One link-layer frame.
+ */
+struct Packet
+{
+    /** Monotonic id for tracing/debugging. */
+    std::uint64_t id = 0;
+
+    NodeId src = invalidNode;
+    NodeId dst = invalidNode;
+    NetProto proto = NetProto::Raw;
+
+    /** Modeled link header+CRC size included in wire time. */
+    std::uint32_t linkOverheadBytes = 0;
+
+    /** Real network-layer bytes. */
+    std::vector<std::uint8_t> data;
+
+    /** Time the packet first entered a link (for latency stats). */
+    sim::Tick injectedAt = 0;
+
+    /** Total bytes that occupy the wire. */
+    std::size_t wireBytes() const
+    {
+        return data.size() + linkOverheadBytes;
+    }
+
+    std::span<const std::uint8_t> bytes() const { return data; }
+};
+
+using PacketPtr = std::shared_ptr<Packet>;
+
+/** Allocate a packet with a fresh trace id. */
+PacketPtr makePacket();
+
+/** Deep-copy a packet (fresh id) — used by duplication fault injection. */
+PacketPtr clonePacket(const Packet &pkt);
+
+/**
+ * Interface implemented by anything that terminates a link: NICs and
+ * switch ports.
+ */
+class NetReceiver
+{
+  public:
+    virtual ~NetReceiver() = default;
+
+    /** A packet has fully arrived at this endpoint. */
+    virtual void onPacket(PacketPtr pkt) = 0;
+};
+
+} // namespace qpip::net
+
+#endif // QPIP_NET_PACKET_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Bounds-checked big-endian (network byte order) serialization used by
+ * every protocol header in src/inet. Readers fail soft: out-of-bounds
+ * reads return zero and latch !ok(), so corrupted packets can be
+ * parsed defensively and then discarded.
+ */
+
+#ifndef QPIP_NET_SERIALIZE_HH
+#define QPIP_NET_SERIALIZE_HH
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+namespace qpip::net {
+
+/**
+ * Appends big-endian fields to a byte vector.
+ */
+class ByteWriter
+{
+  public:
+    explicit ByteWriter(std::vector<std::uint8_t> &out) : out_(out) {}
+
+    void u8(std::uint8_t v) { out_.push_back(v); }
+    void u16(std::uint16_t v);
+    void u32(std::uint32_t v);
+    void u64(std::uint64_t v);
+    void bytes(std::span<const std::uint8_t> data);
+    void zeros(std::size_t n);
+
+    /** Overwrite a previously written 16-bit field at @p offset. */
+    void patchU16(std::size_t offset, std::uint16_t v);
+
+    std::size_t size() const { return out_.size(); }
+
+  private:
+    std::vector<std::uint8_t> &out_;
+};
+
+/**
+ * Cursor-based reader over a byte span with soft failure.
+ */
+class ByteReader
+{
+  public:
+    explicit ByteReader(std::span<const std::uint8_t> data)
+        : data_(data)
+    {}
+
+    std::uint8_t u8();
+    std::uint16_t u16();
+    std::uint32_t u32();
+    std::uint64_t u64();
+
+    /** Copy @p n bytes out; zero-fills on under-run. */
+    void bytes(std::uint8_t *dst, std::size_t n);
+
+    /** Skip @p n bytes. */
+    void skip(std::size_t n);
+
+    /** Remaining unread bytes. */
+    std::size_t remaining() const
+    {
+        return ok_ ? data_.size() - pos_ : 0;
+    }
+
+    /** View of the remaining bytes (empty if failed). */
+    std::span<const std::uint8_t> rest() const;
+
+    std::size_t position() const { return pos_; }
+    bool ok() const { return ok_; }
+
+  private:
+    bool ensure(std::size_t n);
+
+    std::span<const std::uint8_t> data_;
+    std::size_t pos_ = 0;
+    bool ok_ = true;
+};
+
+} // namespace qpip::net
+
+#endif // QPIP_NET_SERIALIZE_HH

@@ -1,0 +1,59 @@
+#include "net/switch.hh"
+
+#include "sim/logging.hh"
+
+namespace qpip::net {
+
+using sim::panic;
+using sim::warn;
+
+Switch::Switch(sim::Simulation &sim, std::string name,
+               sim::Tick routing_delay)
+    : SimObject(sim, std::move(name)), routingDelay_(routing_delay)
+{}
+
+int
+Switch::connect(Link &link, int link_side)
+{
+    const int port = static_cast<int>(ports_.size());
+    ports_.push_back(
+        std::make_unique<Port>(*this, port, link, link_side));
+    link.attach(link_side, *ports_.back());
+    return port;
+}
+
+void
+Switch::addRoute(NodeId node, int port)
+{
+    routes_[node] = port;
+}
+
+void
+Switch::Port::onPacket(PacketPtr pkt)
+{
+    sw_.forward(std::move(pkt), num_);
+}
+
+void
+Switch::forward(PacketPtr pkt, int in_port)
+{
+    auto it = routes_.find(pkt->dst);
+    if (it == routes_.end()) {
+        unroutableDrops.inc();
+        warn("%s: no route for node %u", name().c_str(), pkt->dst);
+        return;
+    }
+    const int out_port = it->second;
+    if (out_port == in_port) {
+        // A frame never goes back out its ingress port.
+        unroutableDrops.inc();
+        return;
+    }
+    forwarded.inc();
+    Port &port = *ports_.at(static_cast<std::size_t>(out_port));
+    schedule(curTick() + routingDelay_, [&port, pkt] {
+        port.link().send(port.linkSide(), pkt);
+    });
+}
+
+} // namespace qpip::net

@@ -1,0 +1,34 @@
+#include "net/topology.hh"
+
+#include "sim/logging.hh"
+
+namespace qpip::net {
+
+StarFabric::StarFabric(sim::Simulation &sim, std::string name,
+                       LinkConfig link_config)
+    : sim_(sim), name_(std::move(name)), linkCfg_(link_config),
+      switch_(std::make_unique<Switch>(sim, name_ + ".switch"))
+{}
+
+Link &
+StarFabric::addNode(NodeId node)
+{
+    auto link = std::make_unique<Link>(
+        sim_, name_ + ".link" + std::to_string(node), linkCfg_);
+    const int port = switch_->connect(*link, 1);
+    switch_->addRoute(node, port);
+    links_.emplace_back(node, std::move(link));
+    return *links_.back().second;
+}
+
+Link &
+StarFabric::linkFor(NodeId node)
+{
+    for (auto &[id, link] : links_) {
+        if (id == node)
+            return *link;
+    }
+    sim::panic("StarFabric: unknown node %u", node);
+}
+
+} // namespace qpip::net

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Topology builders. Every experiment in the paper runs on a star: N
+ * hosts, one switch. StarFabric owns the switch and the per-host
+ * links; hosts attach their NICs to side 0 of their link.
+ */
+
+#ifndef QPIP_NET_TOPOLOGY_HH
+#define QPIP_NET_TOPOLOGY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/link.hh"
+#include "net/switch.hh"
+
+namespace qpip::net {
+
+/**
+ * A star of point-to-point links around one switch.
+ */
+class StarFabric
+{
+  public:
+    /**
+     * @param link_config parameters applied to every spoke link.
+     */
+    StarFabric(sim::Simulation &sim, std::string name,
+               LinkConfig link_config);
+
+    /**
+     * Add a spoke for fabric address @p node.
+     * @return the link; the caller attaches its NIC to side 0.
+     */
+    Link &addNode(NodeId node);
+
+    Switch &fabricSwitch() { return *switch_; }
+    Link &linkFor(NodeId node);
+
+  private:
+    sim::Simulation &sim_;
+    std::string name_;
+    LinkConfig linkCfg_;
+    std::unique_ptr<Switch> switch_;
+    std::vector<std::pair<NodeId, std::unique_ptr<Link>>> links_;
+};
+
+} // namespace qpip::net
+
+#endif // QPIP_NET_TOPOLOGY_HH

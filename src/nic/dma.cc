@@ -1,0 +1,44 @@
+#include "nic/dma.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qpip::nic {
+
+DmaEngine::DmaEngine(sim::Simulation &sim, std::string name,
+                     DmaConfig config)
+    : SimObject(sim, std::move(name)), cfg_(config)
+{}
+
+sim::Tick
+DmaEngine::transferTime(std::size_t bytes) const
+{
+    const double xfer =
+        static_cast<double>(bytes) / cfg_.bytesPerSec * 1e12;
+    return cfg_.perTransferLatency +
+           static_cast<sim::Tick>(std::llround(xfer));
+}
+
+sim::Tick
+DmaEngine::charge(std::size_t bytes)
+{
+    return chargeAt(curTick(), bytes);
+}
+
+sim::Tick
+DmaEngine::chargeAt(sim::Tick at, std::size_t bytes)
+{
+    const sim::Tick dur = transferTime(bytes);
+    const sim::Tick start = std::max({curTick(), at, busyUntil_});
+    busyUntil_ = start + dur;
+    busyTotal_ += dur;
+    return busyUntil_;
+}
+
+void
+DmaEngine::transfer(std::size_t bytes, std::function<void()> on_done)
+{
+    schedule(charge(bytes), std::move(on_done));
+}
+
+} // namespace qpip::nic

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * PCI DMA model: a serialized bus resource with a per-transfer setup
+ * latency and finite sustained bandwidth. Both host NICs and the QPIP
+ * NIC's two LANai DMA engines move every payload byte across one of
+ * these; it is what turns the 64-bit/33 MHz PCI bus of the PowerEdge
+ * into a first-order term of the throughput results.
+ */
+
+#ifndef QPIP_NIC_DMA_HH
+#define QPIP_NIC_DMA_HH
+
+#include <functional>
+
+#include "sim/sim_object.hh"
+
+namespace qpip::nic {
+
+/** Parameters of a DMA path. */
+struct DmaConfig
+{
+    /** Sustained bandwidth (bytes/second) across the bus. */
+    double bytesPerSec = 200e6;
+    /** Fixed setup cost per transfer (descriptor fetch, arbitration). */
+    sim::Tick perTransferLatency = 2 * sim::oneUs;
+};
+
+/**
+ * One serialized DMA resource.
+ */
+class DmaEngine : public sim::SimObject
+{
+  public:
+    DmaEngine(sim::Simulation &sim, std::string name, DmaConfig config);
+
+    /** Duration a transfer of @p bytes occupies the engine. */
+    sim::Tick transferTime(std::size_t bytes) const;
+
+    /**
+     * Start a transfer; @p on_done runs at completion. Transfers
+     * serialize in submission order.
+     */
+    void transfer(std::size_t bytes, std::function<void()> on_done);
+
+    /** Account a transfer without a completion callback. */
+    sim::Tick charge(std::size_t bytes);
+
+    /**
+     * Account a transfer that can start no earlier than @p at (e.g.
+     * when the issuing firmware stage begins).
+     * @return completion tick.
+     */
+    sim::Tick chargeAt(sim::Tick at, std::size_t bytes);
+
+    sim::Tick busyUntil() const { return busyUntil_; }
+    sim::Tick busyTotal() const { return busyTotal_; }
+    const DmaConfig &config() const { return cfg_; }
+
+  private:
+    DmaConfig cfg_;
+    sim::Tick busyUntil_ = 0;
+    sim::Tick busyTotal_ = 0;
+};
+
+} // namespace qpip::nic
+
+#endif // QPIP_NIC_DMA_HH

@@ -1,0 +1,35 @@
+#include "nic/doorbell.hh"
+
+namespace qpip::nic {
+
+DoorbellFifo::DoorbellFifo(sim::Simulation &sim, std::string name,
+                           std::size_t capacity)
+    : SimObject(sim, std::move(name)), capacity_(capacity)
+{}
+
+void
+DoorbellFifo::ring(const Doorbell &db)
+{
+    rings.inc();
+    scheduleIn(writeLatency, [this, db] {
+        if (fifo_.size() >= capacity_) {
+            overflows.inc();
+            return;
+        }
+        fifo_.push_back(db);
+        if (drainHook_)
+            drainHook_();
+    });
+}
+
+bool
+DoorbellFifo::pop(Doorbell &out)
+{
+    if (fifo_.empty())
+        return false;
+    out = fifo_.front();
+    fifo_.pop_front();
+    return true;
+}
+
+} // namespace qpip::nic

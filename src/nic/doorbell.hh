@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The doorbell path: user-space posts write a record into a region of
+ * PCI address space that the LANai hardware latches into an SRAM FIFO
+ * (the "specialized doorbell mechanism" of the prototype's DMA
+ * controller). The doorbell FSM drains the FIFO and updates the QP
+ * state table with outstanding-WR counts.
+ */
+
+#ifndef QPIP_NIC_DOORBELL_HH
+#define QPIP_NIC_DOORBELL_HH
+
+#include <deque>
+#include <functional>
+
+#include "nic/qp_state.hh"
+#include "sim/sim_object.hh"
+#include "sim/stats.hh"
+
+namespace qpip::nic {
+
+/** One doorbell record. */
+struct Doorbell
+{
+    QpNum qp = invalidQp;
+    bool isSend = false;
+};
+
+/**
+ * The doorbell FIFO.
+ */
+class DoorbellFifo : public sim::SimObject
+{
+  public:
+    DoorbellFifo(sim::Simulation &sim, std::string name,
+                 std::size_t capacity = 1024);
+
+    /**
+     * Host-side posted write; arrives at the NIC after the PCI write
+     * latency and triggers the drain hook.
+     */
+    void ring(const Doorbell &db);
+
+    /** NIC-side pop. @return false when empty. */
+    bool pop(Doorbell &out);
+
+    bool empty() const { return fifo_.empty(); }
+    std::size_t depth() const { return fifo_.size(); }
+
+    /** Invoked (at NIC time) whenever a record lands in the FIFO. */
+    void setDrainHook(std::function<void()> hook)
+    {
+        drainHook_ = std::move(hook);
+    }
+
+    /** One-way posted-write latency host -> NIC SRAM. */
+    sim::Tick writeLatency = 300 * sim::oneNs;
+
+    sim::Counter rings;
+    sim::Counter overflows;
+
+  private:
+    std::size_t capacity_;
+    std::deque<Doorbell> fifo_;
+    std::function<void()> drainHook_;
+};
+
+} // namespace qpip::nic
+
+#endif // QPIP_NIC_DOORBELL_HH

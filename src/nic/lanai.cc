@@ -1,0 +1,71 @@
+#include "nic/lanai.hh"
+
+#include <algorithm>
+
+namespace qpip::nic {
+
+const char *
+fwStageName(FwStage s)
+{
+    switch (s) {
+      case FwStage::DoorbellProcess: return "Doorbell Process";
+      case FwStage::Schedule: return "Schedule";
+      case FwStage::GetWr: return "Get WR";
+      case FwStage::GetData: return "Get Data";
+      case FwStage::BuildTcpHdr: return "Build TCP Hdr";
+      case FwStage::BuildIpHdr: return "Build IP Hdr";
+      case FwStage::MediaSend: return "Send";
+      case FwStage::UpdateTx: return "Update";
+      case FwStage::MediaRcv: return "Media Rcv";
+      case FwStage::IpParse: return "IP Parse";
+      case FwStage::TcpParse: return "TCP Parse";
+      case FwStage::UdpParse: return "UDP Parse";
+      case FwStage::PutData: return "Put Data";
+      case FwStage::UpdateRx: return "Update";
+      case FwStage::Checksum: return "Checksum";
+      case FwStage::Fragment: return "Fragment";
+      case FwStage::Reassembly: return "Reassembly";
+      case FwStage::Mgmt: return "Mgmt";
+      case FwStage::Timer: return "Timer";
+      case FwStage::NumStages: break;
+    }
+    return "?";
+}
+
+LanaiProcessor::LanaiProcessor(sim::Simulation &sim, std::string name,
+                               std::uint64_t freq_hz)
+    : SimObject(sim, std::move(name)), clock_(freq_hz)
+{}
+
+void
+LanaiProcessor::chargeTicks(FwStage stage, sim::Tick ticks)
+{
+    const sim::Tick start = std::max(curTick(), busyUntil_);
+    busyUntil_ = start + ticks;
+    busyTotal_ += ticks;
+    stats_[static_cast<std::size_t>(stage)].sample(
+        sim::ticksToUs(ticks));
+}
+
+void
+LanaiProcessor::charge(FwStage stage, sim::Cycles cycles)
+{
+    chargeTicks(stage, clock_.cyclesToTicks(cycles));
+}
+
+void
+LanaiProcessor::exec(FwStage stage, sim::Cycles cycles,
+                     std::function<void()> then)
+{
+    charge(stage, cycles);
+    schedule(busyUntil_, std::move(then));
+}
+
+void
+LanaiProcessor::resetStats()
+{
+    for (auto &s : stats_)
+        s.reset();
+}
+
+} // namespace qpip::nic

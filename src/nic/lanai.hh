@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The LANai firmware processor: a serialized 133 MHz resource with
+ * per-stage occupancy instrumentation. Every FSM stage of the QPIP
+ * NIC executes on it; the per-stage SampleStats regenerate the
+ * paper's Tables 2 and 3.
+ */
+
+#ifndef QPIP_NIC_LANAI_HH
+#define QPIP_NIC_LANAI_HH
+
+#include <array>
+#include <functional>
+#include <string>
+
+#include "sim/clock.hh"
+#include "sim/sim_object.hh"
+#include "sim/stats.hh"
+
+namespace qpip::nic {
+
+/** Pipeline stages, matching the paper's occupancy tables. */
+enum class FwStage : std::uint8_t {
+    DoorbellProcess,
+    Schedule,
+    GetWr,
+    GetData,
+    BuildTcpHdr,
+    BuildIpHdr,
+    MediaSend,
+    UpdateTx,
+    MediaRcv,
+    IpParse,
+    TcpParse,
+    UdpParse,
+    PutData,
+    UpdateRx,
+    Checksum,
+    Fragment,
+    Reassembly,
+    Mgmt,
+    Timer,
+    NumStages,
+};
+
+const char *fwStageName(FwStage s);
+
+constexpr std::size_t numFwStages =
+    static_cast<std::size_t>(FwStage::NumStages);
+
+/**
+ * The firmware processor.
+ */
+class LanaiProcessor : public sim::SimObject
+{
+  public:
+    LanaiProcessor(sim::Simulation &sim, std::string name,
+                   std::uint64_t freq_hz);
+
+    /**
+     * Occupy the processor for @p cycles attributed to @p stage, then
+     * run @p then (which may itself exec further stages).
+     */
+    void exec(FwStage stage, sim::Cycles cycles,
+              std::function<void()> then);
+
+    /** Occupy without a continuation. */
+    void charge(FwStage stage, sim::Cycles cycles);
+
+    /**
+     * Extend the current stage by raw ticks (e.g. a blocking DMA),
+     * attributed to @p stage.
+     */
+    void chargeTicks(FwStage stage, sim::Tick ticks);
+
+    sim::Tick busyUntil() const { return busyUntil_; }
+    sim::Tick busyTotal() const { return busyTotal_; }
+    const sim::ClockDomain &clock() const { return clock_; }
+
+    /** Per-stage occupancy samples, in microseconds. */
+    const sim::SampleStat &stageStat(FwStage s) const
+    {
+        return stats_[static_cast<std::size_t>(s)];
+    }
+
+    void resetStats();
+
+  private:
+    sim::ClockDomain clock_;
+    sim::Tick busyUntil_ = 0;
+    sim::Tick busyTotal_ = 0;
+    std::array<sim::SampleStat, numFwStages> stats_;
+};
+
+} // namespace qpip::nic
+
+#endif // QPIP_NIC_LANAI_HH

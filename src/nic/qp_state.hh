@@ -1,0 +1,197 @@
+/**
+ * @file
+ * The host-memory structures shared between the verbs library and the
+ * QPIP NIC: work requests, work queues, completion queues and the
+ * registered-memory table. In hardware these live in pinned host
+ * memory and the NIC reads/writes them with DMA; in the simulation
+ * they are ordinary objects, and the DMA *time* is charged by the
+ * NIC's Get WR / Put Data / Update stages.
+ */
+
+#ifndef QPIP_NIC_QP_STATE_HH
+#define QPIP_NIC_QP_STATE_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "inet/inet_addr.hh"
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace qpip::nic {
+
+using QpNum = std::uint32_t;
+using MrKey = std::uint32_t;
+
+constexpr QpNum invalidQp = 0;
+
+/** QP service type. */
+enum class QpType : std::uint8_t {
+    ReliableTcp,   ///< connected, message-per-TCP-segment
+    UnreliableUdp, ///< datagram, message-per-UDP-datagram
+};
+
+/** Completion status codes. */
+enum class WcStatus : std::uint8_t {
+    Success,
+    LengthError,  ///< message larger than the posted receive buffer
+    Flushed,      ///< QP torn down with the WR outstanding
+    RemoteReset,  ///< connection reset under the WR
+};
+
+const char *wcStatusName(WcStatus s);
+
+/** One scatter/gather element into registered memory. */
+struct Sge
+{
+    MrKey key = 0;
+    std::size_t offset = 0;
+    std::size_t length = 0;
+};
+
+/** A send work request. */
+struct SendWr
+{
+    std::uint64_t id = 0;
+    Sge sge;
+    /** Destination for UD QPs (ignored on connected QPs). */
+    inet::SockAddr remote;
+};
+
+/** A receive work request. */
+struct RecvWr
+{
+    std::uint64_t id = 0;
+    Sge sge;
+};
+
+/** A completion queue entry. */
+struct Completion
+{
+    std::uint64_t wrId = 0;
+    QpNum qp = invalidQp;
+    bool isSend = false;
+    WcStatus status = WcStatus::Success;
+    std::size_t byteLen = 0;
+    /** Source of a UD receive. */
+    inet::SockAddr from;
+    sim::Tick completedAt = 0;
+};
+
+/**
+ * The host-memory work queues of one QP.
+ */
+struct QpHostRings
+{
+    std::deque<SendWr> sendQ;
+    std::deque<RecvWr> recvQ;
+};
+
+/**
+ * A completion queue ring in host memory. The NIC pushes entries
+ * (paying DMA in its Update stages) and fires the notify hook when
+ * the consumer has armed it.
+ */
+class CqRing
+{
+  public:
+    explicit CqRing(std::size_t capacity = 4096) : capacity_(capacity) {}
+
+    bool
+    push(const Completion &c)
+    {
+        if (entries_.size() >= capacity_)
+            return false; // CQ overflow: completion lost
+        entries_.push_back(c);
+        if (armed_ && notify_) {
+            armed_ = false;
+            notify_();
+        }
+        return true;
+    }
+
+    bool
+    pop(Completion &out)
+    {
+        if (entries_.empty())
+            return false;
+        out = entries_.front();
+        entries_.pop_front();
+        return true;
+    }
+
+    std::size_t depth() const { return entries_.size(); }
+    bool empty() const { return entries_.empty(); }
+
+    /** Request a notify() upcall on the next push. */
+    void
+    arm(std::function<void()> notify)
+    {
+        notify_ = std::move(notify);
+        armed_ = true;
+    }
+
+    void disarm() { armed_ = false; }
+    bool armed() const { return armed_; }
+
+  private:
+    std::size_t capacity_;
+    std::deque<Completion> entries_;
+    bool armed_ = false;
+    std::function<void()> notify_;
+};
+
+/**
+ * Registered-memory table: the NIC-side shadow of the verbs layer's
+ * memory registrations (the paper's "registered memory bindings" and
+ * virtual-to-physical translation facility).
+ */
+class MrTable
+{
+  public:
+    /** Register @p bytes of memory at @p base under a fresh key. */
+    MrKey
+    registerMemory(std::uint8_t *base, std::size_t bytes)
+    {
+        const MrKey key = nextKey_++;
+        table_[key] = Region{base, bytes};
+        return key;
+    }
+
+    void deregister(MrKey key) { table_.erase(key); }
+
+    /**
+     * Resolve an SGE to a host pointer, validating bounds.
+     * @return nullptr if the key is unknown or the range is out of
+     *         bounds — the NIC completes such WRs in error.
+     */
+    std::uint8_t *
+    resolve(const Sge &sge) const
+    {
+        auto it = table_.find(sge.key);
+        if (it == table_.end())
+            return nullptr;
+        if (sge.offset + sge.length > it->second.bytes)
+            return nullptr;
+        return it->second.base + sge.offset;
+    }
+
+    std::size_t size() const { return table_.size(); }
+
+  private:
+    struct Region
+    {
+        std::uint8_t *base = nullptr;
+        std::size_t bytes = 0;
+    };
+
+    std::unordered_map<MrKey, Region> table_;
+    MrKey nextKey_ = 1;
+};
+
+} // namespace qpip::nic
+
+#endif // QPIP_NIC_QP_STATE_HH

@@ -1,0 +1,808 @@
+#include "nic/qpip_nic.hh"
+
+#include <algorithm>
+
+#include "inet/ipv6.hh"
+#include "sim/logging.hh"
+#include "sim/simulation.hh"
+
+namespace qpip::nic {
+
+using inet::IpDatagram;
+using inet::IpProto;
+using sim::Tick;
+
+const char *
+wcStatusName(WcStatus s)
+{
+    switch (s) {
+      case WcStatus::Success: return "success";
+      case WcStatus::LengthError: return "length-error";
+      case WcStatus::Flushed: return "flushed";
+      case WcStatus::RemoteReset: return "remote-reset";
+    }
+    return "?";
+}
+
+inet::TcpConfig
+QpipNicParams::defaultFirmwareTcpConfig()
+{
+    inet::TcpConfig cfg;
+    cfg.messageMode = true;
+    cfg.reassembly = false; // prototype subset: no OOO reassembly
+    cfg.delayedAck = false; // SAN latency: ACK every message
+    cfg.noDelay = true;
+    cfg.mss = 16384;
+    cfg.windowScale = 8;
+    cfg.tsGranularity = sim::oneUs; // fine-grained firmware clock
+    cfg.minRto = 5 * sim::oneMs;    // NIC-resident runtime timers
+    cfg.maxRto = 10 * sim::oneSec;
+    cfg.msl = 50 * sim::oneMs;      // SAN-scale TIME_WAIT
+    cfg.initialCwndSegs = 4;
+    cfg.maxCwndSegs = 256;
+    return cfg;
+}
+
+// ---------------------------------------------------------------------
+// QpContext
+// ---------------------------------------------------------------------
+
+struct QpipNic::QpContext : public inet::TcpObserver
+{
+    QpContext(QpipNic &nic_ref, QpNum n, QpType t, QpHostRings *r,
+              CqRing *s, CqRing *rc)
+        : nic(nic_ref), num(n), type(t), rings(r), scq(s), rcq(rc)
+    {}
+
+    QpipNic &nic;
+    QpNum num;
+    QpType type;
+    QpHostRings *rings;
+    CqRing *scq;
+    CqRing *rcq;
+
+    inet::SockAddr local;
+    bool bound = false;
+    std::unique_ptr<inet::TcpConnection> conn;
+    bool connected = false;
+    ConnectCb connectDone;
+    AcceptCb acceptDone;
+
+    // NIC-side shadow of the host work queues (what the doorbell FSM
+    // maintains in the QPIP state table).
+    std::uint64_t sendSeen = 0;
+    std::uint64_t sendConsumed = 0;
+    std::uint64_t recvSeen = 0;
+    std::uint64_t recvConsumed = 0;
+    std::uint32_t postedRecvCount = 0;
+    std::uint64_t postedRecvBytes = 0;
+
+    // Sent-but-unacked send WRs, completion in FIFO order.
+    std::deque<std::pair<std::uint64_t, SendWr>> inflightSends;
+    std::uint64_t nextTag = 1;
+
+    // --- TcpObserver --------------------------------------------------
+    void
+    onConnected(inet::TcpConnection &) override
+    {
+        connected = true;
+        if (connectDone) {
+            auto cb = std::move(connectDone);
+            nic.schedule(nic.fw_.busyUntil(), [cb] { cb(true); });
+        }
+        if (acceptDone) {
+            auto cb = std::move(acceptDone);
+            const QpNum qp = num;
+            nic.schedule(nic.fw_.busyUntil(), [cb, qp] { cb(qp); });
+        }
+    }
+
+    bool
+    canAcceptMessage(inet::TcpConnection &, std::size_t) override
+    {
+        return postedRecvCount > 0;
+    }
+
+    void
+    onMessage(inet::TcpConnection &conn_ref,
+              std::vector<std::uint8_t> &&msg) override
+    {
+        nic.receiveIntoWr(*this, std::move(msg),
+                          conn_ref.tuple().remote);
+    }
+
+    void
+    onMessageAcked(inet::TcpConnection &, std::uint64_t tag) override
+    {
+        if (inflightSends.empty() || inflightSends.front().first != tag)
+            sim::panic("qp%u: send completion out of order", num);
+        SendWr wr = std::move(inflightSends.front().second);
+        inflightSends.pop_front();
+        // Table 3 "Update" (ACK): WR status + QP state writeback.
+        nic.fw_.charge(FwStage::UpdateRx, nic.costs().updateRxAck);
+        Completion c;
+        c.wrId = wr.id;
+        c.qp = num;
+        c.isSend = true;
+        c.status = WcStatus::Success;
+        c.byteLen = wr.sge.length;
+        nic.pushCompletion(scq, c);
+    }
+
+    void
+    onPeerClosed(inet::TcpConnection &conn_ref) override
+    {
+        // A QP channel is torn down as a unit: answer the peer's FIN
+        // with our own so the connection fully closes and outstanding
+        // WRs flush.
+        conn_ref.close();
+    }
+
+    void
+    onReset(inet::TcpConnection &) override
+    {
+        connected = false;
+        if (connectDone) {
+            auto cb = std::move(connectDone);
+            nic.schedule(nic.curTick(), [cb] { cb(false); });
+        }
+        nic.flushQp(*this, WcStatus::RemoteReset);
+    }
+
+    void
+    onClosed(inet::TcpConnection &) override
+    {
+        connected = false;
+        nic.flushQp(*this, WcStatus::Flushed);
+    }
+
+    std::uint32_t
+    receiveWindow(inet::TcpConnection &) override
+    {
+        return static_cast<std::uint32_t>(std::min<std::uint64_t>(
+            postedRecvBytes, 0xffffffffull));
+    }
+};
+
+// ---------------------------------------------------------------------
+// Construction / management FSM
+// ---------------------------------------------------------------------
+
+QpipNic::QpipNic(sim::Simulation &sim, std::string name, net::Link &link,
+                 net::NodeId node, QpipNicParams params)
+    : SimObject(sim, std::move(name)), link_(link), node_(node),
+      params_(params),
+      fw_(sim, this->name() + ".fw", params.costs.freqHz),
+      dmaIn_(sim, this->name() + ".dma_in", params.dma),
+      dmaOut_(sim, this->name() + ".dma_out", params.dma),
+      doorbells_(sim, this->name() + ".doorbells", params.doorbellCap),
+      reass_(params.reassExpiry)
+{
+    // Force the prototype's transport subset regardless of overrides.
+    params_.tcp.messageMode = true;
+    params_.tcp.reassembly = false;
+    link_.attach(0, *this);
+    doorbells_.setDrainHook([this] {
+        if (!drainActive_) {
+            drainActive_ = true;
+            doorbellDrain();
+        }
+    });
+}
+
+QpipNic::~QpipNic()
+{
+    // Expire the liveness token first: QueuePair/MemoryRegion
+    // destructors reached from the QP contexts below must not call
+    // back into this object.
+    aliveToken_.reset();
+}
+
+void
+QpipNic::setAddress(const inet::InetAddr &addr)
+{
+    addr_ = addr;
+}
+
+MrKey
+QpipNic::registerMemory(std::uint8_t *base, std::size_t bytes)
+{
+    fw_.charge(FwStage::Mgmt, params_.costs.mgmtCommand);
+    return mrs_.registerMemory(base, bytes);
+}
+
+void
+QpipNic::deregisterMemory(MrKey key)
+{
+    fw_.charge(FwStage::Mgmt, params_.costs.mgmtCommand);
+    mrs_.deregister(key);
+}
+
+QpNum
+QpipNic::createQp(QpType type, QpHostRings *rings, CqRing *scq,
+                  CqRing *rcq)
+{
+    fw_.charge(FwStage::Mgmt, params_.costs.mgmtCommand);
+    const QpNum num = nextQpNum_++;
+    qps_[num] = std::make_unique<QpContext>(*this, num, type, rings,
+                                            scq, rcq);
+    return num;
+}
+
+void
+QpipNic::destroyQp(QpNum qp)
+{
+    auto *ctx = lookupQp(qp);
+    if (ctx == nullptr)
+        return;
+    fw_.charge(FwStage::Mgmt, params_.costs.mgmtCommand);
+    if (ctx->conn) {
+        connOwner_.erase(ctx->conn.get());
+        tcpDemux_.erase(ctx->conn->tuple());
+        ctx->conn->abort();
+    }
+    if (ctx->bound && ctx->type == QpType::UnreliableUdp)
+        udpPorts_.erase(ctx->local.port);
+    flushQp(*ctx, WcStatus::Flushed);
+    qps_.erase(qp);
+}
+
+void
+QpipNic::bindLocal(QpNum qp, std::uint16_t port)
+{
+    auto *ctx = lookupQp(qp);
+    if (ctx == nullptr)
+        sim::fatal("bindLocal: unknown qp %u", qp);
+    fw_.charge(FwStage::Mgmt, params_.costs.mgmtCommand);
+    ctx->local = inet::SockAddr{addr_, port};
+    ctx->bound = true;
+    if (ctx->type == QpType::UnreliableUdp) {
+        if (udpPorts_.count(port))
+            sim::fatal("udp port %u already bound on %s", port,
+                       name().c_str());
+        udpPorts_[port] = ctx;
+    }
+}
+
+void
+QpipNic::connect(QpNum qp, const inet::SockAddr &remote, ConnectCb done)
+{
+    auto *ctx = lookupQp(qp);
+    if (ctx == nullptr || ctx->type != QpType::ReliableTcp)
+        sim::fatal("connect: bad qp %u", qp);
+    if (!ctx->bound) {
+        ctx->local = inet::SockAddr{addr_, ephemeralPort_++};
+        ctx->bound = true;
+    }
+    ctx->connectDone = std::move(done);
+    fw_.exec(FwStage::Mgmt, params_.costs.mgmtCommand,
+             [this, ctx, remote] {
+                 ctx->conn = std::make_unique<inet::TcpConnection>(
+                     *this, *ctx, params_.tcp);
+                 inet::FourTuple t{ctx->local, remote};
+                 tcpDemux_[t] = ctx;
+                 connOwner_[ctx->conn.get()] = ctx;
+                 ctx->conn->openActive(ctx->local, remote);
+             });
+}
+
+void
+QpipNic::acceptOn(std::uint16_t port, QpNum qp, AcceptCb done)
+{
+    auto *ctx = lookupQp(qp);
+    if (ctx == nullptr || ctx->type != QpType::ReliableTcp)
+        sim::fatal("acceptOn: bad qp %u", qp);
+    fw_.charge(FwStage::Mgmt, params_.costs.mgmtCommand);
+    ctx->acceptDone = std::move(done);
+    listeners_[port].push_back(PendingAccept{qp, nullptr});
+}
+
+void
+QpipNic::disconnect(QpNum qp)
+{
+    auto *ctx = lookupQp(qp);
+    if (ctx == nullptr || !ctx->conn)
+        return;
+    fw_.exec(FwStage::Mgmt, params_.costs.mgmtCommand, [ctx] {
+        if (ctx->conn)
+            ctx->conn->close();
+    });
+}
+
+QpipNic::QpContext *
+QpipNic::lookupQp(QpNum qp)
+{
+    auto it = qps_.find(qp);
+    return it == qps_.end() ? nullptr : it->second.get();
+}
+
+inet::TcpConnection *
+QpipNic::connectionOf(QpNum qp)
+{
+    auto *ctx = lookupQp(qp);
+    return ctx != nullptr ? ctx->conn.get() : nullptr;
+}
+
+// ---------------------------------------------------------------------
+// Doorbell FSM
+// ---------------------------------------------------------------------
+
+void
+QpipNic::postDoorbell(QpNum qp, bool is_send)
+{
+    doorbells_.ring(Doorbell{qp, is_send});
+}
+
+void
+QpipNic::doorbellDrain()
+{
+    Doorbell db;
+    if (!doorbells_.pop(db)) {
+        drainActive_ = false;
+        return;
+    }
+    sim::Cycles c = params_.costs.doorbellProcess;
+    if (!params_.costs.hwDoorbell) {
+        c = static_cast<sim::Cycles>(static_cast<double>(c) *
+                                     params_.costs.swDoorbellFactor);
+    }
+    fw_.exec(FwStage::DoorbellProcess, c, [this, db] {
+        auto *ctx = lookupQp(db.qp);
+        if (ctx != nullptr) {
+            if (db.isSend) {
+                const std::uint64_t total =
+                    ctx->sendConsumed + ctx->rings->sendQ.size();
+                const std::uint64_t fresh = total - ctx->sendSeen;
+                ctx->sendSeen = total;
+                for (std::uint64_t i = 0; i < fresh; ++i)
+                    scheduleSendService(*ctx);
+            } else {
+                const std::uint64_t total =
+                    ctx->recvConsumed + ctx->rings->recvQ.size();
+                const std::uint64_t fresh = total - ctx->recvSeen;
+                ctx->recvSeen = total;
+                // The new WRs sit at the back of the host ring.
+                const auto &q = ctx->rings->recvQ;
+                for (std::uint64_t i = 0; i < fresh; ++i) {
+                    const auto &wr = q[q.size() - fresh + i];
+                    ++ctx->postedRecvCount;
+                    ctx->postedRecvBytes += wr.sge.length;
+                }
+                if (fresh > 0 && ctx->conn)
+                    ctx->conn->onReceiveWindowGrew();
+            }
+        }
+        doorbellDrain();
+    });
+}
+
+// ---------------------------------------------------------------------
+// Scheduler / transmit FSM
+// ---------------------------------------------------------------------
+
+void
+QpipNic::scheduleSendService(QpContext &qp)
+{
+    fw_.exec(FwStage::Schedule, params_.costs.schedule,
+             [this, &qp] { serviceSendWr(qp); });
+}
+
+void
+QpipNic::serviceSendWr(QpContext &qp)
+{
+    fw_.exec(FwStage::GetWr, params_.costs.getWr, [this, &qp] {
+        if (qp.rings->sendQ.empty())
+            return; // raced with destroy/flush
+        SendWr wr = qp.rings->sendQ.front();
+        qp.rings->sendQ.pop_front();
+        ++qp.sendConsumed;
+
+        std::uint8_t *src = mrs_.resolve(wr.sge);
+        if (src == nullptr) {
+            Completion c;
+            c.wrId = wr.id;
+            c.qp = qp.num;
+            c.isSend = true;
+            c.status = WcStatus::LengthError;
+            pushCompletion(qp.scq, c);
+            return;
+        }
+
+        // Get Data: program the DMA engine, then stage the payload
+        // from host memory into NIC SRAM. The firmware is occupied
+        // for the descriptor work plus whichever of (SRAM staging,
+        // DMA transfer) dominates.
+        const std::size_t len = wr.sge.length;
+        const Tick begin = std::max(curTick(), fw_.busyUntil());
+        const Tick fixed = fw_.clock().cyclesToTicks(
+            params_.costs.getDataFixed);
+        const Tick touch = fw_.clock().cyclesToTicks(
+            static_cast<sim::Cycles>(params_.costs.touchPerByte *
+                                     static_cast<double>(len)));
+        const Tick dma = dmaIn_.chargeAt(begin, len) - begin;
+        fw_.chargeTicks(FwStage::GetData,
+                        fixed + std::max(touch, dma));
+
+        std::vector<std::uint8_t> data(src, src + len);
+        schedule(fw_.busyUntil(),
+                 [this, &qp, wr = std::move(wr),
+                  data = std::move(data)]() mutable {
+                     if (qp.type == QpType::ReliableTcp) {
+                         if (!qp.conn) {
+                             Completion c;
+                             c.wrId = wr.id;
+                             c.qp = qp.num;
+                             c.isSend = true;
+                             c.status = WcStatus::Flushed;
+                             pushCompletion(qp.scq, c);
+                             return;
+                         }
+                         const std::uint64_t tag = qp.nextTag++;
+                         qp.inflightSends.emplace_back(tag, wr);
+                         qp.conn->sendMessage(std::move(data), tag);
+                     } else {
+                         sendUdpMessage(qp, std::move(wr),
+                                        std::move(data));
+                     }
+                 });
+    });
+}
+
+void
+QpipNic::sendUdpMessage(QpContext &qp, SendWr wr,
+                        std::vector<std::uint8_t> data)
+{
+    // Build UDP Hdr (charged under the header-build stage).
+    fw_.charge(FwStage::BuildTcpHdr, params_.costs.buildUdpHdr);
+    IpDatagram dgram;
+    dgram.src = qp.local.addr;
+    dgram.dst = wr.remote.addr;
+    dgram.proto = IpProto::Udp;
+    dgram.payload = inet::serializeUdp(qp.local.addr, wr.remote.addr,
+                                       qp.local.port, wr.remote.port,
+                                       data);
+    ipSend(std::move(dgram));
+
+    // "As soon as a UDP message is sent, the associated send WR is
+    // marked as complete."
+    fw_.charge(FwStage::UpdateTx, params_.costs.updateTxData);
+    Completion c;
+    c.wrId = wr.id;
+    c.qp = qp.num;
+    c.isSend = true;
+    c.status = WcStatus::Success;
+    c.byteLen = wr.sge.length;
+    pushCompletion(qp.scq, c);
+}
+
+void
+QpipNic::tcpOutput(IpDatagram &&dgram, const inet::TcpSegMeta &meta)
+{
+    // Pure ACKs and scheduler-driven retransmits pass the notify and
+    // schedule stages too (the paper's Table 2 "ACK Send" column).
+    if (meta.pureAck || meta.retransmit) {
+        fw_.charge(FwStage::DoorbellProcess,
+                   params_.costs.doorbellProcess);
+        fw_.charge(FwStage::Schedule, params_.costs.schedule);
+    }
+    fw_.charge(FwStage::BuildTcpHdr, params_.costs.buildTcpHdr);
+    ipSend(std::move(dgram));
+    fw_.charge(FwStage::UpdateTx, meta.pureAck
+                                      ? params_.costs.updateTxAck
+                                      : params_.costs.updateTxData);
+}
+
+void
+QpipNic::ipSend(IpDatagram &&dgram)
+{
+    fw_.charge(FwStage::BuildIpHdr, params_.costs.buildIpHdr);
+    auto frames = fragmentIpv6(dgram, link_.config().mtu, fragIdent_++);
+    if (frames.size() > 1) {
+        fw_.charge(FwStage::Fragment,
+                   params_.costs.perFragmentTx *
+                       static_cast<sim::Cycles>(frames.size() - 1));
+    }
+    fw_.charge(FwStage::MediaSend, params_.costs.mediaSend);
+
+    auto route = routes_.lookup(dgram.dst);
+    if (!route) {
+        sim::warn("%s: no route to %s", name().c_str(),
+                  dgram.dst.toString().c_str());
+        return;
+    }
+    const net::NodeId dst_node = *route;
+    schedule(fw_.busyUntil(), [this, dst_node,
+                               frames = std::move(frames)]() mutable {
+        for (auto &frame : frames) {
+            auto pkt = net::makePacket();
+            pkt->src = node_;
+            pkt->dst = dst_node;
+            pkt->proto = net::NetProto::Ipv6;
+            pkt->data = std::move(frame);
+            link_.send(0, pkt);
+        }
+    });
+}
+
+// ---------------------------------------------------------------------
+// Receive FSM
+// ---------------------------------------------------------------------
+
+void
+QpipNic::onPacket(net::PacketPtr pkt)
+{
+    fw_.exec(FwStage::MediaRcv, params_.costs.mediaRcv,
+             [this, pkt] { rxDispatch(pkt); });
+}
+
+void
+QpipNic::rxDispatch(net::PacketPtr pkt)
+{
+    if (!params_.costs.hwChecksumRx) {
+        fw_.charge(FwStage::Checksum,
+                   params_.costs.fwChecksumFixed +
+                       static_cast<sim::Cycles>(
+                           params_.costs.fwChecksumPerByte *
+                           static_cast<double>(pkt->data.size())));
+    }
+
+    inet::Ipv6Packet v6;
+    if (pkt->proto != net::NetProto::Ipv6 ||
+        !parseIpv6(pkt->data, v6)) {
+        badPackets.inc();
+        return;
+    }
+
+    sim::Cycles ip_cycles = params_.costs.ipParse;
+    if (v6.frag)
+        ip_cycles += params_.costs.perFragmentRx;
+    fw_.charge(FwStage::IpParse, ip_cycles);
+    if (v6.frag)
+        fw_.charge(FwStage::Reassembly, 0); // stage marker only
+
+    reass_.expire(curTick());
+    auto dgram = reass_.offer(v6, curTick());
+    if (!dgram)
+        return; // fragment held for reassembly
+
+    switch (dgram->proto) {
+      case IpProto::Tcp:
+        rxTcp(*dgram);
+        break;
+      case IpProto::Udp:
+        rxUdp(*dgram);
+        break;
+      default:
+        badPackets.inc();
+        break;
+    }
+}
+
+void
+QpipNic::rxTcp(IpDatagram &dgram)
+{
+    inet::TcpHeader hdr;
+    std::span<const std::uint8_t> payload;
+    if (!parseTcp(dgram.src, dgram.dst, dgram.payload, hdr, payload)) {
+        badPackets.inc();
+        return;
+    }
+    const bool pure_ack =
+        payload.empty() &&
+        !(hdr.flags & (inet::tcpflags::syn | inet::tcpflags::fin |
+                       inet::tcpflags::rst));
+    sim::Cycles c = params_.costs.tcpParseData;
+    if (pure_ack && !params_.costs.hwMultiply)
+        c += params_.costs.tcpParseAckExtra;
+    if (params_.costs.hwDemux) {
+        const sim::Cycles demux = FirmwareCostModel::us(1.5);
+        c = c > demux ? c - demux : 0;
+    }
+    fw_.charge(FwStage::TcpParse, c);
+
+    inet::FourTuple t;
+    t.local = inet::SockAddr{dgram.dst, hdr.dstPort};
+    t.remote = inet::SockAddr{dgram.src, hdr.srcPort};
+    auto it = tcpDemux_.find(t);
+    if (it != tcpDemux_.end()) {
+        // Copy the payload out: dgram dies with this frame.
+        it->second->conn->segmentArrived(hdr, payload);
+        return;
+    }
+
+    // Connection rendezvous: mate an incoming SYN to an idle QP the
+    // host queued on this monitored port.
+    if (hdr.has(inet::tcpflags::syn) && !hdr.has(inet::tcpflags::ack)) {
+        auto lit = listeners_.find(hdr.dstPort);
+        if (lit != listeners_.end() && !lit->second.empty()) {
+            PendingAccept pa = std::move(lit->second.front());
+            lit->second.pop_front();
+            auto *ctx = lookupQp(pa.qp);
+            if (ctx != nullptr) {
+                ctx->local = t.local;
+                ctx->bound = true;
+                ctx->conn = std::make_unique<inet::TcpConnection>(
+                    *this, *ctx, params_.tcp);
+                tcpDemux_[t] = ctx;
+                connOwner_[ctx->conn.get()] = ctx;
+                ctx->conn->openPassive(t.local, t.remote, hdr);
+                return;
+            }
+        }
+    }
+    noQpDrops.inc();
+}
+
+void
+QpipNic::rxUdp(IpDatagram &dgram)
+{
+    fw_.charge(FwStage::UdpParse, params_.costs.udpParse);
+    inet::UdpHeader hdr;
+    std::span<const std::uint8_t> payload;
+    if (!parseUdp(dgram.src, dgram.dst, dgram.payload, hdr, payload)) {
+        badPackets.inc();
+        return;
+    }
+    auto it = udpPorts_.find(hdr.dstPort);
+    if (it == udpPorts_.end()) {
+        noQpDrops.inc();
+        return;
+    }
+    QpContext &qp = *it->second;
+    if (qp.postedRecvCount == 0) {
+        // Unreliable service: no posted WR, the datagram is gone.
+        udpNoWrDrops.inc();
+        return;
+    }
+    receiveIntoWr(qp,
+                  std::vector<std::uint8_t>(payload.begin(),
+                                            payload.end()),
+                  inet::SockAddr{dgram.src, hdr.srcPort});
+}
+
+void
+QpipNic::receiveIntoWr(QpContext &qp, std::vector<std::uint8_t> msg,
+                       const inet::SockAddr &from)
+{
+    if (qp.postedRecvCount == 0 || qp.rings->recvQ.empty())
+        sim::panic("receiveIntoWr without a posted WR");
+    RecvWr wr = qp.rings->recvQ.front();
+    qp.rings->recvQ.pop_front();
+    ++qp.recvConsumed;
+    --qp.postedRecvCount;
+    qp.postedRecvBytes -= wr.sge.length;
+
+    fw_.exec(FwStage::GetWr, params_.costs.getWr,
+             [this, &qp, wr, msg = std::move(msg), from]() mutable {
+                 std::uint8_t *dst = mrs_.resolve(wr.sge);
+                 Completion c;
+                 c.wrId = wr.id;
+                 c.qp = qp.num;
+                 c.isSend = false;
+                 c.from = from;
+                 if (dst == nullptr || msg.size() > wr.sge.length) {
+                     c.status = WcStatus::LengthError;
+                     c.byteLen = msg.size();
+                     fw_.charge(FwStage::UpdateRx,
+                                params_.costs.updateRxData);
+                     pushCompletion(qp.rcq, c);
+                     return;
+                 }
+                 // Put Data: DMA from NIC SRAM into the posted
+                 // buffer (same shape as Get Data).
+                 const Tick begin =
+                     std::max(curTick(), fw_.busyUntil());
+                 const Tick fixed = fw_.clock().cyclesToTicks(
+                     params_.costs.putDataFixed);
+                 const Tick touch = fw_.clock().cyclesToTicks(
+                     static_cast<sim::Cycles>(
+                         params_.costs.touchPerByte *
+                         static_cast<double>(msg.size())));
+                 const Tick dma =
+                     dmaOut_.chargeAt(begin, msg.size()) - begin;
+                 fw_.chargeTicks(FwStage::PutData,
+                                 fixed + std::max(touch, dma));
+                 std::copy(msg.begin(), msg.end(), dst);
+                 c.status = WcStatus::Success;
+                 c.byteLen = msg.size();
+                 fw_.charge(FwStage::UpdateRx,
+                            params_.costs.updateRxData);
+                 pushCompletion(qp.rcq, c);
+             });
+}
+
+// ---------------------------------------------------------------------
+// Completions, teardown, env services
+// ---------------------------------------------------------------------
+
+void
+QpipNic::pushCompletion(CqRing *cq, Completion c)
+{
+    if (cq == nullptr)
+        return;
+    const sim::Tick at = std::max(curTick(), fw_.busyUntil());
+    c.completedAt = at;
+    schedule(at, [this, cq, c] {
+        if (!cq->push(c))
+            cqOverflows.inc();
+    });
+}
+
+void
+QpipNic::flushQp(QpContext &qp, WcStatus status)
+{
+    while (!qp.inflightSends.empty()) {
+        auto [tag, wr] = std::move(qp.inflightSends.front());
+        qp.inflightSends.pop_front();
+        Completion c;
+        c.wrId = wr.id;
+        c.qp = qp.num;
+        c.isSend = true;
+        c.status = status;
+        pushCompletion(qp.scq, c);
+    }
+    while (!qp.rings->sendQ.empty()) {
+        SendWr wr = qp.rings->sendQ.front();
+        qp.rings->sendQ.pop_front();
+        ++qp.sendConsumed;
+        if (qp.sendSeen < qp.sendConsumed)
+            qp.sendSeen = qp.sendConsumed;
+        Completion c;
+        c.wrId = wr.id;
+        c.qp = qp.num;
+        c.isSend = true;
+        c.status = status;
+        pushCompletion(qp.scq, c);
+    }
+    while (!qp.rings->recvQ.empty()) {
+        RecvWr wr = qp.rings->recvQ.front();
+        qp.rings->recvQ.pop_front();
+        ++qp.recvConsumed;
+        Completion c;
+        c.wrId = wr.id;
+        c.qp = qp.num;
+        c.isSend = false;
+        c.status = status;
+        pushCompletion(qp.rcq, c);
+    }
+    qp.postedRecvCount = 0;
+    qp.postedRecvBytes = 0;
+    qp.recvSeen = qp.recvConsumed;
+}
+
+sim::Tick
+QpipNic::now()
+{
+    return curTick();
+}
+
+sim::EventHandle
+QpipNic::scheduleTimer(sim::Tick delay, std::function<void()> fn)
+{
+    return scheduleIn(delay, [this, fn = std::move(fn)]() mutable {
+        fw_.charge(FwStage::Timer, params_.costs.timerService);
+        fn();
+    });
+}
+
+std::uint32_t
+QpipNic::randomIss()
+{
+    return static_cast<std::uint32_t>(rng().next());
+}
+
+void
+QpipNic::connectionClosed(inet::TcpConnection &conn)
+{
+    auto it = connOwner_.find(&conn);
+    if (it == connOwner_.end())
+        return;
+    QpContext *ctx = it->second;
+    tcpDemux_.erase(conn.tuple());
+    connOwner_.erase(it);
+    // The QpContext keeps the connection object until the QP is
+    // destroyed; only the demux entries go away here.
+    (void)ctx;
+}
+
+} // namespace qpip::nic

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * The QPIP network interface — the paper's core artifact. It
+ * implements basic queue pair operations over a subset of TCP, UDP
+ * and IPv6 entirely "in the interface": a 133 MHz firmware processor
+ * (LanaiProcessor) runs the four logical FSMs of Figure 1,
+ *
+ *   - the doorbell FSM monitors QP notifications and updates the QP
+ *     state table with outstanding-WR counts;
+ *   - the management FSM executes privileged commands (QP/CQ create,
+ *     memory bindings, connection management);
+ *   - the scheduler/transmit FSM services pending send WRs: Get WR,
+ *     Get Data (PCI DMA), Build TCP/UDP Hdr, Build IP Hdr, Send,
+ *     Update — the stage sequence of Figure 2 and Table 2;
+ *   - the receive FSM parses arriving packets: Media Rcv, IP Parse
+ *     (incl. IPv6 reassembly), TCP/UDP Parse, Get WR, Put Data,
+ *     Update WR/CQ — Figure 2 and Table 3.
+ *
+ * The TCP engine is the shared inet::TcpConnection in message mode
+ * (one QP message <-> one TCP segment); IPv6 end-to-end fragmentation
+ * carries arbitrary-size segments over the link MTU; the receive
+ * window tracks posted receive-buffer bytes. Host interaction is via
+ * doorbells (down) and completion-queue DMA writes (up), so host
+ * overhead is just the verbs post/poll paths.
+ */
+
+#ifndef QPIP_NIC_QPIP_NIC_HH
+#define QPIP_NIC_QPIP_NIC_HH
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "inet/ip_frag.hh"
+#include "inet/pcb_table.hh"
+#include "inet/route.hh"
+#include "inet/tcp_conn.hh"
+#include "inet/udp.hh"
+#include "net/link.hh"
+#include "nic/doorbell.hh"
+#include "nic/dma.hh"
+#include "nic/firmware_cost.hh"
+#include "nic/lanai.hh"
+#include "nic/qp_state.hh"
+
+namespace qpip::nic {
+
+/** Static configuration of a QPIP NIC. */
+struct QpipNicParams
+{
+    FirmwareCostModel costs = lanai9EmulatedHwChecksum();
+    /** Per-direction PCI DMA engine parameters (LANai 9 has two). */
+    DmaConfig dma{264e6, sim::oneUs * 5 / 2};
+    std::size_t doorbellCap = 1024;
+    /** Firmware TCP defaults (messageMode/reassembly forced). */
+    inet::TcpConfig tcp = defaultFirmwareTcpConfig();
+    /** Reassembly partial-datagram expiry. */
+    sim::Tick reassExpiry = 50 * sim::oneMs;
+
+    static inet::TcpConfig defaultFirmwareTcpConfig();
+};
+
+/**
+ * The QPIP intelligent NIC.
+ */
+class QpipNic : public sim::SimObject,
+                public net::NetReceiver,
+                public inet::TcpEnv
+{
+  public:
+    using ConnectCb = std::function<void(bool ok)>;
+    using AcceptCb = std::function<void(QpNum qp)>;
+
+    QpipNic(sim::Simulation &sim, std::string name, net::Link &link,
+            net::NodeId node, QpipNicParams params);
+    ~QpipNic() override;
+
+    // --- management FSM interface (privileged, via kernel driver) ----
+    void setAddress(const inet::InetAddr &addr);
+    const inet::InetAddr &address() const { return addr_; }
+    inet::NeighborTable &routes() { return routes_; }
+
+    MrKey registerMemory(std::uint8_t *base, std::size_t bytes);
+    void deregisterMemory(MrKey key);
+
+    /**
+     * Create a QP whose work queues live in @p rings (host memory)
+     * and whose send/receive completions go to @p scq / @p rcq.
+     */
+    QpNum createQp(QpType type, QpHostRings *rings, CqRing *scq,
+                   CqRing *rcq);
+    void destroyQp(QpNum qp);
+
+    /** Bind the QP to a local port (UDP demux / TCP source port). */
+    void bindLocal(QpNum qp, std::uint16_t port);
+
+    /** Active TCP open; @p done fires when established (or failed). */
+    void connect(QpNum qp, const inet::SockAddr &remote, ConnectCb done);
+
+    /**
+     * Instruct the interface to monitor @p port for incoming
+     * connections and mate the next one to idle @p qp.
+     */
+    void acceptOn(std::uint16_t port, QpNum qp, AcceptCb done);
+
+    /** Graceful close of a connected QP (TCP FIN exchange). */
+    void disconnect(QpNum qp);
+
+    // --- datapath (user-level) ----------------------------------------
+    /** Notify the NIC of newly posted WRs (rings a doorbell). */
+    void postDoorbell(QpNum qp, bool is_send);
+
+    // --- NetReceiver ----------------------------------------------------
+    void onPacket(net::PacketPtr pkt) override;
+
+    // --- TcpEnv (firmware runtime services) -----------------------------
+    sim::Tick now() override;
+    sim::EventHandle scheduleTimer(sim::Tick delay,
+                                   std::function<void()> fn) override;
+    void tcpOutput(inet::IpDatagram &&dgram,
+                   const inet::TcpSegMeta &meta) override;
+    std::uint32_t randomIss() override;
+    void connectionClosed(inet::TcpConnection &conn) override;
+
+    // --- introspection ---------------------------------------------------
+    /**
+     * Liveness token: verbs objects hold a weak_ptr and skip their
+     * NIC-side teardown when the device object is already gone.
+     */
+    std::shared_ptr<void> lifeToken() const { return aliveToken_; }
+
+    LanaiProcessor &fw() { return fw_; }
+    const FirmwareCostModel &costs() const { return params_.costs; }
+    const QpipNicParams &params() const { return params_; }
+    inet::TcpConnection *connectionOf(QpNum qp);
+
+    sim::Counter badPackets;
+    sim::Counter noQpDrops;
+    sim::Counter udpNoWrDrops;
+    sim::Counter cqOverflows;
+
+  private:
+    struct QpContext;
+
+    // FSM bodies.
+    void doorbellDrain();
+    void scheduleSendService(QpContext &qp);
+    void serviceSendWr(QpContext &qp);
+    void sendUdpMessage(QpContext &qp, SendWr wr,
+                        std::vector<std::uint8_t> data);
+    void rxDispatch(net::PacketPtr pkt);
+    void rxTcp(inet::IpDatagram &dgram);
+    void rxUdp(inet::IpDatagram &dgram);
+    void receiveIntoWr(QpContext &qp, std::vector<std::uint8_t> msg,
+                       const inet::SockAddr &from);
+
+    /** Emit IP packets for @p dgram, fragmenting to the link MTU. */
+    void ipSend(inet::IpDatagram &&dgram);
+
+    /** Push a completion at firmware-completion time. */
+    void pushCompletion(CqRing *cq, Completion c);
+
+    void flushQp(QpContext &qp, WcStatus status);
+
+    QpContext *lookupQp(QpNum qp);
+
+    std::shared_ptr<void> aliveToken_ = std::make_shared<int>(0);
+    net::Link &link_;
+    net::NodeId node_;
+    QpipNicParams params_;
+    LanaiProcessor fw_;
+    DmaEngine dmaIn_;  ///< host -> NIC payload DMA
+    DmaEngine dmaOut_; ///< NIC -> host payload DMA
+    DoorbellFifo doorbells_;
+    MrTable mrs_;
+
+    inet::InetAddr addr_;
+    inet::NeighborTable routes_;
+    inet::Ipv6Reassembler reass_;
+    std::uint32_t fragIdent_ = 1;
+    std::uint16_t ephemeralPort_ = 40000;
+    QpNum nextQpNum_ = 1;
+    bool drainActive_ = false;
+
+    std::unordered_map<QpNum, std::unique_ptr<QpContext>> qps_;
+    std::unordered_map<inet::FourTuple, QpContext *,
+                       inet::FourTupleHash>
+        tcpDemux_;
+    std::unordered_map<inet::TcpConnection *, QpContext *> connOwner_;
+    std::unordered_map<std::uint16_t, QpContext *> udpPorts_;
+
+    struct PendingAccept
+    {
+        QpNum qp = invalidQp;
+        AcceptCb done;
+    };
+    std::unordered_map<std::uint16_t, std::deque<PendingAccept>>
+        listeners_;
+};
+
+} // namespace qpip::nic
+
+#endif // QPIP_NIC_QPIP_NIC_HH

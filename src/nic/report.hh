@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Human-readable statistics reports: the firmware occupancy table
+ * (the same instrumentation that backs Tables 2/3) and a TCP counter
+ * dump. Examples and ad-hoc experiments print these; the benches use
+ * the raw stats directly.
+ */
+
+#ifndef QPIP_NIC_REPORT_HH
+#define QPIP_NIC_REPORT_HH
+
+#include <string>
+
+#include "inet/tcp_conn.hh"
+#include "nic/lanai.hh"
+
+namespace qpip::nic {
+
+/** Render the per-stage occupancy table of a firmware processor. */
+std::string fwOccupancyReport(const LanaiProcessor &fw);
+
+/** Render a TCP connection's counters. */
+std::string tcpStatsReport(const inet::TcpStats &stats);
+
+} // namespace qpip::nic
+
+#endif // QPIP_NIC_REPORT_HH

@@ -1,0 +1,51 @@
+#include "qpip/completion_queue.hh"
+
+#include "qpip/provider.hh"
+#include "sim/logging.hh"
+
+namespace qpip::verbs {
+
+CompletionQueue::CompletionQueue(Provider &provider, std::size_t cap)
+    : provider_(provider), ring_(cap)
+{}
+
+bool
+CompletionQueue::poll(Completion &out)
+{
+    auto &os = provider_.host().os();
+    if (ring_.pop(out)) {
+        os.charge(provider_.costs().pollCq);
+        return true;
+    }
+    os.charge(provider_.costs().pollCqEmpty);
+    return false;
+}
+
+void
+CompletionQueue::wait(std::function<void(Completion)> cb)
+{
+    if (waiting_)
+        sim::panic("CompletionQueue: overlapping wait");
+    Completion c;
+    if (poll(c)) {
+        cb(c);
+        return;
+    }
+    waiting_ = true;
+    auto &os = provider_.host().os();
+    os.charge(provider_.costs().waitSetup);
+    ring_.arm([this, cb = std::move(cb)]() mutable {
+        auto &host_os = provider_.host().os();
+        const sim::Cycles wake = provider_.costs().waitWakeup;
+        host_os.interrupt([this, cb = std::move(cb), wake]() mutable {
+            provider_.host().os().charge(wake);
+            waiting_ = false;
+            Completion c;
+            if (!ring_.pop(c))
+                sim::panic("CQ notify without entry");
+            cb(c);
+        });
+    });
+}
+
+} // namespace qpip::verbs

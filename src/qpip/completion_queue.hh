@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The completion queue: "the primary mechanism for detecting
+ * completions". Poll() spins on the cache-resident ring; Wait() arms
+ * an event and pays the interrupt + wakeup when it fires. Multiple
+ * QPs may bind their channels to one CQ, giving the application a
+ * single monitoring point.
+ */
+
+#ifndef QPIP_QPIP_COMPLETION_QUEUE_HH
+#define QPIP_QPIP_COMPLETION_QUEUE_HH
+
+#include <functional>
+#include <memory>
+
+#include "nic/qp_state.hh"
+
+namespace qpip::verbs {
+
+class Provider;
+
+using Completion = nic::Completion;
+using WcStatus = nic::WcStatus;
+
+/**
+ * A completion queue.
+ */
+class CompletionQueue
+{
+  public:
+    CompletionQueue(Provider &provider, std::size_t cap);
+
+    /**
+     * Non-blocking poll.
+     * @return true and fill @p out when an entry was present.
+     */
+    bool poll(Completion &out);
+
+    /**
+     * Deliver the next completion to @p cb: immediately (polled) if
+     * one is queued, otherwise arm the CQ event and deliver on
+     * interrupt. One waiter at a time.
+     */
+    void wait(std::function<void(Completion)> cb);
+
+    std::size_t depth() const { return ring_.depth(); }
+    nic::CqRing &ring() { return ring_; }
+
+  private:
+    Provider &provider_;
+    nic::CqRing ring_;
+    bool waiting_ = false;
+};
+
+} // namespace qpip::verbs
+
+#endif // QPIP_QPIP_COMPLETION_QUEUE_HH

@@ -1,0 +1,24 @@
+#include "qpip/connection.hh"
+
+#include "qpip/completion_queue.hh"
+#include "qpip/provider.hh"
+
+namespace qpip::verbs {
+
+Acceptor::Acceptor(Provider &provider, std::uint16_t port,
+                   std::shared_ptr<CompletionQueue> scq,
+                   std::shared_ptr<CompletionQueue> rcq)
+    : provider_(provider), port_(port), scq_(std::move(scq)),
+      rcq_(std::move(rcq))
+{}
+
+void
+Acceptor::acceptOne(AcceptCb cb, std::size_t max_send_wr,
+                    std::size_t max_recv_wr)
+{
+    auto qp = provider_.createQp(nic::QpType::ReliableTcp, scq_, rcq_,
+                                 max_send_wr, max_recv_wr);
+    qp->accept(port_, [qp, cb = std::move(cb)] { cb(qp); });
+}
+
+} // namespace qpip::verbs

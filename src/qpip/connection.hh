@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Connection-management helpers over the raw verbs: an Acceptor that
+ * keeps a pool of idle QPs parked on a monitored TCP port (the
+ * paper's server-side rendezvous: "the server application instructs
+ * the interface to monitor a TCP port for incoming connections ...
+ * that mates the connection to an idle QP in the server application").
+ */
+
+#ifndef QPIP_QPIP_CONNECTION_HH
+#define QPIP_QPIP_CONNECTION_HH
+
+#include <functional>
+#include <memory>
+
+#include "qpip/queue_pair.hh"
+
+namespace qpip::verbs {
+
+class Provider;
+class CompletionQueue;
+
+/**
+ * Server-side rendezvous helper.
+ */
+class Acceptor
+{
+  public:
+    using AcceptCb = std::function<void(std::shared_ptr<QueuePair>)>;
+
+    /**
+     * @param scq,rcq completion queues for accepted QPs.
+     */
+    Acceptor(Provider &provider, std::uint16_t port,
+             std::shared_ptr<CompletionQueue> scq,
+             std::shared_ptr<CompletionQueue> rcq);
+
+    /**
+     * Park one idle QP on the port; @p cb fires with the connected QP
+     * when a client mates to it.
+     */
+    void acceptOne(AcceptCb cb, std::size_t max_send_wr = 512,
+                   std::size_t max_recv_wr = 512);
+
+    std::uint16_t port() const { return port_; }
+
+  private:
+    Provider &provider_;
+    std::uint16_t port_;
+    std::shared_ptr<CompletionQueue> scq_;
+    std::shared_ptr<CompletionQueue> rcq_;
+};
+
+} // namespace qpip::verbs
+
+#endif // QPIP_QPIP_CONNECTION_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * RAII memory registration. Registration establishes the NIC-side
+ * binding (the prototype's virtual-to-physical translation facility
+ * for WR buffers); deregistration tears it down.
+ */
+
+#ifndef QPIP_QPIP_MEMORY_REGION_HH
+#define QPIP_QPIP_MEMORY_REGION_HH
+
+#include <memory>
+#include <span>
+
+#include "nic/qp_state.hh"
+
+namespace qpip::nic {
+class QpipNic;
+} // namespace qpip::nic
+
+namespace qpip::verbs {
+
+class Provider;
+
+/**
+ * A registered memory region.
+ */
+class MemoryRegion
+{
+  public:
+    MemoryRegion(Provider &provider, std::span<std::uint8_t> memory);
+    ~MemoryRegion();
+
+    MemoryRegion(const MemoryRegion &) = delete;
+    MemoryRegion &operator=(const MemoryRegion &) = delete;
+
+    nic::MrKey key() const { return key_; }
+    std::span<std::uint8_t> memory() const { return memory_; }
+    std::size_t size() const { return memory_.size(); }
+
+    /** Build an SGE into this region. @pre offset+length <= size() */
+    nic::Sge sge(std::size_t offset, std::size_t length) const;
+
+  private:
+    Provider &provider_;
+    nic::QpipNic &nic_;
+    std::weak_ptr<void> nicAlive_;
+    std::span<std::uint8_t> memory_;
+    nic::MrKey key_;
+};
+
+} // namespace qpip::verbs
+
+#endif // QPIP_QPIP_MEMORY_REGION_HH

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Provider: the verbs library's device handle. It pairs a host (whose
+ * CPU pays the thin user-level costs of posting and polling) with a
+ * QPIP NIC (where all protocol processing lives), and exposes the
+ * management operations the paper routes through the kernel driver
+ * and the NIC's management FSM.
+ */
+
+#ifndef QPIP_QPIP_PROVIDER_HH
+#define QPIP_QPIP_PROVIDER_HH
+
+#include <memory>
+#include <span>
+
+#include "host/host.hh"
+#include "nic/qpip_nic.hh"
+
+namespace qpip::verbs {
+
+class CompletionQueue;
+class MemoryRegion;
+class QueuePair;
+
+/**
+ * Host-side verbs costs (cycles at the host clock). Calibrated so
+ * that PostSend + Poll for a 1-byte message costs ~1386 cycles
+ * (2.5 us at 550 MHz) — the paper's Table 1 QPIP row.
+ */
+struct VerbsCostModel
+{
+    sim::Cycles postSend = 900;
+    sim::Cycles postRecv = 650;
+    sim::Cycles pollCq = 486;
+    /** Empty poll: spinning on a cache-resident CQ. */
+    sim::Cycles pollCqEmpty = 60;
+    /** Arming a CQ event and blocking (kernel transition). */
+    sim::Cycles waitSetup = 1400;
+    /** Event delivery: interrupt + wakeup when armed. */
+    sim::Cycles waitWakeup = 3200;
+    sim::Cycles registerMr = 5200;
+};
+
+/**
+ * The device/provider handle.
+ */
+class Provider
+{
+  public:
+    Provider(host::Host &host, nic::QpipNic &nic,
+             VerbsCostModel costs = VerbsCostModel{});
+
+    host::Host &host() { return host_; }
+    nic::QpipNic &nic() { return nic_; }
+    const VerbsCostModel &costs() const { return costs_; }
+
+    /**
+     * Register @p memory for DMA. The returned region must not
+     * outlive the memory.
+     */
+    std::shared_ptr<MemoryRegion>
+    registerMemory(std::span<std::uint8_t> memory);
+
+    std::shared_ptr<CompletionQueue> createCq(std::size_t cap = 4096);
+
+    /**
+     * Create a QP with its send and receive channels bound to the
+     * given CQs (which may be the same object).
+     */
+    std::shared_ptr<QueuePair>
+    createQp(nic::QpType type, std::shared_ptr<CompletionQueue> scq,
+             std::shared_ptr<CompletionQueue> rcq,
+             std::size_t max_send_wr = 512,
+             std::size_t max_recv_wr = 512);
+
+  private:
+    host::Host &host_;
+    nic::QpipNic &nic_;
+    VerbsCostModel costs_;
+};
+
+} // namespace qpip::verbs
+
+#endif // QPIP_QPIP_PROVIDER_HH

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Umbrella header for the QPIP verbs library — the public API of this
+ * reproduction, mirroring the prototype's application software
+ * library: "the basic communication methods — PostSend(), PostRecv(),
+ * Poll() and Wait() — as well as communication management functions.
+ * Internal details of the QP and CQ structures are hidden from the
+ * application by the library."
+ *
+ * Quickstart:
+ * @code
+ *   qpip::verbs::Provider prov(host, nic);
+ *   auto cq  = prov.createCq();
+ *   auto qp  = prov.createQp(qpip::nic::QpType::ReliableTcp, cq, cq);
+ *   auto mr  = prov.registerMemory(buffer);
+ *   qp->postRecv(1, mr, 0, buffer.size());
+ *   qp->connect(server, [](bool ok) { ... });
+ *   cq->wait([](qpip::verbs::Completion c) { ... });
+ * @endcode
+ */
+
+#ifndef QPIP_QPIP_QPIP_HH
+#define QPIP_QPIP_QPIP_HH
+
+#include "qpip/completion_queue.hh"
+#include "qpip/connection.hh"
+#include "qpip/memory_region.hh"
+#include "qpip/provider.hh"
+#include "qpip/queue_pair.hh"
+
+#endif // QPIP_QPIP_QPIP_HH

@@ -1,0 +1,89 @@
+#include "qpip/queue_pair.hh"
+
+#include "qpip/completion_queue.hh"
+#include "qpip/provider.hh"
+#include "sim/logging.hh"
+
+namespace qpip::verbs {
+
+QueuePair::QueuePair(Provider &provider, nic::QpType type,
+                     std::shared_ptr<CompletionQueue> scq,
+                     std::shared_ptr<CompletionQueue> rcq,
+                     std::size_t max_send_wr, std::size_t max_recv_wr)
+    : provider_(provider), nic_(provider.nic()),
+      nicAlive_(provider.nic().lifeToken()), type_(type),
+      scq_(std::move(scq)), rcq_(std::move(rcq)),
+      maxSendWr_(max_send_wr), maxRecvWr_(max_recv_wr)
+{
+    num_ = nic_.createQp(
+        type_, &rings_, scq_ ? &scq_->ring() : nullptr,
+        rcq_ ? &rcq_->ring() : nullptr);
+}
+
+QueuePair::~QueuePair()
+{
+    if (!nicAlive_.expired())
+        nic_.destroyQp(num_);
+}
+
+void
+QueuePair::bind(std::uint16_t port)
+{
+    provider_.nic().bindLocal(num_, port);
+}
+
+void
+QueuePair::connect(const inet::SockAddr &remote, ConnectCb cb)
+{
+    provider_.nic().connect(num_, remote, std::move(cb));
+}
+
+void
+QueuePair::accept(std::uint16_t port, std::function<void()> cb)
+{
+    provider_.nic().acceptOn(port, num_,
+                             [cb = std::move(cb)](nic::QpNum) {
+                                 if (cb)
+                                     cb();
+                             });
+}
+
+void
+QueuePair::disconnect()
+{
+    provider_.nic().disconnect(num_);
+}
+
+bool
+QueuePair::postSend(std::uint64_t wr_id, const MemoryRegion &mr,
+                    std::size_t offset, std::size_t length,
+                    const inet::SockAddr &remote)
+{
+    if (rings_.sendQ.size() >= maxSendWr_)
+        return false;
+    provider_.host().os().charge(provider_.costs().postSend);
+    nic::SendWr wr;
+    wr.id = wr_id;
+    wr.sge = mr.sge(offset, length);
+    wr.remote = remote;
+    rings_.sendQ.push_back(wr);
+    provider_.nic().postDoorbell(num_, true);
+    return true;
+}
+
+bool
+QueuePair::postRecv(std::uint64_t wr_id, const MemoryRegion &mr,
+                    std::size_t offset, std::size_t length)
+{
+    if (rings_.recvQ.size() >= maxRecvWr_)
+        return false;
+    provider_.host().os().charge(provider_.costs().postRecv);
+    nic::RecvWr wr;
+    wr.id = wr_id;
+    wr.sge = mr.sge(offset, length);
+    rings_.recvQ.push_back(wr);
+    provider_.nic().postDoorbell(num_, false);
+    return true;
+}
+
+} // namespace qpip::verbs

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The queue pair — the logical endpoint of a communication link. Its
+ * work queues live in host memory; posting adds a WR and rings the
+ * NIC's doorbell. Reliable QPs ride a firmware TCP connection
+ * (message-per-segment); unreliable QPs map messages one-to-one onto
+ * UDP datagrams.
+ */
+
+#ifndef QPIP_QPIP_QUEUE_PAIR_HH
+#define QPIP_QPIP_QUEUE_PAIR_HH
+
+#include <functional>
+#include <memory>
+
+#include "nic/qp_state.hh"
+#include "qpip/memory_region.hh"
+
+namespace qpip::nic {
+class QpipNic;
+} // namespace qpip::nic
+
+namespace qpip::verbs {
+
+class CompletionQueue;
+class Provider;
+
+/**
+ * One queue pair.
+ */
+class QueuePair
+{
+  public:
+    using ConnectCb = std::function<void(bool ok)>;
+
+    QueuePair(Provider &provider, nic::QpType type,
+              std::shared_ptr<CompletionQueue> scq,
+              std::shared_ptr<CompletionQueue> rcq,
+              std::size_t max_send_wr, std::size_t max_recv_wr);
+    ~QueuePair();
+
+    QueuePair(const QueuePair &) = delete;
+    QueuePair &operator=(const QueuePair &) = delete;
+
+    nic::QpNum num() const { return num_; }
+    nic::QpType type() const { return type_; }
+
+    /** Bind to a local port (source port / UDP demux). */
+    void bind(std::uint16_t port);
+
+    /** Reliable QPs: initiate the TCP rendezvous to @p remote. */
+    void connect(const inet::SockAddr &remote, ConnectCb cb);
+
+    /**
+     * Reliable QPs: park this idle QP on a monitored port; @p cb
+     * fires when a connection is mated to it.
+     */
+    void accept(std::uint16_t port, std::function<void()> cb);
+
+    /** Graceful disconnect (TCP FIN exchange in the interface). */
+    void disconnect();
+
+    /**
+     * Post a send WR over [offset, offset+length) of @p mr.
+     * @param remote destination, required for unreliable QPs.
+     * @return false if the send queue is full.
+     */
+    bool postSend(std::uint64_t wr_id, const MemoryRegion &mr,
+                  std::size_t offset, std::size_t length,
+                  const inet::SockAddr &remote = {});
+
+    /**
+     * Post a receive WR identifying where an incoming message lands.
+     * @return false if the receive queue is full.
+     */
+    bool postRecv(std::uint64_t wr_id, const MemoryRegion &mr,
+                  std::size_t offset, std::size_t length);
+
+    std::size_t sendQueueDepth() const { return rings_.sendQ.size(); }
+    std::size_t recvQueueDepth() const { return rings_.recvQ.size(); }
+
+  private:
+    Provider &provider_;
+    nic::QpipNic &nic_;
+    /** Expired once the NIC is destroyed (skip teardown calls). */
+    std::weak_ptr<void> nicAlive_;
+    nic::QpType type_;
+    std::shared_ptr<CompletionQueue> scq_;
+    std::shared_ptr<CompletionQueue> rcq_;
+    std::size_t maxSendWr_;
+    std::size_t maxRecvWr_;
+    nic::QpHostRings rings_;
+    nic::QpNum num_ = nic::invalidQp;
+};
+
+} // namespace qpip::verbs
+
+#endif // QPIP_QPIP_QUEUE_PAIR_HH

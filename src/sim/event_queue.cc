@@ -1,0 +1,88 @@
+#include "sim/event_queue.hh"
+
+#include "sim/logging.hh"
+
+namespace qpip::sim {
+
+EventHandle
+EventQueue::schedule(Tick when, std::function<void()> fn, int priority)
+{
+    if (clearing_)
+        return EventHandle{}; // teardown in progress: drop silently
+    if (when < now_)
+        panic("event scheduled in the past (when=%llu now=%llu)",
+              static_cast<unsigned long long>(when),
+              static_cast<unsigned long long>(now_));
+    auto rec = std::make_shared<detail::EventRecord>();
+    rec->when = when;
+    rec->priority = priority;
+    rec->seq = nextSeq_++;
+    rec->fn = std::move(fn);
+    heap_.push(rec);
+    return EventHandle(rec);
+}
+
+void
+EventQueue::skipCancelled()
+{
+    while (!heap_.empty() && heap_.top()->cancelled)
+        heap_.pop();
+}
+
+bool
+EventQueue::empty() const
+{
+    // Cancelled events may linger in the heap; scan a copy of the top.
+    auto *self = const_cast<EventQueue *>(this);
+    self->skipCancelled();
+    return heap_.empty();
+}
+
+Tick
+EventQueue::nextEventTick() const
+{
+    auto *self = const_cast<EventQueue *>(this);
+    self->skipCancelled();
+    return heap_.empty() ? maxTick : heap_.top()->when;
+}
+
+bool
+EventQueue::step(Tick until)
+{
+    skipCancelled();
+    if (heap_.empty() || heap_.top()->when >= until)
+        return false;
+    RecPtr rec = heap_.top();
+    heap_.pop();
+    now_ = rec->when;
+    rec->done = true;
+    ++executed_;
+    rec->fn();
+    return true;
+}
+
+void
+EventQueue::clear()
+{
+    clearing_ = true;
+    while (!heap_.empty()) {
+        RecPtr rec = heap_.top();
+        heap_.pop();
+        rec->cancelled = true;
+        rec->fn = nullptr; // destroy the closure (may re-enter)
+    }
+    clearing_ = false;
+}
+
+std::uint64_t
+EventQueue::runUntil(Tick until)
+{
+    std::uint64_t n = 0;
+    while (step(until))
+        ++n;
+    if (until != maxTick && until > now_)
+        now_ = until;
+    return n;
+}
+
+} // namespace qpip::sim

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * The discrete-event scheduler at the heart of the simulation.
+ *
+ * Events are closures scheduled at an absolute Tick. Ties are broken
+ * first by an explicit priority (lower runs first) and then by
+ * insertion order, so the simulation is fully deterministic. Scheduled
+ * events can be cancelled or rescheduled through an EventHandle,
+ * which is how protocol timers (TCP retransmit, delayed ACK, ...) are
+ * implemented.
+ */
+
+#ifndef QPIP_SIM_EVENT_QUEUE_HH
+#define QPIP_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace qpip::sim {
+
+/** Default event priority; smaller values run earlier within a tick. */
+constexpr int defaultPriority = 0;
+
+namespace detail {
+
+/** Shared bookkeeping for one scheduled event. */
+struct EventRecord
+{
+    Tick when = 0;
+    int priority = defaultPriority;
+    std::uint64_t seq = 0;
+    std::function<void()> fn;
+    bool cancelled = false;
+    bool done = false;
+};
+
+} // namespace detail
+
+/**
+ * A cancellable reference to a scheduled event. Default-constructed
+ * handles are inert. Handles are cheap to copy; cancelling any copy
+ * cancels the event.
+ */
+class EventHandle
+{
+  public:
+    EventHandle() = default;
+
+    /** @return true if the event is still pending (not run/cancelled). */
+    bool
+    pending() const
+    {
+        return rec_ && !rec_->cancelled && !rec_->done;
+    }
+
+    /** Cancel the event if it has not run yet. Safe to call anytime. */
+    void
+    cancel()
+    {
+        if (rec_)
+            rec_->cancelled = true;
+    }
+
+    /** Scheduled expiry tick; only meaningful while pending(). */
+    Tick
+    when() const
+    {
+        return rec_ ? rec_->when : maxTick;
+    }
+
+  private:
+    friend class EventQueue;
+    explicit EventHandle(std::shared_ptr<detail::EventRecord> rec)
+        : rec_(std::move(rec))
+    {}
+
+    std::shared_ptr<detail::EventRecord> rec_;
+};
+
+/**
+ * A deterministic priority-queue event scheduler.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /**
+     * Schedule @p fn to run at absolute time @p when.
+     * @pre when >= now()
+     */
+    EventHandle schedule(Tick when, std::function<void()> fn,
+                         int priority = defaultPriority);
+
+    /** Schedule @p fn to run @p delay ticks from now. */
+    EventHandle
+    scheduleIn(Tick delay, std::function<void()> fn,
+               int priority = defaultPriority)
+    {
+        return schedule(now_ + delay, std::move(fn), priority);
+    }
+
+    /** @return true if no runnable events remain. */
+    bool empty() const;
+
+    /** Tick of the next runnable event, or maxTick if none. */
+    Tick nextEventTick() const;
+
+    /**
+     * Run events until the queue drains or @p until is reached.
+     * Events scheduled exactly at @p until do not run; now() advances
+     * to min(until, drain time).
+     * @return number of events executed.
+     */
+    std::uint64_t runUntil(Tick until);
+
+    /** Run until the queue fully drains. @return events executed. */
+    std::uint64_t run() { return runUntil(maxTick); }
+
+    /**
+     * Run a single event if one is runnable before @p until.
+     * @return true if an event ran.
+     */
+    bool step(Tick until = maxTick);
+
+    /** Number of events executed since construction. */
+    std::uint64_t executed() const { return executed_; }
+
+    /**
+     * Discard every pending event without running it. Destroying the
+     * dropped closures may release resources that try to schedule
+     * further events; those are silently discarded too. Use this to
+     * break reference cycles before tearing down the objects the
+     * closures point at.
+     */
+    void clear();
+
+  private:
+    using RecPtr = std::shared_ptr<detail::EventRecord>;
+
+    struct Later
+    {
+        bool
+        operator()(const RecPtr &a, const RecPtr &b) const
+        {
+            if (a->when != b->when)
+                return a->when > b->when;
+            if (a->priority != b->priority)
+                return a->priority > b->priority;
+            return a->seq > b->seq;
+        }
+    };
+
+    /** Drop cancelled events sitting at the head of the heap. */
+    void skipCancelled();
+
+    std::priority_queue<RecPtr, std::vector<RecPtr>, Later> heap_;
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t executed_ = 0;
+    bool clearing_ = false;
+};
+
+} // namespace qpip::sim
+
+#endif // QPIP_SIM_EVENT_QUEUE_HH

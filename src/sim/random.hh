@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Deterministic pseudo-random numbers for the simulation.
+ *
+ * xoshiro256** seeded through splitmix64: fast, high quality, and —
+ * unlike std::mt19937 + std::distributions — bit-for-bit reproducible
+ * across standard library implementations, which the regression tests
+ * rely on.
+ */
+
+#ifndef QPIP_SIM_RANDOM_HH
+#define QPIP_SIM_RANDOM_HH
+
+#include <cstdint>
+
+namespace qpip::sim {
+
+/**
+ * A small deterministic PRNG (xoshiro256**).
+ */
+class Random
+{
+  public:
+    explicit Random(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Re-seed the generator. */
+    void seed(std::uint64_t seed);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [lo, hi] inclusive. @pre lo <= hi */
+    std::uint64_t uniformInt(std::uint64_t lo, std::uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniformReal();
+
+    /** Bernoulli trial with probability @p p of returning true. */
+    bool bernoulli(double p);
+
+    /** Exponentially distributed double with the given mean. */
+    double exponential(double mean);
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace qpip::sim
+
+#endif // QPIP_SIM_RANDOM_HH

@@ -1,0 +1,35 @@
+#include "sim/sim_object.hh"
+
+#include "sim/simulation.hh"
+
+namespace qpip::sim {
+
+SimObject::SimObject(Simulation &sim, std::string name)
+    : sim_(sim), name_(std::move(name))
+{}
+
+Tick
+SimObject::curTick() const
+{
+    return sim_.now();
+}
+
+EventHandle
+SimObject::schedule(Tick when, std::function<void()> fn, int priority)
+{
+    return sim_.eventQueue().schedule(when, std::move(fn), priority);
+}
+
+EventHandle
+SimObject::scheduleIn(Tick delay, std::function<void()> fn, int priority)
+{
+    return sim_.eventQueue().scheduleIn(delay, std::move(fn), priority);
+}
+
+Random &
+SimObject::rng()
+{
+    return sim_.rng();
+}
+
+} // namespace qpip::sim

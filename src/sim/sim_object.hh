@@ -1,0 +1,62 @@
+/**
+ * @file
+ * SimObject: named base class for every simulated component. Provides
+ * access to the owning Simulation's event queue and RNG plus schedule
+ * helpers, mirroring the gem5 SimObject idiom.
+ */
+
+#ifndef QPIP_SIM_SIM_OBJECT_HH
+#define QPIP_SIM_SIM_OBJECT_HH
+
+#include <functional>
+#include <string>
+
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace qpip::sim {
+
+class Simulation;
+class Random;
+
+/**
+ * Base class for simulated components.
+ */
+class SimObject
+{
+  public:
+    /**
+     * @param sim owning simulation (must outlive this object).
+     * @param name hierarchical instance name, e.g. "host0.nic".
+     */
+    SimObject(Simulation &sim, std::string name);
+    virtual ~SimObject() = default;
+
+    SimObject(const SimObject &) = delete;
+    SimObject &operator=(const SimObject &) = delete;
+
+    const std::string &name() const { return name_; }
+    Simulation &simulation() { return sim_; }
+
+    /** Current simulated time. */
+    Tick curTick() const;
+
+    /** Schedule a closure at an absolute tick. */
+    EventHandle schedule(Tick when, std::function<void()> fn,
+                         int priority = defaultPriority);
+
+    /** Schedule a closure @p delay ticks from now. */
+    EventHandle scheduleIn(Tick delay, std::function<void()> fn,
+                           int priority = defaultPriority);
+
+    /** Simulation-wide deterministic RNG. */
+    Random &rng();
+
+  private:
+    Simulation &sim_;
+    std::string name_;
+};
+
+} // namespace qpip::sim
+
+#endif // QPIP_SIM_SIM_OBJECT_HH

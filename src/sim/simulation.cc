@@ -1,0 +1,7 @@
+#include "sim/simulation.hh"
+
+namespace qpip::sim {
+
+Simulation::Simulation(std::uint64_t seed) : rng_(seed) {}
+
+} // namespace qpip::sim

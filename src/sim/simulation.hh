@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Simulation: the top-level container owning the event queue and the
+ * global RNG. Experiments construct one Simulation, build a testbed of
+ * SimObjects against it, and drive it with run()/runUntil()/runFor().
+ */
+
+#ifndef QPIP_SIM_SIMULATION_HH
+#define QPIP_SIM_SIMULATION_HH
+
+#include <cstdint>
+
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+#include "sim/types.hh"
+
+namespace qpip::sim {
+
+/**
+ * Top-level simulation context.
+ */
+class Simulation
+{
+  public:
+    explicit Simulation(std::uint64_t seed = 1);
+
+    EventQueue &eventQueue() { return eq_; }
+    Random &rng() { return rng_; }
+
+    Tick now() const { return eq_.now(); }
+
+    /** Run until the event queue drains. @return events executed. */
+    std::uint64_t run() { return eq_.run(); }
+
+    /** Run until an absolute tick. @return events executed. */
+    std::uint64_t runUntil(Tick until) { return eq_.runUntil(until); }
+
+    /** Run for a relative duration. @return events executed. */
+    std::uint64_t
+    runFor(Tick duration)
+    {
+        return eq_.runUntil(eq_.now() + duration);
+    }
+
+    /**
+     * Run until @p pred() becomes true (checked after every event) or
+     * @p deadline passes.
+     * @return true if the predicate was satisfied.
+     */
+    template <typename Pred>
+    bool
+    runUntilCondition(Pred pred, Tick deadline = maxTick)
+    {
+        while (!pred()) {
+            if (!eq_.step(deadline))
+                return pred();
+        }
+        return true;
+    }
+
+  private:
+    EventQueue eq_;
+    Random rng_;
+};
+
+} // namespace qpip::sim
+
+#endif // QPIP_SIM_SIMULATION_HH

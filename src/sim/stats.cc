@@ -1,0 +1,111 @@
+#include "sim/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace qpip::sim {
+
+void
+SampleStat::sample(double v)
+{
+    ++n_;
+    sum_ += v;
+    const double delta = v - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (v - mean_);
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+}
+
+void
+SampleStat::reset()
+{
+    *this = SampleStat();
+}
+
+double
+SampleStat::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+SampleStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi),
+      width_((hi - lo) / static_cast<double>(buckets)),
+      buckets_(buckets, 0)
+{
+    if (hi <= lo || buckets == 0)
+        panic("bad histogram bounds");
+}
+
+void
+Histogram::sample(double v)
+{
+    ++count_;
+    if (v < lo_) {
+        ++underflow_;
+    } else if (v >= hi_) {
+        ++overflow_;
+    } else {
+        auto idx = static_cast<std::size_t>((v - lo_) / width_);
+        idx = std::min(idx, buckets_.size() - 1);
+        ++buckets_[idx];
+    }
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    underflow_ = overflow_ = count_ = 0;
+}
+
+double
+Histogram::quantile(double q) const
+{
+    if (count_ == 0)
+        return 0.0;
+    const auto target = static_cast<std::uint64_t>(
+        q * static_cast<double>(count_));
+    std::uint64_t seen = underflow_;
+    if (seen > target)
+        return lo_;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        seen += buckets_[i];
+        if (seen > target)
+            return lo_ + (static_cast<double>(i) + 0.5) * width_;
+    }
+    return hi_;
+}
+
+std::string
+Histogram::render(std::size_t width) const
+{
+    std::uint64_t peak = 1;
+    for (auto b : buckets_)
+        peak = std::max(peak, b);
+    std::string out;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        const double b_lo = lo_ + static_cast<double>(i) * width_;
+        auto bar_len = static_cast<std::size_t>(
+            static_cast<double>(buckets_[i]) /
+            static_cast<double>(peak) * static_cast<double>(width));
+        out += strfmt("%12.3f | %-*s %llu\n", b_lo,
+                      static_cast<int>(width),
+                      std::string(bar_len, '#').c_str(),
+                      static_cast<unsigned long long>(buckets_[i]));
+    }
+    return out;
+}
+
+} // namespace qpip::sim

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Fundamental simulation types: ticks, cycles and time constants.
+ *
+ * A Tick is one picosecond of simulated time. Picosecond resolution
+ * lets clock domains with non-integral nanosecond periods (e.g. the
+ * 133 MHz LANai firmware processor, 7518.8 ps/cycle) stay exact to
+ * within rounding of a single tick.
+ */
+
+#ifndef QPIP_SIM_TYPES_HH
+#define QPIP_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace qpip::sim {
+
+/** Simulated time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** A count of clock cycles in some clock domain. */
+using Cycles = std::uint64_t;
+
+/** The maximum representable tick; used as "never". */
+constexpr Tick maxTick = ~Tick(0);
+
+constexpr Tick onePs = 1;
+constexpr Tick oneNs = 1000 * onePs;
+constexpr Tick oneUs = 1000 * oneNs;
+constexpr Tick oneMs = 1000 * oneUs;
+constexpr Tick oneSec = 1000 * oneMs;
+
+/** Convert a tick count to (double) microseconds, for reporting. */
+constexpr double
+ticksToUs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(oneUs);
+}
+
+/** Convert a tick count to (double) seconds, for reporting. */
+constexpr double
+ticksToSec(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(oneSec);
+}
+
+} // namespace qpip::sim
+
+#endif // QPIP_SIM_TYPES_HH

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * QP <-> socket interoperation (paper section 3): "communication can
+ * occur between QPIP applications or QPIP and traditional (socket)
+ * systems" because QPIP adds no protocol formats. These tests build a
+ * mixed fabric — one QPIP host, one conventional sockets host — and
+ * exercise both directions over both transports:
+ *
+ *  - UDP: datagrams between a UD queue pair and a kernel UDP socket;
+ *  - TCP: a reliable QP connected to a plain listening socket (and
+ *    vice versa). The QP side sends message-framed segments that the
+ *    socket reads as a byte stream; the socket side sends MSS-sized
+ *    segments that arrive at the QP one completion per segment — the
+ *    paper's "the application may have to reassemble incoming data
+ *    into a complete unit".
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/verbs_util.hh"
+#include "sim/simulation.hh"
+#include "host/host.hh"
+#include "net/topology.hh"
+#include "nic/eth_nic.hh"
+#include "nic/qpip_nic.hh"
+#include "qpip/qpip.hh"
+
+using namespace qpip;
+
+namespace {
+
+/** One QPIP host + one sockets host on a shared Myrinet star. */
+struct MixedBed
+{
+    MixedBed()
+        : sm(3), fabric(sm, "fabric", net::myrinetLink(9000)),
+          l0(fabric.addNode(0)), l1(fabric.addNode(1)),
+          qpipAddr(*inet::InetAddr::parse("fd00::1")),
+          sockAddr(*inet::InetAddr::parse("fd00::2")),
+          qhost(sm, "qpip_host"),
+          qnic(sm, "qpip_host.nic", l0, 0, {}),
+          shost(sm, "sock_host"),
+          snic(sm, "sock_host.nic", shost.stack(), l1, 1,
+               nic::gmIpParams()),
+          prov(qhost, qnic)
+    {
+        qnic.setAddress(qpipAddr);
+        qnic.routes().add(sockAddr, 1);
+        shost.stack().addAddress(sockAddr);
+        shost.stack().routes().add(qpipAddr, 0);
+    }
+
+    ~MixedBed() { sm.eventQueue().clear(); }
+
+    qpip::sim::Simulation sm;
+    net::StarFabric fabric;
+    net::Link &l0, &l1;
+    inet::InetAddr qpipAddr, sockAddr;
+    host::Host qhost;
+    nic::QpipNic qnic;
+    host::Host shost;
+    nic::EthNic snic;
+    verbs::Provider prov;
+};
+
+std::vector<std::uint8_t>
+pattern(std::size_t n, std::uint8_t seed = 9)
+{
+    std::vector<std::uint8_t> v(n);
+    for (std::size_t i = 0; i < n; ++i)
+        v[i] = static_cast<std::uint8_t>(seed + i * 3);
+    return v;
+}
+
+} // namespace
+
+TEST(Interop, UdpQpToKernelSocketAndBack)
+{
+    MixedBed bed;
+    auto usock = bed.shost.stack().udpBind(
+        inet::SockAddr{bed.sockAddr, 9999});
+    std::vector<std::uint8_t> seen;
+    usock->recvFrom([&](host::UdpSocket::Datagram d) {
+        seen = d.data;
+        usock->sendTo(std::move(d.data), d.from, nullptr);
+    });
+
+    auto cq = bed.prov.createCq();
+    std::vector<std::uint8_t> buf(4096);
+    auto mr = bed.prov.registerMemory(buf);
+    auto qp = bed.prov.createQp(nic::QpType::UnreliableUdp, cq, cq);
+    qp->bind(6000);
+    auto msg = pattern(700);
+    std::copy(msg.begin(), msg.end(), buf.begin() + 2048);
+    qp->postRecv(1, *mr, 0, 2048);
+    qp->postSend(2, *mr, 2048, msg.size(),
+                 inet::SockAddr{bed.sockAddr, 9999});
+
+    bool echoed = false;
+    apps::waitLoop(*cq, [&](verbs::Completion c) {
+        if (!c.isSend) {
+            EXPECT_EQ(c.byteLen, msg.size());
+            EXPECT_EQ(c.from,
+                      (inet::SockAddr{bed.sockAddr, 9999}));
+            echoed = std::equal(msg.begin(), msg.end(), buf.begin());
+        }
+    });
+    bed.sm.runUntilCondition([&] { return echoed; },
+                              10 * sim::oneSec);
+    EXPECT_TRUE(echoed);
+    EXPECT_EQ(seen, msg);
+}
+
+TEST(Interop, QpConnectsToListeningSocket)
+{
+    MixedBed bed;
+    // Conventional server: plain TCP listener that echoes bytes.
+    auto cfg = bed.shost.stack().defaultTcpConfig();
+    cfg.noDelay = true;
+    std::vector<std::uint8_t> server_got;
+    std::shared_ptr<host::TcpSocket> ssock;
+    bed.shost.stack().tcpListen(
+        80, cfg, [&](std::shared_ptr<host::TcpSocket> s) {
+            ssock = s;
+            s->recvExact(5000, [&, s](std::vector<std::uint8_t> d) {
+                server_got = d;
+                s->sendAll(std::move(d), [] {});
+            });
+        });
+
+    // QPIP client: reliable QP straight at the socket's port.
+    auto cq = bed.prov.createCq();
+    std::vector<std::uint8_t> buf(1 << 18);
+    auto mr = bed.prov.registerMemory(buf);
+    auto qp = bed.prov.createQp(nic::QpType::ReliableTcp, cq, cq);
+    bool connected = false;
+    qp->connect(inet::SockAddr{bed.sockAddr, 80},
+                [&](bool ok) { connected = ok; });
+    ASSERT_TRUE(bed.sm.runUntilCondition([&] { return connected; },
+                                          10 * sim::oneSec));
+
+    // Send one 5000-byte message; the socket reads it as a stream.
+    auto msg = pattern(5000);
+    std::copy(msg.begin(), msg.end(), buf.begin());
+    // Post receives for the echo: it may come back as several
+    // MSS-framed segments, each one QP completion (the reassembly
+    // burden the paper assigns to the application).
+    // Each WR must hold a full MSS-sized segment from the peer.
+    const std::size_t slot = 16384;
+    const std::size_t rx_off = 65536;
+    for (std::uint64_t i = 0; i < 8; ++i)
+        qp->postRecv(10 + i, *mr, rx_off + i * slot, slot);
+    qp->postSend(1, *mr, 0, msg.size());
+
+    std::vector<std::uint8_t> echoed;
+    apps::waitLoop(*cq, [&](verbs::Completion c) {
+        if (c.isSend)
+            return;
+        ASSERT_EQ(c.status, verbs::WcStatus::Success);
+        echoed.insert(echoed.end(),
+                      buf.begin() + static_cast<std::ptrdiff_t>(
+                                        rx_off + (c.wrId - 10) * slot),
+                      buf.begin() + static_cast<std::ptrdiff_t>(
+                                        rx_off + (c.wrId - 10) * slot +
+                                        c.byteLen));
+    });
+    bed.sm.runUntilCondition(
+        [&] { return echoed.size() >= msg.size(); },
+        30 * sim::oneSec);
+    ASSERT_EQ(server_got, msg);
+    ASSERT_EQ(echoed.size(), msg.size());
+    EXPECT_EQ(echoed, msg); // stream re-assembled from per-segment WRs
+}
+
+TEST(Interop, SocketConnectsToAcceptingQp)
+{
+    MixedBed bed;
+    // QPIP server: idle QP parked on port 7. Each posted buffer must
+    // hold a full MSS-sized segment from the sockets peer.
+    constexpr std::size_t slot = 16384;
+    auto cq = bed.prov.createCq();
+    std::vector<std::uint8_t> buf(8 * slot);
+    auto mr = bed.prov.registerMemory(buf);
+    verbs::Acceptor acc(bed.prov, 7, cq, cq);
+    std::shared_ptr<verbs::QueuePair> sqp;
+    acc.acceptOne([&](std::shared_ptr<verbs::QueuePair> q) {
+        sqp = q;
+        for (std::uint64_t i = 0; i < 8; ++i)
+            q->postRecv(i, *mr, i * slot, slot);
+    });
+
+    // Sockets client connects and writes a stream.
+    auto cfg = bed.shost.stack().defaultTcpConfig();
+    cfg.noDelay = true;
+    auto csock = bed.shost.stack().tcpConnect(
+        inet::SockAddr{bed.sockAddr, 30000},
+        inet::SockAddr{bed.qpipAddr, 7}, cfg, nullptr);
+    ASSERT_TRUE(bed.sm.runUntilCondition(
+        [&] { return csock->connected() && sqp != nullptr; },
+        10 * sim::oneSec));
+
+    auto data = pattern(20000, 5);
+    csock->sendAll(data, [] {});
+
+    // Collect per-segment messages on the QP until the stream is in.
+    std::vector<std::uint8_t> got;
+    apps::waitLoop(*cq, [&](verbs::Completion c) {
+        if (c.isSend)
+            return;
+        ASSERT_EQ(c.status, verbs::WcStatus::Success);
+        got.insert(got.end(),
+                   buf.begin() +
+                       static_cast<std::ptrdiff_t>(c.wrId * slot),
+                   buf.begin() + static_cast<std::ptrdiff_t>(
+                                     c.wrId * slot + c.byteLen));
+        sqp->postRecv(c.wrId, *mr, c.wrId * slot, slot);
+    });
+    bed.sm.runUntilCondition([&] { return got.size() >= data.size(); },
+                              30 * sim::oneSec);
+    ASSERT_EQ(got.size(), data.size());
+    EXPECT_EQ(got, data);
+    // The byte stream arrived as multiple segment-sized messages.
+    EXPECT_GT(csock->connection().stats().segsOut.value(), 2u);
+}

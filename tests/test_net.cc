@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Unit tests for the fabric layer: serialization primitives, link
+ * timing/MTU/queueing, switch forwarding, fault injection.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/fault.hh"
+#include "net/link.hh"
+#include "net/serialize.hh"
+#include "net/switch.hh"
+#include "net/topology.hh"
+#include "sim/simulation.hh"
+
+using namespace qpip;
+using namespace qpip::net;
+
+namespace {
+
+/** Collects delivered packets with their arrival times. */
+class SinkPort : public NetReceiver
+{
+  public:
+    explicit SinkPort(sim::Simulation &sim) : sim_(sim) {}
+
+    void
+    onPacket(PacketPtr pkt) override
+    {
+        packets.push_back(pkt);
+        arrivals.push_back(sim_.now());
+    }
+
+    std::vector<PacketPtr> packets;
+    std::vector<sim::Tick> arrivals;
+
+  private:
+    sim::Simulation &sim_;
+};
+
+PacketPtr
+somePacket(std::size_t bytes, NodeId dst = 1)
+{
+    auto pkt = makePacket();
+    pkt->dst = dst;
+    pkt->src = 0;
+    pkt->data.assign(bytes, 0xab);
+    return pkt;
+}
+
+} // namespace
+
+TEST(Serialize, RoundTripsBigEndian)
+{
+    std::vector<std::uint8_t> buf;
+    ByteWriter w(buf);
+    w.u8(0x12);
+    w.u16(0x3456);
+    w.u32(0x789abcde);
+    w.u64(0x0123456789abcdefULL);
+    EXPECT_EQ(buf.size(), 15u);
+    EXPECT_EQ(buf[1], 0x34); // big-endian order on the wire
+    EXPECT_EQ(buf[2], 0x56);
+
+    ByteReader r(buf);
+    EXPECT_EQ(r.u8(), 0x12);
+    EXPECT_EQ(r.u16(), 0x3456);
+    EXPECT_EQ(r.u32(), 0x789abcdeu);
+    EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Serialize, ReaderFailsSoftOnUnderrun)
+{
+    std::vector<std::uint8_t> buf{1, 2};
+    ByteReader r(buf);
+    EXPECT_EQ(r.u32(), 0u);
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.remaining(), 0u);
+    EXPECT_TRUE(r.rest().empty());
+}
+
+TEST(Serialize, PatchU16OverwritesInPlace)
+{
+    std::vector<std::uint8_t> buf;
+    ByteWriter w(buf);
+    w.u16(0);
+    w.u16(0xbeef);
+    w.patchU16(0, 0xdead);
+    ByteReader r(buf);
+    EXPECT_EQ(r.u16(), 0xdead);
+    EXPECT_EQ(r.u16(), 0xbeef);
+}
+
+TEST(Link, DeliversWithSerializationPlusPropagation)
+{
+    sim::Simulation sim;
+    LinkConfig cfg;
+    cfg.bitsPerSec = 1e9;
+    cfg.propDelay = sim::oneUs;
+    cfg.mtu = 1500;
+    cfg.overheadBytes = 0;
+    Link link(sim, "l", cfg);
+    SinkPort sink(sim);
+    link.attach(1, sink);
+
+    link.send(0, somePacket(1000));
+    sim.run();
+    ASSERT_EQ(sink.packets.size(), 1u);
+    // 1000 B at 1 Gb/s = 8 us serialization + 1 us propagation.
+    EXPECT_EQ(sink.arrivals[0], 9 * sim::oneUs);
+}
+
+TEST(Link, TransmitterSerializesBackToBackPackets)
+{
+    sim::Simulation sim;
+    LinkConfig cfg;
+    cfg.bitsPerSec = 1e9;
+    cfg.propDelay = 0;
+    cfg.overheadBytes = 0;
+    Link link(sim, "l", cfg);
+    SinkPort sink(sim);
+    link.attach(1, sink);
+
+    link.send(0, somePacket(1250)); // 10 us each
+    link.send(0, somePacket(1250));
+    sim.run();
+    ASSERT_EQ(sink.arrivals.size(), 2u);
+    EXPECT_EQ(sink.arrivals[0], 10 * sim::oneUs);
+    EXPECT_EQ(sink.arrivals[1], 20 * sim::oneUs);
+}
+
+TEST(Link, DropsOversizePackets)
+{
+    sim::Simulation sim;
+    Link link(sim, "l", gigabitEthernetLink());
+    SinkPort sink(sim);
+    link.attach(1, sink);
+    EXPECT_FALSE(link.send(0, somePacket(1501)));
+    sim.run();
+    EXPECT_TRUE(sink.packets.empty());
+    EXPECT_EQ(link.oversizeDrops.value(), 1u);
+}
+
+TEST(Link, FullDuplexDirectionsAreIndependent)
+{
+    sim::Simulation sim;
+    LinkConfig cfg;
+    cfg.bitsPerSec = 1e9;
+    cfg.propDelay = 0;
+    cfg.overheadBytes = 0;
+    Link link(sim, "l", cfg);
+    SinkPort sink0(sim), sink1(sim);
+    link.attach(0, sink0);
+    link.attach(1, sink1);
+    link.send(0, somePacket(1250));
+    link.send(1, somePacket(1250));
+    sim.run();
+    // Both arrive at 10 us: no shared-medium contention.
+    ASSERT_EQ(sink0.arrivals.size(), 1u);
+    ASSERT_EQ(sink1.arrivals.size(), 1u);
+    EXPECT_EQ(sink0.arrivals[0], sink1.arrivals[0]);
+}
+
+TEST(Fault, DropAndDuplicate)
+{
+    sim::Simulation sim;
+    LinkConfig cfg = gigabitEthernetLink();
+    Link link(sim, "l", cfg);
+    SinkPort sink(sim);
+    link.attach(1, sink);
+
+    link.faults().config.dropProb = 1.0;
+    link.send(0, somePacket(100));
+    sim.run();
+    EXPECT_TRUE(sink.packets.empty());
+    EXPECT_EQ(link.faults().drops.value(), 1u);
+
+    link.faults().config.dropProb = 0.0;
+    link.faults().config.dupProb = 1.0;
+    link.send(0, somePacket(100));
+    sim.run();
+    EXPECT_EQ(sink.packets.size(), 2u);
+}
+
+TEST(Fault, CorruptionFlipsBytes)
+{
+    sim::Simulation sim;
+    Link link(sim, "l", gigabitEthernetLink());
+    SinkPort sink(sim);
+    link.attach(1, sink);
+    link.faults().config.corruptProb = 1.0;
+    link.send(0, somePacket(100));
+    sim.run();
+    ASSERT_EQ(sink.packets.size(), 1u);
+    int diffs = 0;
+    for (auto b : sink.packets[0]->data)
+        diffs += (b != 0xab);
+    EXPECT_EQ(diffs, 1);
+}
+
+TEST(Switch, ForwardsByDestination)
+{
+    sim::Simulation sim;
+    StarFabric star(sim, "star", myrinetLink());
+    Link &l0 = star.addNode(0);
+    Link &l1 = star.addNode(1);
+    Link &l2 = star.addNode(2);
+    SinkPort s0(sim), s1(sim), s2(sim);
+    l0.attach(0, s0);
+    l1.attach(0, s1);
+    l2.attach(0, s2);
+
+    l0.send(0, somePacket(64, 2));
+    l1.send(0, somePacket(64, 0));
+    sim.run();
+    EXPECT_EQ(s2.packets.size(), 1u);
+    EXPECT_EQ(s0.packets.size(), 1u);
+    EXPECT_TRUE(s1.packets.empty());
+    EXPECT_EQ(star.fabricSwitch().forwarded.value(), 2u);
+}
+
+TEST(Switch, DropsUnroutable)
+{
+    sim::Simulation sim;
+    StarFabric star(sim, "star", myrinetLink());
+    Link &l0 = star.addNode(0);
+    star.addNode(1);
+    l0.send(0, somePacket(64, 99));
+    sim.run();
+    EXPECT_EQ(star.fabricSwitch().unroutableDrops.value(), 1u);
+}
+
+TEST(Switch, CutThroughAddsFixedLatency)
+{
+    sim::Simulation sim;
+    LinkConfig cfg = myrinetLink();
+    cfg.propDelay = 0;
+    cfg.overheadBytes = 0;
+    StarFabric star(sim, "star", cfg);
+    Link &l0 = star.addNode(0);
+    Link &l1 = star.addNode(1);
+    SinkPort s1(sim);
+    l1.attach(0, s1);
+    (void)l0;
+
+    l0.send(0, somePacket(1000, 1));
+    sim.run();
+    ASSERT_EQ(s1.arrivals.size(), 1u);
+    // serialization (hop 1) + routing + serialization (hop 2):
+    // 1000 B at 2 Gb/s = 4 us each, plus 300 ns cut-through.
+    EXPECT_EQ(s1.arrivals[0], 2 * 4 * sim::oneUs + 300 * sim::oneNs);
+}

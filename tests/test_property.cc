@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Property-style parameterized sweeps (gtest TEST_P): invariants that
+ * must hold across randomized sizes, seeds, loss rates and MTUs —
+ * checksum round-trips, fragmentation reassembly, ByteFifo vs a
+ * reference model, TCP stream integrity under random loss, and QPIP
+ * message integrity across MTUs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "apps/testbed.hh"
+#include "apps/verbs_util.hh"
+#include "inet/byte_fifo.hh"
+#include "inet/checksum.hh"
+#include "inet/ip_frag.hh"
+#include "tcp_harness.hh"
+
+using namespace qpip;
+using namespace qpip::test;
+
+// ---------------------------------------------------------------------
+// Checksum: inserting the computed checksum always verifies
+// ---------------------------------------------------------------------
+
+class ChecksumProperty : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(ChecksumProperty, ComputedChecksumVerifies)
+{
+    sim::Random rng(GetParam());
+    for (int round = 0; round < 50; ++round) {
+        const auto n = static_cast<std::size_t>(
+            rng.uniformInt(2, 2000));
+        std::vector<std::uint8_t> data(n);
+        for (auto &b : data)
+            b = static_cast<std::uint8_t>(rng.next());
+        // Zero a 16-bit field, compute, insert, verify whole == ok.
+        data[0] = data[1] = 0;
+        const std::uint16_t c = inet::internetChecksum(data);
+        data[0] = static_cast<std::uint8_t>(c >> 8);
+        data[1] = static_cast<std::uint8_t>(c);
+        EXPECT_TRUE(inet::checksumOk(data));
+        // A single bit flip must be detected.
+        const auto idx =
+            static_cast<std::size_t>(rng.uniformInt(0, n - 1));
+        data[idx] ^= static_cast<std::uint8_t>(
+            1u << rng.uniformInt(0, 7));
+        EXPECT_FALSE(inet::checksumOk(data));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChecksumProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13));
+
+// ---------------------------------------------------------------------
+// IPv6 fragmentation: any payload reassembles through any MTU, in any
+// delivery order
+// ---------------------------------------------------------------------
+
+struct FragCase
+{
+    std::uint64_t seed;
+    std::uint32_t mtu;
+};
+
+class FragProperty : public ::testing::TestWithParam<FragCase>
+{};
+
+TEST_P(FragProperty, FragmentsReassembleShuffled)
+{
+    sim::Random rng(GetParam().seed);
+    for (int round = 0; round < 20; ++round) {
+        inet::IpDatagram d;
+        d.src = *inet::InetAddr::parse("fd00::1");
+        d.dst = *inet::InetAddr::parse("fd00::2");
+        d.proto = inet::IpProto::Udp;
+        const auto n =
+            static_cast<std::size_t>(rng.uniformInt(1, 60000));
+        d.payload.resize(n);
+        for (auto &b : d.payload)
+            b = static_cast<std::uint8_t>(rng.next());
+
+        auto frames = fragmentIpv6(d, GetParam().mtu,
+                                   static_cast<std::uint32_t>(round));
+        // Fisher-Yates shuffle with the deterministic RNG.
+        for (std::size_t i = frames.size(); i > 1; --i) {
+            const auto j =
+                static_cast<std::size_t>(rng.uniformInt(0, i - 1));
+            std::swap(frames[i - 1], frames[j]);
+        }
+
+        inet::Ipv6Reassembler reass;
+        std::optional<inet::IpDatagram> got;
+        for (const auto &f : frames) {
+            EXPECT_LE(f.size(), GetParam().mtu);
+            inet::Ipv6Packet pkt;
+            ASSERT_TRUE(parseIpv6(f, pkt));
+            auto r = reass.offer(pkt, 0);
+            if (r)
+                got = std::move(r);
+        }
+        ASSERT_TRUE(got.has_value());
+        EXPECT_EQ(got->payload, d.payload);
+        EXPECT_EQ(reass.pending(), 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MtuGrid, FragProperty,
+    ::testing::Values(FragCase{1, 1280}, FragCase{2, 1500},
+                      FragCase{3, 4352}, FragCase{4, 9000},
+                      FragCase{5, 16384}));
+
+// ---------------------------------------------------------------------
+// ByteFifo behaves exactly like a reference deque under random ops
+// ---------------------------------------------------------------------
+
+class ByteFifoProperty : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(ByteFifoProperty, MatchesReferenceModel)
+{
+    sim::Random rng(GetParam());
+    inet::ByteFifo fifo;
+    std::deque<std::uint8_t> model;
+
+    for (int op = 0; op < 2000; ++op) {
+        const auto kind = rng.uniformInt(0, 2);
+        if (kind == 0) { // append
+            const auto n =
+                static_cast<std::size_t>(rng.uniformInt(0, 300));
+            std::vector<std::uint8_t> data(n);
+            for (auto &b : data)
+                b = static_cast<std::uint8_t>(rng.next());
+            fifo.append(data);
+            model.insert(model.end(), data.begin(), data.end());
+        } else if (kind == 1 && !model.empty()) { // drop
+            const auto n = static_cast<std::size_t>(
+                rng.uniformInt(0, model.size()));
+            fifo.drop(n);
+            model.erase(model.begin(),
+                        model.begin() +
+                            static_cast<std::ptrdiff_t>(n));
+        } else if (!model.empty()) { // random copyOut
+            const auto off = static_cast<std::size_t>(
+                rng.uniformInt(0, model.size() - 1));
+            const auto len = static_cast<std::size_t>(
+                rng.uniformInt(0, model.size() - off));
+            std::vector<std::uint8_t> out(len);
+            fifo.copyOut(off, len, out.data());
+            for (std::size_t i = 0; i < len; ++i)
+                ASSERT_EQ(out[i], model[off + i]);
+        }
+        ASSERT_EQ(fifo.size(), model.size());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ByteFifoProperty,
+                         ::testing::Values(11, 22, 33, 44));
+
+// ---------------------------------------------------------------------
+// TCP stream integrity under random loss (harness pipe)
+// ---------------------------------------------------------------------
+
+struct LossCase
+{
+    std::uint64_t seed;
+    double loss;
+};
+
+class TcpLossProperty : public ::testing::TestWithParam<LossCase>
+{};
+
+TEST_P(TcpLossProperty, StreamSurvivesRandomLossIntact)
+{
+    auto cfg = streamConfig();
+    cfg.minRto = 10 * sim::oneMs;
+    TcpPair p(cfg, cfg, GetParam().seed);
+    sim::Random rng(GetParam().seed * 977);
+    const double loss = GetParam().loss;
+    p.client.txFilter = [&](auto...) { return !rng.bernoulli(loss); };
+    p.server.txFilter = [&](auto...) { return !rng.bernoulli(loss); };
+    ASSERT_TRUE(p.establish(120 * sim::oneSec));
+
+    std::vector<std::uint8_t> data(60000 +
+                                   (GetParam().seed % 7) * 1111);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<std::uint8_t>(i * 31 + GetParam().seed);
+    std::size_t sent = 0;
+    auto feed = [&] {
+        while (sent < data.size()) {
+            auto n = p.client.conn().send(
+                std::span(data).subspan(sent));
+            if (n == 0)
+                break;
+            sent += n;
+        }
+    };
+    feed();
+    for (int i = 0;
+         i < 5000 && p.server.received.size() < data.size(); ++i) {
+        p.sim.runFor(10 * sim::oneMs);
+        feed();
+    }
+    ASSERT_EQ(p.server.received.size(), data.size());
+    EXPECT_EQ(p.server.received, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LossGrid, TcpLossProperty,
+    ::testing::Values(LossCase{1, 0.0}, LossCase{2, 0.02},
+                      LossCase{3, 0.05}, LossCase{4, 0.10},
+                      LossCase{5, 0.02}, LossCase{6, 0.05}));
+
+// ---------------------------------------------------------------------
+// QPIP end-to-end message integrity across MTUs and sizes
+// ---------------------------------------------------------------------
+
+struct QpipCase
+{
+    std::uint64_t seed;
+    std::uint32_t mtu;
+};
+
+class QpipMsgProperty : public ::testing::TestWithParam<QpipCase>
+{};
+
+TEST_P(QpipMsgProperty, MessagesArriveIntactAndInOrder)
+{
+    apps::QpipTestbed bed(2, GetParam().mtu, GetParam().seed);
+    auto &sim = bed.sim();
+    sim::Random rng(GetParam().seed * 31);
+
+    constexpr std::size_t nMsgs = 12;
+    constexpr std::size_t maxBytes = 40000;
+
+    auto cq0 = bed.provider(0).createCq();
+    auto cq1 = bed.provider(1).createCq();
+    std::vector<std::uint8_t> sbuf(maxBytes), rbuf(maxBytes);
+    auto mr0 = bed.provider(0).registerMemory(sbuf);
+    auto mr1 = bed.provider(1).registerMemory(rbuf);
+
+    verbs::Acceptor acc(bed.provider(1), 7, cq1, cq1);
+    std::shared_ptr<verbs::QueuePair> rqp;
+    acc.acceptOne([&](std::shared_ptr<verbs::QueuePair> q) {
+        rqp = q;
+        q->postRecv(1, *mr1, 0, maxBytes);
+    });
+    auto sqp =
+        bed.provider(0).createQp(nic::QpType::ReliableTcp, cq0, cq0);
+    bool connected = false;
+    sqp->connect(bed.addr(1, 7), [&](bool ok) { connected = ok; });
+    ASSERT_TRUE(sim.runUntilCondition(
+        [&] { return connected && rqp != nullptr; },
+        sim.now() + 30 * sim::oneSec));
+
+    // Strictly serial: fill the (single) send buffer per message.
+    std::size_t verified = 0;
+    bool mismatch = false;
+    std::vector<std::size_t> sizes;
+    for (std::size_t m = 0; m < nMsgs; ++m)
+        sizes.push_back(
+            static_cast<std::size_t>(rng.uniformInt(1, maxBytes)));
+
+    std::size_t in_flight_msg = 0;
+    auto send_next = [&] {
+        if (in_flight_msg >= nMsgs)
+            return;
+        for (std::size_t i = 0; i < sizes[in_flight_msg]; ++i)
+            sbuf[i] = static_cast<std::uint8_t>(
+                i * 7 + in_flight_msg * 13);
+        sqp->postSend(in_flight_msg, *mr0, 0, sizes[in_flight_msg]);
+        ++in_flight_msg;
+    };
+    apps::waitLoop(*cq1, [&](verbs::Completion c) {
+        if (c.isSend)
+            return;
+        if (c.byteLen != sizes[verified]) {
+            mismatch = true;
+        } else {
+            for (std::size_t i = 0; i < c.byteLen; ++i) {
+                if (rbuf[i] != static_cast<std::uint8_t>(
+                                   i * 7 + verified * 13)) {
+                    mismatch = true;
+                    break;
+                }
+            }
+        }
+        ++verified;
+        rqp->postRecv(1, *mr1, 0, maxBytes);
+    });
+    apps::waitLoop(*cq0, [&](verbs::Completion c) {
+        if (c.isSend && c.status == verbs::WcStatus::Success)
+            send_next();
+    });
+    send_next();
+
+    ASSERT_TRUE(sim.runUntilCondition(
+        [&] { return verified >= nMsgs || mismatch; },
+        sim.now() + 120 * sim::oneSec));
+    EXPECT_EQ(verified, nMsgs);
+    EXPECT_FALSE(mismatch);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MtuSeedGrid, QpipMsgProperty,
+    ::testing::Values(QpipCase{1, 1500}, QpipCase{2, 9000},
+                      QpipCase{3, apps::qpipNativeMtu},
+                      QpipCase{4, 1500}, QpipCase{5, 4000}));

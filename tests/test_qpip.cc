@@ -1,0 +1,414 @@
+/**
+ * @file
+ * Verbs / QPIP NIC tests: QP lifecycle, send-receive over reliable
+ * and unreliable services, completion semantics (statuses, ordering,
+ * Wait vs Poll), memory-region bounds, RNR hold, fragmentation of big
+ * messages, multi-QP CQ sharing and teardown flushes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/testbed.hh"
+#include "apps/verbs_util.hh"
+
+using namespace qpip;
+using namespace qpip::apps;
+using verbs::Completion;
+using verbs::WcStatus;
+
+namespace {
+
+std::vector<std::uint8_t>
+pattern(std::size_t n, std::uint8_t seed = 3)
+{
+    std::vector<std::uint8_t> v(n);
+    for (std::size_t i = 0; i < n; ++i)
+        v[i] = static_cast<std::uint8_t>(seed * 11 + i * 5);
+    return v;
+}
+
+/** Connected RC pair with registered buffers, ready for messaging. */
+struct RcPair
+{
+    explicit RcPair(QpipTestbed &bed, std::size_t buf_bytes = 1 << 16)
+        : bed(bed)
+    {
+        cq0 = bed.provider(0).createCq();
+        cq1 = bed.provider(1).createCq();
+        buf0 = std::vector<std::uint8_t>(buf_bytes);
+        buf1 = std::vector<std::uint8_t>(buf_bytes);
+        mr0 = bed.provider(0).registerMemory(buf0);
+        mr1 = bed.provider(1).registerMemory(buf1);
+        acceptor = std::make_shared<verbs::Acceptor>(
+            bed.provider(1), 700, cq1, cq1);
+        acceptor->acceptOne(
+            [this](std::shared_ptr<verbs::QueuePair> q) {
+                qp1 = std::move(q);
+            });
+        qp0 = bed.provider(0).createQp(nic::QpType::ReliableTcp, cq0,
+                                       cq0);
+        bool connected = false;
+        qp0->connect(bed.addr(1, 700),
+                     [&](bool ok) { connected = ok; });
+        bed.sim().runUntilCondition(
+            [&] { return connected && qp1 != nullptr; },
+            bed.sim().now() + 10 * sim::oneSec);
+    }
+
+    bool ready() const { return qp0 && qp1; }
+
+    QpipTestbed &bed;
+    std::shared_ptr<verbs::CompletionQueue> cq0, cq1;
+    std::vector<std::uint8_t> buf0, buf1;
+    std::shared_ptr<verbs::MemoryRegion> mr0, mr1;
+    std::shared_ptr<verbs::Acceptor> acceptor;
+    std::shared_ptr<verbs::QueuePair> qp0, qp1;
+};
+
+/** Run the sim until @p cq has a completion; pop it. */
+bool
+awaitCompletion(QpipTestbed &bed, verbs::CompletionQueue &cq,
+                Completion &out,
+                sim::Tick deadline = 10 * sim::oneSec)
+{
+    bed.sim().runUntilCondition([&] { return cq.depth() > 0; },
+                                bed.sim().now() + deadline);
+    return cq.poll(out);
+}
+
+} // namespace
+
+TEST(QpipVerbs, RendezvousEstablishes)
+{
+    QpipTestbed bed(2);
+    RcPair p(bed);
+    ASSERT_TRUE(p.ready());
+    auto *conn = bed.nicOf(0).connectionOf(p.qp0->num());
+    ASSERT_NE(conn, nullptr);
+    EXPECT_TRUE(conn->established());
+}
+
+TEST(QpipVerbs, SendReceiveMessage)
+{
+    QpipTestbed bed(2);
+    RcPair p(bed);
+    ASSERT_TRUE(p.ready());
+
+    auto msg = pattern(4096);
+    std::copy(msg.begin(), msg.end(), p.buf0.begin());
+    p.qp1->postRecv(11, *p.mr1, 0, 8192);
+    p.qp0->postSend(22, *p.mr0, 0, msg.size());
+
+    Completion c;
+    ASSERT_TRUE(awaitCompletion(bed, *p.cq1, c));
+    EXPECT_FALSE(c.isSend);
+    EXPECT_EQ(c.wrId, 11u);
+    EXPECT_EQ(c.status, WcStatus::Success);
+    EXPECT_EQ(c.byteLen, msg.size());
+    EXPECT_TRUE(std::equal(msg.begin(), msg.end(), p.buf1.begin()));
+
+    ASSERT_TRUE(awaitCompletion(bed, *p.cq0, c));
+    EXPECT_TRUE(c.isSend);
+    EXPECT_EQ(c.wrId, 22u);
+    EXPECT_EQ(c.status, WcStatus::Success);
+}
+
+TEST(QpipVerbs, LargeMessageFragmentsAcrossMtu)
+{
+    QpipTestbed bed(2, 1500); // small link MTU forces fragmentation
+    RcPair p(bed, 1 << 16);
+    ASSERT_TRUE(p.ready());
+    auto msg = pattern(40000);
+    std::copy(msg.begin(), msg.end(), p.buf0.begin());
+    p.qp1->postRecv(1, *p.mr1, 0, 65536);
+    p.qp0->postSend(2, *p.mr0, 0, msg.size());
+    Completion c;
+    ASSERT_TRUE(awaitCompletion(bed, *p.cq1, c, 30 * sim::oneSec));
+    EXPECT_EQ(c.byteLen, msg.size());
+    EXPECT_TRUE(std::equal(msg.begin(), msg.end(), p.buf1.begin()));
+}
+
+TEST(QpipVerbs, ReceiveShorterThanBufferReportsActualLength)
+{
+    QpipTestbed bed(2);
+    RcPair p(bed);
+    ASSERT_TRUE(p.ready());
+    p.qp1->postRecv(1, *p.mr1, 100, 1000); // offset into the region
+    const auto msg = pattern(10);
+    std::copy(msg.begin(), msg.end(), p.buf0.begin());
+    p.qp0->postSend(2, *p.mr0, 0, 10);
+    Completion c;
+    ASSERT_TRUE(awaitCompletion(bed, *p.cq1, c));
+    EXPECT_EQ(c.byteLen, 10u);
+    EXPECT_TRUE(std::equal(msg.begin(), msg.end(),
+                           p.buf1.begin() + 100));
+}
+
+TEST(QpipVerbs, MessageLargerThanPostedBufferErrors)
+{
+    QpipTestbed bed(2);
+    RcPair p(bed);
+    ASSERT_TRUE(p.ready());
+    // Two small WRs make a 600-byte window, so the 500-byte message
+    // transmits — but it exceeds the *front* WR's buffer, which is a
+    // length error against that WR. (A message bigger than the whole
+    // posted window is simply flow-controlled and never sent.)
+    p.qp1->postRecv(1, *p.mr1, 0, 300);
+    p.qp1->postRecv(2, *p.mr1, 300, 300);
+    p.qp0->postSend(3, *p.mr0, 0, 500);
+    Completion c;
+    ASSERT_TRUE(awaitCompletion(bed, *p.cq1, c));
+    EXPECT_FALSE(c.isSend);
+    EXPECT_EQ(c.wrId, 1u);
+    EXPECT_EQ(c.status, WcStatus::LengthError);
+}
+
+TEST(QpipVerbs, RnrHoldsUntilBufferPosted)
+{
+    QpipTestbed bed(2);
+    RcPair p(bed);
+    ASSERT_TRUE(p.ready());
+    // Send with no receive posted: the firmware holds the message
+    // un-ACKed, so no completion appears anywhere.
+    std::copy_n(pattern(64).begin(), 64, p.buf0.begin());
+    p.qp0->postSend(5, *p.mr0, 0, 64);
+    bed.sim().runFor(50 * sim::oneMs);
+    EXPECT_EQ(p.cq0->depth(), 0u);
+    EXPECT_EQ(p.cq1->depth(), 0u);
+    // Post the buffer: message lands and the sender completes.
+    p.qp1->postRecv(6, *p.mr1, 0, 4096);
+    Completion c;
+    ASSERT_TRUE(awaitCompletion(bed, *p.cq1, c, 30 * sim::oneSec));
+    EXPECT_EQ(c.wrId, 6u);
+    EXPECT_EQ(c.status, WcStatus::Success);
+    ASSERT_TRUE(awaitCompletion(bed, *p.cq0, c, 30 * sim::oneSec));
+    EXPECT_EQ(c.wrId, 5u);
+}
+
+TEST(QpipVerbs, CompletionOrderMatchesPostingOrder)
+{
+    QpipTestbed bed(2);
+    RcPair p(bed);
+    ASSERT_TRUE(p.ready());
+    for (std::uint64_t i = 0; i < 16; ++i)
+        p.qp1->postRecv(100 + i, *p.mr1, i * 512, 512);
+    for (std::uint64_t i = 0; i < 16; ++i)
+        p.qp0->postSend(200 + i, *p.mr0, 0, 256);
+    std::vector<std::uint64_t> send_order, recv_order;
+    bed.sim().runUntilCondition(
+        [&] {
+            Completion c;
+            while (p.cq0->poll(c))
+                send_order.push_back(c.wrId);
+            while (p.cq1->poll(c))
+                recv_order.push_back(c.wrId);
+            return send_order.size() == 16 && recv_order.size() == 16;
+        },
+        bed.sim().now() + 30 * sim::oneSec);
+    ASSERT_EQ(send_order.size(), 16u);
+    ASSERT_EQ(recv_order.size(), 16u);
+    for (std::uint64_t i = 0; i < 16; ++i) {
+        EXPECT_EQ(send_order[i], 200 + i);
+        EXPECT_EQ(recv_order[i], 100 + i);
+    }
+}
+
+TEST(QpipVerbs, WaitDeliversViaInterrupt)
+{
+    QpipTestbed bed(2);
+    RcPair p(bed);
+    ASSERT_TRUE(p.ready());
+    p.qp1->postRecv(1, *p.mr1, 0, 1024);
+
+    bool got = false;
+    Completion got_c;
+    p.cq1->wait([&](Completion c) {
+        got = true;
+        got_c = c;
+    });
+    // Nothing yet: the wait is armed, not polled.
+    bed.sim().runFor(sim::oneMs);
+    EXPECT_FALSE(got);
+
+    p.qp0->postSend(2, *p.mr0, 0, 128);
+    bed.sim().runUntilCondition([&] { return got; },
+                                bed.sim().now() + 10 * sim::oneSec);
+    ASSERT_TRUE(got);
+    EXPECT_EQ(got_c.wrId, 1u);
+    EXPECT_FALSE(got_c.isSend);
+}
+
+TEST(QpipVerbs, UdpQpDropsWithoutPostedWr)
+{
+    QpipTestbed bed(2);
+    auto &prov0 = bed.provider(0);
+    auto &prov1 = bed.provider(1);
+    auto cq0 = prov0.createCq();
+    auto cq1 = prov1.createCq();
+    std::vector<std::uint8_t> b0(4096), b1(4096);
+    auto mr0 = prov0.registerMemory(b0);
+    auto mr1 = prov1.registerMemory(b1);
+    auto qp0 = prov0.createQp(nic::QpType::UnreliableUdp, cq0, cq0);
+    auto qp1 = prov1.createQp(nic::QpType::UnreliableUdp, cq1, cq1);
+    qp0->bind(6000);
+    qp1->bind(6001);
+
+    // No recv posted at qp1: the datagram is dropped silently —
+    // unreliable service means the send still completes.
+    qp0->postSend(1, *mr0, 0, 100, bed.addr(1, 6001));
+    Completion c;
+    ASSERT_TRUE(awaitCompletion(bed, *cq0, c));
+    EXPECT_TRUE(c.isSend);
+    EXPECT_EQ(c.status, WcStatus::Success);
+    bed.sim().runFor(10 * sim::oneMs);
+    EXPECT_EQ(cq1->depth(), 0u);
+    EXPECT_EQ(bed.nicOf(1).udpNoWrDrops.value(), 1u);
+}
+
+TEST(QpipVerbs, UdpQpDeliversWithSourceAddress)
+{
+    QpipTestbed bed(2);
+    auto &prov0 = bed.provider(0);
+    auto &prov1 = bed.provider(1);
+    auto cq0 = prov0.createCq();
+    auto cq1 = prov1.createCq();
+    std::vector<std::uint8_t> b0(4096), b1(4096);
+    auto mr0 = prov0.registerMemory(b0);
+    auto mr1 = prov1.registerMemory(b1);
+    auto qp0 = prov0.createQp(nic::QpType::UnreliableUdp, cq0, cq0);
+    auto qp1 = prov1.createQp(nic::QpType::UnreliableUdp, cq1, cq1);
+    qp0->bind(6000);
+    qp1->bind(6001);
+
+    qp1->postRecv(9, *mr1, 0, 4096);
+    auto msg = pattern(333);
+    std::copy(msg.begin(), msg.end(), b0.begin());
+    qp0->postSend(8, *mr0, 0, msg.size(), bed.addr(1, 6001));
+    Completion c;
+    ASSERT_TRUE(awaitCompletion(bed, *cq1, c));
+    EXPECT_EQ(c.wrId, 9u);
+    EXPECT_EQ(c.byteLen, msg.size());
+    EXPECT_EQ(c.from, bed.addr(0, 6000));
+    EXPECT_TRUE(std::equal(msg.begin(), msg.end(), b1.begin()));
+}
+
+TEST(QpipVerbs, TwoQpsOneCompletionQueue)
+{
+    QpipTestbed bed(3);
+    // Host 0 runs two QPs (one to each peer) bound to a single CQ —
+    // the grouping-by-CQ feature the paper highlights.
+    auto &prov0 = bed.provider(0);
+    auto cq = prov0.createCq();
+    std::vector<std::uint8_t> buf(8192);
+    auto mr = prov0.registerMemory(buf);
+
+    // Peers just echo nothing; they only receive.
+    std::vector<std::shared_ptr<verbs::CompletionQueue>> pcq;
+    std::vector<std::shared_ptr<verbs::MemoryRegion>> pmr;
+    std::vector<std::vector<std::uint8_t>> pbuf(2);
+    std::vector<std::shared_ptr<verbs::QueuePair>> peer_qp(2);
+    std::vector<std::shared_ptr<verbs::Acceptor>> acc;
+    for (std::size_t i = 0; i < 2; ++i) {
+        auto &prov = bed.provider(i + 1);
+        pcq.push_back(prov.createCq());
+        pbuf[i].resize(8192);
+        pmr.push_back(prov.registerMemory(pbuf[i]));
+        acc.push_back(std::make_shared<verbs::Acceptor>(
+            prov, 700, pcq[i], pcq[i]));
+        acc[i]->acceptOne([&, i](std::shared_ptr<verbs::QueuePair> q) {
+            peer_qp[i] = q;
+            q->postRecv(1, *pmr[i], 0, 8192);
+        });
+    }
+
+    auto qp_a = prov0.createQp(nic::QpType::ReliableTcp, cq, cq);
+    auto qp_b = prov0.createQp(nic::QpType::ReliableTcp, cq, cq);
+    int connected = 0;
+    qp_a->connect(bed.addr(1, 700), [&](bool ok) { connected += ok; });
+    qp_b->connect(bed.addr(2, 700), [&](bool ok) { connected += ok; });
+    bed.sim().runUntilCondition([&] { return connected == 2; },
+                                10 * sim::oneSec);
+    ASSERT_EQ(connected, 2);
+
+    qp_a->postSend(100, *mr, 0, 64);
+    qp_b->postSend(200, *mr, 64, 64);
+    std::vector<std::pair<nic::QpNum, std::uint64_t>> seen;
+    bed.sim().runUntilCondition(
+        [&] {
+            Completion c;
+            while (cq->poll(c))
+                seen.emplace_back(c.qp, c.wrId);
+            return seen.size() == 2;
+        },
+        bed.sim().now() + 10 * sim::oneSec);
+    ASSERT_EQ(seen.size(), 2u);
+    // One completion per QP, both via the shared CQ.
+    EXPECT_NE(seen[0].first, seen[1].first);
+}
+
+TEST(QpipVerbs, DisconnectFlushesPostedReceives)
+{
+    QpipTestbed bed(2);
+    RcPair p(bed);
+    ASSERT_TRUE(p.ready());
+    p.qp1->postRecv(41, *p.mr1, 0, 512);
+    p.qp1->postRecv(42, *p.mr1, 512, 512);
+    p.qp0->disconnect();
+    // Wait for the FIN exchange to close both ends and flush.
+    std::vector<std::uint64_t> flushed;
+    bed.sim().runUntilCondition(
+        [&] {
+            Completion c;
+            while (p.cq1->poll(c)) {
+                if (!c.isSend)
+                    flushed.push_back(c.wrId);
+            }
+            return flushed.size() == 2;
+        },
+        bed.sim().now() + 30 * sim::oneSec);
+    ASSERT_EQ(flushed.size(), 2u);
+    EXPECT_EQ(flushed[0], 41u);
+    EXPECT_EQ(flushed[1], 42u);
+}
+
+TEST(QpipVerbs, SgeBeyondRegionFailsSend)
+{
+    QpipTestbed bed(2);
+    RcPair p(bed);
+    ASSERT_TRUE(p.ready());
+    EXPECT_DEATH(p.qp0->postSend(1, *p.mr0, p.buf0.size() - 10, 100),
+                 "SGE out of region bounds");
+}
+
+TEST(QpipVerbs, SendQueueCapacityEnforced)
+{
+    QpipTestbed bed(2);
+    auto &prov = bed.provider(0);
+    auto cq = prov.createCq();
+    std::vector<std::uint8_t> buf(1024);
+    auto mr = prov.registerMemory(buf);
+    auto qp = prov.createQp(nic::QpType::ReliableTcp, cq, cq, 4, 4);
+    // Not connected: WRs queue in host memory up to the cap.
+    for (int i = 0; i < 4; ++i)
+        EXPECT_TRUE(qp->postSend(i, *mr, 0, 16));
+    EXPECT_FALSE(qp->postSend(99, *mr, 0, 16));
+}
+
+TEST(QpipNicStats, FirmwareOccupancyAccrues)
+{
+    QpipTestbed bed(2);
+    RcPair p(bed);
+    ASSERT_TRUE(p.ready());
+    p.qp1->postRecv(1, *p.mr1, 0, 8192);
+    p.qp0->postSend(2, *p.mr0, 0, 4096);
+    Completion c;
+    ASSERT_TRUE(awaitCompletion(bed, *p.cq1, c));
+    auto &fw = bed.nicOf(0).fw();
+    EXPECT_GT(fw.busyTotal(), 0u);
+    EXPECT_GT(fw.stageStat(nic::FwStage::GetWr).count(), 0u);
+    EXPECT_GT(fw.stageStat(nic::FwStage::GetData).count(), 0u);
+    EXPECT_GT(fw.stageStat(nic::FwStage::BuildTcpHdr).count(), 0u);
+    auto &fw1 = bed.nicOf(1).fw();
+    EXPECT_GT(fw1.stageStat(nic::FwStage::PutData).count(), 0u);
+    EXPECT_GT(fw1.stageStat(nic::FwStage::TcpParse).count(), 0u);
+}

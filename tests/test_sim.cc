@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Unit tests for the simulation kernel: event ordering and
+ * cancellation, clock-domain conversion, statistics, RNG determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/clock.hh"
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+#include "sim/simulation.hh"
+#include "sim/stats.hh"
+
+using namespace qpip::sim;
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, TieBreaksByPriorityThenInsertion)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(10, [&] { order.push_back(1); }, 5);
+    eq.schedule(10, [&] { order.push_back(2); }, -1);
+    eq.schedule(10, [&] { order.push_back(3); }, 5);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{2, 1, 3}));
+}
+
+TEST(EventQueue, CancelPreventsExecution)
+{
+    EventQueue eq;
+    bool ran = false;
+    auto h = eq.schedule(10, [&] { ran = true; });
+    EXPECT_TRUE(h.pending());
+    h.cancel();
+    EXPECT_FALSE(h.pending());
+    eq.run();
+    EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue eq;
+    int count = 0;
+    std::function<void()> chain = [&] {
+        if (++count < 5)
+            eq.scheduleIn(10, chain);
+    };
+    eq.schedule(0, chain);
+    eq.run();
+    EXPECT_EQ(count, 5);
+    EXPECT_EQ(eq.now(), 40u);
+}
+
+TEST(EventQueue, RunUntilStopsBeforeBoundary)
+{
+    EventQueue eq;
+    int count = 0;
+    eq.schedule(10, [&] { ++count; });
+    eq.schedule(20, [&] { ++count; });
+    eq.runUntil(20); // events at exactly 20 do not run
+    EXPECT_EQ(count, 1);
+    EXPECT_EQ(eq.now(), 20u);
+    eq.run();
+    EXPECT_EQ(count, 2);
+}
+
+TEST(EventQueue, NextEventTickSkipsCancelled)
+{
+    EventQueue eq;
+    auto h = eq.schedule(10, [] {});
+    eq.schedule(20, [] {});
+    h.cancel();
+    EXPECT_EQ(eq.nextEventTick(), 20u);
+}
+
+TEST(Clock, ConvertsCyclesToTicks)
+{
+    ClockDomain host(550'000'000);
+    // One cycle at 550 MHz is ~1818.18 ps.
+    EXPECT_EQ(host.cyclesToTicks(1), 1818u);
+    EXPECT_EQ(host.cyclesToTicks(550'000'000), oneSec);
+
+    ClockDomain lanai(133'000'000);
+    EXPECT_NEAR(static_cast<double>(lanai.cyclesToTicks(133)),
+                static_cast<double>(oneUs), 5.0);
+}
+
+TEST(Clock, UsToCyclesRoundTrips)
+{
+    ClockDomain lanai(133'000'000);
+    EXPECT_EQ(lanai.usToCycles(1.0), 133u);
+    EXPECT_EQ(lanai.usToCycles(5.5), 732u);
+}
+
+TEST(Stats, SampleStatMoments)
+{
+    SampleStat s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.sample(v);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.stddev(), 2.138, 0.001);
+    EXPECT_EQ(s.min(), 2.0);
+    EXPECT_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.total(), 40.0);
+}
+
+TEST(Stats, HistogramBucketsAndQuantiles)
+{
+    Histogram h(0.0, 100.0, 10);
+    for (int i = 0; i < 100; ++i)
+        h.sample(i + 0.5);
+    EXPECT_EQ(h.count(), 100u);
+    for (std::size_t i = 0; i < 10; ++i)
+        EXPECT_EQ(h.bucket(i), 10u);
+    EXPECT_NEAR(h.quantile(0.5), 55.0, 10.0);
+    h.sample(-1);
+    h.sample(1000);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+}
+
+TEST(Random, DeterministicAcrossInstances)
+{
+    Random a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Random, UniformIntStaysInRange)
+{
+    Random r(7);
+    for (int i = 0; i < 1000; ++i) {
+        auto v = r.uniformInt(10, 20);
+        EXPECT_GE(v, 10u);
+        EXPECT_LE(v, 20u);
+    }
+}
+
+TEST(Random, BernoulliRespectsProbability)
+{
+    Random r(11);
+    int hits = 0;
+    for (int i = 0; i < 100000; ++i)
+        hits += r.bernoulli(0.3);
+    EXPECT_NEAR(hits / 100000.0, 0.3, 0.02);
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+}
+
+TEST(Random, ExponentialHasRequestedMean)
+{
+    Random r(13);
+    double sum = 0;
+    for (int i = 0; i < 100000; ++i)
+        sum += r.exponential(5.0);
+    EXPECT_NEAR(sum / 100000.0, 5.0, 0.2);
+}
+
+TEST(Simulation, RunUntilConditionStopsEarly)
+{
+    Simulation sim;
+    int count = 0;
+    for (int i = 1; i <= 10; ++i)
+        sim.eventQueue().schedule(i * 10, [&] { ++count; });
+    const bool met =
+        sim.runUntilCondition([&] { return count == 3; });
+    EXPECT_TRUE(met);
+    EXPECT_EQ(count, 3);
+    sim.run();
+    EXPECT_EQ(count, 10);
+}
+
+TEST(Simulation, RunForAdvancesTime)
+{
+    Simulation sim;
+    sim.runFor(5 * oneUs);
+    EXPECT_EQ(sim.now(), 5 * oneUs);
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * End-to-end smoke tests: one ping-pong and one small transfer on
+ * each of the three systems. If these pass, the full stack — event
+ * kernel, fabric, protocols, host model, NIC models, verbs — hangs
+ * together.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/pingpong.hh"
+#include "apps/ttcp.hh"
+
+using namespace qpip;
+using namespace qpip::apps;
+
+TEST(Smoke, SocketTcpPingPongGigE)
+{
+    SocketsTestbed bed(2, SocketsFabric::GigabitEthernet);
+    auto r = runSocketTcpPingPong(bed, 32);
+    ASSERT_TRUE(r.completed);
+    // SAN-scale RTT: tens to low hundreds of microseconds.
+    EXPECT_GT(r.rttUs, 20.0);
+    EXPECT_LT(r.rttUs, 400.0);
+}
+
+TEST(Smoke, SocketUdpPingPongGigE)
+{
+    SocketsTestbed bed(2, SocketsFabric::GigabitEthernet);
+    auto r = runSocketUdpPingPong(bed, 32);
+    ASSERT_TRUE(r.completed);
+    EXPECT_GT(r.rttUs, 10.0);
+    EXPECT_LT(r.rttUs, 400.0);
+}
+
+TEST(Smoke, QpipTcpPingPong)
+{
+    QpipTestbed bed(2);
+    auto r = runQpipTcpPingPong(bed, 32);
+    ASSERT_TRUE(r.completed);
+    EXPECT_GT(r.rttUs, 10.0);
+    EXPECT_LT(r.rttUs, 300.0);
+}
+
+TEST(Smoke, QpipUdpPingPong)
+{
+    QpipTestbed bed(2);
+    auto r = runQpipUdpPingPong(bed, 32);
+    ASSERT_TRUE(r.completed);
+    EXPECT_GT(r.rttUs, 10.0);
+    EXPECT_LT(r.rttUs, 300.0);
+}
+
+TEST(Smoke, SocketsTtcpSmall)
+{
+    SocketsTestbed bed(2, SocketsFabric::GigabitEthernet);
+    auto r = runSocketsTtcp(bed, 1 << 20);
+    ASSERT_TRUE(r.completed);
+    EXPECT_GT(r.mbPerSec, 5.0);
+}
+
+TEST(Smoke, QpipTtcpSmall)
+{
+    QpipTestbed bed(2);
+    auto r = runQpipTtcp(bed, 1 << 20);
+    ASSERT_TRUE(r.completed);
+    EXPECT_GT(r.mbPerSec, 5.0);
+}
