@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hw_assists.dir/ablation_hw_assists.cpp.o"
+  "CMakeFiles/ablation_hw_assists.dir/ablation_hw_assists.cpp.o.d"
+  "ablation_hw_assists"
+  "ablation_hw_assists.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hw_assists.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_loss.dir/ablation_loss.cpp.o"
+  "CMakeFiles/ablation_loss.dir/ablation_loss.cpp.o.d"
+  "ablation_loss"
+  "ablation_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mtu.dir/ablation_mtu.cpp.o"
+  "CMakeFiles/ablation_mtu.dir/ablation_mtu.cpp.o.d"
+  "ablation_mtu"
+  "ablation_mtu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mtu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

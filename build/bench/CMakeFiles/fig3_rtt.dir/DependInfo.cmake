@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig3_rtt.cpp" "bench/CMakeFiles/fig3_rtt.dir/fig3_rtt.cpp.o" "gcc" "bench/CMakeFiles/fig3_rtt.dir/fig3_rtt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qpip_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qpip_verbs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qpip_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qpip_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qpip_inet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qpip_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qpip_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

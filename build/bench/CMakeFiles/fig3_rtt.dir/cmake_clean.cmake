@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_rtt.dir/fig3_rtt.cpp.o"
+  "CMakeFiles/fig3_rtt.dir/fig3_rtt.cpp.o.d"
+  "fig3_rtt"
+  "fig3_rtt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_rtt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_throughput.dir/fig4_throughput.cpp.o"
+  "CMakeFiles/fig4_throughput.dir/fig4_throughput.cpp.o.d"
+  "fig4_throughput"
+  "fig4_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_nbd.dir/fig7_nbd.cpp.o"
+  "CMakeFiles/fig7_nbd.dir/fig7_nbd.cpp.o.d"
+  "fig7_nbd"
+  "fig7_nbd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_nbd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

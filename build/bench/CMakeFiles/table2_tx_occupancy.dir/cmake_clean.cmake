@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_tx_occupancy.dir/table2_tx_occupancy.cpp.o"
+  "CMakeFiles/table2_tx_occupancy.dir/table2_tx_occupancy.cpp.o.d"
+  "table2_tx_occupancy"
+  "table2_tx_occupancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_tx_occupancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

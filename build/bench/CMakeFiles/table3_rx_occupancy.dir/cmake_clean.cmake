@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_rx_occupancy.dir/table3_rx_occupancy.cpp.o"
+  "CMakeFiles/table3_rx_occupancy.dir/table3_rx_occupancy.cpp.o.d"
+  "table3_rx_occupancy"
+  "table3_rx_occupancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_rx_occupancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

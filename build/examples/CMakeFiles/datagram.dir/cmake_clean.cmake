@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datagram.dir/datagram.cpp.o"
+  "CMakeFiles/datagram.dir/datagram.cpp.o.d"
+  "datagram"
+  "datagram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datagram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lossy_fabric.dir/lossy_fabric.cpp.o"
+  "CMakeFiles/lossy_fabric.dir/lossy_fabric.cpp.o.d"
+  "lossy_fabric"
+  "lossy_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lossy_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for lossy_fabric.
+# This may be replaced when dependencies are built.

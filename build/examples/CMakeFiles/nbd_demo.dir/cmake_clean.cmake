@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbd_demo.dir/nbd_demo.cpp.o"
+  "CMakeFiles/nbd_demo.dir/nbd_demo.cpp.o.d"
+  "nbd_demo"
+  "nbd_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbd_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

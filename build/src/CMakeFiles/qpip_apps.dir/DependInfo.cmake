@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/disk.cc" "src/CMakeFiles/qpip_apps.dir/apps/disk.cc.o" "gcc" "src/CMakeFiles/qpip_apps.dir/apps/disk.cc.o.d"
+  "/root/repo/src/apps/nbd.cc" "src/CMakeFiles/qpip_apps.dir/apps/nbd.cc.o" "gcc" "src/CMakeFiles/qpip_apps.dir/apps/nbd.cc.o.d"
+  "/root/repo/src/apps/pingpong.cc" "src/CMakeFiles/qpip_apps.dir/apps/pingpong.cc.o" "gcc" "src/CMakeFiles/qpip_apps.dir/apps/pingpong.cc.o.d"
+  "/root/repo/src/apps/testbed.cc" "src/CMakeFiles/qpip_apps.dir/apps/testbed.cc.o" "gcc" "src/CMakeFiles/qpip_apps.dir/apps/testbed.cc.o.d"
+  "/root/repo/src/apps/ttcp.cc" "src/CMakeFiles/qpip_apps.dir/apps/ttcp.cc.o" "gcc" "src/CMakeFiles/qpip_apps.dir/apps/ttcp.cc.o.d"
+  "/root/repo/src/apps/verbs_util.cc" "src/CMakeFiles/qpip_apps.dir/apps/verbs_util.cc.o" "gcc" "src/CMakeFiles/qpip_apps.dir/apps/verbs_util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qpip_verbs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qpip_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qpip_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qpip_inet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qpip_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qpip_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qpip_apps.dir/apps/disk.cc.o"
+  "CMakeFiles/qpip_apps.dir/apps/disk.cc.o.d"
+  "CMakeFiles/qpip_apps.dir/apps/nbd.cc.o"
+  "CMakeFiles/qpip_apps.dir/apps/nbd.cc.o.d"
+  "CMakeFiles/qpip_apps.dir/apps/pingpong.cc.o"
+  "CMakeFiles/qpip_apps.dir/apps/pingpong.cc.o.d"
+  "CMakeFiles/qpip_apps.dir/apps/testbed.cc.o"
+  "CMakeFiles/qpip_apps.dir/apps/testbed.cc.o.d"
+  "CMakeFiles/qpip_apps.dir/apps/ttcp.cc.o"
+  "CMakeFiles/qpip_apps.dir/apps/ttcp.cc.o.d"
+  "CMakeFiles/qpip_apps.dir/apps/verbs_util.cc.o"
+  "CMakeFiles/qpip_apps.dir/apps/verbs_util.cc.o.d"
+  "libqpip_apps.a"
+  "libqpip_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qpip_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/host/cpu.cc" "src/CMakeFiles/qpip_host.dir/host/cpu.cc.o" "gcc" "src/CMakeFiles/qpip_host.dir/host/cpu.cc.o.d"
+  "/root/repo/src/host/host.cc" "src/CMakeFiles/qpip_host.dir/host/host.cc.o" "gcc" "src/CMakeFiles/qpip_host.dir/host/host.cc.o.d"
+  "/root/repo/src/host/host_os.cc" "src/CMakeFiles/qpip_host.dir/host/host_os.cc.o" "gcc" "src/CMakeFiles/qpip_host.dir/host/host_os.cc.o.d"
+  "/root/repo/src/host/host_stack.cc" "src/CMakeFiles/qpip_host.dir/host/host_stack.cc.o" "gcc" "src/CMakeFiles/qpip_host.dir/host/host_stack.cc.o.d"
+  "/root/repo/src/host/sockbuf.cc" "src/CMakeFiles/qpip_host.dir/host/sockbuf.cc.o" "gcc" "src/CMakeFiles/qpip_host.dir/host/sockbuf.cc.o.d"
+  "/root/repo/src/host/socket.cc" "src/CMakeFiles/qpip_host.dir/host/socket.cc.o" "gcc" "src/CMakeFiles/qpip_host.dir/host/socket.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qpip_inet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qpip_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qpip_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

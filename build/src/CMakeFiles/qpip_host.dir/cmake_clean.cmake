@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qpip_host.dir/host/cpu.cc.o"
+  "CMakeFiles/qpip_host.dir/host/cpu.cc.o.d"
+  "CMakeFiles/qpip_host.dir/host/host.cc.o"
+  "CMakeFiles/qpip_host.dir/host/host.cc.o.d"
+  "CMakeFiles/qpip_host.dir/host/host_os.cc.o"
+  "CMakeFiles/qpip_host.dir/host/host_os.cc.o.d"
+  "CMakeFiles/qpip_host.dir/host/host_stack.cc.o"
+  "CMakeFiles/qpip_host.dir/host/host_stack.cc.o.d"
+  "CMakeFiles/qpip_host.dir/host/sockbuf.cc.o"
+  "CMakeFiles/qpip_host.dir/host/sockbuf.cc.o.d"
+  "CMakeFiles/qpip_host.dir/host/socket.cc.o"
+  "CMakeFiles/qpip_host.dir/host/socket.cc.o.d"
+  "libqpip_host.a"
+  "libqpip_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qpip_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

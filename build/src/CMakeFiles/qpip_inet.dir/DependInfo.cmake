@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/inet/checksum.cc" "src/CMakeFiles/qpip_inet.dir/inet/checksum.cc.o" "gcc" "src/CMakeFiles/qpip_inet.dir/inet/checksum.cc.o.d"
+  "/root/repo/src/inet/inet_addr.cc" "src/CMakeFiles/qpip_inet.dir/inet/inet_addr.cc.o" "gcc" "src/CMakeFiles/qpip_inet.dir/inet/inet_addr.cc.o.d"
+  "/root/repo/src/inet/ip_frag.cc" "src/CMakeFiles/qpip_inet.dir/inet/ip_frag.cc.o" "gcc" "src/CMakeFiles/qpip_inet.dir/inet/ip_frag.cc.o.d"
+  "/root/repo/src/inet/ipv4.cc" "src/CMakeFiles/qpip_inet.dir/inet/ipv4.cc.o" "gcc" "src/CMakeFiles/qpip_inet.dir/inet/ipv4.cc.o.d"
+  "/root/repo/src/inet/ipv6.cc" "src/CMakeFiles/qpip_inet.dir/inet/ipv6.cc.o" "gcc" "src/CMakeFiles/qpip_inet.dir/inet/ipv6.cc.o.d"
+  "/root/repo/src/inet/route.cc" "src/CMakeFiles/qpip_inet.dir/inet/route.cc.o" "gcc" "src/CMakeFiles/qpip_inet.dir/inet/route.cc.o.d"
+  "/root/repo/src/inet/rtt_estimator.cc" "src/CMakeFiles/qpip_inet.dir/inet/rtt_estimator.cc.o" "gcc" "src/CMakeFiles/qpip_inet.dir/inet/rtt_estimator.cc.o.d"
+  "/root/repo/src/inet/tcp_conn.cc" "src/CMakeFiles/qpip_inet.dir/inet/tcp_conn.cc.o" "gcc" "src/CMakeFiles/qpip_inet.dir/inet/tcp_conn.cc.o.d"
+  "/root/repo/src/inet/tcp_header.cc" "src/CMakeFiles/qpip_inet.dir/inet/tcp_header.cc.o" "gcc" "src/CMakeFiles/qpip_inet.dir/inet/tcp_header.cc.o.d"
+  "/root/repo/src/inet/tcp_reass.cc" "src/CMakeFiles/qpip_inet.dir/inet/tcp_reass.cc.o" "gcc" "src/CMakeFiles/qpip_inet.dir/inet/tcp_reass.cc.o.d"
+  "/root/repo/src/inet/udp.cc" "src/CMakeFiles/qpip_inet.dir/inet/udp.cc.o" "gcc" "src/CMakeFiles/qpip_inet.dir/inet/udp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qpip_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qpip_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

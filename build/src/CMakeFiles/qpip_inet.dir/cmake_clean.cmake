@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qpip_inet.dir/inet/checksum.cc.o"
+  "CMakeFiles/qpip_inet.dir/inet/checksum.cc.o.d"
+  "CMakeFiles/qpip_inet.dir/inet/inet_addr.cc.o"
+  "CMakeFiles/qpip_inet.dir/inet/inet_addr.cc.o.d"
+  "CMakeFiles/qpip_inet.dir/inet/ip_frag.cc.o"
+  "CMakeFiles/qpip_inet.dir/inet/ip_frag.cc.o.d"
+  "CMakeFiles/qpip_inet.dir/inet/ipv4.cc.o"
+  "CMakeFiles/qpip_inet.dir/inet/ipv4.cc.o.d"
+  "CMakeFiles/qpip_inet.dir/inet/ipv6.cc.o"
+  "CMakeFiles/qpip_inet.dir/inet/ipv6.cc.o.d"
+  "CMakeFiles/qpip_inet.dir/inet/route.cc.o"
+  "CMakeFiles/qpip_inet.dir/inet/route.cc.o.d"
+  "CMakeFiles/qpip_inet.dir/inet/rtt_estimator.cc.o"
+  "CMakeFiles/qpip_inet.dir/inet/rtt_estimator.cc.o.d"
+  "CMakeFiles/qpip_inet.dir/inet/tcp_conn.cc.o"
+  "CMakeFiles/qpip_inet.dir/inet/tcp_conn.cc.o.d"
+  "CMakeFiles/qpip_inet.dir/inet/tcp_header.cc.o"
+  "CMakeFiles/qpip_inet.dir/inet/tcp_header.cc.o.d"
+  "CMakeFiles/qpip_inet.dir/inet/tcp_reass.cc.o"
+  "CMakeFiles/qpip_inet.dir/inet/tcp_reass.cc.o.d"
+  "CMakeFiles/qpip_inet.dir/inet/udp.cc.o"
+  "CMakeFiles/qpip_inet.dir/inet/udp.cc.o.d"
+  "libqpip_inet.a"
+  "libqpip_inet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qpip_inet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/fault.cc" "src/CMakeFiles/qpip_net.dir/net/fault.cc.o" "gcc" "src/CMakeFiles/qpip_net.dir/net/fault.cc.o.d"
+  "/root/repo/src/net/link.cc" "src/CMakeFiles/qpip_net.dir/net/link.cc.o" "gcc" "src/CMakeFiles/qpip_net.dir/net/link.cc.o.d"
+  "/root/repo/src/net/packet.cc" "src/CMakeFiles/qpip_net.dir/net/packet.cc.o" "gcc" "src/CMakeFiles/qpip_net.dir/net/packet.cc.o.d"
+  "/root/repo/src/net/serialize.cc" "src/CMakeFiles/qpip_net.dir/net/serialize.cc.o" "gcc" "src/CMakeFiles/qpip_net.dir/net/serialize.cc.o.d"
+  "/root/repo/src/net/switch.cc" "src/CMakeFiles/qpip_net.dir/net/switch.cc.o" "gcc" "src/CMakeFiles/qpip_net.dir/net/switch.cc.o.d"
+  "/root/repo/src/net/topology.cc" "src/CMakeFiles/qpip_net.dir/net/topology.cc.o" "gcc" "src/CMakeFiles/qpip_net.dir/net/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qpip_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qpip_net.dir/net/fault.cc.o"
+  "CMakeFiles/qpip_net.dir/net/fault.cc.o.d"
+  "CMakeFiles/qpip_net.dir/net/link.cc.o"
+  "CMakeFiles/qpip_net.dir/net/link.cc.o.d"
+  "CMakeFiles/qpip_net.dir/net/packet.cc.o"
+  "CMakeFiles/qpip_net.dir/net/packet.cc.o.d"
+  "CMakeFiles/qpip_net.dir/net/serialize.cc.o"
+  "CMakeFiles/qpip_net.dir/net/serialize.cc.o.d"
+  "CMakeFiles/qpip_net.dir/net/switch.cc.o"
+  "CMakeFiles/qpip_net.dir/net/switch.cc.o.d"
+  "CMakeFiles/qpip_net.dir/net/topology.cc.o"
+  "CMakeFiles/qpip_net.dir/net/topology.cc.o.d"
+  "libqpip_net.a"
+  "libqpip_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qpip_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

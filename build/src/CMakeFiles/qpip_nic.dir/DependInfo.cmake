@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nic/dma.cc" "src/CMakeFiles/qpip_nic.dir/nic/dma.cc.o" "gcc" "src/CMakeFiles/qpip_nic.dir/nic/dma.cc.o.d"
+  "/root/repo/src/nic/doorbell.cc" "src/CMakeFiles/qpip_nic.dir/nic/doorbell.cc.o" "gcc" "src/CMakeFiles/qpip_nic.dir/nic/doorbell.cc.o.d"
+  "/root/repo/src/nic/eth_nic.cc" "src/CMakeFiles/qpip_nic.dir/nic/eth_nic.cc.o" "gcc" "src/CMakeFiles/qpip_nic.dir/nic/eth_nic.cc.o.d"
+  "/root/repo/src/nic/lanai.cc" "src/CMakeFiles/qpip_nic.dir/nic/lanai.cc.o" "gcc" "src/CMakeFiles/qpip_nic.dir/nic/lanai.cc.o.d"
+  "/root/repo/src/nic/qpip_nic.cc" "src/CMakeFiles/qpip_nic.dir/nic/qpip_nic.cc.o" "gcc" "src/CMakeFiles/qpip_nic.dir/nic/qpip_nic.cc.o.d"
+  "/root/repo/src/nic/report.cc" "src/CMakeFiles/qpip_nic.dir/nic/report.cc.o" "gcc" "src/CMakeFiles/qpip_nic.dir/nic/report.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qpip_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qpip_inet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qpip_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qpip_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qpip_nic.dir/nic/dma.cc.o"
+  "CMakeFiles/qpip_nic.dir/nic/dma.cc.o.d"
+  "CMakeFiles/qpip_nic.dir/nic/doorbell.cc.o"
+  "CMakeFiles/qpip_nic.dir/nic/doorbell.cc.o.d"
+  "CMakeFiles/qpip_nic.dir/nic/eth_nic.cc.o"
+  "CMakeFiles/qpip_nic.dir/nic/eth_nic.cc.o.d"
+  "CMakeFiles/qpip_nic.dir/nic/lanai.cc.o"
+  "CMakeFiles/qpip_nic.dir/nic/lanai.cc.o.d"
+  "CMakeFiles/qpip_nic.dir/nic/qpip_nic.cc.o"
+  "CMakeFiles/qpip_nic.dir/nic/qpip_nic.cc.o.d"
+  "CMakeFiles/qpip_nic.dir/nic/report.cc.o"
+  "CMakeFiles/qpip_nic.dir/nic/report.cc.o.d"
+  "libqpip_nic.a"
+  "libqpip_nic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qpip_nic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qpip_sim.dir/sim/clock.cc.o"
+  "CMakeFiles/qpip_sim.dir/sim/clock.cc.o.d"
+  "CMakeFiles/qpip_sim.dir/sim/event_queue.cc.o"
+  "CMakeFiles/qpip_sim.dir/sim/event_queue.cc.o.d"
+  "CMakeFiles/qpip_sim.dir/sim/logging.cc.o"
+  "CMakeFiles/qpip_sim.dir/sim/logging.cc.o.d"
+  "CMakeFiles/qpip_sim.dir/sim/random.cc.o"
+  "CMakeFiles/qpip_sim.dir/sim/random.cc.o.d"
+  "CMakeFiles/qpip_sim.dir/sim/sim_object.cc.o"
+  "CMakeFiles/qpip_sim.dir/sim/sim_object.cc.o.d"
+  "CMakeFiles/qpip_sim.dir/sim/simulation.cc.o"
+  "CMakeFiles/qpip_sim.dir/sim/simulation.cc.o.d"
+  "CMakeFiles/qpip_sim.dir/sim/stats.cc.o"
+  "CMakeFiles/qpip_sim.dir/sim/stats.cc.o.d"
+  "libqpip_sim.a"
+  "libqpip_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qpip_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qpip/completion_queue.cc" "src/CMakeFiles/qpip_verbs.dir/qpip/completion_queue.cc.o" "gcc" "src/CMakeFiles/qpip_verbs.dir/qpip/completion_queue.cc.o.d"
+  "/root/repo/src/qpip/connection.cc" "src/CMakeFiles/qpip_verbs.dir/qpip/connection.cc.o" "gcc" "src/CMakeFiles/qpip_verbs.dir/qpip/connection.cc.o.d"
+  "/root/repo/src/qpip/memory_region.cc" "src/CMakeFiles/qpip_verbs.dir/qpip/memory_region.cc.o" "gcc" "src/CMakeFiles/qpip_verbs.dir/qpip/memory_region.cc.o.d"
+  "/root/repo/src/qpip/provider.cc" "src/CMakeFiles/qpip_verbs.dir/qpip/provider.cc.o" "gcc" "src/CMakeFiles/qpip_verbs.dir/qpip/provider.cc.o.d"
+  "/root/repo/src/qpip/queue_pair.cc" "src/CMakeFiles/qpip_verbs.dir/qpip/queue_pair.cc.o" "gcc" "src/CMakeFiles/qpip_verbs.dir/qpip/queue_pair.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qpip_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qpip_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qpip_inet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qpip_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qpip_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

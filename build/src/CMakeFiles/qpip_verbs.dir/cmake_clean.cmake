@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qpip_verbs.dir/qpip/completion_queue.cc.o"
+  "CMakeFiles/qpip_verbs.dir/qpip/completion_queue.cc.o.d"
+  "CMakeFiles/qpip_verbs.dir/qpip/connection.cc.o"
+  "CMakeFiles/qpip_verbs.dir/qpip/connection.cc.o.d"
+  "CMakeFiles/qpip_verbs.dir/qpip/memory_region.cc.o"
+  "CMakeFiles/qpip_verbs.dir/qpip/memory_region.cc.o.d"
+  "CMakeFiles/qpip_verbs.dir/qpip/provider.cc.o"
+  "CMakeFiles/qpip_verbs.dir/qpip/provider.cc.o.d"
+  "CMakeFiles/qpip_verbs.dir/qpip/queue_pair.cc.o"
+  "CMakeFiles/qpip_verbs.dir/qpip/queue_pair.cc.o.d"
+  "libqpip_verbs.a"
+  "libqpip_verbs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qpip_verbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

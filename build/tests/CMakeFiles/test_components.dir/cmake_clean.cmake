@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_components.dir/test_components.cc.o"
+  "CMakeFiles/test_components.dir/test_components.cc.o.d"
+  "test_components"
+  "test_components.pdb"
+  "test_components[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

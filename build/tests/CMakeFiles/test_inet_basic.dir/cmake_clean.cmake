@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_inet_basic.dir/test_inet_basic.cc.o"
+  "CMakeFiles/test_inet_basic.dir/test_inet_basic.cc.o.d"
+  "test_inet_basic"
+  "test_inet_basic.pdb"
+  "test_inet_basic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_inet_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interop.dir/test_interop.cc.o"
+  "CMakeFiles/test_interop.dir/test_interop.cc.o.d"
+  "test_interop"
+  "test_interop.pdb"
+  "test_interop[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nbd.dir/test_nbd.cc.o"
+  "CMakeFiles/test_nbd.dir/test_nbd.cc.o.d"
+  "test_nbd"
+  "test_nbd.pdb"
+  "test_nbd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nbd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_occupancy.dir/test_occupancy.cc.o"
+  "CMakeFiles/test_occupancy.dir/test_occupancy.cc.o.d"
+  "test_occupancy"
+  "test_occupancy.pdb"
+  "test_occupancy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_occupancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property.dir/test_property.cc.o"
+  "CMakeFiles/test_property.dir/test_property.cc.o.d"
+  "test_property"
+  "test_property.pdb"
+  "test_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

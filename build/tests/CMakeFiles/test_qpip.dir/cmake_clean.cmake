@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qpip.dir/test_qpip.cc.o"
+  "CMakeFiles/test_qpip.dir/test_qpip.cc.o.d"
+  "test_qpip"
+  "test_qpip.pdb"
+  "test_qpip[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qpip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
