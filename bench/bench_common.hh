@@ -17,7 +17,32 @@
 #include <string>
 #include <vector>
 
+#include "sim/stat_registry.hh"
+
 namespace qpip::bench {
+
+/** Counter value by registry path (0 when absent). */
+inline double
+statValue(const sim::StatRegistry &stats, const std::string &path)
+{
+    return static_cast<double>(stats.counterValue(path));
+}
+
+/** SampleStat mean by registry path (0 when absent or empty). */
+inline double
+statMean(const sim::StatRegistry &stats, const std::string &path)
+{
+    const sim::SampleStat *s = stats.sample(path);
+    return (s != nullptr && s->count() > 0) ? s->mean() : 0.0;
+}
+
+/** SampleStat sample count by registry path (0 when absent). */
+inline std::uint64_t
+statCount(const sim::StatRegistry &stats, const std::string &path)
+{
+    const sim::SampleStat *s = stats.sample(path);
+    return s != nullptr ? s->count() : 0;
+}
 
 /** One result row: a bar in a figure or a line in a table. */
 struct Row

@@ -99,12 +99,18 @@ runOccupancyWorkload(apps::QpipTestbed &bed, std::size_t messages)
         bed.sim().now() + 600 * sim::oneSec);
 }
 
-/** Stage mean in microseconds, or 0 when no samples. */
+/** Registry path of a firmware stage's occupancy SampleStat. */
+inline std::string
+stagePath(nic::QpipNic &nic, nic::FwStage stage)
+{
+    return nic.fw().name() + ".stage." + nic::fwStageTag(stage);
+}
+
+/** Stage mean in microseconds from the stat registry (0 when empty). */
 inline double
 stageMeanUs(nic::QpipNic &nic, nic::FwStage stage)
 {
-    const auto &stat = nic.fw().stageStat(stage);
-    return stat.count() > 0 ? stat.mean() : 0.0;
+    return statMean(nic.statRegistry(), stagePath(nic, stage));
 }
 
 inline Row
@@ -118,8 +124,8 @@ stageRow(const std::string &name, double paper, bool has_paper,
     r.measured = stageMeanUs(nic, stage);
     r.unit = "us";
     r.simSeconds = 1e-4;
-    r.counters["samples"] =
-        static_cast<double>(nic.fw().stageStat(stage).count());
+    r.counters["samples"] = static_cast<double>(
+        statCount(nic.statRegistry(), stagePath(nic, stage)));
     return r;
 }
 

@@ -6,24 +6,61 @@
  * completion queues — the paper's PostSend/PostRecv/Poll workflow in
  * ~80 lines.
  *
- *   $ ./quickstart
+ * Observability flags (all optional):
+ *
+ *   $ ./quickstart --stats=run.json --trace=run.trace.json \
+ *                  --pcap=run.pcap
+ *
+ * --stats dumps the full stat registry as JSON, --trace writes a
+ * Chrome trace_event file (chrome://tracing, ui.perfetto.dev), and
+ * --pcap captures every frame on the fabric for Wireshark.
  */
 
 #include <cstdio>
 #include <cstring>
+#include <string>
 
 #include "apps/testbed.hh"
 #include "apps/verbs_util.hh"
+#include "net/pcap.hh"
+#include "sim/trace.hh"
 
 using namespace qpip;
 using namespace qpip::apps;
 
-int
-main()
+namespace {
+
+const char *
+flagValue(int argc, char **argv, const char *flag)
 {
+    const std::size_t n = std::strlen(flag);
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], flag, n) == 0 && argv[i][n] == '=')
+            return argv[i] + n + 1;
+    }
+    return nullptr;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const char *stats_path = flagValue(argc, argv, "--stats");
+    const char *trace_path = flagValue(argc, argv, "--trace");
+    const char *pcap_path = flagValue(argc, argv, "--pcap");
+
     // A two-node SAN: hosts, QPIP NICs, switch, routes.
     QpipTestbed bed(2);
     auto &sim = bed.sim();
+
+    if (trace_path != nullptr)
+        sim.tracer().enable();
+    net::PcapWriter pcap;
+    if (pcap_path != nullptr) {
+        net::tapLink(bed.fabric().linkFor(0), pcap);
+        net::tapLink(bed.fabric().linkFor(1), pcap);
+    }
 
     // --- server (host 1): park an idle QP on port 7 ----------------
     auto &sprov = bed.provider(1);
@@ -80,5 +117,23 @@ main()
                           sim.now() + 10 * sim::oneSec);
     std::printf("done at t=%.1f us (simulated)\n",
                 sim::ticksToUs(sim.now()));
+
+    if (stats_path != nullptr) {
+        const std::string json = sim.stats().jsonDump();
+        if (std::FILE *f = std::fopen(stats_path, "w")) {
+            std::fwrite(json.data(), 1, json.size(), f);
+            std::fclose(f);
+            std::printf("stats:  %s (%zu stats)\n", stats_path,
+                        sim.stats().size());
+        }
+    }
+    if (trace_path != nullptr && sim.tracer().writeFile(trace_path)) {
+        std::printf("trace:  %s (%zu events)\n", trace_path,
+                    sim.tracer().numEvents());
+    }
+    if (pcap_path != nullptr && pcap.writeFile(pcap_path)) {
+        std::printf("pcap:   %s (%zu frames)\n", pcap_path,
+                    pcap.frames());
+    }
     return server_got && client_done ? 0 : 1;
 }

@@ -13,7 +13,16 @@ using inet::IpProto;
 
 HostStack::HostStack(sim::Simulation &sim, std::string name, HostOS &os)
     : SimObject(sim, std::move(name)), os_(os)
-{}
+{
+    regStat("pktsOut", pktsOut);
+    regStat("pktsIn", pktsIn);
+    regStat("badPktsIn", badPktsIn);
+    regStat("noPortDrops", noPortDrops);
+    regStat("loopbackPkts", loopbackPkts);
+    regStat("reass6.fragmentsIn", reass6_.fragmentsIn);
+    regStat("reass6.reassembled", reass6_.reassembled);
+    regStat("reass6.expired", reass6_.expired);
+}
 
 HostStack::~HostStack() = default;
 
@@ -114,6 +123,11 @@ HostStack::registerConn(const inet::FourTuple &t,
 {
     tcp_.insertConn(t, conn);
     socketsByConn_[conn] = std::move(sock);
+    if (!conn->stats().registered()) {
+        conn->stats().registerIn(
+            statRegistry(),
+            name() + ".tcp.conn" + std::to_string(connSeq_++));
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -374,6 +388,12 @@ HostStack::connectionClosed(inet::TcpConnection &conn)
     // unwinds; the application may still hold the socket.
     auto *key = &conn;
     schedule(curTick(), [this, key] { socketsByConn_.erase(key); });
+}
+
+sim::Tracer *
+HostStack::tracer()
+{
+    return &SimObject::tracer();
 }
 
 } // namespace qpip::host

@@ -111,6 +111,7 @@ class HostStack : public sim::SimObject, public inet::TcpEnv
                    const inet::TcpSegMeta &meta) override;
     std::uint32_t randomIss() override;
     void connectionClosed(inet::TcpConnection &conn) override;
+    sim::Tracer *tracer() override;
 
     // Stats.
     sim::Counter pktsOut;
@@ -156,6 +157,8 @@ class HostStack : public sim::SimObject, public inet::TcpEnv
     inet::Ipv6Reassembler reass6_;
     std::uint16_t identCounter_ = 1;
     std::uint32_t fragIdent_ = 1;
+    /** Monotonic id for per-connection stat prefixes. */
+    std::uint64_t connSeq_ = 0;
 };
 
 } // namespace qpip::host

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 #define TCP_TRACE(...) \
     sim::debugLog(sim::LogLevel::Trace, "tcp", __VA_ARGS__)
@@ -29,11 +30,50 @@ tcpStateName(TcpState s)
     return "?";
 }
 
+void
+TcpStats::registerIn(sim::StatRegistry &registry, std::string prefix)
+{
+    group_.clear();
+    group_.init(registry, std::move(prefix));
+    group_.add("segsOut", segsOut);
+    group_.add("segsIn", segsIn);
+    group_.add("bytesOut", bytesOut);
+    group_.add("bytesIn", bytesIn);
+    group_.add("retransmits", retransmits);
+    group_.add("fastRetransmits", fastRetransmits);
+    group_.add("timeouts", timeouts);
+    group_.add("dupAcksIn", dupAcksIn);
+    group_.add("oooSegments", oooSegments);
+    group_.add("oooDropped", oooDropped);
+    group_.add("hdrPredicted", hdrPredicted);
+    group_.add("msgRefused", msgRefused);
+    group_.add("persistProbes", persistProbes);
+    group_.add("badSegments", badSegments);
+}
+
 TcpConnection::TcpConnection(TcpEnv &env, TcpObserver &observer,
                              TcpConfig config)
     : env_(env), observer_(observer), cfg_(config),
       rtt_(config.minRto, config.maxRto)
 {}
+
+void
+TcpConnection::transition(TcpState next)
+{
+    const TcpState prev = state_;
+    state_ = next;
+    if (prev == next)
+        return;
+    sim::Tracer *tr = env_.tracer();
+    if (tr != nullptr && tr->enabled()) {
+        tr->instant("tcp",
+                    std::string(tcpStateName(prev)) + "->" +
+                        tcpStateName(next),
+                    env_.now(),
+                    sim::strfmt("{\"lport\": %u, \"rport\": %u}",
+                                tuple_.local.port, tuple_.remote.port));
+    }
+}
 
 TcpConnection::~TcpConnection()
 {
@@ -67,7 +107,7 @@ TcpConnection::openActive(const SockAddr &local, const SockAddr &remote)
     sndUna_ = iss_;
     sndNxt_ = iss_ + 1;
     sndMaxSeen_ = sndNxt_;
-    state_ = TcpState::SynSent;
+    transition(TcpState::SynSent);
 
     OutSpec syn;
     syn.seq = iss_;
@@ -103,7 +143,7 @@ TcpConnection::openPassive(const SockAddr &local, const SockAddr &remote,
     sndWl1_ = syn.seq;
     sndWl2_ = iss_;
 
-    state_ = TcpState::SynRcvd;
+    transition(TcpState::SynRcvd);
     OutSpec synack;
     synack.seq = iss_;
     synack.flags = tcpflags::syn | tcpflags::ack;
@@ -443,9 +483,9 @@ TcpConnection::maybeSendFin()
         sndMaxSeen_ = sndNxt_;
 
     if (state_ == TcpState::Established)
-        state_ = TcpState::FinWait1;
+        transition(TcpState::FinWait1);
     else if (state_ == TcpState::CloseWait)
-        state_ = TcpState::LastAck;
+        transition(TcpState::LastAck);
 
     emitSegment(fin);
     armRtxTimer();
@@ -586,7 +626,7 @@ TcpConnection::onPersistTimeout()
 void
 TcpConnection::enterTimeWait()
 {
-    state_ = TcpState::TimeWait;
+    transition(TcpState::TimeWait);
     cancelRtxTimer();
     timeWaitTimer_.cancel();
     timeWaitTimer_ = env_.scheduleTimer(2 * cfg_.msl, [this] {
@@ -668,7 +708,7 @@ TcpConnection::segmentArrived(const TcpHeader &hdr,
             sendRst(hdr.ack, 0, false);
             return;
         }
-        state_ = TcpState::Established;
+        transition(TcpState::Established);
         const std::uint32_t mss = effMss();
         cwnd_ = cfg_.initialCwndSegs * mss;
         ssthresh_ = cfg_.maxCwndSegs * mss;
@@ -751,7 +791,7 @@ TcpConnection::processSynSent(const TcpHeader &hdr)
     cwndSegs_ = cfg_.initialCwndSegs;
     ssthreshSegs_ = cfg_.maxCwndSegs;
 
-    state_ = TcpState::Established;
+    transition(TcpState::Established);
     rtxRetries_ = 0;
     cancelRtxTimer();
     sendAck();
@@ -965,7 +1005,7 @@ TcpConnection::processAck(const TcpHeader &hdr, std::size_t payload_len)
     if (finSent_ && seqGe(hdr.ack, finSeq_ + 1)) {
         switch (state_) {
           case TcpState::FinWait1:
-            state_ = TcpState::FinWait2;
+            transition(TcpState::FinWait2);
             break;
           case TcpState::Closing:
             enterTimeWait();
@@ -1087,11 +1127,11 @@ TcpConnection::processFin(const TcpHeader &hdr, std::size_t payload_len)
 
     switch (state_) {
       case TcpState::Established:
-        state_ = TcpState::CloseWait;
+        transition(TcpState::CloseWait);
         break;
       case TcpState::FinWait1:
         // Our FIN not yet ACKed (otherwise we'd be in FinWait2).
-        state_ = TcpState::Closing;
+        transition(TcpState::Closing);
         break;
       case TcpState::FinWait2:
         enterTimeWait();
@@ -1146,7 +1186,7 @@ TcpConnection::toClosed(bool notify_reset)
 {
     if (state_ == TcpState::Closed)
         return;
-    state_ = TcpState::Closed;
+    transition(TcpState::Closed);
     rtxTimer_.cancel();
     delAckTimer_.cancel();
     persistTimer_.cancel();

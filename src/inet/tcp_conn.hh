@@ -45,8 +45,13 @@
 #include "inet/tcp_header.hh"
 #include "inet/tcp_reass.hh"
 #include "sim/event_queue.hh"
+#include "sim/stat_registry.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
+
+namespace qpip::sim {
+class Tracer;
+} // namespace qpip::sim
 
 namespace qpip::inet {
 
@@ -133,6 +138,9 @@ class TcpEnv
 
     /** The connection reached Closed; the stack may reap it. */
     virtual void connectionClosed(TcpConnection &conn) = 0;
+
+    /** Event tracer for state-transition instants; may be null. */
+    virtual sim::Tracer *tracer() { return nullptr; }
 };
 
 /**
@@ -204,6 +212,19 @@ struct TcpStats
     sim::Counter msgRefused;
     sim::Counter persistProbes;
     sim::Counter badSegments;
+
+    /**
+     * Publish every counter under "<prefix>.<name>" in @p registry.
+     * The registrations share the connection's lifetime (unregistered
+     * when the TcpStats is destroyed).
+     */
+    void registerIn(sim::StatRegistry &registry, std::string prefix);
+
+    bool registered() const { return group_.bound(); }
+    const std::string &statPrefix() const { return group_.prefix(); }
+
+  private:
+    sim::StatGroup group_;
 };
 
 /**
@@ -349,6 +370,9 @@ class TcpConnection
 
     // --- teardown ----------------------------------------------------
     void toClosed(bool notify_reset);
+
+    /** Move to @p next, emitting a trace instant when tracing is on. */
+    void transition(TcpState next);
 
     TcpEnv &env_;
     TcpObserver &observer_;

@@ -4,6 +4,7 @@
 
 #include "sim/logging.hh"
 #include "sim/simulation.hh"
+#include "sim/trace.hh"
 
 namespace qpip::net {
 
@@ -39,7 +40,16 @@ myrinetLink(std::uint32_t mtu)
 
 Link::Link(sim::Simulation &sim, std::string name, LinkConfig config)
     : SimObject(sim, std::move(name)), cfg_(config), faults_(sim.rng())
-{}
+{
+    regStat("packetsSent", packetsSent);
+    regStat("bytesSent", bytesSent);
+    regStat("oversizeDrops", oversizeDrops);
+    regStat("queueDrops", queueDrops);
+    regStat("faults.drops", faults_.drops);
+    regStat("faults.dups", faults_.dups);
+    regStat("faults.corruptions", faults_.corruptions);
+    regStat("faults.reorders", faults_.reorders);
+}
 
 void
 Link::attach(int side, NetReceiver &receiver)
@@ -99,6 +109,21 @@ Link::send(int from_side, PacketPtr pkt)
     bytesSent.inc(pkt->wireBytes());
 
     FaultDecision fault = faults_.apply(*pkt);
+
+    if (txTap)
+        txTap(*pkt, start);
+    if (tracer().enabled()) {
+        // Tag with the link-local sequence number (not pkt->id, which
+        // is a process-global counter and would break same-seed trace
+        // comparisons across runs).
+        tracer().span(name(), "tx", start, ser,
+                      sim::strfmt("{\"seq\": %llu, \"bytes\": %zu, "
+                                  "\"side\": %d}",
+                                  static_cast<unsigned long long>(
+                                      packetsSent.value()),
+                                  pkt->wireBytes(), from_side));
+    }
+
     if (fault.drop)
         return true; // consumed the wire, never arrives
 

@@ -16,6 +16,7 @@
 
 #include <array>
 #include <deque>
+#include <functional>
 #include <string>
 
 #include "net/fault.hh"
@@ -73,6 +74,13 @@ class Link : public sim::SimObject
 
     const LinkConfig &config() const { return cfg_; }
     FaultInjector &faults() { return faults_; }
+
+    /**
+     * Capture tap: invoked for every frame that occupies the wire
+     * (after fault injection, so corrupted bytes are seen) with the
+     * tick its serialization starts. See net/pcap.hh.
+     */
+    std::function<void(const Packet &, sim::Tick)> txTap;
 
     sim::Counter packetsSent;
     sim::Counter bytesSent;

@@ -10,7 +10,10 @@ using sim::warn;
 Switch::Switch(sim::Simulation &sim, std::string name,
                sim::Tick routing_delay)
     : SimObject(sim, std::move(name)), routingDelay_(routing_delay)
-{}
+{
+    regStat("forwarded", forwarded);
+    regStat("unroutableDrops", unroutableDrops);
+}
 
 int
 Switch::connect(Link &link, int link_side)

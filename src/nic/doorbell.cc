@@ -5,7 +5,10 @@ namespace qpip::nic {
 DoorbellFifo::DoorbellFifo(sim::Simulation &sim, std::string name,
                            std::size_t capacity)
     : SimObject(sim, std::move(name)), capacity_(capacity)
-{}
+{
+    regStat("rings", rings);
+    regStat("overflows", overflows);
+}
 
 void
 DoorbellFifo::ring(const Doorbell &db)

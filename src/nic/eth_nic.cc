@@ -42,6 +42,10 @@ EthNic::EthNic(sim::Simulation &sim, std::string name,
 {
     link_.attach(0, *this);
     stack_.attachNic(*this);
+    regStat("txPackets", txPackets);
+    regStat("rxPackets", rxPackets);
+    regStat("rxRingDrops", rxRingDrops);
+    regStat("interrupts", interrupts);
 }
 
 void

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "sim/simulation.hh"
+#include "sim/trace.hh"
+
 namespace qpip::nic {
 
 const char *
@@ -32,19 +35,56 @@ fwStageName(FwStage s)
     return "?";
 }
 
+const char *
+fwStageTag(FwStage s)
+{
+    switch (s) {
+      case FwStage::DoorbellProcess: return "doorbellProcess";
+      case FwStage::Schedule: return "schedule";
+      case FwStage::GetWr: return "getWr";
+      case FwStage::GetData: return "getData";
+      case FwStage::BuildTcpHdr: return "buildTcpHdr";
+      case FwStage::BuildIpHdr: return "buildIpHdr";
+      case FwStage::MediaSend: return "mediaSend";
+      case FwStage::UpdateTx: return "updateTx";
+      case FwStage::MediaRcv: return "mediaRcv";
+      case FwStage::IpParse: return "ipParse";
+      case FwStage::TcpParse: return "tcpParse";
+      case FwStage::UdpParse: return "udpParse";
+      case FwStage::PutData: return "putData";
+      case FwStage::UpdateRx: return "updateRx";
+      case FwStage::Checksum: return "checksum";
+      case FwStage::Fragment: return "fragment";
+      case FwStage::Reassembly: return "reassembly";
+      case FwStage::Mgmt: return "mgmt";
+      case FwStage::Timer: return "timer";
+      case FwStage::NumStages: break;
+    }
+    return "?";
+}
+
 LanaiProcessor::LanaiProcessor(sim::Simulation &sim, std::string name,
                                std::uint64_t freq_hz)
     : SimObject(sim, std::move(name)), clock_(freq_hz)
-{}
+{
+    for (std::size_t i = 0; i < numFwStages; ++i) {
+        regStat(std::string("stage.") +
+                    fwStageTag(static_cast<FwStage>(i)),
+                stats_[i]);
+    }
+    regStat("busyTicks", busyTicks_);
+}
 
 void
 LanaiProcessor::chargeTicks(FwStage stage, sim::Tick ticks)
 {
     const sim::Tick start = std::max(curTick(), busyUntil_);
     busyUntil_ = start + ticks;
-    busyTotal_ += ticks;
+    busyTicks_.inc(ticks);
     stats_[static_cast<std::size_t>(stage)].sample(
         sim::ticksToUs(ticks));
+    if (tracer().enabled())
+        tracer().span(name(), fwStageName(stage), start, ticks);
 }
 
 void

@@ -45,6 +45,12 @@ enum class FwStage : std::uint8_t {
 
 const char *fwStageName(FwStage s);
 
+/**
+ * Unique identifier per stage for stat paths (fwStageName reuses
+ * display names across tx/rx, e.g. "Update").
+ */
+const char *fwStageTag(FwStage s);
+
 constexpr std::size_t numFwStages =
     static_cast<std::size_t>(FwStage::NumStages);
 
@@ -74,7 +80,7 @@ class LanaiProcessor : public sim::SimObject
     void chargeTicks(FwStage stage, sim::Tick ticks);
 
     sim::Tick busyUntil() const { return busyUntil_; }
-    sim::Tick busyTotal() const { return busyTotal_; }
+    sim::Tick busyTotal() const { return busyTicks_.value(); }
     const sim::ClockDomain &clock() const { return clock_; }
 
     /** Per-stage occupancy samples, in microseconds. */
@@ -88,7 +94,8 @@ class LanaiProcessor : public sim::SimObject
   private:
     sim::ClockDomain clock_;
     sim::Tick busyUntil_ = 0;
-    sim::Tick busyTotal_ = 0;
+    /** Lifetime busy ticks (not cleared by resetStats). */
+    sim::Counter busyTicks_;
     std::array<sim::SampleStat, numFwStages> stats_;
 };
 

@@ -181,6 +181,13 @@ QpipNic::QpipNic(sim::Simulation &sim, std::string name, net::Link &link,
     // Force the prototype's transport subset regardless of overrides.
     params_.tcp.messageMode = true;
     params_.tcp.reassembly = false;
+    regStat("badPackets", badPackets);
+    regStat("noQpDrops", noQpDrops);
+    regStat("udpNoWrDrops", udpNoWrDrops);
+    regStat("cqOverflows", cqOverflows);
+    regStat("reass.fragmentsIn", reass_.fragmentsIn);
+    regStat("reass.reassembled", reass_.reassembled);
+    regStat("reass.expired", reass_.expired);
     link_.attach(0, *this);
     doorbells_.setDrainHook([this] {
         if (!drainActive_) {
@@ -277,8 +284,19 @@ QpipNic::connect(QpNum qp, const inet::SockAddr &remote, ConnectCb done)
     ctx->connectDone = std::move(done);
     fw_.exec(FwStage::Mgmt, params_.costs.mgmtCommand,
              [this, ctx, remote] {
+                 // Destroy any previous connection first so its stat
+                 // paths vacate before the new one claims them.
+                 if (ctx->conn) {
+                     connOwner_.erase(ctx->conn.get());
+                     tcpDemux_.erase(ctx->conn->tuple());
+                     ctx->conn.reset();
+                 }
                  ctx->conn = std::make_unique<inet::TcpConnection>(
                      *this, *ctx, params_.tcp);
+                 ctx->conn->stats().registerIn(
+                     statRegistry(), name() + ".qp" +
+                                         std::to_string(ctx->num) +
+                                         ".tcp");
                  inet::FourTuple t{ctx->local, remote};
                  tcpDemux_[t] = ctx;
                  connOwner_[ctx->conn.get()] = ctx;
@@ -621,8 +639,17 @@ QpipNic::rxTcp(IpDatagram &dgram)
             if (ctx != nullptr) {
                 ctx->local = t.local;
                 ctx->bound = true;
+                if (ctx->conn) {
+                    connOwner_.erase(ctx->conn.get());
+                    tcpDemux_.erase(ctx->conn->tuple());
+                    ctx->conn.reset();
+                }
                 ctx->conn = std::make_unique<inet::TcpConnection>(
                     *this, *ctx, params_.tcp);
+                ctx->conn->stats().registerIn(
+                    statRegistry(), name() + ".qp" +
+                                        std::to_string(ctx->num) +
+                                        ".tcp");
                 tcpDemux_[t] = ctx;
                 connOwner_[ctx->conn.get()] = ctx;
                 ctx->conn->openPassive(t.local, t.remote, hdr);
@@ -803,6 +830,12 @@ QpipNic::connectionClosed(inet::TcpConnection &conn)
     // The QpContext keeps the connection object until the QP is
     // destroyed; only the demux entries go away here.
     (void)ctx;
+}
+
+sim::Tracer *
+QpipNic::tracer()
+{
+    return &SimObject::tracer();
 }
 
 } // namespace qpip::nic

@@ -121,6 +121,7 @@ class QpipNic : public sim::SimObject,
                    const inet::TcpSegMeta &meta) override;
     std::uint32_t randomIss() override;
     void connectionClosed(inet::TcpConnection &conn) override;
+    sim::Tracer *tracer() override;
 
     // --- introspection ---------------------------------------------------
     /**

@@ -1,52 +1,58 @@
 #include "nic/report.hh"
 
+#include "nic/lanai.hh"
 #include "sim/logging.hh"
+#include "sim/types.hh"
 
 namespace qpip::nic {
 
 std::string
-fwOccupancyReport(const LanaiProcessor &fw)
+fwOccupancyReport(const sim::StatRegistry &stats,
+                  const std::string &fw_prefix)
 {
     std::string out;
     out += sim::strfmt("%-18s %8s %10s %10s %10s\n", "stage", "n",
                        "mean(us)", "min(us)", "max(us)");
     for (std::size_t i = 0; i < numFwStages; ++i) {
         const auto stage = static_cast<FwStage>(i);
-        const auto &s = fw.stageStat(stage);
-        if (s.count() == 0)
+        const sim::SampleStat *s = stats.sample(
+            fw_prefix + ".stage." + fwStageTag(stage));
+        if (s == nullptr || s->count() == 0)
             continue;
         out += sim::strfmt("%-18s %8llu %10.2f %10.2f %10.2f\n",
                            fwStageName(stage),
-                           static_cast<unsigned long long>(s.count()),
-                           s.mean(), s.min(), s.max());
+                           static_cast<unsigned long long>(s->count()),
+                           s->mean(), s->min(), s->max());
     }
     out += sim::strfmt("busy total: %.1f us\n",
-                       sim::ticksToUs(fw.busyTotal()));
+                       sim::ticksToUs(stats.counterValue(
+                           fw_prefix + ".busyTicks")));
     return out;
 }
 
 std::string
-tcpStatsReport(const inet::TcpStats &s)
+tcpStatsReport(const sim::StatRegistry &stats, const std::string &prefix)
 {
-    auto line = [](const char *name, const sim::Counter &c) {
+    auto line = [&](const char *name, const char *leaf) {
         return sim::strfmt("%-18s %llu\n", name,
-                           static_cast<unsigned long long>(c.value()));
+                           static_cast<unsigned long long>(
+                               stats.counterValue(prefix + "." + leaf)));
     };
     std::string out;
-    out += line("segs out", s.segsOut);
-    out += line("segs in", s.segsIn);
-    out += line("bytes out", s.bytesOut);
-    out += line("bytes in", s.bytesIn);
-    out += line("retransmits", s.retransmits);
-    out += line("fast rtx", s.fastRetransmits);
-    out += line("timeouts", s.timeouts);
-    out += line("dup acks in", s.dupAcksIn);
-    out += line("ooo segments", s.oooSegments);
-    out += line("ooo dropped", s.oooDropped);
-    out += line("hdr predicted", s.hdrPredicted);
-    out += line("msgs refused", s.msgRefused);
-    out += line("persist probes", s.persistProbes);
-    out += line("bad segments", s.badSegments);
+    out += line("segs out", "segsOut");
+    out += line("segs in", "segsIn");
+    out += line("bytes out", "bytesOut");
+    out += line("bytes in", "bytesIn");
+    out += line("retransmits", "retransmits");
+    out += line("fast rtx", "fastRetransmits");
+    out += line("timeouts", "timeouts");
+    out += line("dup acks in", "dupAcksIn");
+    out += line("ooo segments", "oooSegments");
+    out += line("ooo dropped", "oooDropped");
+    out += line("hdr predicted", "hdrPredicted");
+    out += line("msgs refused", "msgRefused");
+    out += line("persist probes", "persistProbes");
+    out += line("bad segments", "badSegments");
     return out;
 }
 

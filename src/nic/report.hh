@@ -2,8 +2,10 @@
  * @file
  * Human-readable statistics reports: the firmware occupancy table
  * (the same instrumentation that backs Tables 2/3) and a TCP counter
- * dump. Examples and ad-hoc experiments print these; the benches use
- * the raw stats directly.
+ * dump. Both render from the stat registry by path prefix, so any
+ * firmware processor or connection can be reported without access to
+ * the owning object. Examples and ad-hoc experiments print these; the
+ * benches query the registry directly.
  */
 
 #ifndef QPIP_NIC_REPORT_HH
@@ -11,16 +13,23 @@
 
 #include <string>
 
-#include "inet/tcp_conn.hh"
-#include "nic/lanai.hh"
+#include "sim/stat_registry.hh"
 
 namespace qpip::nic {
 
-/** Render the per-stage occupancy table of a firmware processor. */
-std::string fwOccupancyReport(const LanaiProcessor &fw);
+/**
+ * Render the per-stage occupancy table of a firmware processor whose
+ * stats live under @p fw_prefix (e.g. "host0.qnic.fw").
+ */
+std::string fwOccupancyReport(const sim::StatRegistry &stats,
+                              const std::string &fw_prefix);
 
-/** Render a TCP connection's counters. */
-std::string tcpStatsReport(const inet::TcpStats &stats);
+/**
+ * Render a TCP connection's counters registered under @p prefix
+ * (e.g. "host0.qnic.qp1.tcp").
+ */
+std::string tcpStatsReport(const sim::StatRegistry &stats,
+                           const std::string &prefix);
 
 } // namespace qpip::nic
 

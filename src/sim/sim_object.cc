@@ -6,7 +6,11 @@ namespace qpip::sim {
 
 SimObject::SimObject(Simulation &sim, std::string name)
     : sim_(sim), name_(std::move(name))
-{}
+{
+    stats_.init(sim_.stats(), name_);
+}
+
+SimObject::~SimObject() = default;
 
 Tick
 SimObject::curTick() const
@@ -30,6 +34,18 @@ Random &
 SimObject::rng()
 {
     return sim_.rng();
+}
+
+StatRegistry &
+SimObject::statRegistry()
+{
+    return sim_.stats();
+}
+
+Tracer &
+SimObject::tracer()
+{
+    return sim_.tracer();
 }
 
 } // namespace qpip::sim

@@ -12,12 +12,14 @@
 #include <string>
 
 #include "sim/event_queue.hh"
+#include "sim/stat_registry.hh"
 #include "sim/types.hh"
 
 namespace qpip::sim {
 
 class Simulation;
 class Random;
+class Tracer;
 
 /**
  * Base class for simulated components.
@@ -30,7 +32,7 @@ class SimObject
      * @param name hierarchical instance name, e.g. "host0.nic".
      */
     SimObject(Simulation &sim, std::string name);
-    virtual ~SimObject() = default;
+    virtual ~SimObject();
 
     SimObject(const SimObject &) = delete;
     SimObject &operator=(const SimObject &) = delete;
@@ -52,9 +54,28 @@ class SimObject
     /** Simulation-wide deterministic RNG. */
     Random &rng();
 
+    /** Simulation-wide stats registry. */
+    StatRegistry &statRegistry();
+
+    /** Simulation-wide event tracer. */
+    Tracer &tracer();
+
+  protected:
+    /**
+     * Register a stat under "<name()>.<leaf>". All registrations are
+     * removed automatically when this object is destroyed.
+     */
+    template <typename Stat>
+    void
+    regStat(const std::string &leaf, const Stat &stat)
+    {
+        stats_.add(leaf, stat);
+    }
+
   private:
     Simulation &sim_;
     std::string name_;
+    StatGroup stats_;
 };
 
 } // namespace qpip::sim

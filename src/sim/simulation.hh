@@ -1,8 +1,9 @@
 /**
  * @file
- * Simulation: the top-level container owning the event queue and the
- * global RNG. Experiments construct one Simulation, build a testbed of
- * SimObjects against it, and drive it with run()/runUntil()/runFor().
+ * Simulation: the top-level container owning the event queue, the
+ * global RNG, the stats registry and the event tracer. Experiments
+ * construct one Simulation, build a testbed of SimObjects against it,
+ * and drive it with run()/runUntil()/runFor().
  */
 
 #ifndef QPIP_SIM_SIMULATION_HH
@@ -12,6 +13,8 @@
 
 #include "sim/event_queue.hh"
 #include "sim/random.hh"
+#include "sim/stat_registry.hh"
+#include "sim/trace.hh"
 #include "sim/types.hh"
 
 namespace qpip::sim {
@@ -26,6 +29,9 @@ class Simulation
 
     EventQueue &eventQueue() { return eq_; }
     Random &rng() { return rng_; }
+    StatRegistry &stats() { return stats_; }
+    const StatRegistry &stats() const { return stats_; }
+    Tracer &tracer() { return tracer_; }
 
     Tick now() const { return eq_.now(); }
 
@@ -61,6 +67,8 @@ class Simulation
   private:
     EventQueue eq_;
     Random rng_;
+    StatRegistry stats_;
+    Tracer tracer_;
 };
 
 } // namespace qpip::sim

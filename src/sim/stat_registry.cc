@@ -1,0 +1,200 @@
+#include "sim/stat_registry.hh"
+
+#include "sim/logging.hh"
+
+namespace qpip::sim {
+
+bool
+statPatternMatch(const std::string &pattern, const std::string &path)
+{
+    // Iterative glob with single-star backtracking.
+    std::size_t p = 0, s = 0;
+    std::size_t star = std::string::npos, mark = 0;
+    while (s < path.size()) {
+        if (p < pattern.size() &&
+            (pattern[p] == '?' || pattern[p] == path[s])) {
+            ++p;
+            ++s;
+        } else if (p < pattern.size() && pattern[p] == '*') {
+            star = p++;
+            mark = s;
+        } else if (star != std::string::npos) {
+            p = star + 1;
+            s = ++mark;
+        } else {
+            return false;
+        }
+    }
+    while (p < pattern.size() && pattern[p] == '*')
+        ++p;
+    return p == pattern.size();
+}
+
+void
+StatRegistry::insert(const std::string &path, Entry entry)
+{
+    if (path.empty())
+        panic("StatRegistry: empty stat path");
+    auto [it, inserted] = entries_.emplace(path, entry);
+    (void)it;
+    if (!inserted)
+        panic("StatRegistry: duplicate stat path '%s'", path.c_str());
+}
+
+void
+StatRegistry::add(const std::string &path, const Counter &c)
+{
+    Entry e;
+    e.counter = &c;
+    insert(path, e);
+}
+
+void
+StatRegistry::add(const std::string &path, const SampleStat &s)
+{
+    Entry e;
+    e.sample = &s;
+    insert(path, e);
+}
+
+void
+StatRegistry::add(const std::string &path, const Histogram &h)
+{
+    Entry e;
+    e.histogram = &h;
+    insert(path, e);
+}
+
+void
+StatRegistry::remove(const std::string &path)
+{
+    entries_.erase(path);
+}
+
+bool
+StatRegistry::contains(const std::string &path) const
+{
+    return entries_.count(path) != 0;
+}
+
+const Counter *
+StatRegistry::counter(const std::string &path) const
+{
+    auto it = entries_.find(path);
+    return it == entries_.end() ? nullptr : it->second.counter;
+}
+
+const SampleStat *
+StatRegistry::sample(const std::string &path) const
+{
+    auto it = entries_.find(path);
+    return it == entries_.end() ? nullptr : it->second.sample;
+}
+
+const Histogram *
+StatRegistry::histogram(const std::string &path) const
+{
+    auto it = entries_.find(path);
+    return it == entries_.end() ? nullptr : it->second.histogram;
+}
+
+std::uint64_t
+StatRegistry::counterValue(const std::string &path) const
+{
+    const Counter *c = counter(path);
+    return c != nullptr ? c->value() : 0;
+}
+
+std::vector<std::string>
+StatRegistry::match(const std::string &pattern) const
+{
+    std::vector<std::string> out;
+    for (const auto &[path, entry] : entries_) {
+        if (statPatternMatch(pattern, path))
+            out.push_back(path);
+    }
+    return out;
+}
+
+namespace {
+
+// %.17g round-trips doubles exactly; JSON forbids bare inf/nan but no
+// registered stat produces them (SampleStat min/max report 0 on empty).
+std::string
+jsonNumber(double v)
+{
+    return strfmt("%.17g", v);
+}
+
+std::string
+jsonNumber(std::uint64_t v)
+{
+    return strfmt("%llu", static_cast<unsigned long long>(v));
+}
+
+} // namespace
+
+std::string
+StatRegistry::jsonDump(const std::string &pattern) const
+{
+    std::string out = "{";
+    bool first = true;
+    for (const auto &[path, e] : entries_) {
+        if (!statPatternMatch(pattern, path))
+            continue;
+        if (!first)
+            out += ",";
+        first = false;
+        out += "\n  \"" + path + "\": ";
+        if (e.counter != nullptr) {
+            out += "{\"kind\": \"counter\", \"value\": " +
+                   jsonNumber(e.counter->value()) + "}";
+        } else if (e.sample != nullptr) {
+            const auto &s = *e.sample;
+            out += "{\"kind\": \"sample\", \"count\": " +
+                   jsonNumber(s.count()) +
+                   ", \"total\": " + jsonNumber(s.total()) +
+                   ", \"mean\": " + jsonNumber(s.mean()) +
+                   ", \"min\": " + jsonNumber(s.min()) +
+                   ", \"max\": " + jsonNumber(s.max()) + "}";
+        } else {
+            const auto &h = *e.histogram;
+            out += "{\"kind\": \"histogram\", \"count\": " +
+                   jsonNumber(h.count()) +
+                   ", \"underflow\": " + jsonNumber(h.underflow()) +
+                   ", \"overflow\": " + jsonNumber(h.overflow()) +
+                   ", \"buckets\": [";
+            for (std::size_t i = 0; i < h.numBuckets(); ++i) {
+                if (i > 0)
+                    out += ", ";
+                out += jsonNumber(h.bucket(i));
+            }
+            out += "]}";
+        }
+    }
+    out += first ? "}" : "\n}";
+    return out;
+}
+
+void
+StatGroup::init(StatRegistry &registry, std::string prefix)
+{
+    if (registry_ != nullptr)
+        panic("StatGroup: already bound to '%s'", prefix_.c_str());
+    registry_ = &registry;
+    prefix_ = std::move(prefix);
+}
+
+void
+StatGroup::clear()
+{
+    if (registry_ == nullptr)
+        return;
+    for (const auto &p : paths_)
+        registry_->remove(p);
+    paths_.clear();
+    registry_ = nullptr;
+    prefix_.clear();
+}
+
+} // namespace qpip::sim

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Hierarchical statistics registry: every Counter/SampleStat/Histogram
+ * in the simulation registers under a dotted path (e.g.
+ * "host0.qnic.fw.stage.getWr") so tests, benches and reports can
+ * enumerate, pattern-match and dump them uniformly instead of
+ * hand-plumbing struct fields. The registry stores non-owning pointers;
+ * StatGroup ties registration lifetime to the owning object so paths
+ * never dangle.
+ */
+
+#ifndef QPIP_SIM_STAT_REGISTRY_HH
+#define QPIP_SIM_STAT_REGISTRY_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/stats.hh"
+
+namespace qpip::sim {
+
+/**
+ * Match @p path against a glob @p pattern where '*' matches any run of
+ * characters (including dots) and '?' matches exactly one.
+ */
+bool statPatternMatch(const std::string &pattern,
+                      const std::string &path);
+
+/**
+ * The registry. One per Simulation; ordered by path so enumeration and
+ * JSON dumps are deterministic.
+ */
+class StatRegistry
+{
+  public:
+    void add(const std::string &path, const Counter &c);
+    void add(const std::string &path, const SampleStat &s);
+    void add(const std::string &path, const Histogram &h);
+
+    /** Unregister one path (no-op when absent). */
+    void remove(const std::string &path);
+
+    bool contains(const std::string &path) const;
+    std::size_t size() const { return entries_.size(); }
+
+    /** Typed lookup; nullptr when absent or a different kind. */
+    const Counter *counter(const std::string &path) const;
+    const SampleStat *sample(const std::string &path) const;
+    const Histogram *histogram(const std::string &path) const;
+
+    /** Counter value, or 0 when absent (benches' common case). */
+    std::uint64_t counterValue(const std::string &path) const;
+
+    /** All registered paths matching @p pattern, sorted. */
+    std::vector<std::string>
+    match(const std::string &pattern = "*") const;
+
+    /**
+     * JSON dump of every stat matching @p pattern: one flat object
+     * keyed by path, each value an object carrying "kind" plus the
+     * kind's fields. Deterministic (sorted, fixed number formatting).
+     */
+    std::string jsonDump(const std::string &pattern = "*") const;
+
+  private:
+    struct Entry
+    {
+        const Counter *counter = nullptr;
+        const SampleStat *sample = nullptr;
+        const Histogram *histogram = nullptr;
+    };
+
+    void insert(const std::string &path, Entry entry);
+
+    std::map<std::string, Entry> entries_;
+};
+
+/**
+ * A set of registrations sharing a prefix whose lifetime is bound to
+ * the owning object: the destructor unregisters every path added
+ * through the group.
+ */
+class StatGroup
+{
+  public:
+    StatGroup() = default;
+    ~StatGroup() { clear(); }
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    /** Bind to @p registry with @p prefix (must be unbound). */
+    void init(StatRegistry &registry, std::string prefix);
+
+    bool bound() const { return registry_ != nullptr; }
+    const std::string &prefix() const { return prefix_; }
+
+    /** Register @p stat as "<prefix>.<leaf>". @pre bound(). */
+    template <typename Stat>
+    void
+    add(const std::string &leaf, const Stat &stat)
+    {
+        registry_->add(path(leaf), stat);
+        paths_.push_back(path(leaf));
+    }
+
+    /** Unregister everything and unbind. */
+    void clear();
+
+  private:
+    std::string
+    path(const std::string &leaf) const
+    {
+        return prefix_.empty() ? leaf : prefix_ + "." + leaf;
+    }
+
+    StatRegistry *registry_ = nullptr;
+    std::string prefix_;
+    std::vector<std::string> paths_;
+};
+
+} // namespace qpip::sim
+
+#endif // QPIP_SIM_STAT_REGISTRY_HH

@@ -155,13 +155,16 @@ TEST(Reports, FirmwareOccupancyAndTcpStats)
     bed.sim().runUntilCondition([&] { return cq1->depth() > 0; },
                                 10 * sim::oneSec);
 
-    auto fw_report = nic::fwOccupancyReport(bed.nicOf(0).fw());
+    auto fw_report = nic::fwOccupancyReport(bed.sim().stats(),
+                                            bed.nicOf(0).fw().name());
     EXPECT_NE(fw_report.find("Get WR"), std::string::npos);
     EXPECT_NE(fw_report.find("busy total"), std::string::npos);
 
     auto *conn = bed.nicOf(0).connectionOf(qp0->num());
     ASSERT_NE(conn, nullptr);
-    auto tcp_report = nic::tcpStatsReport(conn->stats());
+    ASSERT_TRUE(conn->stats().registered());
+    auto tcp_report = nic::tcpStatsReport(bed.sim().stats(),
+                                          conn->stats().statPrefix());
     EXPECT_NE(tcp_report.find("segs out"), std::string::npos);
 }
 

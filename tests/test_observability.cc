@@ -1,0 +1,713 @@
+/**
+ * @file
+ * The observability layer, verified end to end: stat-registry
+ * registration/lookup/pattern-matching and JSON round-trip, automatic
+ * unregistration when SimObjects die, Chrome-trace JSON
+ * well-formedness with monotonic timestamps, and pcap captures whose
+ * every frame re-parses with verified checksums — for both the QPIP
+ * (IPv6, incl. fragments) and sockets (IPv4) fabrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "apps/pingpong.hh"
+#include "apps/testbed.hh"
+#include "apps/ttcp.hh"
+#include "inet/ip_frag.hh"
+#include "inet/ipv4.hh"
+#include "inet/ipv6.hh"
+#include "inet/tcp_header.hh"
+#include "inet/udp.hh"
+#include "net/link.hh"
+#include "net/pcap.hh"
+#include "sim/simulation.hh"
+#include "sim/stat_registry.hh"
+#include "sim/trace.hh"
+
+using namespace qpip;
+
+// ---------------------------------------------------------------------
+// Minimal JSON parser: enough to validate and inspect the registry
+// dump and the Chrome trace (objects, arrays, strings, numbers,
+// bools, null; \uXXXX escapes consumed, not decoded).
+// ---------------------------------------------------------------------
+
+namespace {
+
+struct JsonValue
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<JsonValue> arr;
+    std::map<std::string, JsonValue> obj;
+
+    const JsonValue *
+    field(const std::string &key) const
+    {
+        auto it = obj.find(key);
+        return it == obj.end() ? nullptr : &it->second;
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    std::optional<JsonValue>
+    parse()
+    {
+        auto v = parseValue();
+        skipWs();
+        if (!v || pos_ != text_.size())
+            return std::nullopt;
+        return v;
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const std::size_t n = std::string(word).size();
+        if (text_.compare(pos_, n, word) == 0) {
+            pos_ += n;
+            return true;
+        }
+        return false;
+    }
+
+    std::optional<std::string>
+    parseString()
+    {
+        if (!consume('"'))
+            return std::nullopt;
+        std::string out;
+        while (pos_ < text_.size()) {
+            char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    return std::nullopt;
+                char e = text_[pos_++];
+                switch (e) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  case 'n': out += '\n'; break;
+                  case 'r': out += '\r'; break;
+                  case 't': out += '\t'; break;
+                  case 'u': {
+                    if (pos_ + 4 > text_.size())
+                        return std::nullopt;
+                    for (int i = 0; i < 4; ++i) {
+                        if (!std::isxdigit(static_cast<unsigned char>(
+                                text_[pos_ + i])))
+                            return std::nullopt;
+                    }
+                    pos_ += 4;
+                    out += '?';
+                    break;
+                  }
+                  default: return std::nullopt;
+                }
+            } else if (static_cast<unsigned char>(c) < 0x20) {
+                return std::nullopt; // raw control char: invalid
+            } else {
+                out += c;
+            }
+        }
+        return std::nullopt;
+    }
+
+    std::optional<JsonValue>
+    parseValue()
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            return std::nullopt;
+        JsonValue v;
+        const char c = text_[pos_];
+        if (c == '{') {
+            ++pos_;
+            v.kind = JsonValue::Kind::Object;
+            skipWs();
+            if (consume('}'))
+                return v;
+            while (true) {
+                auto key = parseString();
+                if (!key || !consume(':'))
+                    return std::nullopt;
+                auto val = parseValue();
+                if (!val)
+                    return std::nullopt;
+                v.obj.emplace(std::move(*key), std::move(*val));
+                if (consume(','))
+                    continue;
+                if (consume('}'))
+                    return v;
+                return std::nullopt;
+            }
+        }
+        if (c == '[') {
+            ++pos_;
+            v.kind = JsonValue::Kind::Array;
+            skipWs();
+            if (consume(']'))
+                return v;
+            while (true) {
+                auto val = parseValue();
+                if (!val)
+                    return std::nullopt;
+                v.arr.push_back(std::move(*val));
+                if (consume(','))
+                    continue;
+                if (consume(']'))
+                    return v;
+                return std::nullopt;
+            }
+        }
+        if (c == '"') {
+            auto s = parseString();
+            if (!s)
+                return std::nullopt;
+            v.kind = JsonValue::Kind::String;
+            v.str = std::move(*s);
+            return v;
+        }
+        if (literal("true")) {
+            v.kind = JsonValue::Kind::Bool;
+            v.boolean = true;
+            return v;
+        }
+        if (literal("false")) {
+            v.kind = JsonValue::Kind::Bool;
+            return v;
+        }
+        if (literal("null"))
+            return v;
+        // Number.
+        const char *start = text_.c_str() + pos_;
+        char *end = nullptr;
+        v.number = std::strtod(start, &end);
+        if (end == start)
+            return std::nullopt;
+        pos_ += static_cast<std::size_t>(end - start);
+        v.kind = JsonValue::Kind::Number;
+        return v;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+std::optional<JsonValue>
+parseJson(const std::string &text)
+{
+    return JsonParser(text).parse();
+}
+
+// ---------------------------------------------------------------------
+// Minimal pcap reader for verifying PcapWriter output.
+// ---------------------------------------------------------------------
+
+struct PcapFrame
+{
+    std::uint32_t tsSec = 0;
+    std::uint32_t tsUsec = 0;
+    std::uint32_t origLen = 0;
+    std::vector<std::uint8_t> data;
+};
+
+struct PcapFile
+{
+    std::uint32_t magic = 0;
+    std::uint16_t major = 0, minor = 0;
+    std::uint32_t snaplen = 0;
+    std::uint32_t linktype = 0;
+    std::vector<PcapFrame> frames;
+};
+
+std::uint32_t
+le32(const std::vector<std::uint8_t> &b, std::size_t at)
+{
+    return static_cast<std::uint32_t>(b[at]) |
+           (static_cast<std::uint32_t>(b[at + 1]) << 8) |
+           (static_cast<std::uint32_t>(b[at + 2]) << 16) |
+           (static_cast<std::uint32_t>(b[at + 3]) << 24);
+}
+
+std::uint16_t
+le16(const std::vector<std::uint8_t> &b, std::size_t at)
+{
+    return static_cast<std::uint16_t>(
+        b[at] | (static_cast<std::uint16_t>(b[at + 1]) << 8));
+}
+
+std::optional<PcapFile>
+parsePcap(const std::vector<std::uint8_t> &bytes)
+{
+    if (bytes.size() < net::pcapFileHeaderBytes)
+        return std::nullopt;
+    PcapFile f;
+    f.magic = le32(bytes, 0);
+    f.major = le16(bytes, 4);
+    f.minor = le16(bytes, 6);
+    f.snaplen = le32(bytes, 16);
+    f.linktype = le32(bytes, 20);
+    std::size_t at = net::pcapFileHeaderBytes;
+    while (at < bytes.size()) {
+        if (at + net::pcapRecordHeaderBytes > bytes.size())
+            return std::nullopt; // truncated record header
+        PcapFrame fr;
+        fr.tsSec = le32(bytes, at);
+        fr.tsUsec = le32(bytes, at + 4);
+        const std::uint32_t incl = le32(bytes, at + 8);
+        fr.origLen = le32(bytes, at + 12);
+        at += net::pcapRecordHeaderBytes;
+        if (at + incl > bytes.size())
+            return std::nullopt; // truncated frame
+        fr.data.assign(bytes.begin() + static_cast<std::ptrdiff_t>(at),
+                       bytes.begin() +
+                           static_cast<std::ptrdiff_t>(at + incl));
+        at += incl;
+        f.frames.push_back(std::move(fr));
+    }
+    return f;
+}
+
+/**
+ * Re-parse every captured frame: IP header (checksum-verified for
+ * v4), v6 fragments through a reassembler, and the TCP/UDP checksum
+ * of every complete datagram. @return number of verified transport
+ * segments, or -1 on any parse/checksum failure.
+ */
+int
+verifyCapturedFrames(const PcapFile &pcap)
+{
+    inet::Ipv6Reassembler reass;
+    int verified = 0;
+    sim::Tick fakeNow = 0;
+    for (const auto &frame : pcap.frames) {
+        if (frame.data.empty())
+            return -1;
+        const int version = frame.data[0] >> 4;
+        std::optional<inet::IpDatagram> dgram;
+        if (version == 4) {
+            inet::IpDatagram d;
+            if (!inet::parseIpv4(frame.data, d))
+                return -1;
+            dgram = std::move(d);
+        } else if (version == 6) {
+            inet::Ipv6Packet v6;
+            if (!inet::parseIpv6(frame.data, v6))
+                return -1;
+            dgram = reass.offer(v6, fakeNow++);
+            if (!dgram)
+                continue; // partial fragment; completes later
+        } else {
+            return -1;
+        }
+        inet::TcpHeader tcp;
+        inet::UdpHeader udp;
+        std::span<const std::uint8_t> payload;
+        if (dgram->proto == inet::IpProto::Tcp) {
+            if (!inet::parseTcp(dgram->src, dgram->dst, dgram->payload,
+                                tcp, payload))
+                return -1;
+        } else if (dgram->proto == inet::IpProto::Udp) {
+            if (!inet::parseUdp(dgram->src, dgram->dst, dgram->payload,
+                                udp, payload))
+                return -1;
+        } else {
+            return -1;
+        }
+        ++verified;
+    }
+    return verified;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Stat registry
+// ---------------------------------------------------------------------
+
+TEST(StatRegistry, RegisterLookupRemove)
+{
+    sim::StatRegistry reg;
+    sim::Counter c;
+    sim::SampleStat s;
+    sim::Histogram h(0.0, 10.0, 5);
+    c.inc(42);
+    s.sample(1.5);
+    s.sample(2.5);
+    h.sample(3.0);
+
+    reg.add("node0.nic.pkts", c);
+    reg.add("node0.nic.lat", s);
+    reg.add("node0.nic.sizes", h);
+    EXPECT_EQ(reg.size(), 3u);
+
+    ASSERT_NE(reg.counter("node0.nic.pkts"), nullptr);
+    EXPECT_EQ(reg.counter("node0.nic.pkts")->value(), 42u);
+    EXPECT_EQ(reg.counterValue("node0.nic.pkts"), 42u);
+    EXPECT_EQ(reg.counterValue("absent.path"), 0u);
+
+    ASSERT_NE(reg.sample("node0.nic.lat"), nullptr);
+    EXPECT_DOUBLE_EQ(reg.sample("node0.nic.lat")->mean(), 2.0);
+    ASSERT_NE(reg.histogram("node0.nic.sizes"), nullptr);
+
+    // Kind-checked lookups reject the wrong kind.
+    EXPECT_EQ(reg.counter("node0.nic.lat"), nullptr);
+    EXPECT_EQ(reg.sample("node0.nic.pkts"), nullptr);
+    EXPECT_EQ(reg.histogram("node0.nic.pkts"), nullptr);
+
+    reg.remove("node0.nic.lat");
+    EXPECT_FALSE(reg.contains("node0.nic.lat"));
+    EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(StatRegistry, PatternMatching)
+{
+    using sim::statPatternMatch;
+    EXPECT_TRUE(statPatternMatch("*", "a.b.c"));
+    EXPECT_TRUE(statPatternMatch("a.*.c", "a.b.c"));
+    EXPECT_TRUE(statPatternMatch("a.*", "a.b.c"));
+    EXPECT_TRUE(statPatternMatch("*.c", "a.b.c"));
+    EXPECT_TRUE(statPatternMatch("a.?.c", "a.b.c"));
+    EXPECT_FALSE(statPatternMatch("a.?.c", "a.bb.c"));
+    EXPECT_FALSE(statPatternMatch("a.b", "a.b.c"));
+    EXPECT_TRUE(statPatternMatch("*Drops*", "host0.nic.queueDrops"));
+    EXPECT_FALSE(statPatternMatch("*Drops", "host0.nic.dropsTotal"));
+    // '*' can match across multiple segments and backtrack.
+    EXPECT_TRUE(statPatternMatch("a*b*c", "axxbyybzzc"));
+    EXPECT_FALSE(statPatternMatch("a*b*c", "axxbyyb"));
+
+    sim::Counter c1, c2, c3;
+    sim::StatRegistry reg;
+    reg.add("host0.nic.tx", c1);
+    reg.add("host0.nic.rx", c2);
+    reg.add("host1.nic.tx", c3);
+    EXPECT_EQ(reg.match("*.tx").size(), 2u);
+    EXPECT_EQ(reg.match("host0.*").size(), 2u);
+    EXPECT_EQ(reg.match("*").size(), 3u);
+    EXPECT_TRUE(reg.match("none.*").empty());
+}
+
+TEST(StatRegistry, JsonDumpRoundTrips)
+{
+    sim::StatRegistry reg;
+    sim::Counter c;
+    sim::SampleStat s;
+    c.inc(7);
+    s.sample(0.5);
+    s.sample(1.5);
+    s.sample(4.0);
+    reg.add("x.count", c);
+    reg.add("x.lat", s);
+
+    auto parsed = parseJson(reg.jsonDump());
+    ASSERT_TRUE(parsed.has_value());
+    ASSERT_EQ(parsed->kind, JsonValue::Kind::Object);
+    ASSERT_EQ(parsed->obj.size(), 2u);
+
+    const JsonValue *count = parsed->field("x.count");
+    ASSERT_NE(count, nullptr);
+    EXPECT_EQ(count->field("kind")->str, "counter");
+    EXPECT_DOUBLE_EQ(count->field("value")->number, 7.0);
+
+    const JsonValue *lat = parsed->field("x.lat");
+    ASSERT_NE(lat, nullptr);
+    EXPECT_EQ(lat->field("kind")->str, "sample");
+    EXPECT_DOUBLE_EQ(lat->field("count")->number, 3.0);
+    EXPECT_DOUBLE_EQ(lat->field("mean")->number, 2.0);
+    EXPECT_DOUBLE_EQ(lat->field("min")->number, 0.5);
+    EXPECT_DOUBLE_EQ(lat->field("max")->number, 4.0);
+
+    // Pattern-restricted dump only includes matching paths.
+    auto partial = parseJson(reg.jsonDump("*.count"));
+    ASSERT_TRUE(partial.has_value());
+    EXPECT_EQ(partial->obj.size(), 1u);
+}
+
+TEST(StatRegistry, SimObjectsAutoRegisterAndUnregister)
+{
+    sim::Simulation sim;
+    EXPECT_EQ(sim.stats().size(), 0u);
+    {
+        net::Link link(sim, "lnk", net::gigabitEthernetLink());
+        EXPECT_TRUE(sim.stats().contains("lnk.packetsSent"));
+        EXPECT_TRUE(sim.stats().contains("lnk.faults.drops"));
+        const std::size_t with_link = sim.stats().size();
+        EXPECT_GE(with_link, 8u);
+    }
+    // Destruction unregisters every path the link owned.
+    EXPECT_EQ(sim.stats().size(), 0u);
+    EXPECT_FALSE(sim.stats().contains("lnk.packetsSent"));
+}
+
+TEST(StatRegistry, FullTestbedPublishesHierarchy)
+{
+    apps::QpipTestbed bed(2);
+    auto &stats = bed.sim().stats();
+    // Firmware stages, doorbells, links and switch all registered.
+    EXPECT_TRUE(stats.contains("host0.qnic.fw.stage.getWr"));
+    EXPECT_TRUE(stats.contains("host0.qnic.fw.busyTicks"));
+    EXPECT_TRUE(stats.contains("host0.qnic.doorbells.rings"));
+    EXPECT_TRUE(stats.contains("host1.qnic.reass.fragmentsIn"));
+    EXPECT_TRUE(stats.contains("fabric.link0.packetsSent"));
+    EXPECT_TRUE(stats.contains("fabric.switch.forwarded"));
+    // Every firmware stage path is enumerable by pattern.
+    EXPECT_EQ(stats.match("host0.qnic.fw.stage.*").size(),
+              nic::numFwStages);
+
+    // The whole dump parses as JSON.
+    auto parsed = parseJson(stats.jsonDump());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->obj.size(), stats.size());
+}
+
+TEST(StatRegistry, PerConnectionTcpStatsAppearOnConnect)
+{
+    apps::QpipTestbed bed(2);
+    auto res = apps::runQpipTcpPingPong(bed, 4);
+    ASSERT_TRUE(res.completed);
+    auto &stats = bed.sim().stats();
+    // Client QP 1 on host 0, accepted QP on host 1.
+    auto client = stats.match("host0.qnic.qp*.tcp.segsOut");
+    auto server = stats.match("host1.qnic.qp*.tcp.segsOut");
+    ASSERT_EQ(client.size(), 1u);
+    ASSERT_EQ(server.size(), 1u);
+    EXPECT_GT(stats.counterValue(client[0]), 0u);
+    EXPECT_GT(stats.counterValue(server[0]), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Event tracing
+// ---------------------------------------------------------------------
+
+TEST(Trace, JsonWellFormedWithMonotonicTimestamps)
+{
+    apps::QpipTestbed bed(2);
+    bed.sim().tracer().enable();
+    auto res = apps::runQpipTcpPingPong(bed, 8);
+    ASSERT_TRUE(res.completed);
+    ASSERT_GT(bed.sim().tracer().numEvents(), 0u);
+
+    auto parsed = parseJson(bed.sim().tracer().json());
+    ASSERT_TRUE(parsed.has_value());
+    const JsonValue *events = parsed->field("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_EQ(events->kind, JsonValue::Kind::Array);
+
+    double last_ts = -1.0;
+    std::size_t spans = 0, instants = 0, meta = 0;
+    for (const auto &e : events->arr) {
+        ASSERT_EQ(e.kind, JsonValue::Kind::Object);
+        const JsonValue *ph = e.field("ph");
+        ASSERT_NE(ph, nullptr);
+        if (ph->str == "M") {
+            ++meta;
+            continue;
+        }
+        const JsonValue *ts = e.field("ts");
+        ASSERT_NE(ts, nullptr);
+        EXPECT_GE(ts->number, last_ts);
+        last_ts = ts->number;
+        if (ph->str == "X") {
+            ++spans;
+            ASSERT_NE(e.field("dur"), nullptr);
+        } else if (ph->str == "i") {
+            ++instants;
+        } else {
+            FAIL() << "unexpected event phase " << ph->str;
+        }
+        ASSERT_NE(e.field("name"), nullptr);
+    }
+    // Firmware + link spans, TCP transition instants, track names.
+    EXPECT_GT(spans, 0u);
+    EXPECT_GT(instants, 0u);
+    EXPECT_GT(meta, 0u);
+    EXPECT_EQ(spans + instants, bed.sim().tracer().numEvents());
+}
+
+TEST(Trace, TcpTransitionsFollowHandshakeOrder)
+{
+    apps::QpipTestbed bed(2);
+    bed.sim().tracer().enable();
+    auto res = apps::runQpipTcpPingPong(bed, 2);
+    ASSERT_TRUE(res.completed);
+
+    const std::string json = bed.sim().tracer().json();
+    // Active open, passive open, and both Established transitions.
+    const auto syn_sent = json.find("Closed->SynSent");
+    const auto syn_rcvd = json.find("Closed->SynRcvd");
+    const auto est_active = json.find("SynSent->Established");
+    const auto est_passive = json.find("SynRcvd->Established");
+    EXPECT_NE(syn_sent, std::string::npos);
+    EXPECT_NE(syn_rcvd, std::string::npos);
+    EXPECT_NE(est_active, std::string::npos);
+    EXPECT_NE(est_passive, std::string::npos);
+    // Output is time-sorted: opens precede their Established events.
+    EXPECT_LT(syn_sent, est_active);
+    EXPECT_LT(syn_rcvd, est_passive);
+}
+
+TEST(Trace, DisabledTracerRecordsNothing)
+{
+    apps::QpipTestbed bed(2);
+    ASSERT_FALSE(bed.sim().tracer().enabled());
+    auto res = apps::runQpipTcpPingPong(bed, 2);
+    ASSERT_TRUE(res.completed);
+    EXPECT_EQ(bed.sim().tracer().numEvents(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Pcap capture
+// ---------------------------------------------------------------------
+
+TEST(Pcap, QpipCaptureReparsesWithValidChecksums)
+{
+    apps::QpipTestbed bed(2);
+    net::PcapWriter pcap;
+    net::tapLink(bed.fabric().linkFor(0), pcap);
+    net::tapLink(bed.fabric().linkFor(1), pcap);
+
+    auto res = apps::runQpipTcpPingPong(bed, 8);
+    ASSERT_TRUE(res.completed);
+    ASSERT_GT(pcap.frames(), 0u);
+
+    auto parsed = parsePcap(pcap.bytes());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->magic, 0xa1b2c3d4u);
+    EXPECT_EQ(parsed->major, 2u);
+    EXPECT_EQ(parsed->minor, 4u);
+    EXPECT_EQ(parsed->linktype, net::pcapLinktypeRaw);
+    EXPECT_EQ(parsed->frames.size(), pcap.frames());
+
+    // Every frame is genuine IPv6+TCP wire bytes with good checksums.
+    const int verified = verifyCapturedFrames(*parsed);
+    ASSERT_GT(verified, 0);
+    // Both taps saw the whole exchange: at least one segment per
+    // ping-pong hop.
+    EXPECT_GE(static_cast<std::size_t>(verified), 16u);
+
+    // Timestamps never run backwards.
+    std::uint64_t last = 0;
+    for (const auto &f : parsed->frames) {
+        const std::uint64_t us =
+            static_cast<std::uint64_t>(f.tsSec) * 1000000u + f.tsUsec;
+        EXPECT_GE(us, last);
+        last = us;
+        EXPECT_EQ(f.data.size(), f.origLen);
+    }
+}
+
+TEST(Pcap, QpipFragmentedFramesReassembleFromCapture)
+{
+    // MTU far below the 16 KB message segment: every data segment
+    // crosses the wire as IPv6 fragments, which the in-test
+    // reassembler must stitch back together from capture bytes alone.
+    apps::QpipTestbed bed(2, 1500);
+    net::PcapWriter pcap;
+    net::tapLink(bed.fabric().linkFor(0), pcap);
+    net::tapLink(bed.fabric().linkFor(1), pcap);
+
+    auto res = apps::runQpipTcpPingPong(bed, 4, 4096);
+    ASSERT_TRUE(res.completed);
+
+    auto parsed = parsePcap(pcap.bytes());
+    ASSERT_TRUE(parsed.has_value());
+    bool saw_fragment = false;
+    for (const auto &f : parsed->frames) {
+        inet::Ipv6Packet v6;
+        ASSERT_TRUE(inet::parseIpv6(f.data, v6));
+        saw_fragment = saw_fragment || v6.frag.has_value();
+    }
+    ASSERT_TRUE(saw_fragment);
+    EXPECT_GT(verifyCapturedFrames(*parsed), 0);
+}
+
+TEST(Pcap, SocketsIpv4CaptureReparsesWithValidChecksums)
+{
+    apps::SocketsTestbed bed(2, apps::SocketsFabric::GigabitEthernet);
+    net::PcapWriter pcap;
+    net::tapLink(bed.fabric().linkFor(0), pcap);
+    net::tapLink(bed.fabric().linkFor(1), pcap);
+
+    auto res = apps::runSocketsTtcp(bed, 64 * 1024);
+    ASSERT_TRUE(res.completed);
+    ASSERT_GT(pcap.frames(), 0u);
+
+    auto parsed = parsePcap(pcap.bytes());
+    ASSERT_TRUE(parsed.has_value());
+    // All frames are IPv4 on this fabric.
+    for (const auto &f : parsed->frames) {
+        ASSERT_FALSE(f.data.empty());
+        EXPECT_EQ(f.data[0] >> 4, 4);
+    }
+    EXPECT_GT(verifyCapturedFrames(*parsed), 0);
+}
+
+TEST(Pcap, CaptureIncludesFramesTheFaultInjectorDrops)
+{
+    // The tap sits after fault injection but before the drop branch:
+    // a capture of a lossy wire shows every frame that occupied it.
+    sim::Simulation sim;
+    net::Link link(sim, "lossy", net::gigabitEthernetLink());
+    struct NullSink : net::NetReceiver
+    {
+        void onPacket(net::PacketPtr) override {}
+    } sink;
+    link.attach(1, sink);
+    link.faults().config.dropProb = 1.0;
+
+    net::PcapWriter pcap;
+    net::tapLink(link, pcap);
+    auto pkt = net::makePacket();
+    inet::IpDatagram d;
+    d.src = *inet::InetAddr::parse("10.0.0.1");
+    d.dst = *inet::InetAddr::parse("10.0.0.2");
+    d.proto = inet::IpProto::Udp;
+    d.payload = {1, 2, 3, 4, 5, 6, 7, 8};
+    pkt->proto = net::NetProto::Ipv4;
+    pkt->data = inet::serializeIpv4(d, 1);
+    link.send(0, pkt);
+    sim.run();
+
+    EXPECT_EQ(link.faults().drops.value(), 1u);
+    EXPECT_EQ(pcap.frames(), 1u);
+}

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <deque>
 
 #include "apps/testbed.hh"
@@ -16,6 +17,7 @@
 #include "inet/byte_fifo.hh"
 #include "inet/checksum.hh"
 #include "inet/ip_frag.hh"
+#include "net/fault.hh"
 #include "tcp_harness.hh"
 
 using namespace qpip;
@@ -310,3 +312,88 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(QpipCase{1, 1500}, QpipCase{2, 9000},
                       QpipCase{3, apps::qpipNativeMtu},
                       QpipCase{4, 1500}, QpipCase{5, 4000}));
+
+// ---------------------------------------------------------------------
+// Fault injector: empirical rates converge to configured
+// probabilities, and the per-packet decision invariants hold
+// ---------------------------------------------------------------------
+
+struct FaultCase
+{
+    std::uint64_t seed;
+    net::FaultConfig cfg;
+};
+
+class FaultInjectorProperty
+    : public ::testing::TestWithParam<FaultCase>
+{};
+
+TEST_P(FaultInjectorProperty, EmpiricalRatesMatchConfig)
+{
+    const auto &[seed, cfg] = GetParam();
+    sim::Random rng(seed);
+    net::FaultInjector inj(rng);
+    inj.config = cfg;
+
+    const std::size_t rolls = 20000;
+    std::size_t drops = 0, dups = 0, corruptions = 0, reorders = 0;
+    const std::vector<std::uint8_t> original(64, 0x5a);
+    for (std::size_t i = 0; i < rolls; ++i) {
+        net::Packet pkt;
+        pkt.data = original;
+        const net::FaultDecision d = inj.apply(pkt);
+
+        // A dropped packet is never also duplicated, delayed or
+        // mutated: the wire either carried it or it didn't.
+        if (d.drop) {
+            EXPECT_FALSE(d.duplicate);
+            EXPECT_EQ(d.extraDelay, 0u);
+            EXPECT_EQ(pkt.data, original);
+            ++drops;
+            continue;
+        }
+        if (pkt.data != original)
+            ++corruptions;
+        if (d.duplicate)
+            ++dups;
+        if (d.extraDelay > 0) {
+            EXPECT_EQ(d.extraDelay, cfg.reorderDelay);
+            ++reorders;
+        }
+    }
+
+    // The injector's own counters agree with what we observed.
+    EXPECT_EQ(inj.drops.value(), drops);
+    EXPECT_EQ(inj.dups.value(), dups);
+    EXPECT_EQ(inj.corruptions.value(), corruptions);
+    EXPECT_EQ(inj.reorders.value(), reorders);
+
+    // Empirical rates within 5 sigma of the configured probability
+    // (dup/corrupt/reorder are conditioned on not-dropped).
+    auto check_rate = [](std::size_t hits, std::size_t trials,
+                         double p, const char *what) {
+        if (trials == 0)
+            return;
+        const double rate =
+            static_cast<double>(hits) / static_cast<double>(trials);
+        const double sigma =
+            std::sqrt(p * (1.0 - p) / static_cast<double>(trials));
+        EXPECT_NEAR(rate, p, 5.0 * sigma + 1e-12)
+            << what << ": " << hits << "/" << trials;
+    };
+    check_rate(drops, rolls, cfg.dropProb, "drop");
+    const std::size_t delivered = rolls - drops;
+    check_rate(corruptions, delivered, cfg.corruptProb, "corrupt");
+    check_rate(dups, delivered, cfg.dupProb, "dup");
+    check_rate(reorders, delivered, cfg.reorderProb, "reorder");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedRateGrid, FaultInjectorProperty,
+    ::testing::Values(
+        FaultCase{1, {0.1, 0.05, 0.08, 0.12, 20 * sim::oneUs}},
+        FaultCase{2, {0.02, 0.01, 0.01, 0.05, 20 * sim::oneUs}},
+        FaultCase{3, {0.5, 0.5, 0.5, 0.5, 7 * sim::oneUs}},
+        FaultCase{4, {0.0, 0.0, 0.0, 0.0, 20 * sim::oneUs}},
+        FaultCase{5, {1.0, 1.0, 1.0, 1.0, 20 * sim::oneUs}},
+        FaultCase{6, {0.25, 0.0, 0.9, 0.0, 20 * sim::oneUs}}));
