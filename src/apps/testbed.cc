@@ -78,9 +78,12 @@ SocketsTestbed::tcpConfig() const
 QpipTestbed::QpipTestbed(std::size_t n_hosts, std::uint32_t mtu,
                          std::uint64_t seed,
                          nic::QpipNicParams nic_params,
-                         host::HostCostModel costs)
-    : sim_(seed)
+                         host::HostCostModel costs, IpFamily family)
+    : sim_(seed), family_(family)
 {
+    const auto addr_of = [family](std::size_t i) {
+        return family == IpFamily::V6 ? v6Of(i) : v4Of(i);
+    };
     fabric_ = std::make_unique<net::StarFabric>(sim_, "fabric",
                                                 net::myrinetLink(mtu));
     for (std::size_t i = 0; i < n_hosts; ++i) {
@@ -91,14 +94,14 @@ QpipTestbed::QpipTestbed(std::size_t n_hosts, std::uint32_t mtu,
         nics_.push_back(std::make_unique<nic::QpipNic>(
             sim_, "host" + std::to_string(i) + ".qnic", spoke, node,
             nic_params));
-        nics_[i]->setAddress(v6Of(i));
+        nics_[i]->setAddress(addr_of(i));
         providers_.push_back(std::make_unique<verbs::Provider>(
             *hosts_[i], *nics_[i]));
     }
     for (std::size_t i = 0; i < n_hosts; ++i) {
         for (std::size_t j = 0; j < n_hosts; ++j) {
             if (i != j) {
-                nics_[i]->routes().add(v6Of(j),
+                nics_[i]->routes().add(addr_of(j),
                                        static_cast<net::NodeId>(j));
             }
         }
@@ -116,7 +119,8 @@ QpipTestbed::~QpipTestbed()
 inet::SockAddr
 QpipTestbed::addr(std::size_t i, std::uint16_t port) const
 {
-    return inet::SockAddr{v6Of(i), port};
+    return inet::SockAddr{
+        family_ == IpFamily::V6 ? v6Of(i) : v4Of(i), port};
 }
 
 } // namespace qpip::apps

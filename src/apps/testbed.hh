@@ -31,6 +31,9 @@ namespace qpip::apps {
 /** Which baseline fabric a sockets testbed models. */
 enum class SocketsFabric { GigabitEthernet, MyrinetIp };
 
+/** Address family a testbed assigns to its nodes. */
+enum class IpFamily { V4, V6 };
+
 /**
  * The QPIP prototype's "native" link MTU: a 16 KB message-segment
  * plus TCP/IPv6 headers rides unfragmented (Myrinet supports
@@ -76,7 +79,8 @@ class QpipTestbed
     QpipTestbed(std::size_t n_hosts, std::uint32_t mtu = qpipNativeMtu,
                 std::uint64_t seed = 1,
                 nic::QpipNicParams nic_params = nic::QpipNicParams{},
-                host::HostCostModel costs = host::HostCostModel{});
+                host::HostCostModel costs = host::HostCostModel{},
+                IpFamily family = IpFamily::V6);
     ~QpipTestbed();
 
     sim::Simulation &sim() { return sim_; }
@@ -88,11 +92,12 @@ class QpipTestbed
     }
     net::StarFabric &fabric() { return *fabric_; }
 
-    /** The v6 address of host @p i with @p port. */
+    /** The fabric address of host @p i with @p port. */
     inet::SockAddr addr(std::size_t i, std::uint16_t port) const;
 
   private:
     sim::Simulation sim_;
+    IpFamily family_;
     std::unique_ptr<net::StarFabric> fabric_;
     std::vector<std::unique_ptr<host::Host>> hosts_;
     std::vector<std::unique_ptr<nic::QpipNic>> nics_;

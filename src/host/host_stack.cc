@@ -1,8 +1,6 @@
 #include "host/host_stack.hh"
 
-#include "inet/ipv4.hh"
-#include "inet/ipv6.hh"
-#include "inet/udp.hh"
+#include "inet/tcp_header.hh"
 #include "sim/logging.hh"
 #include "sim/simulation.hh"
 
@@ -12,16 +10,19 @@ using inet::IpDatagram;
 using inet::IpProto;
 
 HostStack::HostStack(sim::Simulation &sim, std::string name, HostOS &os)
-    : SimObject(sim, std::move(name)), os_(os)
+    : SimObject(sim, std::move(name)), os_(os), inet_(*this),
+      pktsOut(inet_.pktsOut), badPktsIn(inet_.badFrames),
+      noPortDrops(inet_.noMatchDrops), loopbackPkts(inet_.loopbackPkts)
 {
     regStat("pktsOut", pktsOut);
     regStat("pktsIn", pktsIn);
     regStat("badPktsIn", badPktsIn);
     regStat("noPortDrops", noPortDrops);
     regStat("loopbackPkts", loopbackPkts);
-    regStat("reass6.fragmentsIn", reass6_.fragmentsIn);
-    regStat("reass6.reassembled", reass6_.reassembled);
-    regStat("reass6.expired", reass6_.expired);
+    regStat("msgSizeDrops", inet_.msgSizeDrops);
+    regStat("reass6.fragmentsIn", inet_.reassembler().fragmentsIn);
+    regStat("reass6.reassembled", inet_.reassembler().reassembled);
+    regStat("reass6.expired", inet_.reassembler().expired);
 }
 
 HostStack::~HostStack() = default;
@@ -35,13 +36,13 @@ HostStack::attachNic(HostNicDriver &nic)
 void
 HostStack::addAddress(const inet::InetAddr &addr)
 {
-    localAddrs_.insert(addr);
+    inet_.addLocalAddress(addr);
 }
 
 bool
 HostStack::isLocal(const inet::InetAddr &addr) const
 {
-    return localAddrs_.count(addr) != 0;
+    return inet_.isLocal(addr);
 }
 
 inet::TcpConfig
@@ -89,31 +90,28 @@ HostStack::tcpListen(std::uint16_t port, const inet::TcpConfig &cfg,
     listener->cfg = cfg;
     listener->onAccept = std::move(on_accept);
     listener->rcvBuf = rcv_buf;
-    tcp_.insertListener(port, listener.get());
     listeners_[port] = std::move(listener);
 }
 
 void
 HostStack::tcpUnlisten(std::uint16_t port)
 {
-    tcp_.eraseListener(port);
     listeners_.erase(port);
 }
 
 std::shared_ptr<UdpSocket>
 HostStack::udpBind(const inet::SockAddr &local)
 {
-    if (udpPorts_.count(local.port))
-        sim::fatal("udp port %u already bound", local.port);
     auto sock = std::make_shared<UdpSocket>(*this, local);
-    udpPorts_[local.port] = sock.get();
+    if (!inet_.bindUdp(local.port, sock.get()))
+        sim::fatal("udp port %u already bound", local.port);
     return sock;
 }
 
 void
 HostStack::udpUnbind(std::uint16_t port)
 {
-    udpPorts_.erase(port);
+    inet_.unbindUdp(port);
 }
 
 void
@@ -121,7 +119,7 @@ HostStack::registerConn(const inet::FourTuple &t,
                         inet::TcpConnection *conn,
                         std::shared_ptr<TcpSocket> sock)
 {
-    tcp_.insertConn(t, conn);
+    inet_.registerConn(t, conn);
     socketsByConn_[conn] = std::move(sock);
     if (!conn->stats().registered()) {
         conn->stats().registerIn(
@@ -135,7 +133,8 @@ HostStack::registerConn(const inet::FourTuple &t,
 // ---------------------------------------------------------------------
 
 void
-HostStack::tcpOutput(IpDatagram &&dgram, const inet::TcpSegMeta &meta)
+HostStack::emitTcpSegment(IpDatagram &&dgram,
+                          const inet::TcpSegMeta &meta)
 {
     sim::Cycles c = costs().tcpOutputPerSeg + costs().ipPerPacket +
                     costs().driverTxPerPkt;
@@ -146,68 +145,51 @@ HostStack::tcpOutput(IpDatagram &&dgram, const inet::TcpSegMeta &meta)
                                 meta.payloadBytes);
     }
     os_.defer(c, [this, d = std::move(dgram)]() mutable {
-        sendToWire(std::move(d));
+        inet_.ipOutput(std::move(d));
     });
 }
 
 void
-HostStack::udpOutput(IpDatagram &&dgram)
+HostStack::udpOutput(IpDatagram &&dgram,
+                     std::function<void(inet::IpSendResult)> done)
 {
     const sim::Cycles c = costs().udpOutputPerDgram +
                           costs().ipPerPacket + costs().driverTxPerPkt;
-    os_.defer(c, [this, d = std::move(dgram)]() mutable {
-        sendToWire(std::move(d));
+    os_.defer(c, [this, d = std::move(dgram),
+                  done = std::move(done)]() mutable {
+        const auto res = inet_.ipOutput(std::move(d));
+        if (done)
+            done(res);
     });
 }
 
-void
-HostStack::sendToWire(IpDatagram dgram)
+std::optional<std::uint32_t>
+HostStack::txMtu()
 {
-    if (isLocal(dgram.dst)) {
-        // Loopback: straight back into ipInput with the receive-side
-        // protocol charges (no driver, no interrupt) — exactly the
-        // path the paper uses to bound host overhead in Table 1.
-        loopbackPkts.inc();
-        ipInput(std::move(dgram));
-        return;
-    }
-    if (nic_ == nullptr) {
-        sim::warn("%s: no NIC attached, dropping", name().c_str());
-        return;
-    }
-    auto route = routes_.lookup(dgram.dst);
-    if (!route) {
-        sim::warn("%s: no route to %s", name().c_str(),
-                  dgram.dst.toString().c_str());
-        return;
-    }
+    if (nic_ == nullptr)
+        return std::nullopt;
+    return nic_->mtu();
+}
 
-    const std::uint32_t mtu = nic_->mtu();
-    pktsOut.inc();
-    if (dgram.dst.isV6()) {
-        // v6: end-to-end fragmentation when needed.
-        auto frames = fragmentIpv6(dgram, mtu, fragIdent_++);
-        for (std::size_t i = 0; i < frames.size(); ++i) {
-            auto pkt = net::makePacket();
-            pkt->src = nic_->nodeId();
-            pkt->dst = *route;
-            pkt->proto = net::NetProto::Ipv6;
-            pkt->data = std::move(frames[i]);
-            if (i > 0)
-                os_.charge(costs().ipPerPacket); // per extra fragment
-            nic_->transmit(std::move(pkt));
-        }
-    } else {
-        if (dgram.payload.size() + inet::ipv4HeaderBytes > mtu) {
-            sim::warn("%s: v4 datagram exceeds MTU, dropping",
-                      name().c_str());
-            return;
-        }
+void
+HostStack::chargeFragmentsTx(std::size_t extra)
+{
+    // One IP-layer pass per extra fragment, as the kernel's output
+    // loop would charge.
+    for (std::size_t i = 0; i < extra; ++i)
+        os_.charge(costs().ipPerPacket);
+}
+
+void
+HostStack::wireTx(std::vector<std::vector<std::uint8_t>> &&frames,
+                  bool ipv6, net::NodeId dst_node)
+{
+    for (auto &frame : frames) {
         auto pkt = net::makePacket();
         pkt->src = nic_->nodeId();
-        pkt->dst = *route;
-        pkt->proto = net::NetProto::Ipv4;
-        pkt->data = serializeIpv4(dgram, identCounter_++);
+        pkt->dst = dst_node;
+        pkt->proto = ipv6 ? net::NetProto::Ipv6 : net::NetProto::Ipv4;
+        pkt->data = std::move(frame);
         nic_->transmit(std::move(pkt));
     }
 }
@@ -221,145 +203,86 @@ HostStack::nicReceive(net::PacketPtr pkt)
 {
     pktsIn.inc();
     os_.defer(costs().driverRxPerPkt, [this, pkt] {
-        processRx(pkt);
+        inet_.wireInput(pkt->proto, pkt->data);
     });
 }
 
 void
-HostStack::processRx(net::PacketPtr pkt)
+HostStack::chargeRxFrame(std::size_t)
 {
     os_.charge(costs().ipPerPacket);
-    if (pkt->proto == net::NetProto::Ipv4) {
-        IpDatagram dgram;
-        if (!parseIpv4(pkt->data, dgram)) {
-            badPktsIn.inc();
-            return;
-        }
-        ipInput(std::move(dgram));
-        return;
-    }
-    if (pkt->proto == net::NetProto::Ipv6) {
-        inet::Ipv6Packet v6;
-        if (!parseIpv6(pkt->data, v6)) {
-            badPktsIn.inc();
-            return;
-        }
-        reass6_.expire(curTick());
-        auto dgram = reass6_.offer(v6, curTick());
-        if (dgram)
-            ipInput(std::move(*dgram));
-        return;
-    }
-    badPktsIn.inc();
 }
 
 void
-HostStack::ipInput(IpDatagram dgram)
+HostStack::chargeTcpInput(std::size_t payload_bytes, bool)
 {
-    switch (dgram.proto) {
-      case IpProto::Tcp:
-        deliverTcp(dgram);
-        break;
-      case IpProto::Udp:
-        deliverUdp(dgram);
-        break;
-      default:
-        badPktsIn.inc();
-        break;
-    }
-}
-
-void
-HostStack::deliverTcp(IpDatagram &dgram)
-{
-    inet::TcpHeader hdr;
-    std::span<const std::uint8_t> payload;
-    if (!parseTcp(dgram.src, dgram.dst, dgram.payload, hdr, payload)) {
-        badPktsIn.inc();
-        return;
-    }
-
     sim::Cycles c = costs().tcpInputPerSeg;
     if (nic_ && !nic_->checksumOffload()) {
         // The rx checksum pass over the payload.
-        c += HostOS::byteCycles(1.0, payload.size());
+        c += HostOS::byteCycles(1.0, payload_bytes);
     }
     os_.charge(c);
-
-    inet::FourTuple t;
-    t.local = inet::SockAddr{dgram.dst, hdr.dstPort};
-    t.remote = inet::SockAddr{dgram.src, hdr.srcPort};
-    if (auto *conn = tcp_.lookupConn(t)) {
-        conn->segmentArrived(hdr, payload);
-        return;
-    }
-    // New connection?
-    if (hdr.has(inet::tcpflags::syn) && !hdr.has(inet::tcpflags::ack)) {
-        if (auto *listener = tcp_.lookupListener(hdr.dstPort)) {
-            auto cfg = listener->cfg;
-            auto sock = std::make_shared<TcpSocket>(*this, cfg,
-                                                    listener->rcvBuf);
-            auto *conn = sock->conn_.get();
-            registerConn(t, conn, sock);
-            // Stash the accept callback for onConnected.
-            sock->connectCb_ = [this, listener,
-                                sock](bool ok) {
-                if (ok && listener->onAccept)
-                    listener->onAccept(sock);
-            };
-            conn->openPassive(t.local, t.remote, hdr);
-            return;
-        }
-    }
-    noPortDrops.inc();
-    // RFC 793: RST for segments to nonexistent connections.
-    if (!hdr.has(inet::tcpflags::rst)) {
-        inet::TcpHeader rst;
-        rst.srcPort = hdr.dstPort;
-        rst.dstPort = hdr.srcPort;
-        rst.flags = inet::tcpflags::rst | inet::tcpflags::ack;
-        rst.seq = hdr.has(inet::tcpflags::ack) ? hdr.ack : 0;
-        rst.ack = hdr.seq + static_cast<std::uint32_t>(payload.size()) +
-                  (hdr.has(inet::tcpflags::syn) ? 1 : 0);
-        IpDatagram out;
-        out.src = dgram.dst;
-        out.dst = dgram.src;
-        out.proto = IpProto::Tcp;
-        out.payload = serializeTcp(out.src, out.dst, rst, {});
-        os_.defer(costs().tcpOutputPerSeg + costs().driverTxPerPkt,
-                  [this, d = std::move(out)]() mutable {
-                      sendToWire(std::move(d));
-                  });
-    }
 }
 
 void
-HostStack::deliverUdp(IpDatagram &dgram)
+HostStack::chargeUdpInput(std::size_t payload_bytes)
 {
-    inet::UdpHeader hdr;
-    std::span<const std::uint8_t> payload;
-    if (!parseUdp(dgram.src, dgram.dst, dgram.payload, hdr, payload)) {
-        badPktsIn.inc();
-        return;
-    }
     sim::Cycles c = costs().udpInputPerDgram;
     if (nic_ && !nic_->checksumOffload())
-        c += HostOS::byteCycles(1.0, payload.size());
+        c += HostOS::byteCycles(1.0, payload_bytes);
     os_.charge(c);
+}
 
-    auto it = udpPorts_.find(hdr.dstPort);
-    if (it == udpPorts_.end()) {
-        noPortDrops.inc();
+bool
+HostStack::tcpAccept(const inet::FourTuple &t,
+                     const inet::TcpHeader &syn)
+{
+    auto lit = listeners_.find(syn.dstPort);
+    if (lit == listeners_.end())
+        return false;
+    Listener *listener = lit->second.get();
+    auto cfg = listener->cfg;
+    auto sock = std::make_shared<TcpSocket>(*this, cfg,
+                                            listener->rcvBuf);
+    auto *conn = sock->conn_.get();
+    registerConn(t, conn, sock);
+    // Stash the accept callback for onConnected.
+    sock->connectCb_ = [this, listener, sock](bool ok) {
+        if (ok && listener->onAccept)
+            listener->onAccept(sock);
+    };
+    conn->openPassive(t.local, t.remote, syn);
+    return true;
+}
+
+void
+HostStack::tcpRefused(const IpDatagram &dgram,
+                      const inet::TcpHeader &hdr,
+                      std::span<const std::uint8_t> payload)
+{
+    // RFC 793: RST for segments to nonexistent connections.
+    if (hdr.has(inet::tcpflags::rst))
         return;
-    }
-    UdpSocket::Datagram d;
-    d.data.assign(payload.begin(), payload.end());
-    d.from = inet::SockAddr{dgram.src, hdr.srcPort};
-    it->second->deliver(std::move(d));
+    inet::TcpHeader rst;
+    rst.srcPort = hdr.dstPort;
+    rst.dstPort = hdr.srcPort;
+    rst.flags = inet::tcpflags::rst | inet::tcpflags::ack;
+    rst.seq = hdr.has(inet::tcpflags::ack) ? hdr.ack : 0;
+    rst.ack = hdr.seq + static_cast<std::uint32_t>(payload.size()) +
+              (hdr.has(inet::tcpflags::syn) ? 1 : 0);
+    IpDatagram out;
+    out.src = dgram.dst;
+    out.dst = dgram.src;
+    out.proto = IpProto::Tcp;
+    out.payload = serializeTcp(out.src, out.dst, rst, {});
+    os_.defer(costs().tcpOutputPerSeg + costs().driverTxPerPkt,
+              [this, d = std::move(out)]() mutable {
+                  inet_.ipOutput(std::move(d));
+              });
 }
 
 // ---------------------------------------------------------------------
-// TcpEnv
+// Runtime services
 // ---------------------------------------------------------------------
 
 sim::Tick
@@ -380,12 +303,18 @@ HostStack::randomIss()
     return static_cast<std::uint32_t>(rng().next());
 }
 
+const std::string &
+HostStack::inetName() const
+{
+    return name();
+}
+
 void
 HostStack::connectionClosed(inet::TcpConnection &conn)
 {
-    tcp_.eraseConn(conn.tuple());
-    // Release the stack's reference once the current callback chain
-    // unwinds; the application may still hold the socket.
+    // The engine already dropped the PCB entry. Release the stack's
+    // reference once the current callback chain unwinds; the
+    // application may still hold the socket.
     auto *key = &conn;
     schedule(curTick(), [this, key] { socketsByConn_.erase(key); });
 }

@@ -1,11 +1,12 @@
 /**
  * @file
- * The in-kernel inter-network stack of the baseline systems: a
- * dual-family (IPv4/IPv6) IP layer with neighbor resolution and v6
- * reassembly, the shared TCP engine in stream mode, UDP, and the
- * sockets demultiplexer. Every path charges the host CPU through the
- * HostCostModel; this is where the paper's "host-based nature of
- * these implementations" becomes measurable overhead.
+ * The in-kernel adapter around the shared inet::InetStack engine: the
+ * baseline systems' dual-family (IPv4/IPv6) stack with the shared TCP
+ * engine in stream mode, UDP, and the sockets demultiplexer. The
+ * protocol machinery lives in the engine; this class supplies the
+ * kernel execution context — every cost hook charges the host CPU
+ * through the HostCostModel, which is where the paper's "host-based
+ * nature of these implementations" becomes measurable overhead.
  */
 
 #ifndef QPIP_HOST_HOST_STACK_HH
@@ -14,14 +15,10 @@
 #include <functional>
 #include <memory>
 #include <unordered_map>
-#include <unordered_set>
 
 #include "host/host_os.hh"
 #include "host/socket.hh"
-#include "inet/ip_frag.hh"
-#include "inet/pcb_table.hh"
-#include "inet/route.hh"
-#include "inet/tcp_conn.hh"
+#include "inet/inet_stack.hh"
 #include "net/packet.hh"
 #include "sim/sim_object.hh"
 
@@ -46,9 +43,9 @@ class HostNicDriver
 };
 
 /**
- * The host kernel network stack.
+ * The host kernel network stack: InetStack in kernel mode.
  */
-class HostStack : public sim::SimObject, public inet::TcpEnv
+class HostStack : public sim::SimObject, public inet::InetEnv
 {
   public:
     using AcceptCb = std::function<void(std::shared_ptr<TcpSocket>)>;
@@ -62,8 +59,11 @@ class HostStack : public sim::SimObject, public inet::TcpEnv
     void addAddress(const inet::InetAddr &addr);
     bool isLocal(const inet::InetAddr &addr) const;
 
-    inet::NeighborTable &routes() { return routes_; }
+    inet::NeighborTable &routes() { return inet_.routes(); }
     HostOS &os() { return os_; }
+
+    /** The shared protocol engine (kernel execution context). */
+    inet::InetStack &inet() { return inet_; }
 
     /** Default TCP config handed to sockets (mss derived from MTU). */
     inet::TcpConfig defaultTcpConfig() const;
@@ -86,7 +86,13 @@ class HostStack : public sim::SimObject, public inet::TcpEnv
     void nicReceive(net::PacketPtr pkt);
 
     // --- used by sockets ----------------------------------------------
-    void udpOutput(inet::IpDatagram &&dgram);
+    /**
+     * Emit one UDP datagram after charging the kernel's output path;
+     * @p done (optional) reports the IP-layer outcome — EMSGSIZE-class
+     * failures surface here instead of vanishing into a warn log.
+     */
+    void udpOutput(inet::IpDatagram &&dgram,
+                   std::function<void(inet::IpSendResult)> done = nullptr);
     const HostCostModel &costs() const { return os_.costs(); }
 
     /**
@@ -103,22 +109,46 @@ class HostStack : public sim::SimObject, public inet::TcpEnv
                                   n);
     }
 
-    // --- TcpEnv --------------------------------------------------------
+    // --- InetEnv (kernel execution context) ---------------------------
     sim::Tick now() override;
     sim::EventHandle scheduleTimer(sim::Tick delay,
                                    std::function<void()> fn) override;
-    void tcpOutput(inet::IpDatagram &&dgram,
-                   const inet::TcpSegMeta &meta) override;
     std::uint32_t randomIss() override;
-    void connectionClosed(inet::TcpConnection &conn) override;
     sim::Tracer *tracer() override;
+    const std::string &inetName() const override;
+    void connectionClosed(inet::TcpConnection &conn) override;
 
-    // Stats.
-    sim::Counter pktsOut;
+    std::optional<std::uint32_t> txMtu() override;
+    void chargeFragmentsTx(std::size_t extra) override;
+    void wireTx(std::vector<std::vector<std::uint8_t>> &&frames,
+                bool ipv6, net::NodeId dst_node) override;
+    void emitTcpSegment(inet::IpDatagram &&dgram,
+                        const inet::TcpSegMeta &meta) override;
+
+    void chargeRxFrame(std::size_t wire_bytes) override;
+    void chargeTcpInput(std::size_t payload_bytes,
+                        bool pure_ack) override;
+    void chargeUdpInput(std::size_t payload_bytes) override;
+
+    bool tcpAccept(const inet::FourTuple &t,
+                   const inet::TcpHeader &syn) override;
+    void tcpRefused(const inet::IpDatagram &dgram,
+                    const inet::TcpHeader &hdr,
+                    std::span<const std::uint8_t> payload) override;
+
+  private:
+    HostOS &os_;
+    HostNicDriver *nic_ = nullptr;
+    inet::InetStack inet_;
+
+  public:
+    // Stats: engine counters surfaced under their legacy kernel
+    // names; pktsIn counts NIC interrupts and stays adapter-owned.
+    sim::Counter &pktsOut;
     sim::Counter pktsIn;
-    sim::Counter badPktsIn;
-    sim::Counter noPortDrops;
-    sim::Counter loopbackPkts;
+    sim::Counter &badPktsIn;
+    sim::Counter &noPortDrops;
+    sim::Counter &loopbackPkts;
 
   private:
     struct Listener
@@ -136,27 +166,10 @@ class HostStack : public sim::SimObject, public inet::TcpEnv
                       inet::TcpConnection *conn,
                       std::shared_ptr<TcpSocket> sock);
 
-    void processRx(net::PacketPtr pkt);
-    void ipInput(inet::IpDatagram dgram);
-    void deliverTcp(inet::IpDatagram &dgram);
-    void deliverUdp(inet::IpDatagram &dgram);
-    void sendToWire(inet::IpDatagram dgram);
-
-    HostOS &os_;
-    HostNicDriver *nic_ = nullptr;
-    inet::NeighborTable routes_;
-    std::unordered_set<inet::InetAddr, inet::InetAddrHash> localAddrs_;
-
-    inet::PcbTable<inet::TcpConnection, Listener> tcp_;
     std::unordered_map<std::uint16_t, std::unique_ptr<Listener>>
         listeners_;
     std::unordered_map<inet::TcpConnection *, std::shared_ptr<TcpSocket>>
         socketsByConn_;
-    std::unordered_map<std::uint16_t, UdpSocket *> udpPorts_;
-
-    inet::Ipv6Reassembler reass6_;
-    std::uint16_t identCounter_ = 1;
-    std::uint32_t fragIdent_ = 1;
     /** Monotonic id for per-connection stat prefixes. */
     std::uint64_t connSeq_ = 0;
 };

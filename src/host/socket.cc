@@ -14,7 +14,8 @@ namespace qpip::host {
 TcpSocket::TcpSocket(HostStack &stack, inet::TcpConfig cfg,
                      std::size_t rcv_buf_bytes)
     : stack_(stack),
-      conn_(std::make_unique<inet::TcpConnection>(stack, *this, cfg)),
+      conn_(std::make_unique<inet::TcpConnection>(stack.inet(), *this,
+                                                  cfg)),
       rxBuf_(rcv_buf_bytes)
 {}
 
@@ -264,7 +265,7 @@ UdpSocket::~UdpSocket() = default;
 
 void
 UdpSocket::sendTo(std::vector<std::uint8_t> data,
-                  const inet::SockAddr &dst, std::function<void()> done)
+                  const inet::SockAddr &dst, SendCb done)
 {
     const auto &costs = stack_.costs();
     const sim::Cycles c = costs.syscallOverhead + costs.sockSendBase +
@@ -280,9 +281,8 @@ UdpSocket::sendTo(std::vector<std::uint8_t> data,
             dgram.payload =
                 inet::serializeUdp(self->local_.addr, dst.addr,
                              self->local_.port, dst.port, data);
-            self->stack_.udpOutput(std::move(dgram));
-            if (done)
-                done();
+            self->stack_.udpOutput(std::move(dgram),
+                                   std::move(done));
         });
 }
 
@@ -306,6 +306,16 @@ UdpSocket::recvFrom(RecvFromCb cb)
     }
     stack_.os().charge(costs.syscallOverhead + costs.sockRecvBase);
     waiter_ = std::move(cb);
+}
+
+void
+UdpSocket::udpDeliver(std::vector<std::uint8_t> &&payload,
+                      const inet::SockAddr &from)
+{
+    Datagram d;
+    d.data = std::move(payload);
+    d.from = from;
+    deliver(std::move(d));
 }
 
 void

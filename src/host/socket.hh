@@ -17,6 +17,7 @@
 #include <optional>
 
 #include "host/sockbuf.hh"
+#include "inet/inet_stack.hh"
 #include "inet/tcp_conn.hh"
 
 namespace qpip::host {
@@ -119,7 +120,8 @@ class TcpSocket : public inet::TcpObserver,
 /**
  * A bound UDP socket.
  */
-class UdpSocket : public std::enable_shared_from_this<UdpSocket>
+class UdpSocket : public inet::UdpEndpoint,
+                  public std::enable_shared_from_this<UdpSocket>
 {
   public:
     struct Datagram
@@ -129,16 +131,22 @@ class UdpSocket : public std::enable_shared_from_this<UdpSocket>
     };
 
     using RecvFromCb = std::function<void(Datagram)>;
+    /** Reports the IP-layer outcome of a sendTo (EMSGSIZE etc.). */
+    using SendCb = std::function<void(inet::IpSendResult)>;
 
     UdpSocket(HostStack &stack, inet::SockAddr local);
-    ~UdpSocket();
+    ~UdpSocket() override;
 
     const inet::SockAddr &localAddr() const { return local_; }
 
-    /** Send one datagram (charges the full sendto() path). */
+    /**
+     * Send one datagram (charges the full sendto() path). @p done
+     * fires once the IP layer has accepted or refused the datagram;
+     * an oversized payload reports IpSendResult::MsgSize, the moral
+     * equivalent of sendto() failing with EMSGSIZE.
+     */
     void sendTo(std::vector<std::uint8_t> data,
-                const inet::SockAddr &dst,
-                std::function<void()> done = nullptr);
+                const inet::SockAddr &dst, SendCb done = nullptr);
 
     /** Receive one datagram (waits if none queued). */
     void recvFrom(RecvFromCb cb);
@@ -149,7 +157,11 @@ class UdpSocket : public std::enable_shared_from_this<UdpSocket>
   private:
     friend class HostStack;
 
-    /** Called by the stack when a datagram for this port arrives. */
+    // --- inet::UdpEndpoint ------------------------------------------
+    void udpDeliver(std::vector<std::uint8_t> &&payload,
+                    const inet::SockAddr &from) override;
+
+    /** Queue/hand off one arrived datagram. */
     void deliver(Datagram dgram);
 
     HostStack &stack_;

@@ -9,6 +9,7 @@
 #define QPIP_INET_IP_HH
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "inet/inet_addr.hh"
@@ -23,6 +24,14 @@ enum class IpProto : std::uint8_t {
 };
 
 /**
+ * The one hop-limit/TTL default used everywhere a datagram or frame
+ * is built (RFC 1700's recommended 64). Kept as a single constant so
+ * the serializers, the reassembler and the parsed-frame defaults
+ * cannot drift apart.
+ */
+constexpr std::uint8_t defaultHopLimit = 64;
+
+/**
  * One network-layer datagram (unfragmented view).
  */
 struct IpDatagram
@@ -30,8 +39,36 @@ struct IpDatagram
     InetAddr src;
     InetAddr dst;
     IpProto proto = IpProto::Udp;
-    std::uint8_t hopLimit = 64;
+    std::uint8_t hopLimit = defaultHopLimit;
     /** Transport-layer bytes (TCP/UDP header + payload). */
+    std::vector<std::uint8_t> payload;
+};
+
+/**
+ * Parsed view of one wire frame of either family, which may be a
+ * fragment of a larger datagram. IPv4 expresses fragmentation in the
+ * fixed header, IPv6 in a fragment extension header; both reduce to
+ * the same (ident, byte offset, more-fragments) triple, so one parsed
+ * form feeds one reassembler.
+ */
+struct IpFrame
+{
+    InetAddr src;
+    InetAddr dst;
+    std::uint8_t hopLimit = defaultHopLimit;
+    /** Upper-layer protocol (after any fragment header). */
+    IpProto proto = IpProto::Udp;
+
+    /** Fragmentation info; nullopt for atomic packets. */
+    struct FragInfo
+    {
+        std::uint32_t ident = 0;
+        std::uint16_t offsetBytes = 0; ///< multiple of 8
+        bool moreFragments = false;
+    };
+    std::optional<FragInfo> frag;
+
+    /** Upper-layer bytes (this fragment's slice if fragmented). */
     std::vector<std::uint8_t> payload;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "inet/ipv4.hh"
 #include "sim/logging.hh"
 
 namespace qpip::inet {
@@ -37,8 +38,37 @@ fragmentIpv6(const IpDatagram &dgram, std::uint32_t link_mtu,
     return out;
 }
 
+std::vector<std::vector<std::uint8_t>>
+fragmentIpv4(const IpDatagram &dgram, std::uint32_t link_mtu,
+             std::uint16_t ident)
+{
+    std::vector<std::vector<std::uint8_t>> out;
+    if (ipv4HeaderBytes + dgram.payload.size() <= link_mtu) {
+        out.push_back(serializeIpv4(dgram, ident));
+        return out;
+    }
+
+    if (link_mtu < ipv4HeaderBytes + 8)
+        sim::fatal("link MTU %u too small to fragment", link_mtu);
+
+    const std::size_t cap =
+        (link_mtu - ipv4HeaderBytes) & ~std::size_t(7);
+
+    std::span<const std::uint8_t> payload(dgram.payload);
+    std::size_t offset = 0;
+    while (offset < payload.size()) {
+        const std::size_t n = std::min(cap, payload.size() - offset);
+        const bool more = offset + n < payload.size();
+        out.push_back(serializeIpv4Fragment(
+            dgram, ident, static_cast<std::uint16_t>(offset), more,
+            payload.subspan(offset, n)));
+        offset += n;
+    }
+    return out;
+}
+
 std::optional<IpDatagram>
-Ipv6Reassembler::offer(const Ipv6Packet &pkt, sim::Tick now)
+IpReassembler::offer(const IpFrame &pkt, sim::Tick now)
 {
     if (!pkt.frag) {
         IpDatagram d;
@@ -69,7 +99,7 @@ Ipv6Reassembler::offer(const Ipv6Packet &pkt, sim::Tick now)
 }
 
 std::optional<IpDatagram>
-Ipv6Reassembler::tryComplete(const Key &key, Partial &p)
+IpReassembler::tryComplete(const Key &key, Partial &p)
 {
     if (!p.sawLast)
         return std::nullopt;
@@ -97,7 +127,7 @@ Ipv6Reassembler::tryComplete(const Key &key, Partial &p)
 }
 
 void
-Ipv6Reassembler::expire(sim::Tick now)
+IpReassembler::expire(sim::Tick now)
 {
     for (auto it = pending_.begin(); it != pending_.end();) {
         if (now - it->second.firstAt > timeout_) {

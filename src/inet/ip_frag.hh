@@ -1,11 +1,13 @@
 /**
  * @file
- * IPv6 end-to-end fragmentation and reassembly. IPv6 has no in-network
- * fragmentation: only the source fragments and only the destination
- * reassembles — the property the paper calls "better suited to
- * hardware based protocol implementations". The QPIP NIC uses this to
- * push one arbitrarily-sized TCP message-segment through a smaller
- * link MTU (Figure 4's 1500/9000 byte points).
+ * IP fragmentation and reassembly for both families. IPv6 has no
+ * in-network fragmentation: only the source fragments and only the
+ * destination reassembles — the property the paper calls "better
+ * suited to hardware based protocol implementations". The QPIP NIC
+ * uses this to push one arbitrarily-sized TCP message-segment through
+ * a smaller link MTU (Figure 4's 1500/9000 byte points). The IPv4
+ * source-side fragmenter follows the same end-to-end discipline so
+ * the shared InetStack can carry either family.
  */
 
 #ifndef QPIP_INET_IP_FRAG_HH
@@ -32,24 +34,34 @@ fragmentIpv6(const IpDatagram &dgram, std::uint32_t link_mtu,
              std::uint32_t ident);
 
 /**
- * Destination-side reassembly. Keyed by (src, dst, ident); partial
- * datagrams expire after a timeout (RFC 2460 says 60 s; the SAN
- * configs use far less so a lost fragment doesn't pin NIC SRAM).
+ * Fragment @p dgram into IPv4 wire packets that fit @p link_mtu.
+ * A datagram that fits emits the unfragmented (DF) form; larger ones
+ * carry MF/offset in the fixed header (RFC 791).
  */
-class Ipv6Reassembler
+std::vector<std::vector<std::uint8_t>>
+fragmentIpv4(const IpDatagram &dgram, std::uint32_t link_mtu,
+             std::uint16_t ident);
+
+/**
+ * Destination-side reassembly for either family. Keyed by
+ * (src, dst, ident) — the addresses keep the two families' ident
+ * spaces apart; partial datagrams expire after a timeout (RFC 2460
+ * says 60 s; the SAN configs use far less so a lost fragment doesn't
+ * pin NIC SRAM).
+ */
+class IpReassembler
 {
   public:
-    explicit Ipv6Reassembler(sim::Tick timeout = 60 * sim::oneSec)
+    explicit IpReassembler(sim::Tick timeout = 60 * sim::oneSec)
         : timeout_(timeout)
     {}
 
     /**
-     * Offer one parsed packet.
+     * Offer one parsed frame.
      * @return a complete datagram if @p pkt finished one, else
      *         std::nullopt. Unfragmented packets complete immediately.
      */
-    std::optional<IpDatagram> offer(const Ipv6Packet &pkt,
-                                    sim::Tick now);
+    std::optional<IpDatagram> offer(const IpFrame &pkt, sim::Tick now);
 
     /** Drop partial datagrams older than the timeout. */
     void expire(sim::Tick now);
@@ -87,7 +99,7 @@ class Ipv6Reassembler
         std::uint32_t totalLen = 0;
         bool sawLast = false;
         IpProto proto = IpProto::Udp;
-        std::uint8_t hopLimit = 0;
+        std::uint8_t hopLimit = defaultHopLimit;
         sim::Tick firstAt = 0;
     };
 
@@ -96,6 +108,9 @@ class Ipv6Reassembler
     sim::Tick timeout_;
     std::unordered_map<Key, Partial, KeyHash> pending_;
 };
+
+/** Historical name from when only the IPv6 path could fragment. */
+using Ipv6Reassembler = IpReassembler;
 
 } // namespace qpip::inet
 

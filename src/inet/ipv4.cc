@@ -6,21 +6,27 @@
 
 namespace qpip::inet {
 
+namespace {
+
+constexpr std::uint16_t ipv4FlagDf = 0x4000;
+constexpr std::uint16_t ipv4FlagMf = 0x2000;
+constexpr std::uint16_t ipv4OffsetMask = 0x1fff;
+
 std::vector<std::uint8_t>
-serializeIpv4(const IpDatagram &dgram, std::uint16_t ident)
+writeIpv4(const IpDatagram &dgram, std::uint16_t ident,
+          std::uint16_t flags_frag, std::span<const std::uint8_t> body)
 {
     if (dgram.src.isV6() || dgram.dst.isV6())
         sim::panic("serializeIpv4 with IPv6 addresses");
 
     std::vector<std::uint8_t> out;
-    out.reserve(ipv4HeaderBytes + dgram.payload.size());
+    out.reserve(ipv4HeaderBytes + body.size());
     net::ByteWriter w(out);
     w.u8(0x45); // version 4, IHL 5
     w.u8(0);    // TOS
-    w.u16(static_cast<std::uint16_t>(ipv4HeaderBytes +
-                                     dgram.payload.size()));
+    w.u16(static_cast<std::uint16_t>(ipv4HeaderBytes + body.size()));
     w.u16(ident);
-    w.u16(0x4000); // DF set, offset 0 (TCP path-MTU era default)
+    w.u16(flags_frag);
     w.u8(dgram.hopLimit);
     w.u8(static_cast<std::uint8_t>(dgram.proto));
     const std::size_t cksum_off = out.size();
@@ -28,12 +34,34 @@ serializeIpv4(const IpDatagram &dgram, std::uint16_t ident)
     w.u32(dgram.src.v4.value);
     w.u32(dgram.dst.v4.value);
     w.patchU16(cksum_off, internetChecksum(out));
-    w.bytes(dgram.payload);
+    w.bytes(body);
     return out;
 }
 
+} // namespace
+
+std::vector<std::uint8_t>
+serializeIpv4(const IpDatagram &dgram, std::uint16_t ident)
+{
+    // DF set, offset 0 (TCP path-MTU era default).
+    return writeIpv4(dgram, ident, ipv4FlagDf, dgram.payload);
+}
+
+std::vector<std::uint8_t>
+serializeIpv4Fragment(const IpDatagram &dgram, std::uint16_t ident,
+                      std::uint16_t offset_bytes, bool more_fragments,
+                      std::span<const std::uint8_t> slice)
+{
+    if (offset_bytes % 8 != 0)
+        sim::panic("fragment offset %u not a multiple of 8",
+                   offset_bytes);
+    const std::uint16_t flags_frag = static_cast<std::uint16_t>(
+        (more_fragments ? ipv4FlagMf : 0) | (offset_bytes >> 3));
+    return writeIpv4(dgram, ident, flags_frag, slice);
+}
+
 bool
-parseIpv4(std::span<const std::uint8_t> wire, IpDatagram &out)
+parseIpv4(std::span<const std::uint8_t> wire, IpFrame &out)
 {
     if (wire.size() < ipv4HeaderBytes)
         return false;
@@ -43,8 +71,8 @@ parseIpv4(std::span<const std::uint8_t> wire, IpDatagram &out)
         return false;
     r.u8(); // TOS
     const std::uint16_t total_len = r.u16();
-    r.u16(); // ident
-    r.u16(); // flags/frag
+    const std::uint16_t ident = r.u16();
+    const std::uint16_t flags_frag = r.u16();
     const std::uint8_t ttl = r.u8();
     const std::uint8_t proto = r.u8();
     r.u16(); // checksum (verified over whole header below)
@@ -61,9 +89,34 @@ parseIpv4(std::span<const std::uint8_t> wire, IpDatagram &out)
     out.dst = InetAddr(Ipv4Addr{dst});
     out.proto = static_cast<IpProto>(proto);
     out.hopLimit = ttl;
+    out.frag.reset();
+    const std::uint16_t offset =
+        static_cast<std::uint16_t>((flags_frag & ipv4OffsetMask) << 3);
+    const bool more = (flags_frag & ipv4FlagMf) != 0;
+    if (offset != 0 || more) {
+        IpFrame::FragInfo fi;
+        fi.ident = ident;
+        fi.offsetBytes = offset;
+        fi.moreFragments = more;
+        out.frag = fi;
+    }
     auto body = wire.subspan(ipv4HeaderBytes,
                              total_len - ipv4HeaderBytes);
     out.payload.assign(body.begin(), body.end());
+    return true;
+}
+
+bool
+parseIpv4(std::span<const std::uint8_t> wire, IpDatagram &out)
+{
+    IpFrame frame;
+    if (!parseIpv4(wire, frame) || frame.frag)
+        return false;
+    out.src = frame.src;
+    out.dst = frame.dst;
+    out.proto = frame.proto;
+    out.hopLimit = frame.hopLimit;
+    out.payload = std::move(frame.payload);
     return true;
 }
 

@@ -1,9 +1,10 @@
 /**
  * @file
  * IPv4 header (RFC 791, no options) serialization and parsing with
- * header checksum generation/verification. Used by the host-based
- * baseline stack (the paper's "Linux host-based IPv4 stack over
- * Gigabit Ethernet").
+ * header checksum generation/verification and in-header fragmentation
+ * fields. Used by the host-based baseline stack (the paper's "Linux
+ * host-based IPv4 stack over Gigabit Ethernet") and, through the
+ * shared InetStack, by the QPIP firmware when configured for v4.
  */
 
 #ifndef QPIP_INET_IPV4_HH
@@ -21,6 +22,8 @@ constexpr std::size_t ipv4HeaderBytes = 20;
 
 /**
  * Serialize @p dgram into IPv4 wire bytes (header checksum computed).
+ * Emits the unfragmented form: DF set, offset 0 (the TCP
+ * path-MTU-discovery era default).
  * @param ident IP identification field (for fragment grouping).
  * @pre both addresses are IPv4.
  */
@@ -28,9 +31,26 @@ std::vector<std::uint8_t> serializeIpv4(const IpDatagram &dgram,
                                         std::uint16_t ident);
 
 /**
- * Parse IPv4 wire bytes.
+ * Serialize one fragment of @p dgram: header with MF/offset fields
+ * set, carrying @p slice of the original upper-layer payload.
+ */
+std::vector<std::uint8_t>
+serializeIpv4Fragment(const IpDatagram &dgram, std::uint16_t ident,
+                      std::uint16_t offset_bytes, bool more_fragments,
+                      std::span<const std::uint8_t> slice);
+
+/**
+ * Parse IPv4 wire bytes into the family-neutral frame view,
+ * surfacing the fragmentation fields.
  * @return false on truncation, bad version, bad checksum or length
- *         mismatch; @p out is untouched on failure.
+ *         mismatch.
+ */
+bool parseIpv4(std::span<const std::uint8_t> wire, IpFrame &out);
+
+/**
+ * Parse an unfragmented IPv4 packet straight into a datagram.
+ * @return false on any wire error or if the packet is a fragment;
+ *         @p out is untouched on failure.
  */
 bool parseIpv4(std::span<const std::uint8_t> wire, IpDatagram &out);
 

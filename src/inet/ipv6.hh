@@ -23,27 +23,11 @@ namespace qpip::inet {
 constexpr std::size_t ipv6HeaderBytes = 40;
 constexpr std::size_t ipv6FragHeaderBytes = 8;
 
-/** Parsed view of an IPv6 packet that may carry a fragment header. */
-struct Ipv6Packet
-{
-    InetAddr src;
-    InetAddr dst;
-    std::uint8_t hopLimit = 0;
-    /** Upper-layer protocol (after any fragment header). */
-    IpProto proto = IpProto::Udp;
-
-    /** Fragmentation info; nullopt for atomic packets. */
-    struct FragInfo
-    {
-        std::uint32_t ident = 0;
-        std::uint16_t offsetBytes = 0; ///< multiple of 8
-        bool moreFragments = false;
-    };
-    std::optional<FragInfo> frag;
-
-    /** Upper-layer bytes (this fragment's slice if fragmented). */
-    std::vector<std::uint8_t> payload;
-};
+/**
+ * Parsed view of an IPv6 packet that may carry a fragment header —
+ * the family-neutral IpFrame (ip.hh) fits IPv6 exactly.
+ */
+using Ipv6Packet = IpFrame;
 
 /** Serialize an unfragmented IPv6 packet. @pre addresses are IPv6. */
 std::vector<std::uint8_t> serializeIpv6(const IpDatagram &dgram);

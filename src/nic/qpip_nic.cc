@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "inet/ipv6.hh"
 #include "sim/logging.hh"
 #include "sim/simulation.hh"
 
@@ -47,7 +46,8 @@ QpipNicParams::defaultFirmwareTcpConfig()
 // QpContext
 // ---------------------------------------------------------------------
 
-struct QpipNic::QpContext : public inet::TcpObserver
+struct QpipNic::QpContext : public inet::TcpObserver,
+                            public inet::UdpEndpoint
 {
     QpContext(QpipNic &nic_ref, QpNum n, QpType t, QpHostRings *r,
               CqRing *s, CqRing *rc)
@@ -80,6 +80,19 @@ struct QpipNic::QpContext : public inet::TcpObserver
     // Sent-but-unacked send WRs, completion in FIFO order.
     std::deque<std::pair<std::uint64_t, SendWr>> inflightSends;
     std::uint64_t nextTag = 1;
+
+    // --- inet::UdpEndpoint --------------------------------------------
+    void
+    udpDeliver(std::vector<std::uint8_t> &&msg,
+               const inet::SockAddr &from) override
+    {
+        if (postedRecvCount == 0) {
+            // Unreliable service: no posted WR, the datagram is gone.
+            nic.udpNoWrDrops.inc();
+            return;
+        }
+        nic.receiveIntoWr(*this, std::move(msg), from);
+    }
 
     // --- TcpObserver --------------------------------------------------
     void
@@ -176,7 +189,8 @@ QpipNic::QpipNic(sim::Simulation &sim, std::string name, net::Link &link,
       dmaIn_(sim, this->name() + ".dma_in", params.dma),
       dmaOut_(sim, this->name() + ".dma_out", params.dma),
       doorbells_(sim, this->name() + ".doorbells", params.doorbellCap),
-      reass_(params.reassExpiry)
+      inet_(*this, params.reassExpiry), badPackets(inet_.badFrames),
+      noQpDrops(inet_.noMatchDrops)
 {
     // Force the prototype's transport subset regardless of overrides.
     params_.tcp.messageMode = true;
@@ -185,9 +199,9 @@ QpipNic::QpipNic(sim::Simulation &sim, std::string name, net::Link &link,
     regStat("noQpDrops", noQpDrops);
     regStat("udpNoWrDrops", udpNoWrDrops);
     regStat("cqOverflows", cqOverflows);
-    regStat("reass.fragmentsIn", reass_.fragmentsIn);
-    regStat("reass.reassembled", reass_.reassembled);
-    regStat("reass.expired", reass_.expired);
+    regStat("reass.fragmentsIn", inet_.reassembler().fragmentsIn);
+    regStat("reass.reassembled", inet_.reassembler().reassembled);
+    regStat("reass.expired", inet_.reassembler().expired);
     link_.attach(0, *this);
     doorbells_.setDrainHook([this] {
         if (!drainActive_) {
@@ -245,11 +259,11 @@ QpipNic::destroyQp(QpNum qp)
     fw_.charge(FwStage::Mgmt, params_.costs.mgmtCommand);
     if (ctx->conn) {
         connOwner_.erase(ctx->conn.get());
-        tcpDemux_.erase(ctx->conn->tuple());
+        inet_.unregisterConn(ctx->conn->tuple());
         ctx->conn->abort();
     }
     if (ctx->bound && ctx->type == QpType::UnreliableUdp)
-        udpPorts_.erase(ctx->local.port);
+        inet_.unbindUdp(ctx->local.port);
     flushQp(*ctx, WcStatus::Flushed);
     qps_.erase(qp);
 }
@@ -264,10 +278,9 @@ QpipNic::bindLocal(QpNum qp, std::uint16_t port)
     ctx->local = inet::SockAddr{addr_, port};
     ctx->bound = true;
     if (ctx->type == QpType::UnreliableUdp) {
-        if (udpPorts_.count(port))
+        if (!inet_.bindUdp(port, ctx))
             sim::fatal("udp port %u already bound on %s", port,
                        name().c_str());
-        udpPorts_[port] = ctx;
     }
 }
 
@@ -288,17 +301,17 @@ QpipNic::connect(QpNum qp, const inet::SockAddr &remote, ConnectCb done)
                  // paths vacate before the new one claims them.
                  if (ctx->conn) {
                      connOwner_.erase(ctx->conn.get());
-                     tcpDemux_.erase(ctx->conn->tuple());
+                     inet_.unregisterConn(ctx->conn->tuple());
                      ctx->conn.reset();
                  }
                  ctx->conn = std::make_unique<inet::TcpConnection>(
-                     *this, *ctx, params_.tcp);
+                     inet_, *ctx, params_.tcp);
                  ctx->conn->stats().registerIn(
                      statRegistry(), name() + ".qp" +
                                          std::to_string(ctx->num) +
                                          ".tcp");
                  inet::FourTuple t{ctx->local, remote};
-                 tcpDemux_[t] = ctx;
+                 inet_.registerConn(t, ctx->conn.get());
                  connOwner_[ctx->conn.get()] = ctx;
                  ctx->conn->openActive(ctx->local, remote);
              });
@@ -479,22 +492,25 @@ QpipNic::sendUdpMessage(QpContext &qp, SendWr wr,
     dgram.payload = inet::serializeUdp(qp.local.addr, wr.remote.addr,
                                        qp.local.port, wr.remote.port,
                                        data);
-    ipSend(std::move(dgram));
+    const auto res = inet_.ipOutput(std::move(dgram));
 
     // "As soon as a UDP message is sent, the associated send WR is
-    // marked as complete."
+    // marked as complete." An oversized message reports the verbs
+    // moral equivalent of EMSGSIZE.
     fw_.charge(FwStage::UpdateTx, params_.costs.updateTxData);
     Completion c;
     c.wrId = wr.id;
     c.qp = qp.num;
     c.isSend = true;
-    c.status = WcStatus::Success;
+    c.status = res == inet::IpSendResult::MsgSize
+                   ? WcStatus::LengthError
+                   : WcStatus::Success;
     c.byteLen = wr.sge.length;
     pushCompletion(qp.scq, c);
 }
 
 void
-QpipNic::tcpOutput(IpDatagram &&dgram, const inet::TcpSegMeta &meta)
+QpipNic::emitTcpSegment(IpDatagram &&dgram, const inet::TcpSegMeta &meta)
 {
     // Pure ACKs and scheduler-driven retransmits pass the notify and
     // schedule stages too (the paper's Table 2 "ACK Send" column).
@@ -504,42 +520,55 @@ QpipNic::tcpOutput(IpDatagram &&dgram, const inet::TcpSegMeta &meta)
         fw_.charge(FwStage::Schedule, params_.costs.schedule);
     }
     fw_.charge(FwStage::BuildTcpHdr, params_.costs.buildTcpHdr);
-    ipSend(std::move(dgram));
+    inet_.ipOutput(std::move(dgram));
     fw_.charge(FwStage::UpdateTx, meta.pureAck
                                       ? params_.costs.updateTxAck
                                       : params_.costs.updateTxData);
 }
 
+std::optional<std::uint32_t>
+QpipNic::txMtu()
+{
+    return link_.config().mtu;
+}
+
 void
-QpipNic::ipSend(IpDatagram &&dgram)
+QpipNic::chargeIpHeaderTx()
 {
     fw_.charge(FwStage::BuildIpHdr, params_.costs.buildIpHdr);
-    auto frames = fragmentIpv6(dgram, link_.config().mtu, fragIdent_++);
-    if (frames.size() > 1) {
-        fw_.charge(FwStage::Fragment,
-                   params_.costs.perFragmentTx *
-                       static_cast<sim::Cycles>(frames.size() - 1));
-    }
-    fw_.charge(FwStage::MediaSend, params_.costs.mediaSend);
+}
 
-    auto route = routes_.lookup(dgram.dst);
-    if (!route) {
-        sim::warn("%s: no route to %s", name().c_str(),
-                  dgram.dst.toString().c_str());
-        return;
-    }
-    const net::NodeId dst_node = *route;
-    schedule(fw_.busyUntil(), [this, dst_node,
-                               frames = std::move(frames)]() mutable {
-        for (auto &frame : frames) {
-            auto pkt = net::makePacket();
-            pkt->src = node_;
-            pkt->dst = dst_node;
-            pkt->proto = net::NetProto::Ipv6;
-            pkt->data = std::move(frame);
-            link_.send(0, pkt);
-        }
-    });
+void
+QpipNic::chargeFragmentsTx(std::size_t extra)
+{
+    fw_.charge(FwStage::Fragment,
+               params_.costs.perFragmentTx *
+                   static_cast<sim::Cycles>(extra));
+}
+
+void
+QpipNic::chargeMediaSend()
+{
+    fw_.charge(FwStage::MediaSend, params_.costs.mediaSend);
+}
+
+void
+QpipNic::wireTx(std::vector<std::vector<std::uint8_t>> &&frames,
+                bool ipv6, net::NodeId dst_node)
+{
+    schedule(fw_.busyUntil(),
+             [this, ipv6, dst_node,
+              frames = std::move(frames)]() mutable {
+                 for (auto &frame : frames) {
+                     auto pkt = net::makePacket();
+                     pkt->src = node_;
+                     pkt->dst = dst_node;
+                     pkt->proto = ipv6 ? net::NetProto::Ipv6
+                                       : net::NetProto::Ipv4;
+                     pkt->data = std::move(frame);
+                     link_.send(0, pkt);
+                 }
+             });
 }
 
 // ---------------------------------------------------------------------
@@ -550,65 +579,35 @@ void
 QpipNic::onPacket(net::PacketPtr pkt)
 {
     fw_.exec(FwStage::MediaRcv, params_.costs.mediaRcv,
-             [this, pkt] { rxDispatch(pkt); });
+             [this, pkt] { inet_.wireInput(pkt->proto, pkt->data); });
 }
 
 void
-QpipNic::rxDispatch(net::PacketPtr pkt)
+QpipNic::chargeRxFrame(std::size_t wire_bytes)
 {
     if (!params_.costs.hwChecksumRx) {
         fw_.charge(FwStage::Checksum,
                    params_.costs.fwChecksumFixed +
                        static_cast<sim::Cycles>(
                            params_.costs.fwChecksumPerByte *
-                           static_cast<double>(pkt->data.size())));
-    }
-
-    inet::Ipv6Packet v6;
-    if (pkt->proto != net::NetProto::Ipv6 ||
-        !parseIpv6(pkt->data, v6)) {
-        badPackets.inc();
-        return;
-    }
-
-    sim::Cycles ip_cycles = params_.costs.ipParse;
-    if (v6.frag)
-        ip_cycles += params_.costs.perFragmentRx;
-    fw_.charge(FwStage::IpParse, ip_cycles);
-    if (v6.frag)
-        fw_.charge(FwStage::Reassembly, 0); // stage marker only
-
-    reass_.expire(curTick());
-    auto dgram = reass_.offer(v6, curTick());
-    if (!dgram)
-        return; // fragment held for reassembly
-
-    switch (dgram->proto) {
-      case IpProto::Tcp:
-        rxTcp(*dgram);
-        break;
-      case IpProto::Udp:
-        rxUdp(*dgram);
-        break;
-      default:
-        badPackets.inc();
-        break;
+                           static_cast<double>(wire_bytes)));
     }
 }
 
 void
-QpipNic::rxTcp(IpDatagram &dgram)
+QpipNic::chargeIpParsed(bool fragment)
 {
-    inet::TcpHeader hdr;
-    std::span<const std::uint8_t> payload;
-    if (!parseTcp(dgram.src, dgram.dst, dgram.payload, hdr, payload)) {
-        badPackets.inc();
-        return;
-    }
-    const bool pure_ack =
-        payload.empty() &&
-        !(hdr.flags & (inet::tcpflags::syn | inet::tcpflags::fin |
-                       inet::tcpflags::rst));
+    sim::Cycles ip_cycles = params_.costs.ipParse;
+    if (fragment)
+        ip_cycles += params_.costs.perFragmentRx;
+    fw_.charge(FwStage::IpParse, ip_cycles);
+    if (fragment)
+        fw_.charge(FwStage::Reassembly, 0); // stage marker only
+}
+
+void
+QpipNic::chargeTcpInput(std::size_t, bool pure_ack)
+{
     sim::Cycles c = params_.costs.tcpParseData;
     if (pure_ack && !params_.costs.hwMultiply)
         c += params_.costs.tcpParseAckExtra;
@@ -617,74 +616,43 @@ QpipNic::rxTcp(IpDatagram &dgram)
         c = c > demux ? c - demux : 0;
     }
     fw_.charge(FwStage::TcpParse, c);
-
-    inet::FourTuple t;
-    t.local = inet::SockAddr{dgram.dst, hdr.dstPort};
-    t.remote = inet::SockAddr{dgram.src, hdr.srcPort};
-    auto it = tcpDemux_.find(t);
-    if (it != tcpDemux_.end()) {
-        // Copy the payload out: dgram dies with this frame.
-        it->second->conn->segmentArrived(hdr, payload);
-        return;
-    }
-
-    // Connection rendezvous: mate an incoming SYN to an idle QP the
-    // host queued on this monitored port.
-    if (hdr.has(inet::tcpflags::syn) && !hdr.has(inet::tcpflags::ack)) {
-        auto lit = listeners_.find(hdr.dstPort);
-        if (lit != listeners_.end() && !lit->second.empty()) {
-            PendingAccept pa = std::move(lit->second.front());
-            lit->second.pop_front();
-            auto *ctx = lookupQp(pa.qp);
-            if (ctx != nullptr) {
-                ctx->local = t.local;
-                ctx->bound = true;
-                if (ctx->conn) {
-                    connOwner_.erase(ctx->conn.get());
-                    tcpDemux_.erase(ctx->conn->tuple());
-                    ctx->conn.reset();
-                }
-                ctx->conn = std::make_unique<inet::TcpConnection>(
-                    *this, *ctx, params_.tcp);
-                ctx->conn->stats().registerIn(
-                    statRegistry(), name() + ".qp" +
-                                        std::to_string(ctx->num) +
-                                        ".tcp");
-                tcpDemux_[t] = ctx;
-                connOwner_[ctx->conn.get()] = ctx;
-                ctx->conn->openPassive(t.local, t.remote, hdr);
-                return;
-            }
-        }
-    }
-    noQpDrops.inc();
 }
 
 void
-QpipNic::rxUdp(IpDatagram &dgram)
+QpipNic::chargeUdpPreParse()
 {
     fw_.charge(FwStage::UdpParse, params_.costs.udpParse);
-    inet::UdpHeader hdr;
-    std::span<const std::uint8_t> payload;
-    if (!parseUdp(dgram.src, dgram.dst, dgram.payload, hdr, payload)) {
-        badPackets.inc();
-        return;
+}
+
+bool
+QpipNic::tcpAccept(const inet::FourTuple &t, const inet::TcpHeader &syn)
+{
+    // Connection rendezvous: mate an incoming SYN to an idle QP the
+    // host queued on this monitored port.
+    auto lit = listeners_.find(syn.dstPort);
+    if (lit == listeners_.end() || lit->second.empty())
+        return false;
+    PendingAccept pa = std::move(lit->second.front());
+    lit->second.pop_front();
+    auto *ctx = lookupQp(pa.qp);
+    if (ctx == nullptr)
+        return false;
+    ctx->local = t.local;
+    ctx->bound = true;
+    if (ctx->conn) {
+        connOwner_.erase(ctx->conn.get());
+        inet_.unregisterConn(ctx->conn->tuple());
+        ctx->conn.reset();
     }
-    auto it = udpPorts_.find(hdr.dstPort);
-    if (it == udpPorts_.end()) {
-        noQpDrops.inc();
-        return;
-    }
-    QpContext &qp = *it->second;
-    if (qp.postedRecvCount == 0) {
-        // Unreliable service: no posted WR, the datagram is gone.
-        udpNoWrDrops.inc();
-        return;
-    }
-    receiveIntoWr(qp,
-                  std::vector<std::uint8_t>(payload.begin(),
-                                            payload.end()),
-                  inet::SockAddr{dgram.src, hdr.srcPort});
+    ctx->conn = std::make_unique<inet::TcpConnection>(inet_, *ctx,
+                                                      params_.tcp);
+    ctx->conn->stats().registerIn(
+        statRegistry(),
+        name() + ".qp" + std::to_string(ctx->num) + ".tcp");
+    inet_.registerConn(t, ctx->conn.get());
+    connOwner_[ctx->conn.get()] = ctx;
+    ctx->conn->openPassive(t.local, t.remote, syn);
+    return true;
 }
 
 void
@@ -818,18 +786,19 @@ QpipNic::randomIss()
     return static_cast<std::uint32_t>(rng().next());
 }
 
+const std::string &
+QpipNic::inetName() const
+{
+    return name();
+}
+
 void
 QpipNic::connectionClosed(inet::TcpConnection &conn)
 {
-    auto it = connOwner_.find(&conn);
-    if (it == connOwner_.end())
-        return;
-    QpContext *ctx = it->second;
-    tcpDemux_.erase(conn.tuple());
-    connOwner_.erase(it);
-    // The QpContext keeps the connection object until the QP is
-    // destroyed; only the demux entries go away here.
-    (void)ctx;
+    // The engine already dropped the PCB entry; the QpContext keeps
+    // the connection object until the QP is destroyed, so only the
+    // ownership record goes away here.
+    connOwner_.erase(&conn);
 }
 
 sim::Tracer *

@@ -2,7 +2,7 @@
  * @file
  * The QPIP network interface — the paper's core artifact. It
  * implements basic queue pair operations over a subset of TCP, UDP
- * and IPv6 entirely "in the interface": a 133 MHz firmware processor
+ * and IP entirely "in the interface": a 133 MHz firmware processor
  * (LanaiProcessor) runs the four logical FSMs of Figure 1,
  *
  *   - the doorbell FSM monitors QP notifications and updates the QP
@@ -13,15 +13,19 @@
  *     Get Data (PCI DMA), Build TCP/UDP Hdr, Build IP Hdr, Send,
  *     Update — the stage sequence of Figure 2 and Table 2;
  *   - the receive FSM parses arriving packets: Media Rcv, IP Parse
- *     (incl. IPv6 reassembly), TCP/UDP Parse, Get WR, Put Data,
+ *     (incl. reassembly), TCP/UDP Parse, Get WR, Put Data,
  *     Update WR/CQ — Figure 2 and Table 3.
  *
- * The TCP engine is the shared inet::TcpConnection in message mode
- * (one QP message <-> one TCP segment); IPv6 end-to-end fragmentation
- * carries arbitrary-size segments over the link MTU; the receive
- * window tracks posted receive-buffer bytes. Host interaction is via
- * doorbells (down) and completion-queue DMA writes (up), so host
- * overhead is just the verbs post/poll paths.
+ * The protocol machinery itself is the shared inet::InetStack, run
+ * here in its firmware execution context: this class maps the
+ * engine's cost hooks onto FirmwareCostModel stage charges. The TCP
+ * engine is the shared inet::TcpConnection in message mode (one QP
+ * message <-> one TCP segment); end-to-end IP fragmentation (IPv6
+ * native, IPv4 via the same engine) carries arbitrary-size segments
+ * over the link MTU; the receive window tracks posted receive-buffer
+ * bytes. Host interaction is via doorbells (down) and
+ * completion-queue DMA writes (up), so host overhead is just the
+ * verbs post/poll paths.
  */
 
 #ifndef QPIP_NIC_QPIP_NIC_HH
@@ -29,11 +33,8 @@
 
 #include <memory>
 #include <unordered_map>
-#include <unordered_set>
 
-#include "inet/ip_frag.hh"
-#include "inet/pcb_table.hh"
-#include "inet/route.hh"
+#include "inet/inet_stack.hh"
 #include "inet/tcp_conn.hh"
 #include "inet/udp.hh"
 #include "net/link.hh"
@@ -61,11 +62,11 @@ struct QpipNicParams
 };
 
 /**
- * The QPIP intelligent NIC.
+ * The QPIP intelligent NIC: InetStack in firmware mode.
  */
 class QpipNic : public sim::SimObject,
                 public net::NetReceiver,
-                public inet::TcpEnv
+                public inet::InetEnv
 {
   public:
     using ConnectCb = std::function<void(bool ok)>;
@@ -78,7 +79,7 @@ class QpipNic : public sim::SimObject,
     // --- management FSM interface (privileged, via kernel driver) ----
     void setAddress(const inet::InetAddr &addr);
     const inet::InetAddr &address() const { return addr_; }
-    inet::NeighborTable &routes() { return routes_; }
+    inet::NeighborTable &routes() { return inet_.routes(); }
 
     MrKey registerMemory(std::uint8_t *base, std::size_t bytes);
     void deregisterMemory(MrKey key);
@@ -113,15 +114,32 @@ class QpipNic : public sim::SimObject,
     // --- NetReceiver ----------------------------------------------------
     void onPacket(net::PacketPtr pkt) override;
 
-    // --- TcpEnv (firmware runtime services) -----------------------------
+    // --- InetEnv (firmware execution context) ---------------------------
     sim::Tick now() override;
     sim::EventHandle scheduleTimer(sim::Tick delay,
                                    std::function<void()> fn) override;
-    void tcpOutput(inet::IpDatagram &&dgram,
-                   const inet::TcpSegMeta &meta) override;
     std::uint32_t randomIss() override;
-    void connectionClosed(inet::TcpConnection &conn) override;
     sim::Tracer *tracer() override;
+    const std::string &inetName() const override;
+    void connectionClosed(inet::TcpConnection &conn) override;
+
+    std::optional<std::uint32_t> txMtu() override;
+    void chargeIpHeaderTx() override;
+    void chargeFragmentsTx(std::size_t extra) override;
+    void chargeMediaSend() override;
+    void wireTx(std::vector<std::vector<std::uint8_t>> &&frames,
+                bool ipv6, net::NodeId dst_node) override;
+    void emitTcpSegment(inet::IpDatagram &&dgram,
+                        const inet::TcpSegMeta &meta) override;
+
+    void chargeRxFrame(std::size_t wire_bytes) override;
+    void chargeIpParsed(bool fragment) override;
+    void chargeTcpInput(std::size_t payload_bytes,
+                        bool pure_ack) override;
+    void chargeUdpPreParse() override;
+
+    bool tcpAccept(const inet::FourTuple &t,
+                   const inet::TcpHeader &syn) override;
 
     // --- introspection ---------------------------------------------------
     /**
@@ -135,35 +153,11 @@ class QpipNic : public sim::SimObject,
     const QpipNicParams &params() const { return params_; }
     inet::TcpConnection *connectionOf(QpNum qp);
 
-    sim::Counter badPackets;
-    sim::Counter noQpDrops;
-    sim::Counter udpNoWrDrops;
-    sim::Counter cqOverflows;
+    /** The shared protocol engine (firmware execution context). */
+    inet::InetStack &inet() { return inet_; }
 
   private:
     struct QpContext;
-
-    // FSM bodies.
-    void doorbellDrain();
-    void scheduleSendService(QpContext &qp);
-    void serviceSendWr(QpContext &qp);
-    void sendUdpMessage(QpContext &qp, SendWr wr,
-                        std::vector<std::uint8_t> data);
-    void rxDispatch(net::PacketPtr pkt);
-    void rxTcp(inet::IpDatagram &dgram);
-    void rxUdp(inet::IpDatagram &dgram);
-    void receiveIntoWr(QpContext &qp, std::vector<std::uint8_t> msg,
-                       const inet::SockAddr &from);
-
-    /** Emit IP packets for @p dgram, fragmenting to the link MTU. */
-    void ipSend(inet::IpDatagram &&dgram);
-
-    /** Push a completion at firmware-completion time. */
-    void pushCompletion(CqRing *cq, Completion c);
-
-    void flushQp(QpContext &qp, WcStatus status);
-
-    QpContext *lookupQp(QpNum qp);
 
     std::shared_ptr<void> aliveToken_ = std::make_shared<int>(0);
     net::Link &link_;
@@ -174,21 +168,40 @@ class QpipNic : public sim::SimObject,
     DmaEngine dmaOut_; ///< NIC -> host payload DMA
     DoorbellFifo doorbells_;
     MrTable mrs_;
+    inet::InetStack inet_;
+
+  public:
+    // Stats: badPackets / noQpDrops surface the engine's counters
+    // under the firmware's legacy names.
+    sim::Counter &badPackets;
+    sim::Counter &noQpDrops;
+    sim::Counter udpNoWrDrops;
+    sim::Counter cqOverflows;
+
+  private:
+    // FSM bodies.
+    void doorbellDrain();
+    void scheduleSendService(QpContext &qp);
+    void serviceSendWr(QpContext &qp);
+    void sendUdpMessage(QpContext &qp, SendWr wr,
+                        std::vector<std::uint8_t> data);
+    void receiveIntoWr(QpContext &qp, std::vector<std::uint8_t> msg,
+                       const inet::SockAddr &from);
+
+    /** Push a completion at firmware-completion time. */
+    void pushCompletion(CqRing *cq, Completion c);
+
+    void flushQp(QpContext &qp, WcStatus status);
+
+    QpContext *lookupQp(QpNum qp);
 
     inet::InetAddr addr_;
-    inet::NeighborTable routes_;
-    inet::Ipv6Reassembler reass_;
-    std::uint32_t fragIdent_ = 1;
     std::uint16_t ephemeralPort_ = 40000;
     QpNum nextQpNum_ = 1;
     bool drainActive_ = false;
 
     std::unordered_map<QpNum, std::unique_ptr<QpContext>> qps_;
-    std::unordered_map<inet::FourTuple, QpContext *,
-                       inet::FourTupleHash>
-        tcpDemux_;
     std::unordered_map<inet::TcpConnection *, QpContext *> connOwner_;
-    std::unordered_map<std::uint16_t, QpContext *> udpPorts_;
 
     struct PendingAccept
     {
