@@ -7,8 +7,7 @@
  * the standard benchmark tooling/JSON output works too.
  */
 
-#ifndef QPIP_BENCH_BENCH_COMMON_HH
-#define QPIP_BENCH_BENCH_COMMON_HH
+#pragma once
 
 #include <benchmark/benchmark.h>
 
@@ -120,5 +119,3 @@ benchMain(int argc, char **argv, const std::string &title,
     {                                                                   \
         return qpip::bench::benchMain(argc, argv, title, build);        \
     }
-
-#endif // QPIP_BENCH_BENCH_COMMON_HH

@@ -11,8 +11,7 @@
  *   sender NIC  rx stages  -> Table 3 "ACK Recv"
  */
 
-#ifndef QPIP_BENCH_OCCUPANCY_COMMON_HH
-#define QPIP_BENCH_OCCUPANCY_COMMON_HH
+#pragma once
 
 #include "apps/testbed.hh"
 #include "apps/verbs_util.hh"
@@ -130,5 +129,3 @@ stageRow(const std::string &name, double paper, bool has_paper,
 }
 
 } // namespace qpip::bench
-
-#endif // QPIP_BENCH_OCCUPANCY_COMMON_HH

@@ -7,8 +7,7 @@
  * NBD server sitting on a 2001-era filesystem.
  */
 
-#ifndef QPIP_APPS_DISK_HH
-#define QPIP_APPS_DISK_HH
+#pragma once
 
 #include <deque>
 #include <functional>
@@ -105,5 +104,3 @@ class ServerStore : public sim::SimObject
 };
 
 } // namespace qpip::apps
-
-#endif // QPIP_APPS_DISK_HH

@@ -13,8 +13,7 @@
  *   reply:   magic(4) error(4) handle(8) [+data]
  */
 
-#ifndef QPIP_APPS_NBD_HH
-#define QPIP_APPS_NBD_HH
+#pragma once
 
 #include <optional>
 
@@ -161,5 +160,3 @@ runNbdQpipSequential(QpipTestbed &bed, std::size_t client_idx,
                      std::uint16_t port = 10809);
 
 } // namespace qpip::apps
-
-#endif // QPIP_APPS_NBD_HH

@@ -6,8 +6,7 @@
  * and spin-poll the CQ (the prototype's low-latency completion path).
  */
 
-#ifndef QPIP_APPS_PINGPONG_HH
-#define QPIP_APPS_PINGPONG_HH
+#pragma once
 
 #include "apps/testbed.hh"
 
@@ -47,5 +46,3 @@ PingPongResult runQpipUdpPingPong(QpipTestbed &bed,
                                   std::size_t warmup = 8);
 
 } // namespace qpip::apps
-
-#endif // QPIP_APPS_PINGPONG_HH

@@ -13,8 +13,7 @@
  * ways.
  */
 
-#ifndef QPIP_APPS_TESTBED_HH
-#define QPIP_APPS_TESTBED_HH
+#pragma once
 
 #include <memory>
 #include <vector>
@@ -105,5 +104,3 @@ class QpipTestbed
 };
 
 } // namespace qpip::apps
-
-#endif // QPIP_APPS_TESTBED_HH

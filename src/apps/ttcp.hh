@@ -7,8 +7,7 @@
  * poll, so the host does almost no work.
  */
 
-#ifndef QPIP_APPS_TTCP_HH
-#define QPIP_APPS_TTCP_HH
+#pragma once
 
 #include "apps/testbed.hh"
 
@@ -39,5 +38,3 @@ TtcpResult runQpipTtcp(QpipTestbed &bed, std::size_t total_bytes,
                        sim::Tick poll_interval = 200 * sim::oneUs);
 
 } // namespace qpip::apps
-
-#endif // QPIP_APPS_TTCP_HH

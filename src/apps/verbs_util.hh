@@ -7,8 +7,7 @@
  * Figure 4).
  */
 
-#ifndef QPIP_APPS_VERBS_UTIL_HH
-#define QPIP_APPS_VERBS_UTIL_HH
+#pragma once
 
 #include <functional>
 
@@ -48,5 +47,3 @@ void periodicReaper(verbs::Provider &prov, sim::Tick interval,
                     std::function<bool()> drain);
 
 } // namespace qpip::apps
-
-#endif // QPIP_APPS_VERBS_UTIL_HH

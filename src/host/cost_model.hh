@@ -16,8 +16,7 @@
  * boundary. All are plain data so benches can ablate them.
  */
 
-#ifndef QPIP_HOST_COST_MODEL_HH
-#define QPIP_HOST_COST_MODEL_HH
+#pragma once
 
 #include <cstdint>
 
@@ -60,5 +59,3 @@ struct HostCostModel
 };
 
 } // namespace qpip::host
-
-#endif // QPIP_HOST_COST_MODEL_HH

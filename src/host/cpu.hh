@@ -8,8 +8,7 @@
  * information as the paper's "fraction of a host processor".)
  */
 
-#ifndef QPIP_HOST_CPU_HH
-#define QPIP_HOST_CPU_HH
+#pragma once
 
 #include <functional>
 
@@ -61,5 +60,3 @@ class CpuModel : public sim::SimObject
 };
 
 } // namespace qpip::host
-
-#endif // QPIP_HOST_CPU_HH

@@ -6,8 +6,7 @@
  * QPIP hosts, against the verbs library in src/qpip).
  */
 
-#ifndef QPIP_HOST_HOST_HH
-#define QPIP_HOST_HOST_HH
+#pragma once
 
 #include <memory>
 #include <string>
@@ -36,5 +35,3 @@ class Host
 };
 
 } // namespace qpip::host
-
-#endif // QPIP_HOST_HOST_HH

@@ -6,8 +6,7 @@
  * runtime shows up here as wakeup and softirq charges.
  */
 
-#ifndef QPIP_HOST_HOST_OS_HH
-#define QPIP_HOST_HOST_OS_HH
+#pragma once
 
 #include <functional>
 
@@ -67,5 +66,3 @@ class HostOS : public sim::SimObject
 };
 
 } // namespace qpip::host
-
-#endif // QPIP_HOST_HOST_OS_HH

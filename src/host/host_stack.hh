@@ -9,10 +9,10 @@
  * nature of these implementations" becomes measurable overhead.
  */
 
-#ifndef QPIP_HOST_HOST_STACK_HH
-#define QPIP_HOST_HOST_STACK_HH
+#pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <unordered_map>
 
@@ -166,8 +166,9 @@ class HostStack : public sim::SimObject, public inet::InetEnv
                       inet::TcpConnection *conn,
                       std::shared_ptr<TcpSocket> sock);
 
-    std::unordered_map<std::uint16_t, std::unique_ptr<Listener>>
-        listeners_;
+    /** Ordered by port: any bulk walk visits listeners low-to-high. */
+    std::map<std::uint16_t, std::unique_ptr<Listener>> listeners_;
+    // qpip-lint: nondet-ok(lookup/erase only, never iterated)
     std::unordered_map<inet::TcpConnection *, std::shared_ptr<TcpSocket>>
         socketsByConn_;
     /** Monotonic id for per-connection stat prefixes. */
@@ -175,5 +176,3 @@ class HostStack : public sim::SimObject, public inet::InetEnv
 };
 
 } // namespace qpip::host
-
-#endif // QPIP_HOST_HOST_STACK_HH

@@ -6,8 +6,7 @@
  * QPIP's posted-buffer window.
  */
 
-#ifndef QPIP_HOST_SOCKBUF_HH
-#define QPIP_HOST_SOCKBUF_HH
+#pragma once
 
 #include <cstdint>
 #include <span>
@@ -52,5 +51,3 @@ class SockBuf
 };
 
 } // namespace qpip::host
-
-#endif // QPIP_HOST_SOCKBUF_HH

@@ -8,8 +8,7 @@
  * the checksum folded in on non-offloading NICs, as Linux 2.4 did).
  */
 
-#ifndef QPIP_HOST_SOCKET_HH
-#define QPIP_HOST_SOCKET_HH
+#pragma once
 
 #include <deque>
 #include <functional>
@@ -172,5 +171,3 @@ class UdpSocket : public inet::UdpEndpoint,
 };
 
 } // namespace qpip::host
-
-#endif // QPIP_HOST_SOCKET_HH

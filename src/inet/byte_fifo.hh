@@ -6,8 +6,7 @@
  * 400 MB NBD runs crawl.
  */
 
-#ifndef QPIP_INET_BYTE_FIFO_HH
-#define QPIP_INET_BYTE_FIFO_HH
+#pragma once
 
 #include <algorithm>
 #include <cstdint>
@@ -51,6 +50,7 @@ class ByteFifo
             }
             const std::size_t n =
                 std::min(len, chunk.size() - offset);
+            // qpip-lint: wire-ok(bulk payload copy, no wire format)
             std::memcpy(dst, chunk.data() + offset, n);
             dst += n;
             len -= n;
@@ -94,5 +94,3 @@ class ByteFifo
 };
 
 } // namespace qpip::inet
-
-#endif // QPIP_INET_BYTE_FIFO_HH

@@ -7,8 +7,7 @@
  * how the LANai DMA engine's hardware checksum assist is modeled.
  */
 
-#ifndef QPIP_INET_CHECKSUM_HH
-#define QPIP_INET_CHECKSUM_HH
+#pragma once
 
 #include <cstdint>
 #include <span>
@@ -53,5 +52,3 @@ std::uint16_t internetChecksum(std::span<const std::uint8_t> data);
 bool checksumOk(std::span<const std::uint8_t> data);
 
 } // namespace qpip::inet
-
-#endif // QPIP_INET_CHECKSUM_HH

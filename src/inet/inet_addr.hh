@@ -7,8 +7,7 @@
  * paper.
  */
 
-#ifndef QPIP_INET_INET_ADDR_HH
-#define QPIP_INET_INET_ADDR_HH
+#pragma once
 
 #include <array>
 #include <compare>
@@ -91,5 +90,3 @@ struct SockAddrHash
 };
 
 } // namespace qpip::inet
-
-#endif // QPIP_INET_INET_ADDR_HH

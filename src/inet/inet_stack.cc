@@ -21,7 +21,7 @@ InetStack::addLocalAddress(const InetAddr &addr)
 bool
 InetStack::isLocal(const InetAddr &addr) const
 {
-    return localAddrs_.count(addr) != 0;
+    return localAddrs_.contains(addr);
 }
 
 std::size_t
@@ -220,7 +220,7 @@ InetStack::lookupConn(const FourTuple &t) const
 bool
 InetStack::bindUdp(std::uint16_t port, UdpEndpoint *ep)
 {
-    if (udpPorts_.count(port))
+    if (udpPorts_.contains(port))
         return false;
     udpPorts_[port] = ep;
     return true;

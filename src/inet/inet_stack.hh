@@ -21,15 +21,14 @@
  * numbers identical whichever context the engine runs in.
  */
 
-#ifndef QPIP_INET_INET_STACK_HH
-#define QPIP_INET_INET_STACK_HH
+#pragma once
 
 #include <cstdint>
 #include <functional>
+#include <map>
+#include <set>
 #include <span>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "inet/ip_frag.hh"
@@ -234,14 +233,13 @@ class InetStack : public TcpEnv
 
     InetEnv &env_;
     NeighborTable routes_;
-    std::unordered_set<InetAddr, InetAddrHash> localAddrs_;
+    /** Ordered: address/port sets walk in key order when scanned. */
+    std::set<InetAddr> localAddrs_;
     PcbTable<TcpConnection, void> tcp_;
-    std::unordered_map<std::uint16_t, UdpEndpoint *> udpPorts_;
+    std::map<std::uint16_t, UdpEndpoint *> udpPorts_;
     IpReassembler reass_;
     std::uint16_t identCounter_ = 1;
     std::uint32_t fragIdent_ = 1;
 };
 
 } // namespace qpip::inet
-
-#endif // QPIP_INET_INET_STACK_HH

@@ -5,8 +5,7 @@
  * wire bytes lives in ipv4.hh / ipv6.hh.
  */
 
-#ifndef QPIP_INET_IP_HH
-#define QPIP_INET_IP_HH
+#pragma once
 
 #include <cstdint>
 #include <optional>
@@ -73,5 +72,3 @@ struct IpFrame
 };
 
 } // namespace qpip::inet
-
-#endif // QPIP_INET_IP_HH

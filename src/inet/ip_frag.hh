@@ -10,12 +10,10 @@
  * the shared InetStack can carry either family.
  */
 
-#ifndef QPIP_INET_IP_FRAG_HH
-#define QPIP_INET_IP_FRAG_HH
+#pragma once
 
 #include <cstdint>
 #include <map>
-#include <unordered_map>
 #include <vector>
 
 #include "inet/ipv6.hh"
@@ -78,17 +76,7 @@ class IpReassembler
     {
         InetAddr src, dst;
         std::uint32_t ident;
-        bool operator==(const Key &) const = default;
-    };
-
-    struct KeyHash
-    {
-        std::size_t
-        operator()(const Key &k) const
-        {
-            InetAddrHash h;
-            return h(k.src) * 31 + h(k.dst) * 7 + k.ident;
-        }
+        auto operator<=>(const Key &) const = default;
     };
 
     struct Partial
@@ -106,12 +94,11 @@ class IpReassembler
     std::optional<IpDatagram> tryComplete(const Key &key, Partial &p);
 
     sim::Tick timeout_;
-    std::unordered_map<Key, Partial, KeyHash> pending_;
+    /** Ordered so the expiry sweep walks partials deterministically. */
+    std::map<Key, Partial> pending_;
 };
 
 /** Historical name from when only the IPv6 path could fragment. */
 using Ipv6Reassembler = IpReassembler;
 
 } // namespace qpip::inet
-
-#endif // QPIP_INET_IP_FRAG_HH

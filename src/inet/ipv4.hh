@@ -7,8 +7,7 @@
  * shared InetStack, by the QPIP firmware when configured for v4.
  */
 
-#ifndef QPIP_INET_IPV4_HH
-#define QPIP_INET_IPV4_HH
+#pragma once
 
 #include <cstdint>
 #include <span>
@@ -55,5 +54,3 @@ bool parseIpv4(std::span<const std::uint8_t> wire, IpFrame &out);
 bool parseIpv4(std::span<const std::uint8_t> wire, IpDatagram &out);
 
 } // namespace qpip::inet
-
-#endif // QPIP_INET_IPV4_HH

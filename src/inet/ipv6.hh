@@ -8,8 +8,7 @@
  * MTUs in the Figure 4 sweep.
  */
 
-#ifndef QPIP_INET_IPV6_HH
-#define QPIP_INET_IPV6_HH
+#pragma once
 
 #include <cstdint>
 #include <optional>
@@ -48,5 +47,3 @@ serializeIpv6Fragment(const IpDatagram &dgram, std::uint32_t ident,
 bool parseIpv6(std::span<const std::uint8_t> wire, Ipv6Packet &out);
 
 } // namespace qpip::inet
-
-#endif // QPIP_INET_IPV6_HH

@@ -7,11 +7,10 @@
  * where hardware support pays off.
  */
 
-#ifndef QPIP_INET_PCB_TABLE_HH
-#define QPIP_INET_PCB_TABLE_HH
+#pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <map>
 
 #include "inet/inet_addr.hh"
 
@@ -23,22 +22,14 @@ struct FourTuple
     SockAddr local;
     SockAddr remote;
 
-    bool operator==(const FourTuple &) const = default;
-};
-
-struct FourTupleHash
-{
-    std::size_t
-    operator()(const FourTuple &t) const
-    {
-        SockAddrHash h;
-        return h(t.local) * 1000003 + h(t.remote);
-    }
+    auto operator<=>(const FourTuple &) const = default;
 };
 
 /**
  * Demux table: exact four-tuple matches first, then listeners by
- * local port.
+ * local port. Ordered containers: teardown and bulk walks iterate in
+ * four-tuple order, so same-seed replays visit connections in the
+ * same sequence regardless of hash seeding or insertion history.
  */
 template <typename Conn, typename Listener>
 class PcbTable
@@ -76,7 +67,7 @@ class PcbTable
 
     std::size_t connCount() const { return conns_.size(); }
 
-    /** Visit every connection (e.g. for teardown). */
+    /** Visit every connection (e.g. for teardown) in key order. */
     template <typename Fn>
     void
     forEachConn(Fn fn) const
@@ -86,10 +77,8 @@ class PcbTable
     }
 
   private:
-    std::unordered_map<FourTuple, Conn *, FourTupleHash> conns_;
-    std::unordered_map<std::uint16_t, Listener *> listeners_;
+    std::map<FourTuple, Conn *> conns_;
+    std::map<std::uint16_t, Listener *> listeners_;
 };
 
 } // namespace qpip::inet
-
-#endif // QPIP_INET_PCB_TABLE_HH

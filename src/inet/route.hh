@@ -5,8 +5,7 @@
  * IPv6 addresses to switch routes" (and of ARP for the v4 baseline).
  */
 
-#ifndef QPIP_INET_ROUTE_HH
-#define QPIP_INET_ROUTE_HH
+#pragma once
 
 #include <optional>
 #include <unordered_map>
@@ -34,5 +33,3 @@ class NeighborTable
 };
 
 } // namespace qpip::inet
-
-#endif // QPIP_INET_ROUTE_HH

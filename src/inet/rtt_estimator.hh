@@ -10,8 +10,7 @@
  * charges extra cycles for it when the hwMultiply assist is off.
  */
 
-#ifndef QPIP_INET_RTT_ESTIMATOR_HH
-#define QPIP_INET_RTT_ESTIMATOR_HH
+#pragma once
 
 #include "sim/types.hh"
 
@@ -57,5 +56,3 @@ class RttEstimator
 };
 
 } // namespace qpip::inet
-
-#endif // QPIP_INET_RTT_ESTIMATOR_HH

@@ -874,7 +874,7 @@ TcpConnection::retransmitOldest()
         }
     } else {
         const std::uint32_t inflight = sndNxt_ - sndUna_;
-        if (inflight > 0 && sndBuf_.size() > 0) {
+        if (inflight > 0 && !sndBuf_.empty()) {
             const std::size_t len = std::min<std::size_t>(
                 {effMss(), sndBuf_.size(), inflight});
             std::vector<std::uint8_t> payload(len);

@@ -29,8 +29,7 @@
  * completion, window sizing) go through a TcpObserver.
  */
 
-#ifndef QPIP_INET_TCP_CONN_HH
-#define QPIP_INET_TCP_CONN_HH
+#pragma once
 
 #include <cstdint>
 #include <deque>
@@ -444,5 +443,3 @@ class TcpConnection
 };
 
 } // namespace qpip::inet
-
-#endif // QPIP_INET_TCP_CONN_HH

@@ -5,8 +5,7 @@
  * run over the family-appropriate pseudo-header.
  */
 
-#ifndef QPIP_INET_TCP_HEADER_HH
-#define QPIP_INET_TCP_HEADER_HH
+#pragma once
 
 #include <cstdint>
 #include <optional>
@@ -102,5 +101,3 @@ seqGe(std::uint32_t a, std::uint32_t b)
 }
 
 } // namespace qpip::inet
-
-#endif // QPIP_INET_TCP_HEADER_HH

@@ -11,8 +11,7 @@
  * to offsets, which makes wraparound a non-issue here.
  */
 
-#ifndef QPIP_INET_TCP_REASS_HH
-#define QPIP_INET_TCP_REASS_HH
+#pragma once
 
 #include <cstdint>
 #include <map>
@@ -58,5 +57,3 @@ class TcpReassembly
 };
 
 } // namespace qpip::inet
-
-#endif // QPIP_INET_TCP_REASS_HH

@@ -5,8 +5,7 @@
  * datagram, with no additional protocol layer.
  */
 
-#ifndef QPIP_INET_UDP_HH
-#define QPIP_INET_UDP_HH
+#pragma once
 
 #include <cstdint>
 #include <span>
@@ -54,5 +53,3 @@ void addPseudoHeader(class ChecksumAccumulator &acc, const InetAddr &src,
                      std::uint32_t l4_len);
 
 } // namespace qpip::inet
-
-#endif // QPIP_INET_UDP_HH

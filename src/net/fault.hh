@@ -7,8 +7,7 @@
  * that assumption on purpose.
  */
 
-#ifndef QPIP_NET_FAULT_HH
-#define QPIP_NET_FAULT_HH
+#pragma once
 
 #include "net/packet.hh"
 #include "sim/random.hh"
@@ -64,5 +63,3 @@ class FaultInjector
 };
 
 } // namespace qpip::net
-
-#endif // QPIP_NET_FAULT_HH

@@ -11,8 +11,7 @@
  *    effectively lossless (large queue, link-level backpressure).
  */
 
-#ifndef QPIP_NET_LINK_HH
-#define QPIP_NET_LINK_HH
+#pragma once
 
 #include <array>
 #include <deque>
@@ -102,5 +101,3 @@ class Link : public sim::SimObject
 };
 
 } // namespace qpip::net
-
-#endif // QPIP_NET_LINK_HH

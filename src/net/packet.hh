@@ -12,8 +12,7 @@
  * while keeping fabric addressing orthogonal to the protocol code.
  */
 
-#ifndef QPIP_NET_PACKET_HH
-#define QPIP_NET_PACKET_HH
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -88,5 +87,3 @@ class NetReceiver
 };
 
 } // namespace qpip::net
-
-#endif // QPIP_NET_PACKET_HH

@@ -11,8 +11,7 @@
  * frames subsequently dropped by the fault injector.
  */
 
-#ifndef QPIP_NET_PCAP_HH
-#define QPIP_NET_PCAP_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -63,5 +62,3 @@ class PcapWriter
 void tapLink(Link &link, PcapWriter &writer);
 
 } // namespace qpip::net
-
-#endif // QPIP_NET_PCAP_HH

@@ -6,8 +6,7 @@
  * parsed defensively and then discarded.
  */
 
-#ifndef QPIP_NET_SERIALIZE_HH
-#define QPIP_NET_SERIALIZE_HH
+#pragma once
 
 #include <cstdint>
 #include <cstring>
@@ -82,5 +81,3 @@ class ByteReader
 };
 
 } // namespace qpip::net
-
-#endif // QPIP_NET_SERIALIZE_HH

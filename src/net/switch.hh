@@ -10,11 +10,10 @@
  * transmitter serialization.
  */
 
-#ifndef QPIP_NET_SWITCH_HH
-#define QPIP_NET_SWITCH_HH
+#pragma once
 
+#include <map>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "net/link.hh"
@@ -74,9 +73,8 @@ class Switch : public sim::SimObject
 
     sim::Tick routingDelay_;
     std::vector<std::unique_ptr<Port>> ports_;
-    std::unordered_map<NodeId, int> routes_;
+    /** Ordered by node id: deterministic if the table is ever dumped. */
+    std::map<NodeId, int> routes_;
 };
 
 } // namespace qpip::net
-
-#endif // QPIP_NET_SWITCH_HH

@@ -5,8 +5,7 @@
  * links; hosts attach their NICs to side 0 of their link.
  */
 
-#ifndef QPIP_NET_TOPOLOGY_HH
-#define QPIP_NET_TOPOLOGY_HH
+#pragma once
 
 #include <memory>
 #include <string>
@@ -47,5 +46,3 @@ class StarFabric
 };
 
 } // namespace qpip::net
-
-#endif // QPIP_NET_TOPOLOGY_HH

@@ -7,8 +7,7 @@
  * into a first-order term of the throughput results.
  */
 
-#ifndef QPIP_NIC_DMA_HH
-#define QPIP_NIC_DMA_HH
+#pragma once
 
 #include <functional>
 
@@ -63,5 +62,3 @@ class DmaEngine : public sim::SimObject
 };
 
 } // namespace qpip::nic
-
-#endif // QPIP_NIC_DMA_HH

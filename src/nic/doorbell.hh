@@ -7,8 +7,7 @@
  * state table with outstanding-WR counts.
  */
 
-#ifndef QPIP_NIC_DOORBELL_HH
-#define QPIP_NIC_DOORBELL_HH
+#pragma once
 
 #include <deque>
 #include <functional>
@@ -66,5 +65,3 @@ class DoorbellFifo : public sim::SimObject
 };
 
 } // namespace qpip::nic
-
-#endif // QPIP_NIC_DOORBELL_HH

@@ -7,8 +7,7 @@
  * (moderated) interrupt that hands the ring to the host stack.
  */
 
-#ifndef QPIP_NIC_ETH_NIC_HH
-#define QPIP_NIC_ETH_NIC_HH
+#pragma once
 
 #include <deque>
 
@@ -85,5 +84,3 @@ class EthNic : public sim::SimObject,
 };
 
 } // namespace qpip::nic
-
-#endif // QPIP_NIC_ETH_NIC_HH

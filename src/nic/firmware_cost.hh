@@ -18,8 +18,7 @@
  * functions" (the multiplier). The ablation bench sweeps them.
  */
 
-#ifndef QPIP_NIC_FIRMWARE_COST_HH
-#define QPIP_NIC_FIRMWARE_COST_HH
+#pragma once
 
 #include <cstdint>
 
@@ -152,5 +151,3 @@ infinibandGradeCosts()
 }
 
 } // namespace qpip::nic
-
-#endif // QPIP_NIC_FIRMWARE_COST_HH

@@ -6,8 +6,7 @@
  * paper's Tables 2 and 3.
  */
 
-#ifndef QPIP_NIC_LANAI_HH
-#define QPIP_NIC_LANAI_HH
+#pragma once
 
 #include <array>
 #include <functional>
@@ -100,5 +99,3 @@ class LanaiProcessor : public sim::SimObject
 };
 
 } // namespace qpip::nic
-
-#endif // QPIP_NIC_LANAI_HH

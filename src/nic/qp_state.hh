@@ -8,13 +8,12 @@
  * NIC's Get WR / Put Data / Update stages.
  */
 
-#ifndef QPIP_NIC_QP_STATE_HH
-#define QPIP_NIC_QP_STATE_HH
+#pragma once
 
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "inet/inet_addr.hh"
@@ -188,10 +187,9 @@ class MrTable
         std::size_t bytes = 0;
     };
 
-    std::unordered_map<MrKey, Region> table_;
+    /** Ordered by key so any future scan is replay-deterministic. */
+    std::map<MrKey, Region> table_;
     MrKey nextKey_ = 1;
 };
 
 } // namespace qpip::nic
-
-#endif // QPIP_NIC_QP_STATE_HH

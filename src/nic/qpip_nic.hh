@@ -28,9 +28,9 @@
  * verbs post/poll paths.
  */
 
-#ifndef QPIP_NIC_QPIP_NIC_HH
-#define QPIP_NIC_QPIP_NIC_HH
+#pragma once
 
+#include <map>
 #include <memory>
 #include <unordered_map>
 
@@ -200,7 +200,9 @@ class QpipNic : public sim::SimObject,
     QpNum nextQpNum_ = 1;
     bool drainActive_ = false;
 
-    std::unordered_map<QpNum, std::unique_ptr<QpContext>> qps_;
+    /** Ordered by QP number: table walks follow creation order. */
+    std::map<QpNum, std::unique_ptr<QpContext>> qps_;
+    // qpip-lint: nondet-ok(lookup/erase only, never iterated)
     std::unordered_map<inet::TcpConnection *, QpContext *> connOwner_;
 
     struct PendingAccept
@@ -208,10 +210,7 @@ class QpipNic : public sim::SimObject,
         QpNum qp = invalidQp;
         AcceptCb done;
     };
-    std::unordered_map<std::uint16_t, std::deque<PendingAccept>>
-        listeners_;
+    std::map<std::uint16_t, std::deque<PendingAccept>> listeners_;
 };
 
 } // namespace qpip::nic
-
-#endif // QPIP_NIC_QPIP_NIC_HH

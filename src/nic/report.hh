@@ -8,8 +8,7 @@
  * benches query the registry directly.
  */
 
-#ifndef QPIP_NIC_REPORT_HH
-#define QPIP_NIC_REPORT_HH
+#pragma once
 
 #include <string>
 
@@ -32,5 +31,3 @@ std::string tcpStatsReport(const sim::StatRegistry &stats,
                            const std::string &prefix);
 
 } // namespace qpip::nic
-
-#endif // QPIP_NIC_REPORT_HH

@@ -7,8 +7,7 @@
  * single monitoring point.
  */
 
-#ifndef QPIP_QPIP_COMPLETION_QUEUE_HH
-#define QPIP_QPIP_COMPLETION_QUEUE_HH
+#pragma once
 
 #include <functional>
 #include <memory>
@@ -53,5 +52,3 @@ class CompletionQueue
 };
 
 } // namespace qpip::verbs
-
-#endif // QPIP_QPIP_COMPLETION_QUEUE_HH

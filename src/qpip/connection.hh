@@ -7,8 +7,7 @@
  * that mates the connection to an idle QP in the server application").
  */
 
-#ifndef QPIP_QPIP_CONNECTION_HH
-#define QPIP_QPIP_CONNECTION_HH
+#pragma once
 
 #include <functional>
 #include <memory>
@@ -52,5 +51,3 @@ class Acceptor
 };
 
 } // namespace qpip::verbs
-
-#endif // QPIP_QPIP_CONNECTION_HH

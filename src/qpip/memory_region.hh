@@ -5,8 +5,7 @@
  * for WR buffers); deregistration tears it down.
  */
 
-#ifndef QPIP_QPIP_MEMORY_REGION_HH
-#define QPIP_QPIP_MEMORY_REGION_HH
+#pragma once
 
 #include <memory>
 #include <span>
@@ -49,5 +48,3 @@ class MemoryRegion
 };
 
 } // namespace qpip::verbs
-
-#endif // QPIP_QPIP_MEMORY_REGION_HH

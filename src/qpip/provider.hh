@@ -7,8 +7,7 @@
  * and the NIC's management FSM.
  */
 
-#ifndef QPIP_QPIP_PROVIDER_HH
-#define QPIP_QPIP_PROVIDER_HH
+#pragma once
 
 #include <memory>
 #include <span>
@@ -80,5 +79,3 @@ class Provider
 };
 
 } // namespace qpip::verbs
-
-#endif // QPIP_QPIP_PROVIDER_HH

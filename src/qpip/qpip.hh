@@ -19,13 +19,10 @@
  * @endcode
  */
 
-#ifndef QPIP_QPIP_QPIP_HH
-#define QPIP_QPIP_QPIP_HH
+#pragma once
 
 #include "qpip/completion_queue.hh"
 #include "qpip/connection.hh"
 #include "qpip/memory_region.hh"
 #include "qpip/provider.hh"
 #include "qpip/queue_pair.hh"
-
-#endif // QPIP_QPIP_QPIP_HH

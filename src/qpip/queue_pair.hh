@@ -7,8 +7,7 @@
  * UDP datagrams.
  */
 
-#ifndef QPIP_QPIP_QUEUE_PAIR_HH
-#define QPIP_QPIP_QUEUE_PAIR_HH
+#pragma once
 
 #include <functional>
 #include <memory>
@@ -94,5 +93,3 @@ class QueuePair
 };
 
 } // namespace qpip::verbs
-
-#endif // QPIP_QPIP_QUEUE_PAIR_HH

@@ -5,8 +5,7 @@
  * 33 MHz) and global picosecond ticks.
  */
 
-#ifndef QPIP_SIM_CLOCK_HH
-#define QPIP_SIM_CLOCK_HH
+#pragma once
 
 #include <cstdint>
 
@@ -44,5 +43,3 @@ class ClockDomain
 };
 
 } // namespace qpip::sim
-
-#endif // QPIP_SIM_CLOCK_HH

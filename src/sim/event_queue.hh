@@ -10,8 +10,7 @@
  * implemented.
  */
 
-#ifndef QPIP_SIM_EVENT_QUEUE_HH
-#define QPIP_SIM_EVENT_QUEUE_HH
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -172,5 +171,3 @@ class EventQueue
 };
 
 } // namespace qpip::sim
-
-#endif // QPIP_SIM_EVENT_QUEUE_HH

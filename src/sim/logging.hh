@@ -5,8 +5,7 @@
  * warn()/inform() for non-fatal conditions, plus a leveled debug log.
  */
 
-#ifndef QPIP_SIM_LOGGING_HH
-#define QPIP_SIM_LOGGING_HH
+#pragma once
 
 #include <cstdarg>
 #include <string>
@@ -49,5 +48,3 @@ void debugLog(LogLevel level, const char *tag, const char *fmt, ...)
     __attribute__((format(printf, 3, 4)));
 
 } // namespace qpip::sim
-
-#endif // QPIP_SIM_LOGGING_HH

@@ -8,8 +8,7 @@
  * rely on.
  */
 
-#ifndef QPIP_SIM_RANDOM_HH
-#define QPIP_SIM_RANDOM_HH
+#pragma once
 
 #include <cstdint>
 
@@ -46,5 +45,3 @@ class Random
 };
 
 } // namespace qpip::sim
-
-#endif // QPIP_SIM_RANDOM_HH

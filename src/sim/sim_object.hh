@@ -5,8 +5,7 @@
  * helpers, mirroring the gem5 SimObject idiom.
  */
 
-#ifndef QPIP_SIM_SIM_OBJECT_HH
-#define QPIP_SIM_SIM_OBJECT_HH
+#pragma once
 
 #include <functional>
 #include <string>
@@ -79,5 +78,3 @@ class SimObject
 };
 
 } // namespace qpip::sim
-
-#endif // QPIP_SIM_SIM_OBJECT_HH

@@ -6,8 +6,7 @@
  * and drive it with run()/runUntil()/runFor().
  */
 
-#ifndef QPIP_SIM_SIMULATION_HH
-#define QPIP_SIM_SIMULATION_HH
+#pragma once
 
 #include <cstdint>
 
@@ -72,5 +71,3 @@ class Simulation
 };
 
 } // namespace qpip::sim
-
-#endif // QPIP_SIM_SIMULATION_HH

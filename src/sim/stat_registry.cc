@@ -74,7 +74,7 @@ StatRegistry::remove(const std::string &path)
 bool
 StatRegistry::contains(const std::string &path) const
 {
-    return entries_.count(path) != 0;
+    return entries_.contains(path);
 }
 
 const Counter *

@@ -9,8 +9,7 @@
  * never dangle.
  */
 
-#ifndef QPIP_SIM_STAT_REGISTRY_HH
-#define QPIP_SIM_STAT_REGISTRY_HH
+#pragma once
 
 #include <map>
 #include <string>
@@ -121,5 +120,3 @@ class StatGroup
 };
 
 } // namespace qpip::sim
-
-#endif // QPIP_SIM_STAT_REGISTRY_HH

@@ -6,8 +6,7 @@
  * regenerate the paper's occupancy tables (Tables 2 and 3).
  */
 
-#ifndef QPIP_SIM_STATS_HH
-#define QPIP_SIM_STATS_HH
+#pragma once
 
 #include <cstdint>
 #include <limits>
@@ -88,5 +87,3 @@ class Histogram
 };
 
 } // namespace qpip::sim
-
-#endif // QPIP_SIM_STATS_HH

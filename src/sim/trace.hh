@@ -11,8 +11,7 @@
  * Tracing is off by default and costs one branch per site when off.
  */
 
-#ifndef QPIP_SIM_TRACE_HH
-#define QPIP_SIM_TRACE_HH
+#pragma once
 
 #include <cstdint>
 #include <map>
@@ -75,5 +74,3 @@ class Tracer
 };
 
 } // namespace qpip::sim
-
-#endif // QPIP_SIM_TRACE_HH

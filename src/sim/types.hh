@@ -8,8 +8,7 @@
  * within rounding of a single tick.
  */
 
-#ifndef QPIP_SIM_TYPES_HH
-#define QPIP_SIM_TYPES_HH
+#pragma once
 
 #include <cstdint>
 
@@ -45,5 +44,3 @@ ticksToSec(Tick t)
 }
 
 } // namespace qpip::sim
-
-#endif // QPIP_SIM_TYPES_HH

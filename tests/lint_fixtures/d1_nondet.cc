@@ -1,0 +1,10 @@
+// qpip-lint fixture: D1 nondeterminism sources. One violation, on a
+// known line, asserted by tests/test_lint.cc.
+// qpip-lint-layer: sim
+#include <cstdlib>
+
+int
+fixtureSeed()
+{
+    return std::rand();
+}

@@ -1,0 +1,14 @@
+// qpip-lint fixture: D2 iteration over an unordered container. One
+// violation, on a known line, asserted by tests/test_lint.cc.
+// qpip-lint-layer: inet
+#include <unordered_map>
+
+int
+fixtureSum()
+{
+    std::unordered_map<int, int> table;
+    int sum = 0;
+    for (auto &[k, v] : table)
+        sum += k + v;
+    return sum;
+}

@@ -1,0 +1,12 @@
+// qpip-lint fixture: H1 — a header still using an #ifndef guard
+// instead of '#pragma once'.
+#ifndef QPIP_TESTS_LINT_FIXTURES_H1_GUARD_HH
+#define QPIP_TESTS_LINT_FIXTURES_H1_GUARD_HH
+
+inline int
+fixtureGuarded()
+{
+    return 1;
+}
+
+#endif // QPIP_TESTS_LINT_FIXTURES_H1_GUARD_HH

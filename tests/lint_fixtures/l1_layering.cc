@@ -1,0 +1,4 @@
+// qpip-lint fixture: L1 layering violation — an inet-layer file
+// reaching up the DAG into host. Never compiled, only linted.
+// qpip-lint-layer: inet
+#include "host/host.hh"

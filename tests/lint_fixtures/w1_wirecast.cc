@@ -1,0 +1,14 @@
+// qpip-lint fixture: W1 wire-format hygiene — struct-memcpy and
+// reinterpret_cast onto a packet byte buffer. Two violations on
+// known lines, asserted by tests/test_lint.cc.
+// qpip-lint-layer: inet
+#include <cstdint>
+#include <cstring>
+
+std::uint32_t
+fixtureParse(const std::uint8_t *wire)
+{
+    std::uint32_t v = 0;
+    std::memcpy(&v, wire, sizeof(v));
+    return v + *reinterpret_cast<const std::uint32_t *>(wire + 4);
+}

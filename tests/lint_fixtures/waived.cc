@@ -1,0 +1,15 @@
+// qpip-lint fixture: a correctly waived D2 violation must not fire.
+// The waiver comment names the rule token and carries a reason.
+// qpip-lint-layer: inet
+#include <unordered_map>
+
+int
+fixtureWaived()
+{
+    std::unordered_map<int, int> table;
+    int sum = 0;
+    // qpip-lint: unordered-iter-ok(fixture: order-insensitive sum)
+    for (auto &[k, v] : table)
+        sum += k + v;
+    return sum;
+}

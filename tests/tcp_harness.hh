@@ -7,8 +7,7 @@
  * specific segments deterministically.
  */
 
-#ifndef QPIP_TESTS_TCP_HARNESS_HH
-#define QPIP_TESTS_TCP_HARNESS_HH
+#pragma once
 
 #include <deque>
 #include <functional>
@@ -299,5 +298,3 @@ messageConfig()
 }
 
 } // namespace qpip::test
-
-#endif // QPIP_TESTS_TCP_HARNESS_HH

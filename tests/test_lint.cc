@@ -1,0 +1,199 @@
+/**
+ * @file
+ * qpip-lint's own test coverage: each rule fires on its fixture file
+ * with the exact rule id and file:line, a waived line stays silent,
+ * and — the real gate — the entire src/ tree lints clean.
+ */
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint.hh"
+
+using namespace qpip::lint;
+
+namespace {
+
+std::string
+fixture(const std::string &name)
+{
+    return std::string(QPIP_LINT_FIXTURES) + "/" + name;
+}
+
+/** All diagnostics for one fixture file. */
+std::vector<Diagnostic>
+lintFixture(const std::string &name)
+{
+    return lintPath(fixture(name));
+}
+
+} // namespace
+
+TEST(LintRules, D1FiresOnRand)
+{
+    const auto diags = lintFixture("d1_nondet.cc");
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].rule, "D1");
+    EXPECT_EQ(diags[0].line, 9);
+    EXPECT_EQ(diags[0].file, fixture("d1_nondet.cc"));
+}
+
+TEST(LintRules, D2FiresOnUnorderedRangeFor)
+{
+    const auto diags = lintFixture("d2_unordered_iter.cc");
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].rule, "D2");
+    EXPECT_EQ(diags[0].line, 11);
+}
+
+TEST(LintRules, L1FiresOnUpwardInclude)
+{
+    const auto diags = lintFixture("l1_layering.cc");
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].rule, "L1");
+    EXPECT_EQ(diags[0].line, 4);
+    EXPECT_NE(diags[0].message.find("inet must not include host"),
+              std::string::npos);
+}
+
+TEST(LintRules, W1FiresOnMemcpyAndReinterpretCast)
+{
+    const auto diags = lintFixture("w1_wirecast.cc");
+    ASSERT_EQ(diags.size(), 2u);
+    EXPECT_EQ(diags[0].rule, "W1");
+    EXPECT_EQ(diags[0].line, 12);
+    EXPECT_EQ(diags[1].rule, "W1");
+    EXPECT_EQ(diags[1].line, 13);
+}
+
+TEST(LintRules, H1FiresOnIfndefGuard)
+{
+    const auto diags = lintFixture("h1_guard.hh");
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].rule, "H1");
+    EXPECT_EQ(diags[0].line, 1);
+}
+
+TEST(LintRules, WaivedLineStaysSilent)
+{
+    EXPECT_TRUE(lintFixture("waived.cc").empty());
+}
+
+TEST(LintRules, DiagnosticFormatIsRuleFileLine)
+{
+    const auto diags = lintFixture("d1_nondet.cc");
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].format().rfind(
+                  "D1 " + fixture("d1_nondet.cc") + ":9: ", 0),
+              0u);
+}
+
+// --- rule corners driven through lintFile() directly ---------------
+
+TEST(LintRules, BannedTokenInCommentOrStringIgnored)
+{
+    const std::string src = "// qpip-lint-layer: sim\n"
+                            "// std::rand() in a comment\n"
+                            "const char *s = \"system_clock\";\n";
+    EXPECT_TRUE(lintFile("src/sim/x.cc", src).empty());
+}
+
+TEST(LintRules, D1FiresOnPointerKeyedMap)
+{
+    const std::string src =
+        "#include <map>\n"
+        "struct C;\n"
+        "std::map<C *, int> owners;\n";
+    const auto diags = lintFile("src/nic/x.cc", src);
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].rule, "D1");
+    EXPECT_EQ(diags[0].line, 3);
+}
+
+TEST(LintRules, D2SeesThroughTypeAlias)
+{
+    const std::string src =
+        "#include <unordered_map>\n"
+        "using Table = std::unordered_map<int, int>;\n"
+        "int f(Table &t) {\n"
+        "    int n = 0;\n"
+        "    for (auto it = t.begin(); it != t.end(); ++it)\n"
+        "        ++n;\n"
+        "    return n;\n"
+        "}\n";
+    const auto diags = lintFile("src/inet/x.cc", src);
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].rule, "D2");
+    EXPECT_EQ(diags[0].line, 5);
+}
+
+TEST(LintRules, WaiverRequiresNonEmptyReason)
+{
+    const std::string src =
+        "#include <unordered_map>\n"
+        "std::unordered_map<int, int> t;\n"
+        "int f() {\n"
+        "    int n = 0;\n"
+        "    for (auto &[k, v] : t) // qpip-lint: unordered-iter-ok()\n"
+        "        n += k + v;\n"
+        "    return n;\n"
+        "}\n";
+    const auto diags = lintFile("src/inet/x.cc", src);
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].rule, "D2");
+}
+
+TEST(LintRules, TopLayerFilesSkipSrcOnlyRules)
+{
+    // Same body as the D2 fixture, but classified as a test file.
+    const std::string src = "#include <unordered_map>\n"
+                            "std::unordered_map<int, int> t;\n"
+                            "int f() {\n"
+                            "    int n = 0;\n"
+                            "    for (auto &[k, v] : t)\n"
+                            "        n += k + v;\n"
+                            "    return n;\n"
+                            "}\n";
+    EXPECT_TRUE(lintFile("tests/x.cc", src).empty());
+}
+
+TEST(LintLayers, ClassifyAndRank)
+{
+    EXPECT_EQ(classifyPath("src/sim/clock.hh"), Layer::Sim);
+    EXPECT_EQ(classifyPath("src/inet/tcp_conn.cc"), Layer::Inet);
+    EXPECT_EQ(classifyPath("tests/test_tcp.cc"), Layer::Top);
+    EXPECT_EQ(classifyPath("bench/fig3_rtt.cpp"), Layer::Top);
+    EXPECT_LT(layerRank(Layer::Sim), layerRank(Layer::Net));
+    EXPECT_LT(layerRank(Layer::Net), layerRank(Layer::Inet));
+    EXPECT_LT(layerRank(Layer::Inet), layerRank(Layer::Host));
+    EXPECT_LT(layerRank(Layer::Host), layerRank(Layer::Nic));
+    EXPECT_LT(layerRank(Layer::Nic), layerRank(Layer::Qpip));
+    EXPECT_LT(layerRank(Layer::Qpip), layerRank(Layer::Apps));
+    EXPECT_LT(layerRank(Layer::Apps), layerRank(Layer::Top));
+}
+
+// --- the gate: the real tree lints clean ---------------------------
+
+TEST(LintTree, SrcTreeIsClean)
+{
+    const std::string root = QPIP_SOURCE_DIR;
+    const auto files = collectTree(root);
+    ASSERT_GT(files.size(), 100u) << "tree scan found too few files";
+
+    std::vector<Diagnostic> all;
+    for (const auto &f : files) {
+        for (auto &d : lintPath(root + "/" + f))
+            all.push_back(d);
+    }
+    for (const auto &d : all)
+        ADD_FAILURE() << d.format();
+    EXPECT_TRUE(all.empty());
+}
+
+TEST(LintTree, FixturesAreExcludedFromTreeScan)
+{
+    for (const auto &f : collectTree(QPIP_SOURCE_DIR))
+        EXPECT_EQ(f.find("lint_fixtures"), std::string::npos) << f;
+}

@@ -1,0 +1,589 @@
+#include "lint.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <regex>
+#include <set>
+#include <sstream>
+
+namespace qpip::lint {
+
+namespace fs = std::filesystem;
+
+std::string
+Diagnostic::format() const
+{
+    std::ostringstream os;
+    os << rule << ' ' << file << ':' << line << ": " << message;
+    return os.str();
+}
+
+int
+layerRank(Layer l)
+{
+    return static_cast<int>(l);
+}
+
+const char *
+layerName(Layer l)
+{
+    switch (l) {
+      case Layer::Sim: return "sim";
+      case Layer::Net: return "net";
+      case Layer::Inet: return "inet";
+      case Layer::Host: return "host";
+      case Layer::Nic: return "nic";
+      case Layer::Qpip: return "qpip";
+      case Layer::Apps: return "apps";
+      case Layer::Top: return "top";
+    }
+    return "?";
+}
+
+namespace {
+
+std::optional<Layer>
+layerByName(const std::string &name)
+{
+    for (Layer l : {Layer::Sim, Layer::Net, Layer::Inet, Layer::Host,
+                    Layer::Nic, Layer::Qpip, Layer::Apps, Layer::Top})
+        if (name == layerName(l))
+            return l;
+    return std::nullopt;
+}
+
+std::string
+normalize(const std::string &path)
+{
+    std::string p = path;
+    std::replace(p.begin(), p.end(), '\\', '/');
+    return p;
+}
+
+} // namespace
+
+Layer
+classifyPath(const std::string &path)
+{
+    const std::string p = normalize(path);
+    for (Layer l : {Layer::Sim, Layer::Net, Layer::Inet, Layer::Host,
+                    Layer::Nic, Layer::Qpip, Layer::Apps}) {
+        const std::string needle =
+            std::string("src/") + layerName(l) + "/";
+        if (p.find(needle) != std::string::npos)
+            return l;
+    }
+    return Layer::Top;
+}
+
+const char *
+waiverToken(const std::string &rule)
+{
+    if (rule == "D1") return "nondet-ok";
+    if (rule == "D2") return "unordered-iter-ok";
+    if (rule == "L1") return "layer-ok";
+    if (rule == "W1") return "wire-ok";
+    return "";
+}
+
+namespace {
+
+/**
+ * The lexed view of one file: per physical line, the code text with
+ * comments and string/char literal bodies removed, and the comment
+ * text (for waiver directives).
+ */
+struct Lexed
+{
+    /** Untouched physical lines (needed for #include paths). */
+    std::vector<std::string> raw;
+    std::vector<std::string> code;
+    std::vector<std::string> comments;
+};
+
+Lexed
+lex(const std::string &text)
+{
+    Lexed out;
+    {
+        std::string line;
+        for (const char c : text) {
+            if (c == '\n') {
+                out.raw.push_back(std::move(line));
+                line.clear();
+            } else {
+                line += c;
+            }
+        }
+        out.raw.push_back(std::move(line));
+    }
+    std::string code, comment;
+    enum class St { Code, Str, Chr, Line, Block } st = St::Code;
+
+    auto flush = [&] {
+        out.code.push_back(code);
+        out.comments.push_back(comment);
+        code.clear();
+        comment.clear();
+    };
+
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        const char c = text[i];
+        const char n = i + 1 < text.size() ? text[i + 1] : '\0';
+        if (c == '\n') {
+            if (st == St::Line)
+                st = St::Code;
+            flush();
+            continue;
+        }
+        switch (st) {
+          case St::Code:
+            if (c == '/' && n == '/') {
+                st = St::Line;
+                ++i;
+            } else if (c == '/' && n == '*') {
+                st = St::Block;
+                ++i;
+            } else if (c == '"') {
+                st = St::Str;
+                code += '"';
+            } else if (c == '\'') {
+                st = St::Chr;
+                code += '\'';
+            } else {
+                code += c;
+            }
+            break;
+          case St::Str:
+            if (c == '\\' && n != '\0') {
+                ++i;
+            } else if (c == '"') {
+                st = St::Code;
+                code += '"';
+            }
+            break;
+          case St::Chr:
+            if (c == '\\' && n != '\0') {
+                ++i;
+            } else if (c == '\'') {
+                st = St::Code;
+                code += '\'';
+            }
+            break;
+          case St::Line:
+            comment += c;
+            break;
+          case St::Block:
+            if (c == '*' && n == '/') {
+                st = St::Code;
+                ++i;
+            } else {
+                comment += c;
+            }
+            break;
+        }
+    }
+    flush();
+    return out;
+}
+
+/**
+ * Waiver tokens in effect on each line: a trailing comment waives
+ * its own line; a comment-only line waives the next code line
+ * (NOLINTNEXTLINE style), chaining through blank/comment lines.
+ */
+std::vector<std::set<std::string>>
+collectWaivers(const Lexed &lx)
+{
+    static const std::regex re(
+        R"(qpip-lint:\s*([a-z][a-z-]*-ok)\(\s*[^)\s][^)]*\))");
+    std::vector<std::set<std::string>> out(lx.comments.size());
+    auto blankCode = [&](std::size_t i) {
+        return lx.code[i].find_first_not_of(" \t") == std::string::npos;
+    };
+    for (std::size_t i = 0; i < lx.comments.size(); ++i) {
+        auto begin = std::sregex_iterator(lx.comments[i].begin(),
+                                          lx.comments[i].end(), re);
+        for (auto it = begin; it != std::sregex_iterator(); ++it)
+            out[i].insert((*it)[1].str());
+    }
+    for (std::size_t i = 0; i + 1 < out.size(); ++i) {
+        if (!out[i].empty() && blankCode(i))
+            out[i + 1].insert(out[i].begin(), out[i].end());
+    }
+    return out;
+}
+
+std::optional<Layer>
+layerDirective(const Lexed &lx)
+{
+    static const std::regex re(R"(qpip-lint-layer:\s*([a-z]+))");
+    for (const auto &c : lx.comments) {
+        std::smatch m;
+        if (std::regex_search(c, m, re))
+            return layerByName(m[1].str());
+    }
+    return std::nullopt;
+}
+
+bool
+isHeader(const std::string &path)
+{
+    return path.ends_with(".hh") || path.ends_with(".h");
+}
+
+struct Ctx
+{
+    const std::string &path;
+    Layer layer;
+    const Lexed &lx;
+    const std::vector<std::set<std::string>> &waivers;
+    std::vector<Diagnostic> &diags;
+
+    bool
+    waived(std::size_t line_idx, const std::string &rule) const
+    {
+        return line_idx < waivers.size() &&
+               waivers[line_idx].count(waiverToken(rule)) != 0;
+    }
+
+    void
+    add(const std::string &rule, std::size_t line_idx, std::string msg)
+    {
+        if (!waived(line_idx, rule))
+            diags.push_back(Diagnostic{rule, path,
+                                       static_cast<int>(line_idx) + 1,
+                                       std::move(msg)});
+    }
+};
+
+// --- D1: nondeterminism sources -----------------------------------
+
+void
+ruleD1(Ctx &ctx)
+{
+    struct Banned
+    {
+        std::regex re;
+        const char *what;
+    };
+    static const std::vector<Banned> banned = {
+        {std::regex(R"(\bs?rand\s*\()"),
+         "C library rand()/srand() is not replay-deterministic; use "
+         "sim::Random"},
+        {std::regex(R"(\brandom_device\b)"),
+         "std::random_device draws entropy from the OS; use the "
+         "seeded sim::Random"},
+        {std::regex(R"(\b(system_clock|steady_clock|high_resolution_clock)\b)"),
+         "wall-clock time source; use sim::Clock / Simulation time"},
+        {std::regex(R"(\b(gettimeofday|clock_gettime)\b)"),
+         "wall-clock time source; use sim::Clock / Simulation time"},
+        {std::regex(R"(\bgetpid\s*\()"),
+         "process id varies across runs; derive ids from the seed"},
+        {std::regex(R"(\btime\s*\(\s*(nullptr|NULL|0)?\s*\))"),
+         "time() reads the wall clock; use sim::Clock / Simulation "
+         "time"},
+        {std::regex(R"(\bmap\s*<[^,<>]*\*\s*,)"),
+         "pointer-keyed map: addresses vary across runs, so key "
+         "order (and any iteration) is nondeterministic"},
+    };
+    for (std::size_t i = 0; i < ctx.lx.code.size(); ++i) {
+        for (const auto &b : banned) {
+            if (std::regex_search(ctx.lx.code[i], b.re))
+                ctx.add("D1", i, b.what);
+        }
+    }
+}
+
+// --- D2: iteration over unordered containers ----------------------
+
+/** Skip a balanced <...> starting at @p pos (which must be '<'). */
+std::size_t
+skipAngles(const std::string &s, std::size_t pos)
+{
+    int depth = 0;
+    for (; pos < s.size(); ++pos) {
+        if (s[pos] == '<')
+            ++depth;
+        else if (s[pos] == '>' && --depth == 0)
+            return pos + 1;
+    }
+    return std::string::npos;
+}
+
+void
+ruleD2(Ctx &ctx)
+{
+    // Join the code text, remembering line starts for offset->line.
+    std::string all;
+    std::vector<std::size_t> starts;
+    for (const auto &l : ctx.lx.code) {
+        starts.push_back(all.size());
+        all += l;
+        all += '\n';
+    }
+    auto lineOf = [&](std::size_t off) {
+        auto it = std::upper_bound(starts.begin(), starts.end(), off);
+        return static_cast<std::size_t>(it - starts.begin()) - 1;
+    };
+
+    // Pass 1: names of variables (and type aliases) whose type is an
+    // unordered associative container.
+    static const std::regex declRe(R"(\bunordered_(map|set)\s*<)");
+    static const std::regex nameRe(
+        R"(^\s*[&*]?\s*([A-Za-z_]\w*)\s*([;={(),]))");
+    static const std::regex aliasRe(R"(\busing\s+([A-Za-z_]\w*)\s*=\s*$)");
+    std::set<std::string> unorderedVars, unorderedAliases;
+    for (auto it = std::sregex_iterator(all.begin(), all.end(), declRe);
+         it != std::sregex_iterator(); ++it) {
+        const std::size_t open =
+            static_cast<std::size_t>(it->position()) + it->length() - 1;
+        // "using Alias = std::unordered_map<...>;"
+        const std::size_t pos = static_cast<std::size_t>(it->position());
+        std::size_t bol = all.rfind('\n', pos);
+        bol = bol == std::string::npos ? 0 : bol + 1;
+        std::string before = all.substr(bol, pos - bol);
+        // Strip a trailing "std::" qualifier so aliasRe can anchor.
+        if (before.ends_with("std::"))
+            before.erase(before.size() - 5);
+        std::smatch am;
+        if (std::regex_search(before, am, aliasRe)) {
+            unorderedAliases.insert(am[1].str());
+            continue;
+        }
+        const std::size_t end = skipAngles(all, open);
+        if (end == std::string::npos)
+            continue;
+        std::smatch nm;
+        const std::string after = all.substr(end, 160);
+        if (std::regex_search(after, nm, nameRe))
+            unorderedVars.insert(nm[1].str());
+    }
+    // Declarations through an alias: "Alias name;".
+    for (const auto &alias : unorderedAliases) {
+        const std::regex aliasDecl("\\b" + alias +
+                                   R"(\s*[&*]?\s*([A-Za-z_]\w*)\s*[;={(),])");
+        for (auto it =
+                 std::sregex_iterator(all.begin(), all.end(), aliasDecl);
+             it != std::sregex_iterator(); ++it)
+            unorderedVars.insert((*it)[1].str());
+    }
+    if (unorderedVars.empty())
+        return;
+
+    auto lastComponent = [](std::string expr) {
+        const auto dot = expr.find_last_of('.');
+        if (dot != std::string::npos)
+            expr = expr.substr(dot + 1);
+        const auto arrow = expr.rfind("->");
+        if (arrow != std::string::npos)
+            expr = expr.substr(arrow + 2);
+        return expr;
+    };
+
+    // Pass 2a: range-for over a tracked variable.
+    static const std::regex rangeForRe(
+        R"(\bfor\s*\([^;()]*:\s*([A-Za-z_][\w.]*(?:->[\w.]+)*)\s*\))");
+    for (auto it =
+             std::sregex_iterator(all.begin(), all.end(), rangeForRe);
+         it != std::sregex_iterator(); ++it) {
+        const std::string var = lastComponent((*it)[1].str());
+        if (unorderedVars.count(var))
+            ctx.add("D2", lineOf(static_cast<std::size_t>(it->position())),
+                    "range-for over std::unordered container '" + var +
+                        "': iteration order is hash/insertion "
+                        "dependent and breaks same-seed replay");
+    }
+
+    // Pass 2b: iterator loops (x.begin() / cbegin / rbegin).
+    static const std::regex beginRe(
+        R"(([A-Za-z_][\w.]*(?:->[\w.]+)*)\s*\.\s*c?r?begin\s*\()");
+    for (auto it = std::sregex_iterator(all.begin(), all.end(), beginRe);
+         it != std::sregex_iterator(); ++it) {
+        const std::string var = lastComponent((*it)[1].str());
+        if (unorderedVars.count(var))
+            ctx.add("D2", lineOf(static_cast<std::size_t>(it->position())),
+                    "iterator walk over std::unordered container '" +
+                        var + "': order is hash/insertion dependent "
+                              "and breaks same-seed replay");
+    }
+}
+
+// --- L1: include layering -----------------------------------------
+
+void
+ruleL1(Ctx &ctx)
+{
+    static const std::regex incRe(
+        R"(^\s*#\s*include\s+"([A-Za-z_0-9]+)/)");
+    for (std::size_t i = 0; i < ctx.lx.raw.size(); ++i) {
+        // String-literal bodies are blanked in the code view, so the
+        // include path has to come from the raw line.
+        std::smatch m;
+        if (!std::regex_search(ctx.lx.raw[i], m, incRe))
+            continue;
+        const auto inc = layerByName(m[1].str());
+        if (!inc)
+            continue; // system-ish or unknown prefix: not layered
+        if (layerRank(*inc) > layerRank(ctx.layer))
+            ctx.add("L1", i,
+                    std::string("layering violation: ") +
+                        layerName(ctx.layer) + " must not include " +
+                        layerName(*inc) + " (DAG: sim <- net <- inet "
+                        "<- host <- nic <- qpip <- apps <- "
+                        "{tests,bench,examples})");
+    }
+}
+
+// --- W1: wire-format hygiene --------------------------------------
+
+bool
+wireAllowlisted(const std::string &path)
+{
+    const std::string p = normalize(path);
+    return p.find("inet/checksum.") != std::string::npos ||
+           p.find("net/serialize.") != std::string::npos;
+}
+
+void
+ruleW1(Ctx &ctx)
+{
+    static const std::regex castRe(R"(\breinterpret_cast\b)");
+    static const std::regex memcpyRe(R"(\bmemcpy\s*\()");
+    for (std::size_t i = 0; i < ctx.lx.code.size(); ++i) {
+        if (std::regex_search(ctx.lx.code[i], castRe))
+            ctx.add("W1", i,
+                    "reinterpret_cast near wire data: serialize "
+                    "through net::Serializer / inet::checksum "
+                    "byte-order helpers instead");
+        if (std::regex_search(ctx.lx.code[i], memcpyRe))
+            ctx.add("W1", i,
+                    "raw memcpy: wire I/O must go through "
+                    "net::Serializer / inet::checksum byte-order "
+                    "helpers");
+    }
+}
+
+// --- H1: header guard style ---------------------------------------
+
+void
+ruleH1(Ctx &ctx)
+{
+    for (const auto &l : ctx.lx.code)
+        if (l.find("#pragma once") != std::string::npos)
+            return;
+    ctx.diags.push_back(Diagnostic{
+        "H1", ctx.path, 1,
+        "header must use '#pragma once' (no #ifndef guards)"});
+}
+
+} // namespace
+
+std::vector<Diagnostic>
+lintFile(const std::string &path, const std::string &contents)
+{
+    const Lexed lx = lex(contents);
+    const auto waivers = collectWaivers(lx);
+    const Layer layer =
+        layerDirective(lx).value_or(classifyPath(path));
+
+    std::vector<Diagnostic> diags;
+    Ctx ctx{path, layer, lx, waivers, diags};
+
+    if (layer != Layer::Top) {
+        ruleD1(ctx);
+        ruleD2(ctx);
+        if (!wireAllowlisted(path))
+            ruleW1(ctx);
+    }
+    ruleL1(ctx);
+    if (isHeader(path))
+        ruleH1(ctx);
+
+    std::stable_sort(diags.begin(), diags.end(),
+                     [](const Diagnostic &a, const Diagnostic &b) {
+                         if (a.line != b.line)
+                             return a.line < b.line;
+                         return a.rule < b.rule;
+                     });
+    return diags;
+}
+
+std::vector<Diagnostic>
+lintPath(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        return {Diagnostic{"IO", path, 0, "cannot open file"}};
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return lintFile(path, ss.str());
+}
+
+std::vector<std::string>
+collectTree(const std::string &root)
+{
+    std::vector<std::string> out;
+    const fs::path base(root);
+    for (const char *dir : {"src", "tests", "bench", "examples",
+                            "tools"}) {
+        const fs::path d = base / dir;
+        if (!fs::exists(d))
+            continue;
+        for (auto it = fs::recursive_directory_iterator(d);
+             it != fs::recursive_directory_iterator(); ++it) {
+            if (it->is_directory() &&
+                it->path().filename() == "lint_fixtures") {
+                it.disable_recursion_pending();
+                continue;
+            }
+            if (!it->is_regular_file())
+                continue;
+            const std::string ext = it->path().extension().string();
+            if (ext != ".cc" && ext != ".cpp" && ext != ".hh" &&
+                ext != ".h")
+                continue;
+            out.push_back(
+                fs::relative(it->path(), base).generic_string());
+        }
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
+std::vector<std::string>
+filesFromCompileCommands(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return {};
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const std::string text = ss.str();
+
+    std::vector<std::string> out;
+    static const std::regex fileRe(
+        R"rx("file"\s*:\s*"((?:[^"\\]|\\.)*)")rx");
+    for (auto it = std::sregex_iterator(text.begin(), text.end(), fileRe);
+         it != std::sregex_iterator(); ++it) {
+        std::string raw = (*it)[1].str(), un;
+        for (std::size_t i = 0; i < raw.size(); ++i) {
+            if (raw[i] == '\\' && i + 1 < raw.size())
+                un += raw[++i];
+            else
+                un += raw[i];
+        }
+        out.push_back(un);
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
+} // namespace qpip::lint

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * qpip-lint: a lightweight static-analysis pass over the project's
+ * own sources. No libclang — a small lexer strips comments and
+ * string literals, then per-rule pattern matchers enforce the
+ * repository invariants that protect same-seed bit-identical replay
+ * and the layering DAG:
+ *
+ *   D1  no nondeterminism sources in src/ (rand, random_device, wall
+ *       clocks, argless time(), pointer-keyed maps);
+ *   D2  no iteration over std::unordered_{map,set} in src/;
+ *   L1  include layering must follow the DAG
+ *       sim <- net <- inet <- host <- nic <- qpip <- apps
+ *       <- {tests, bench, examples};
+ *   W1  wire-format hygiene: no reinterpret_cast or memcpy outside
+ *       the designated serializers (inet/checksum.*, net/serialize.*);
+ *   H1  every header uses '#pragma once'.
+ *
+ * A violation line may carry a waiver comment
+ *   // qpip-lint: <token>-ok(<reason>)
+ * with a non-empty reason; the token names the rule (see
+ * waiverToken()). Fixture files outside src/ can opt into a layer
+ * with '// qpip-lint-layer: <name>'.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace qpip::lint {
+
+/** One finding. Formatted as "<rule> <file>:<line>: <message>". */
+struct Diagnostic
+{
+    std::string rule;
+    std::string file;
+    int line = 0;
+    std::string message;
+
+    std::string format() const;
+};
+
+/** Layers of the include DAG, bottom (most fundamental) first. */
+enum class Layer {
+    Sim,
+    Net,
+    Inet,
+    Host,
+    Nic,
+    Qpip,
+    Apps,
+    /** tests/, bench/, examples/, tools/: may include anything. */
+    Top,
+};
+
+/** DAG rank: a file may only include layers of rank <= its own. */
+int layerRank(Layer l);
+
+/** Layer name as spelled in include paths ("sim", "inet", ...). */
+const char *layerName(Layer l);
+
+/**
+ * Classify @p path by its directory ("src/inet/..." -> Inet;
+ * tests/bench/examples/tools -> Top). Unrecognized paths are Top.
+ */
+Layer classifyPath(const std::string &path);
+
+/** Waiver token for a rule id ("D2" -> "unordered-iter-ok"). */
+const char *waiverToken(const std::string &rule);
+
+/**
+ * Lint one file. @p path is used for diagnostics and for layer /
+ * allowlist classification; a '// qpip-lint-layer: <name>' directive
+ * in @p contents overrides the path-derived layer (fixtures use
+ * this). Diagnostics come back in line order.
+ */
+std::vector<Diagnostic> lintFile(const std::string &path,
+                                 const std::string &contents);
+
+/** Read @p path and lintFile() it. IO failure yields an IO finding. */
+std::vector<Diagnostic> lintPath(const std::string &path);
+
+/**
+ * Collect the tree's lintable files under @p root: all .cc/.hh under
+ * src/, plus headers and sources under tests/, bench/, examples/ and
+ * tools/. tests/lint_fixtures/ is excluded — those files exist to
+ * fail. Paths come back sorted, relative to @p root.
+ */
+std::vector<std::string> collectTree(const std::string &root);
+
+/**
+ * File list from a CMAKE_EXPORT_COMPILE_COMMANDS database: every
+ * "file" entry, absolute. Minimal JSON scan, tolerant of formatting.
+ */
+std::vector<std::string> filesFromCompileCommands(const std::string &path);
+
+} // namespace qpip::lint
