@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Simulator-speed benchmark: how fast does the simulation itself run
+ * on the host executing it? Every other bench in this directory
+ * measures *simulated* performance (MB/s on the modeled wire); this
+ * one measures wall-clock cost — events/sec, simulated-bytes per
+ * wall-second and sim-ticks per wall-second — for a fixed amount of
+ * simulated work on the ttcp and NBD testbeds.
+ *
+ * Output is a JSON report (default ./BENCH_simspeed.json, override
+ * with --out=<path>) so CI can archive the trajectory and perf PRs
+ * can show before/after numbers instead of claiming them. Workload
+ * sizes scale with QPIP_SIMSPEED_MB (default 32).
+ *
+ * Wall time is intentionally nondeterministic; everything *simulated*
+ * here is seed-1 deterministic, so two runs differ only in the wall
+ * columns. This binary lives in bench/ (not src/), outside the
+ * qpip-lint D1 no-wall-clock rule, which is what makes it allowed to
+ * look at std::chrono at all.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apps/nbd.hh"
+#include "apps/ttcp.hh"
+
+using namespace qpip;
+using namespace qpip::apps;
+
+namespace {
+
+struct WorkloadResult
+{
+    std::string name;
+    /** Counts toward the headline ttcp events/sec aggregate. */
+    bool ttcp = false;
+    std::uint64_t events = 0;
+    std::uint64_t simTicks = 0;
+    std::uint64_t simBytes = 0;
+    double wallSeconds = 0.0;
+    bool completed = false;
+
+    double eventsPerSec() const
+    {
+        return wallSeconds > 0.0
+                   ? static_cast<double>(events) / wallSeconds
+                   : 0.0;
+    }
+    double simBytesPerWallSec() const
+    {
+        return wallSeconds > 0.0
+                   ? static_cast<double>(simBytes) / wallSeconds
+                   : 0.0;
+    }
+    double simTicksPerWallSec() const
+    {
+        return wallSeconds > 0.0
+                   ? static_cast<double>(simTicks) / wallSeconds
+                   : 0.0;
+    }
+};
+
+std::size_t
+scaleMb()
+{
+    if (const char *env = std::getenv("QPIP_SIMSPEED_MB")) {
+        const int mb = std::atoi(env);
+        if (mb > 0)
+            return static_cast<std::size_t>(mb);
+    }
+    return 32;
+}
+
+/** Run @p body, filling the wall/event/tick columns around it. */
+template <typename Body>
+WorkloadResult
+timed(const std::string &name, bool ttcp, sim::Simulation &sim,
+      std::uint64_t sim_bytes, Body &&body)
+{
+    WorkloadResult r;
+    r.name = name;
+    r.ttcp = ttcp;
+    r.simBytes = sim_bytes;
+    const std::uint64_t events0 = sim.eventQueue().executed();
+    const sim::Tick t0 = sim.now();
+    const auto wall0 = std::chrono::steady_clock::now();
+    r.completed = body();
+    const auto wall1 = std::chrono::steady_clock::now();
+    r.events = sim.eventQueue().executed() - events0;
+    r.simTicks = sim.now() - t0;
+    r.wallSeconds =
+        std::chrono::duration<double>(wall1 - wall0).count();
+    return r;
+}
+
+std::vector<WorkloadResult>
+runAll()
+{
+    const std::uint64_t bytes = std::uint64_t(scaleMb()) << 20;
+    std::vector<WorkloadResult> out;
+
+    {
+        SocketsTestbed bed(2, SocketsFabric::GigabitEthernet);
+        out.push_back(timed("ttcp_sockets_gige", true, bed.sim(), bytes,
+                            [&] {
+                                return runSocketsTtcp(bed, bytes)
+                                    .completed;
+                            }));
+    }
+    {
+        SocketsTestbed bed(2, SocketsFabric::MyrinetIp);
+        out.push_back(timed("ttcp_sockets_myrinet", true, bed.sim(),
+                            bytes, [&] {
+                                return runSocketsTtcp(bed, bytes)
+                                    .completed;
+                            }));
+    }
+    {
+        QpipTestbed bed(2);
+        out.push_back(timed("ttcp_qpip", true, bed.sim(), bytes, [&] {
+            return runQpipTtcp(bed, bytes).completed;
+        }));
+    }
+    {
+        SocketsTestbed bed(2, SocketsFabric::GigabitEthernet);
+        ServerStore store(bed.sim(), "store", bytes);
+        NbdSocketServer server(bed.host(1).stack(), store, {});
+        out.push_back(timed("nbd_sockets_gige_read", false, bed.sim(),
+                            bytes, [&] {
+                                return runNbdSocketsSequential(
+                                           bed, 0, 1, false, bytes)
+                                    .completed;
+                            }));
+    }
+    {
+        QpipTestbed bed(2, 9000);
+        ServerStore store(bed.sim(), "store", bytes);
+        NbdQpipServer server(bed.provider(1), store, {});
+        out.push_back(timed("nbd_qpip_read", false, bed.sim(), bytes,
+                            [&] {
+                                return runNbdQpipSequential(
+                                           bed, 0, 1, false, bytes)
+                                    .completed;
+                            }));
+    }
+    return out;
+}
+
+void
+writeJson(const std::vector<WorkloadResult> &results,
+          const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        std::exit(1);
+    }
+    std::uint64_t ttcp_events = 0;
+    double ttcp_wall = 0.0;
+    std::fprintf(f, "{\n  \"benchmark\": \"simspeed\",\n");
+    std::fprintf(f, "  \"scaleMb\": %zu,\n", scaleMb());
+    std::fprintf(f, "  \"workloads\": [\n");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto &r = results[i];
+        if (r.ttcp) {
+            ttcp_events += r.events;
+            ttcp_wall += r.wallSeconds;
+        }
+        std::fprintf(
+            f,
+            "    {\"name\": \"%s\", \"completed\": %s, "
+            "\"events\": %llu, \"simTicks\": %llu, "
+            "\"simBytes\": %llu, \"wallSeconds\": %.4f, "
+            "\"eventsPerSec\": %.0f, \"simBytesPerWallSec\": %.0f, "
+            "\"simTicksPerWallSec\": %.0f}%s\n",
+            r.name.c_str(), r.completed ? "true" : "false",
+            static_cast<unsigned long long>(r.events),
+            static_cast<unsigned long long>(r.simTicks),
+            static_cast<unsigned long long>(r.simBytes), r.wallSeconds,
+            r.eventsPerSec(), r.simBytesPerWallSec(),
+            r.simTicksPerWallSec(),
+            i + 1 < results.size() ? "," : "");
+    }
+    const double agg =
+        ttcp_wall > 0.0 ? static_cast<double>(ttcp_events) / ttcp_wall
+                        : 0.0;
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f,
+                 "  \"aggregate\": {\"ttcpEvents\": %llu, "
+                 "\"ttcpWallSeconds\": %.4f, "
+                 "\"ttcpEventsPerSec\": %.0f}\n}\n",
+                 static_cast<unsigned long long>(ttcp_events),
+                 ttcp_wall, agg);
+    std::fclose(f);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out = "BENCH_simspeed.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--out=", 6) == 0)
+            out = argv[i] + 6;
+    }
+
+    auto results = runAll();
+
+    std::printf("\n=== simulator speed (%zu MB per workload) ===\n",
+                scaleMb());
+    std::printf("%-24s %12s %10s %14s %14s\n", "workload", "events",
+                "wall_s", "events/sec", "simMB/wall_s");
+    std::uint64_t ttcp_events = 0;
+    double ttcp_wall = 0.0;
+    bool all_ok = true;
+    for (const auto &r : results) {
+        std::printf("%-24s %12llu %10.3f %14.0f %14.1f%s\n",
+                    r.name.c_str(),
+                    static_cast<unsigned long long>(r.events),
+                    r.wallSeconds, r.eventsPerSec(),
+                    r.simBytesPerWallSec() / (1024.0 * 1024.0),
+                    r.completed ? "" : "  [INCOMPLETE]");
+        if (r.ttcp) {
+            ttcp_events += r.events;
+            ttcp_wall += r.wallSeconds;
+        }
+        all_ok = all_ok && r.completed;
+    }
+    std::printf("%-24s %12llu %10.3f %14.0f\n", "ttcp aggregate",
+                static_cast<unsigned long long>(ttcp_events), ttcp_wall,
+                ttcp_wall > 0.0
+                    ? static_cast<double>(ttcp_events) / ttcp_wall
+                    : 0.0);
+
+    writeJson(results, out);
+    std::printf("\nwrote %s\n", out.c_str());
+    return all_ok ? 0 : 1;
+}

@@ -11,20 +11,4 @@ CpuModel::CpuModel(sim::Simulation &sim, std::string name,
     : SimObject(sim, std::move(name)), clock_(freq_hz)
 {}
 
-void
-CpuModel::charge(sim::Cycles cycles)
-{
-    const sim::Tick dur = clock_.cyclesToTicks(cycles);
-    const sim::Tick start = std::max(curTick(), busyUntil_);
-    busyUntil_ = start + dur;
-    busyTotal_ += dur;
-}
-
-void
-CpuModel::run(sim::Cycles cycles, std::function<void()> fn)
-{
-    charge(cycles);
-    schedule(busyUntil_, std::move(fn));
-}
-
 } // namespace qpip::host

@@ -10,7 +10,8 @@
 
 #pragma once
 
-#include <functional>
+#include <algorithm>
+#include <utility>
 
 #include "sim/clock.hh"
 #include "sim/sim_object.hh"
@@ -28,12 +29,26 @@ class CpuModel : public sim::SimObject
 
     /**
      * Reserve @p cycles of CPU and run @p fn when they complete.
-     * Work is serialized in submission order.
+     * Work is serialized in submission order. The callable is stored
+     * directly in the event queue's pooled record (no std::function).
      */
-    void run(sim::Cycles cycles, std::function<void()> fn);
+    template <typename F>
+    void
+    run(sim::Cycles cycles, F &&fn)
+    {
+        charge(cycles);
+        schedule(busyUntil_, std::forward<F>(fn));
+    }
 
     /** Reserve cycles with no completion action. */
-    void charge(sim::Cycles cycles);
+    void
+    charge(sim::Cycles cycles)
+    {
+        const sim::Tick dur = clock_.cyclesToTicks(cycles);
+        const sim::Tick start = std::max(curTick(), busyUntil_);
+        busyUntil_ = start + dur;
+        busyTotal_ += dur;
+    }
 
     /** Total busy ticks committed so far. */
     sim::Tick busyTotal() const { return busyTotal_; }

@@ -10,24 +10,4 @@ HostOS::HostOS(sim::Simulation &sim, std::string name,
       cpu_(sim, this->name() + ".cpu", costs.cpuFreqHz)
 {}
 
-void
-HostOS::defer(sim::Cycles cycles, std::function<void()> fn)
-{
-    cpu_.run(cycles, std::move(fn));
-}
-
-void
-HostOS::interrupt(std::function<void()> isr)
-{
-    cpu_.run(costs_.interruptOverhead, std::move(isr));
-}
-
-sim::EventHandle
-HostOS::timer(sim::Tick delay, std::function<void()> fn)
-{
-    return scheduleIn(delay, [this, fn = std::move(fn)]() mutable {
-        cpu_.run(costs_.timerSoftirq, std::move(fn));
-    });
-}
-
 } // namespace qpip::host

@@ -8,7 +8,7 @@
 
 #pragma once
 
-#include <functional>
+#include <utility>
 
 #include "host/cost_model.hh"
 #include "host/cpu.hh"
@@ -28,7 +28,12 @@ class HostOS : public sim::SimObject
     const HostCostModel &costs() const { return costs_; }
 
     /** Run @p fn after charging @p cycles of CPU (serialized). */
-    void defer(sim::Cycles cycles, std::function<void()> fn);
+    template <typename F>
+    void
+    defer(sim::Cycles cycles, F &&fn)
+    {
+        cpu_.run(cycles, std::forward<F>(fn));
+    }
 
     /** Charge CPU with no continuation. */
     void charge(sim::Cycles cycles) { cpu_.charge(cycles); }
@@ -37,13 +42,26 @@ class HostOS : public sim::SimObject
      * Deliver a device interrupt: charges the interrupt overhead,
      * then runs the service routine on the CPU.
      */
-    void interrupt(std::function<void()> isr);
+    template <typename F>
+    void
+    interrupt(F &&isr)
+    {
+        cpu_.run(costs_.interruptOverhead, std::forward<F>(isr));
+    }
 
     /**
      * Arm a kernel timer. When it fires, the softirq charge is paid
      * before @p fn runs.
      */
-    sim::EventHandle timer(sim::Tick delay, std::function<void()> fn);
+    template <typename F>
+    sim::EventHandle
+    timer(sim::Tick delay, F &&fn)
+    {
+        return scheduleIn(
+            delay, [this, fn = std::forward<F>(fn)]() mutable {
+                cpu_.run(costs_.timerSoftirq, std::move(fn));
+            });
+    }
 
     /** Convert cycles at this host's frequency to ticks. */
     sim::Tick

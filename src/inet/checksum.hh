@@ -5,6 +5,16 @@
  * two over a pseudo-header). The accumulator form lets callers fold in
  * pseudo-header fields and payload spans incrementally, which is also
  * how the LANai DMA engine's hardware checksum assist is modeled.
+ *
+ * add() runs word-at-a-time: the 32-bit halves of 8-byte native-order
+ * loads are accumulated branch-free into a 64-bit sum (which cannot
+ * wrap inside any realistic span), then folded to 16 bits and
+ * byte-swapped back into the big-endian word domain (one's-complement
+ * addition commutes with byte swapping, RFC 1071 §2B). Odd offsets and
+ * lengths are handled by byte-parity state, so split streams checksum
+ * identically to one contiguous pass. ChecksumBytewise is the obvious
+ * byte-pair reference implementation, kept for property tests to pin
+ * the fast path against.
  */
 
 #pragma once
@@ -15,7 +25,7 @@
 namespace qpip::inet {
 
 /**
- * Incremental one's-complement checksum accumulator.
+ * Incremental one's-complement checksum accumulator (word-at-a-time).
  */
 class ChecksumAccumulator
 {
@@ -35,6 +45,31 @@ class ChecksumAccumulator
     }
 
     /** Final checksum value (one's complement of the folded sum). */
+    std::uint16_t finish() const;
+
+  private:
+    std::uint64_t sum_ = 0;
+    bool odd_ = false;
+};
+
+/**
+ * Reference byte-at-a-time accumulator with the same stream semantics
+ * as ChecksumAccumulator. Used by tests to cross-check the word-wise
+ * fast path; not for datapath use.
+ */
+class ChecksumBytewise
+{
+  public:
+    void add(std::span<const std::uint8_t> data);
+    void addU16(std::uint16_t v) { sum_ += v; }
+
+    void
+    addU32(std::uint32_t v)
+    {
+        addU16(static_cast<std::uint16_t>(v >> 16));
+        addU16(static_cast<std::uint16_t>(v));
+    }
+
     std::uint16_t finish() const;
 
   private:

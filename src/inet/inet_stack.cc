@@ -4,6 +4,7 @@
 #include "inet/ipv6.hh"
 #include "inet/tcp_header.hh"
 #include "inet/udp.hh"
+#include "net/packet.hh"
 #include "sim/logging.hh"
 
 namespace qpip::inet {
@@ -93,6 +94,9 @@ InetStack::ipOutput(IpDatagram &&dgram)
         env_.chargeFragmentsTx(frames.size() - 1);
     env_.chargeMediaSend();
     env_.wireTx(std::move(frames), v6, *route);
+    // The datagram's payload has been copied into the wire frames;
+    // retire its storage so the next segment reuses the capacity.
+    net::recycleBuffer(std::move(dgram.payload));
     return IpSendResult::Ok;
 }
 
@@ -119,7 +123,7 @@ InetStack::wireInput(net::NetProto proto,
     env_.chargeIpParsed(frame.frag.has_value());
 
     reass_.expire(env_.now());
-    auto dgram = reass_.offer(frame, env_.now());
+    auto dgram = reass_.offer(std::move(frame), env_.now());
     if (dgram)
         ipInput(std::move(*dgram));
     // else: fragment held for reassembly
@@ -139,6 +143,9 @@ InetStack::ipInput(IpDatagram dgram)
         badFrames.inc();
         break;
     }
+    // Upper layers consume the payload synchronously (spans are
+    // copied before returning); retire the storage for reuse.
+    net::recycleBuffer(std::move(dgram.payload));
 }
 
 void

@@ -1,8 +1,10 @@
 #include "inet/ip_frag.hh"
 
 #include <algorithm>
+#include <utility>
 
 #include "inet/ipv4.hh"
+#include "net/packet.hh"
 #include "sim/logging.hh"
 
 namespace qpip::inet {
@@ -68,7 +70,7 @@ fragmentIpv4(const IpDatagram &dgram, std::uint32_t link_mtu,
 }
 
 std::optional<IpDatagram>
-IpReassembler::offer(const IpFrame &pkt, sim::Tick now)
+IpReassembler::offer(IpFrame pkt, sim::Tick now)
 {
     if (!pkt.frag) {
         IpDatagram d;
@@ -76,7 +78,7 @@ IpReassembler::offer(const IpFrame &pkt, sim::Tick now)
         d.dst = pkt.dst;
         d.proto = pkt.proto;
         d.hopLimit = pkt.hopLimit;
-        d.payload = pkt.payload;
+        d.payload = std::move(pkt.payload);
         return d;
     }
 
@@ -88,12 +90,12 @@ IpReassembler::offer(const IpFrame &pkt, sim::Tick now)
         p.proto = pkt.proto;
         p.hopLimit = pkt.hopLimit;
     }
+    const auto sliceLen = static_cast<std::uint32_t>(pkt.payload.size());
     // Duplicate fragments simply overwrite.
-    p.slices[pkt.frag->offsetBytes] = pkt.payload;
+    p.slices[pkt.frag->offsetBytes] = std::move(pkt.payload);
     if (!pkt.frag->moreFragments) {
         p.sawLast = true;
-        p.totalLen = pkt.frag->offsetBytes +
-                     static_cast<std::uint32_t>(pkt.payload.size());
+        p.totalLen = pkt.frag->offsetBytes + sliceLen;
     }
     return tryComplete(key, p);
 }
@@ -118,9 +120,12 @@ IpReassembler::tryComplete(const Key &key, Partial &p)
     d.dst = key.dst;
     d.proto = p.proto;
     d.hopLimit = p.hopLimit;
+    d.payload = net::acquireBuffer();
     d.payload.reserve(p.totalLen);
-    for (const auto &[off, bytes] : p.slices)
+    for (auto &[off, bytes] : p.slices) {
         d.payload.insert(d.payload.end(), bytes.begin(), bytes.end());
+        net::recycleBuffer(std::move(bytes));
+    }
     pending_.erase(key);
     reassembled.inc();
     return d;

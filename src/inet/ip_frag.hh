@@ -55,11 +55,12 @@ class IpReassembler
     {}
 
     /**
-     * Offer one parsed frame.
+     * Offer one parsed frame. Taken by value so the hot unfragmented
+     * path can move the payload through instead of copying it.
      * @return a complete datagram if @p pkt finished one, else
      *         std::nullopt. Unfragmented packets complete immediately.
      */
-    std::optional<IpDatagram> offer(const IpFrame &pkt, sim::Tick now);
+    std::optional<IpDatagram> offer(IpFrame pkt, sim::Tick now);
 
     /** Drop partial datagrams older than the timeout. */
     void expire(sim::Tick now);

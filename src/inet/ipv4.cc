@@ -1,6 +1,7 @@
 #include "inet/ipv4.hh"
 
 #include "inet/checksum.hh"
+#include "net/packet.hh"
 #include "net/serialize.hh"
 #include "sim/logging.hh"
 
@@ -19,7 +20,7 @@ writeIpv4(const IpDatagram &dgram, std::uint16_t ident,
     if (dgram.src.isV6() || dgram.dst.isV6())
         sim::panic("serializeIpv4 with IPv6 addresses");
 
-    std::vector<std::uint8_t> out;
+    std::vector<std::uint8_t> out = net::acquireBuffer();
     out.reserve(ipv4HeaderBytes + body.size());
     net::ByteWriter w(out);
     w.u8(0x45); // version 4, IHL 5
@@ -102,6 +103,7 @@ parseIpv4(std::span<const std::uint8_t> wire, IpFrame &out)
     }
     auto body = wire.subspan(ipv4HeaderBytes,
                              total_len - ipv4HeaderBytes);
+    out.payload = net::acquireBuffer();
     out.payload.assign(body.begin(), body.end());
     return true;
 }

@@ -1,5 +1,6 @@
 #include "inet/ipv6.hh"
 
+#include "net/packet.hh"
 #include "net/serialize.hh"
 #include "sim/logging.hh"
 
@@ -26,7 +27,7 @@ serializeIpv6(const IpDatagram &dgram)
 {
     if (!dgram.src.isV6() || !dgram.dst.isV6())
         sim::panic("serializeIpv6 with IPv4 addresses");
-    std::vector<std::uint8_t> out;
+    std::vector<std::uint8_t> out = net::acquireBuffer();
     out.reserve(ipv6HeaderBytes + dgram.payload.size());
     net::ByteWriter w(out);
     writeFixedHeader(w, dgram, static_cast<std::uint8_t>(dgram.proto),
@@ -46,7 +47,7 @@ serializeIpv6Fragment(const IpDatagram &dgram, std::uint32_t ident,
         sim::panic("fragment offset %u not a multiple of 8",
                    offset_bytes);
 
-    std::vector<std::uint8_t> out;
+    std::vector<std::uint8_t> out = net::acquireBuffer();
     out.reserve(ipv6HeaderBytes + ipv6FragHeaderBytes + slice.size());
     net::ByteWriter w(out);
     writeFixedHeader(
@@ -103,6 +104,7 @@ parseIpv6(std::span<const std::uint8_t> wire, Ipv6Packet &out)
     }
     out.proto = static_cast<IpProto>(next_header);
     auto body = wire.subspan(body_off, body_len);
+    out.payload = net::acquireBuffer();
     out.payload.assign(body.begin(), body.end());
     return true;
 }

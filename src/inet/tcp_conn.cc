@@ -410,15 +410,15 @@ TcpConnection::trySendStream()
                 break;
         }
 
-        std::vector<std::uint8_t> payload(len);
-        sndBuf_.copyOut(inflight, len, payload.data());
+        segScratch_.resize(len);
+        sndBuf_.copyOut(inflight, len, segScratch_.data());
 
         OutSpec spec;
         spec.seq = sndNxt_;
         spec.flags = tcpflags::ack;
         if (len == avail)
             spec.flags |= tcpflags::psh;
-        spec.payload = payload;
+        spec.payload = segScratch_;
         sndNxt_ += static_cast<std::uint32_t>(len);
         if (seqGt(sndNxt_, sndMaxSeen_))
             sndMaxSeen_ = sndNxt_;
@@ -877,12 +877,12 @@ TcpConnection::retransmitOldest()
         if (inflight > 0 && !sndBuf_.empty()) {
             const std::size_t len = std::min<std::size_t>(
                 {effMss(), sndBuf_.size(), inflight});
-            std::vector<std::uint8_t> payload(len);
-            sndBuf_.copyOut(0, len, payload.data());
+            segScratch_.resize(len);
+            sndBuf_.copyOut(0, len, segScratch_.data());
             OutSpec spec;
             spec.seq = sndUna_;
             spec.flags = tcpflags::ack;
-            spec.payload = payload;
+            spec.payload = segScratch_;
             spec.retransmit = true;
             emitSegment(spec);
             return;

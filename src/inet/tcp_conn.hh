@@ -417,6 +417,12 @@ class TcpConnection
 
     // Stream-mode buffers. sndBuf_ head corresponds to sndUna_.
     ByteFifo sndBuf_;
+    /**
+     * Reused per-segment copy-out target: emitSegment() consumes the
+     * payload span synchronously, so one scratch buffer per
+     * connection avoids a zero-initialized allocation per segment.
+     */
+    std::vector<std::uint8_t> segScratch_;
     TcpReassembly reass_;
     std::uint64_t rcvOffset_ = 0; ///< logical stream offset of rcvNxt_
 

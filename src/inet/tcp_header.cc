@@ -2,6 +2,7 @@
 
 #include "inet/checksum.hh"
 #include "inet/udp.hh" // addPseudoHeader
+#include "net/packet.hh"
 #include "net/serialize.hh"
 
 namespace qpip::inet {
@@ -41,7 +42,7 @@ serializeTcp(const InetAddr &src, const InetAddr &dst,
              const TcpHeader &hdr, std::span<const std::uint8_t> payload)
 {
     const std::size_t hdr_len = hdr.headerBytes();
-    std::vector<std::uint8_t> out;
+    std::vector<std::uint8_t> out = net::acquireBuffer();
     out.reserve(hdr_len + payload.size());
     net::ByteWriter w(out);
     w.u16(hdr.srcPort);

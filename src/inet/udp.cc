@@ -1,6 +1,7 @@
 #include "inet/udp.hh"
 
 #include "inet/checksum.hh"
+#include "net/packet.hh"
 #include "net/serialize.hh"
 
 namespace qpip::inet {
@@ -29,7 +30,7 @@ serializeUdp(const InetAddr &src, const InetAddr &dst,
 {
     const auto len =
         static_cast<std::uint16_t>(udpHeaderBytes + payload.size());
-    std::vector<std::uint8_t> out;
+    std::vector<std::uint8_t> out = net::acquireBuffer();
     out.reserve(len);
     net::ByteWriter w(out);
     w.u16(src_port);

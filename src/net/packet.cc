@@ -3,22 +3,132 @@
 namespace qpip::net {
 
 namespace {
+
 std::uint64_t gNextPacketId = 1;
+
+/**
+ * Process-wide recycling pools. The simulation is single-threaded and
+ * event order is deterministic, so release order — and therefore the
+ * LIFO freelist order — replays identically. Pooled storage is
+ * behaviorally invisible: every acquired packet is field-reset and
+ * every acquired buffer is cleared; only capacity (never contents or
+ * ids) survives recycling.
+ */
+struct Pools
+{
+    std::vector<Packet *> packets;
+    std::vector<std::vector<std::uint8_t>> buffers;
+    PoolStats stats;
+
+    ~Pools()
+    {
+        for (Packet *p : packets)
+            delete p;
+    }
+};
+
+Pools &
+pools()
+{
+    static Pools p;
+    return p;
+}
+
+/** Cap retained buffers so a burst doesn't pin memory forever. */
+constexpr std::size_t maxPooledBuffers = 4096;
+
 } // namespace
+
+namespace detail {
+
+void
+releasePacket(Packet *pkt)
+{
+    auto &p = pools();
+    // Retire the payload storage into the buffer pool so the next
+    // serialization pass reuses its capacity.
+    recycleBuffer(std::move(pkt->data));
+    pkt->data.clear();
+    p.packets.push_back(pkt);
+    p.stats.packetFreelistDepth = p.packets.size();
+}
+
+} // namespace detail
+
+std::vector<std::uint8_t>
+acquireBuffer()
+{
+    auto &p = pools();
+    ++p.stats.buffersAcquired;
+    if (!p.buffers.empty()) {
+        std::vector<std::uint8_t> buf = std::move(p.buffers.back());
+        p.buffers.pop_back();
+        p.stats.bufferFreelistDepth = p.buffers.size();
+        ++p.stats.buffersRecycled;
+        buf.clear();
+        return buf;
+    }
+    return {};
+}
+
+void
+recycleBuffer(std::vector<std::uint8_t> &&buf)
+{
+    auto &p = pools();
+    if (buf.capacity() == 0 || p.buffers.size() >= maxPooledBuffers)
+        return; // nothing worth keeping
+    buf.clear();
+    p.buffers.push_back(std::move(buf));
+    p.stats.bufferFreelistDepth = p.buffers.size();
+}
+
+PoolStats
+poolStats()
+{
+    auto &p = pools();
+    PoolStats s = p.stats;
+    s.packetFreelistDepth = p.packets.size();
+    s.bufferFreelistDepth = p.buffers.size();
+    return s;
+}
 
 PacketPtr
 makePacket()
 {
-    auto pkt = std::make_shared<Packet>();
+    auto &p = pools();
+    ++p.stats.packetsAcquired;
+    Packet *pkt;
+    if (!p.packets.empty()) {
+        pkt = p.packets.back();
+        p.packets.pop_back();
+        ++p.stats.packetsRecycled;
+        // Field-reset so a recycled packet is indistinguishable from a
+        // fresh one (data keeps capacity only; releasePacket cleared it).
+        pkt->src = invalidNode;
+        pkt->dst = invalidNode;
+        pkt->proto = NetProto::Raw;
+        pkt->linkOverheadBytes = 0;
+        pkt->injectedAt = 0;
+        // data stays empty: senders either move a pooled frame buffer
+        // in (wireTx) or acquireBuffer() themselves (clonePacket).
+    } else {
+        pkt = new Packet();
+    }
     pkt->id = gNextPacketId++;
-    return pkt;
+    return PacketPtr(pkt);
 }
 
 PacketPtr
 clonePacket(const Packet &pkt)
 {
-    auto copy = std::make_shared<Packet>(pkt);
-    copy->id = gNextPacketId++;
+    PacketPtr copy = makePacket();
+    copy->src = pkt.src;
+    copy->dst = pkt.dst;
+    copy->proto = pkt.proto;
+    copy->linkOverheadBytes = pkt.linkOverheadBytes;
+    copy->injectedAt = pkt.injectedAt;
+    copy->data = acquireBuffer();
+    copy->data.assign(pkt.data.begin(), pkt.data.end());
     return copy;
 }
 

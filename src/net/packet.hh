@@ -10,13 +10,24 @@
  * account for the header's size in wireBytes(). This preserves all
  * timing (serialization occupies the link for header + payload bytes)
  * while keeping fabric addressing orthogonal to the protocol code.
+ *
+ * Hot-path design: packets and their payload storage are recycled
+ * through process-wide pools (PacketPool / payload BufferPool) instead
+ * of being heap-allocated per hop. PacketPtr is an intrusive
+ * refcounted pointer — the count lives in the Packet — so copying one
+ * into an event closure costs an increment, not a shared_ptr control
+ * block. Recycling is deterministic: the freelists are LIFO in
+ * release order, release order is fixed by the (deterministic) event
+ * order, and every acquired object is field-reset, so a replayed run
+ * sees bit-identical packet contents and ids. Only malloc traffic —
+ * never simulated behavior — depends on the pool.
  */
 
 #pragma once
 
 #include <cstdint>
-#include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "sim/types.hh"
@@ -63,11 +74,119 @@ struct Packet
     }
 
     std::span<const std::uint8_t> bytes() const { return data; }
+
+  private:
+    friend class PacketPtr;
+    friend class PacketPool;
+    /** Intrusive reference count (single-threaded simulation). */
+    std::uint32_t refs_ = 0;
 };
 
-using PacketPtr = std::shared_ptr<Packet>;
+namespace detail {
+/** Return a fully-dereferenced packet to the pool. */
+void releasePacket(Packet *pkt);
+} // namespace detail
 
-/** Allocate a packet with a fresh trace id. */
+/**
+ * Intrusive refcounted handle to a pooled Packet. API-compatible with
+ * the shared_ptr it replaces for the operations the datapath uses
+ * (copy, move, ->, *, bool). When the last handle drops, the packet
+ * returns to the PacketPool and its payload storage to the
+ * BufferPool.
+ */
+class PacketPtr
+{
+  public:
+    PacketPtr() = default;
+
+    /** Adopt @p pkt (pool-internal; use makePacket()). */
+    explicit PacketPtr(Packet *pkt) : pkt_(pkt)
+    {
+        if (pkt_ != nullptr)
+            ++pkt_->refs_;
+    }
+
+    PacketPtr(const PacketPtr &o) : pkt_(o.pkt_)
+    {
+        if (pkt_ != nullptr)
+            ++pkt_->refs_;
+    }
+
+    PacketPtr(PacketPtr &&o) noexcept
+        : pkt_(std::exchange(o.pkt_, nullptr))
+    {}
+
+    PacketPtr &
+    operator=(const PacketPtr &o)
+    {
+        PacketPtr tmp(o);
+        std::swap(pkt_, tmp.pkt_);
+        return *this;
+    }
+
+    PacketPtr &
+    operator=(PacketPtr &&o) noexcept
+    {
+        PacketPtr tmp(std::move(o));
+        std::swap(pkt_, tmp.pkt_);
+        return *this;
+    }
+
+    ~PacketPtr()
+    {
+        if (pkt_ != nullptr && --pkt_->refs_ == 0)
+            detail::releasePacket(pkt_);
+    }
+
+    void
+    reset()
+    {
+        PacketPtr tmp;
+        std::swap(pkt_, tmp.pkt_);
+    }
+
+    Packet *operator->() const { return pkt_; }
+    Packet &operator*() const { return *pkt_; }
+    Packet *get() const { return pkt_; }
+    explicit operator bool() const { return pkt_ != nullptr; }
+
+    friend bool
+    operator==(const PacketPtr &a, const PacketPtr &b)
+    {
+        return a.pkt_ == b.pkt_;
+    }
+
+  private:
+    Packet *pkt_ = nullptr;
+};
+
+/**
+ * Acquire a payload-sized byte buffer from the process-wide buffer
+ * pool. The returned vector is empty but keeps whatever capacity it
+ * retired with, so steady-state serialization re-uses wire-frame
+ * storage instead of growing fresh vectors. Deterministic: LIFO in
+ * release order.
+ */
+std::vector<std::uint8_t> acquireBuffer();
+
+/** Return a buffer's storage to the pool (it is cleared, not freed). */
+void recycleBuffer(std::vector<std::uint8_t> &&buf);
+
+/** Pool occupancy counters, for tests and diagnostics. */
+struct PoolStats
+{
+    std::uint64_t packetsAcquired = 0;
+    std::uint64_t packetsRecycled = 0; ///< served from the freelist
+    std::uint64_t buffersAcquired = 0;
+    std::uint64_t buffersRecycled = 0; ///< served from the freelist
+    std::size_t packetFreelistDepth = 0;
+    std::size_t bufferFreelistDepth = 0;
+};
+
+/** Snapshot of the process-wide pools. */
+PoolStats poolStats();
+
+/** Allocate a packet with a fresh trace id (pooled). */
 PacketPtr makePacket();
 
 /** Deep-copy a packet (fresh id) — used by duplication fault injection. */

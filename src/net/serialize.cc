@@ -3,98 +3,6 @@
 namespace qpip::net {
 
 void
-ByteWriter::u16(std::uint16_t v)
-{
-    out_.push_back(static_cast<std::uint8_t>(v >> 8));
-    out_.push_back(static_cast<std::uint8_t>(v));
-}
-
-void
-ByteWriter::u32(std::uint32_t v)
-{
-    out_.push_back(static_cast<std::uint8_t>(v >> 24));
-    out_.push_back(static_cast<std::uint8_t>(v >> 16));
-    out_.push_back(static_cast<std::uint8_t>(v >> 8));
-    out_.push_back(static_cast<std::uint8_t>(v));
-}
-
-void
-ByteWriter::u64(std::uint64_t v)
-{
-    u32(static_cast<std::uint32_t>(v >> 32));
-    u32(static_cast<std::uint32_t>(v));
-}
-
-void
-ByteWriter::bytes(std::span<const std::uint8_t> data)
-{
-    out_.insert(out_.end(), data.begin(), data.end());
-}
-
-void
-ByteWriter::zeros(std::size_t n)
-{
-    out_.insert(out_.end(), n, 0);
-}
-
-void
-ByteWriter::patchU16(std::size_t offset, std::uint16_t v)
-{
-    out_.at(offset) = static_cast<std::uint8_t>(v >> 8);
-    out_.at(offset + 1) = static_cast<std::uint8_t>(v);
-}
-
-bool
-ByteReader::ensure(std::size_t n)
-{
-    if (!ok_ || data_.size() - pos_ < n) {
-        ok_ = false;
-        return false;
-    }
-    return true;
-}
-
-std::uint8_t
-ByteReader::u8()
-{
-    if (!ensure(1))
-        return 0;
-    return data_[pos_++];
-}
-
-std::uint16_t
-ByteReader::u16()
-{
-    if (!ensure(2))
-        return 0;
-    std::uint16_t v = static_cast<std::uint16_t>(data_[pos_] << 8) |
-                      data_[pos_ + 1];
-    pos_ += 2;
-    return v;
-}
-
-std::uint32_t
-ByteReader::u32()
-{
-    if (!ensure(4))
-        return 0;
-    std::uint32_t v = (static_cast<std::uint32_t>(data_[pos_]) << 24) |
-                      (static_cast<std::uint32_t>(data_[pos_ + 1]) << 16) |
-                      (static_cast<std::uint32_t>(data_[pos_ + 2]) << 8) |
-                      static_cast<std::uint32_t>(data_[pos_ + 3]);
-    pos_ += 4;
-    return v;
-}
-
-std::uint64_t
-ByteReader::u64()
-{
-    std::uint64_t hi = u32();
-    std::uint64_t lo = u32();
-    return (hi << 32) | lo;
-}
-
-void
 ByteReader::bytes(std::uint8_t *dst, std::size_t n)
 {
     if (!ensure(n)) {
@@ -103,21 +11,6 @@ ByteReader::bytes(std::uint8_t *dst, std::size_t n)
     }
     std::memcpy(dst, data_.data() + pos_, n);
     pos_ += n;
-}
-
-void
-ByteReader::skip(std::size_t n)
-{
-    if (ensure(n))
-        pos_ += n;
-}
-
-std::span<const std::uint8_t>
-ByteReader::rest() const
-{
-    if (!ok_)
-        return {};
-    return data_.subspan(pos_);
 }
 
 } // namespace qpip::net

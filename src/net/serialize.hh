@@ -24,14 +24,45 @@ class ByteWriter
     explicit ByteWriter(std::vector<std::uint8_t> &out) : out_(out) {}
 
     void u8(std::uint8_t v) { out_.push_back(v); }
-    void u16(std::uint16_t v);
-    void u32(std::uint32_t v);
-    void u64(std::uint64_t v);
-    void bytes(std::span<const std::uint8_t> data);
-    void zeros(std::size_t n);
+
+    void
+    u16(std::uint16_t v)
+    {
+        out_.push_back(static_cast<std::uint8_t>(v >> 8));
+        out_.push_back(static_cast<std::uint8_t>(v));
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        out_.push_back(static_cast<std::uint8_t>(v >> 24));
+        out_.push_back(static_cast<std::uint8_t>(v >> 16));
+        out_.push_back(static_cast<std::uint8_t>(v >> 8));
+        out_.push_back(static_cast<std::uint8_t>(v));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        u32(static_cast<std::uint32_t>(v >> 32));
+        u32(static_cast<std::uint32_t>(v));
+    }
+
+    void
+    bytes(std::span<const std::uint8_t> data)
+    {
+        out_.insert(out_.end(), data.begin(), data.end());
+    }
+
+    void zeros(std::size_t n) { out_.insert(out_.end(), n, 0); }
 
     /** Overwrite a previously written 16-bit field at @p offset. */
-    void patchU16(std::size_t offset, std::uint16_t v);
+    void
+    patchU16(std::size_t offset, std::uint16_t v)
+    {
+        out_.at(offset) = static_cast<std::uint8_t>(v >> 8);
+        out_.at(offset + 1) = static_cast<std::uint8_t>(v);
+    }
 
     std::size_t size() const { return out_.size(); }
 
@@ -49,16 +80,57 @@ class ByteReader
         : data_(data)
     {}
 
-    std::uint8_t u8();
-    std::uint16_t u16();
-    std::uint32_t u32();
-    std::uint64_t u64();
+    std::uint8_t
+    u8()
+    {
+        if (!ensure(1))
+            return 0;
+        return data_[pos_++];
+    }
+
+    std::uint16_t
+    u16()
+    {
+        if (!ensure(2))
+            return 0;
+        const auto v = static_cast<std::uint16_t>(
+            (data_[pos_] << 8) | data_[pos_ + 1]);
+        pos_ += 2;
+        return v;
+    }
+
+    std::uint32_t
+    u32()
+    {
+        if (!ensure(4))
+            return 0;
+        const std::uint32_t v =
+            (static_cast<std::uint32_t>(data_[pos_]) << 24) |
+            (static_cast<std::uint32_t>(data_[pos_ + 1]) << 16) |
+            (static_cast<std::uint32_t>(data_[pos_ + 2]) << 8) |
+            static_cast<std::uint32_t>(data_[pos_ + 3]);
+        pos_ += 4;
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        const std::uint64_t hi = u32();
+        const std::uint64_t lo = u32();
+        return (hi << 32) | lo;
+    }
 
     /** Copy @p n bytes out; zero-fills on under-run. */
     void bytes(std::uint8_t *dst, std::size_t n);
 
     /** Skip @p n bytes. */
-    void skip(std::size_t n);
+    void
+    skip(std::size_t n)
+    {
+        if (ensure(n))
+            pos_ += n;
+    }
 
     /** Remaining unread bytes. */
     std::size_t remaining() const
@@ -67,13 +139,27 @@ class ByteReader
     }
 
     /** View of the remaining bytes (empty if failed). */
-    std::span<const std::uint8_t> rest() const;
+    std::span<const std::uint8_t>
+    rest() const
+    {
+        if (!ok_)
+            return {};
+        return data_.subspan(pos_);
+    }
 
     std::size_t position() const { return pos_; }
     bool ok() const { return ok_; }
 
   private:
-    bool ensure(std::size_t n);
+    bool
+    ensure(std::size_t n)
+    {
+        if (!ok_ || data_.size() - pos_ < n) {
+            ok_ = false;
+            return false;
+        }
+        return true;
+    }
 
     std::span<const std::uint8_t> data_;
     std::size_t pos_ = 0;

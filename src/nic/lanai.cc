@@ -94,14 +94,6 @@ LanaiProcessor::charge(FwStage stage, sim::Cycles cycles)
 }
 
 void
-LanaiProcessor::exec(FwStage stage, sim::Cycles cycles,
-                     std::function<void()> then)
-{
-    charge(stage, cycles);
-    schedule(busyUntil_, std::move(then));
-}
-
-void
 LanaiProcessor::resetStats()
 {
     for (auto &s : stats_)

@@ -9,8 +9,8 @@
 #pragma once
 
 #include <array>
-#include <functional>
 #include <string>
+#include <utility>
 
 #include "sim/clock.hh"
 #include "sim/sim_object.hh"
@@ -64,10 +64,17 @@ class LanaiProcessor : public sim::SimObject
 
     /**
      * Occupy the processor for @p cycles attributed to @p stage, then
-     * run @p then (which may itself exec further stages).
+     * run @p then (which may itself exec further stages). The
+     * continuation goes straight into the event queue's pooled record
+     * storage — no std::function wrapping.
      */
-    void exec(FwStage stage, sim::Cycles cycles,
-              std::function<void()> then);
+    template <typename F>
+    void
+    exec(FwStage stage, sim::Cycles cycles, F &&then)
+    {
+        charge(stage, cycles);
+        schedule(busyUntil_, std::forward<F>(then));
+    }
 
     /** Occupy without a continuation. */
     void charge(FwStage stage, sim::Cycles cycles);

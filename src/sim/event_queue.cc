@@ -4,35 +4,49 @@
 
 namespace qpip::sim {
 
-EventHandle
-EventQueue::schedule(Tick when, std::function<void()> fn, int priority)
+using detail::EventRecord;
+using detail::EventState;
+
+void
+EventQueue::panicPast(Tick when) const
 {
-    if (clearing_)
-        return EventHandle{}; // teardown in progress: drop silently
-    if (when < now_)
-        panic("event scheduled in the past (when=%llu now=%llu)",
-              static_cast<unsigned long long>(when),
-              static_cast<unsigned long long>(now_));
-    auto rec = std::make_shared<detail::EventRecord>();
-    rec->when = when;
-    rec->priority = priority;
-    rec->seq = nextSeq_++;
-    rec->fn = std::move(fn);
-    heap_.push(rec);
-    return EventHandle(rec);
+    panic("event scheduled in the past (when=%llu now=%llu)",
+          static_cast<unsigned long long>(when),
+          static_cast<unsigned long long>(now_));
+}
+
+bool
+EventQueue::handlePending(std::uint32_t slot, std::uint32_t gen) const
+{
+    const EventRecord &rec = slab_[slot];
+    return rec.gen == gen && rec.state == EventState::Pending;
 }
 
 void
-EventQueue::skipCancelled()
+EventQueue::handleCancel(std::uint32_t slot, std::uint32_t gen)
 {
-    while (!heap_.empty() && heap_.top()->cancelled)
-        heap_.pop();
+    EventRecord &rec = slab_[slot];
+    if (rec.gen == gen && rec.state == EventState::Pending) {
+        // The slot stays out of the freelist until its heap entry is
+        // popped (lazily, by skipCancelled/step) so a heap entry can
+        // never refer to a recycled slot.
+        rec.state = EventState::Cancelled;
+    }
+}
+
+Tick
+EventQueue::handleWhen(std::uint32_t slot, std::uint32_t gen) const
+{
+    const EventRecord &rec = slab_[slot];
+    if (rec.gen != gen || rec.state != EventState::Pending)
+        return maxTick;
+    return rec.when;
 }
 
 bool
 EventQueue::empty() const
 {
-    // Cancelled events may linger in the heap; scan a copy of the top.
+    // Cancelled events may linger in the heap; sweep them first.
     auto *self = const_cast<EventQueue *>(this);
     self->skipCancelled();
     return heap_.empty();
@@ -43,22 +57,7 @@ EventQueue::nextEventTick() const
 {
     auto *self = const_cast<EventQueue *>(this);
     self->skipCancelled();
-    return heap_.empty() ? maxTick : heap_.top()->when;
-}
-
-bool
-EventQueue::step(Tick until)
-{
-    skipCancelled();
-    if (heap_.empty() || heap_.top()->when >= until)
-        return false;
-    RecPtr rec = heap_.top();
-    heap_.pop();
-    now_ = rec->when;
-    rec->done = true;
-    ++executed_;
-    rec->fn();
-    return true;
+    return heap_.empty() ? maxTick : heap_.front().when;
 }
 
 void
@@ -66,10 +65,11 @@ EventQueue::clear()
 {
     clearing_ = true;
     while (!heap_.empty()) {
-        RecPtr rec = heap_.top();
-        heap_.pop();
-        rec->cancelled = true;
-        rec->fn = nullptr; // destroy the closure (may re-enter)
+        const std::uint32_t slot = heap_.front().slot;
+        heapPop();
+        // Destroying the closure may re-enter schedule() (dropped via
+        // clearing_) or cancel() other events (handled lazily above).
+        releaseSlot(slot);
     }
     clearing_ = false;
 }

@@ -12,40 +12,4 @@ SimObject::SimObject(Simulation &sim, std::string name)
 
 SimObject::~SimObject() = default;
 
-Tick
-SimObject::curTick() const
-{
-    return sim_.now();
-}
-
-EventHandle
-SimObject::schedule(Tick when, std::function<void()> fn, int priority)
-{
-    return sim_.eventQueue().schedule(when, std::move(fn), priority);
-}
-
-EventHandle
-SimObject::scheduleIn(Tick delay, std::function<void()> fn, int priority)
-{
-    return sim_.eventQueue().scheduleIn(delay, std::move(fn), priority);
-}
-
-Random &
-SimObject::rng()
-{
-    return sim_.rng();
-}
-
-StatRegistry &
-SimObject::statRegistry()
-{
-    return sim_.stats();
-}
-
-Tracer &
-SimObject::tracer()
-{
-    return sim_.tracer();
-}
-
 } // namespace qpip::sim

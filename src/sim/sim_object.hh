@@ -7,18 +7,15 @@
 
 #pragma once
 
-#include <functional>
 #include <string>
+#include <utility>
 
 #include "sim/event_queue.hh"
+#include "sim/simulation.hh"
 #include "sim/stat_registry.hh"
 #include "sim/types.hh"
 
 namespace qpip::sim {
-
-class Simulation;
-class Random;
-class Tracer;
 
 /**
  * Base class for simulated components.
@@ -40,24 +37,41 @@ class SimObject
     Simulation &simulation() { return sim_; }
 
     /** Current simulated time. */
-    Tick curTick() const;
+    Tick curTick() const { return sim_.now(); }
 
-    /** Schedule a closure at an absolute tick. */
-    EventHandle schedule(Tick when, std::function<void()> fn,
-                         int priority = defaultPriority);
+    /** The owning simulation's event queue. */
+    EventQueue &eventQueue() { return sim_.eventQueue(); }
+
+    /**
+     * Schedule a closure at an absolute tick. The callable goes
+     * straight into the event queue's pooled record storage — no
+     * std::function wrapping on the way.
+     */
+    template <typename F>
+    EventHandle
+    schedule(Tick when, F &&fn, int priority = defaultPriority)
+    {
+        return eventQueue().schedule(when, std::forward<F>(fn),
+                                     priority);
+    }
 
     /** Schedule a closure @p delay ticks from now. */
-    EventHandle scheduleIn(Tick delay, std::function<void()> fn,
-                           int priority = defaultPriority);
+    template <typename F>
+    EventHandle
+    scheduleIn(Tick delay, F &&fn, int priority = defaultPriority)
+    {
+        return eventQueue().scheduleIn(delay, std::forward<F>(fn),
+                                       priority);
+    }
 
     /** Simulation-wide deterministic RNG. */
-    Random &rng();
+    Random &rng() { return sim_.rng(); }
 
     /** Simulation-wide stats registry. */
-    StatRegistry &statRegistry();
+    StatRegistry &statRegistry() { return sim_.stats(); }
 
     /** Simulation-wide event tracer. */
-    Tracer &tracer();
+    Tracer &tracer() { return sim_.tracer(); }
 
   protected:
     /**

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
 #include <deque>
 
@@ -56,6 +57,109 @@ TEST_P(ChecksumProperty, ComputedChecksumVerifies)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChecksumProperty,
                          ::testing::Values(1, 2, 3, 5, 8, 13));
+
+// ---------------------------------------------------------------------
+// Checksum: the word-at-a-time fast path equals the byte-wise
+// reference for every offset parity, length and add() split
+// ---------------------------------------------------------------------
+
+class ChecksumWordwiseProperty
+    : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(ChecksumWordwiseProperty, MatchesBytewiseReference)
+{
+    sim::Random rng(GetParam());
+    for (int round = 0; round < 200; ++round) {
+        const auto n =
+            static_cast<std::size_t>(rng.uniformInt(0, 4096));
+        // Random lead offset exercises unaligned loads.
+        const auto lead =
+            static_cast<std::size_t>(rng.uniformInt(0, 7));
+        std::vector<std::uint8_t> raw(lead + n);
+        // Every third round uses 0xff-heavy data: all-ones words
+        // drive the intermediate one's-complement folds right up to
+        // the 16-bit boundary, the regime where a dropped end-around
+        // carry (off-by-one in the folded sum) becomes visible.
+        const bool heavy = round % 3 == 0;
+        for (auto &b : raw)
+            b = heavy && rng.uniformInt(0, 7) != 0
+                    ? 0xff
+                    : static_cast<std::uint8_t>(rng.next());
+        const std::span<const std::uint8_t> data(raw.data() + lead, n);
+
+        inet::ChecksumAccumulator fast;
+        inet::ChecksumBytewise ref;
+
+        // Optionally mix in pseudo-header style 16/32-bit fields.
+        if (rng.uniformInt(0, 1) == 1) {
+            const auto v16 =
+                static_cast<std::uint16_t>(rng.next());
+            const auto v32 = static_cast<std::uint32_t>(rng.next());
+            fast.addU16(v16);
+            ref.addU16(v16);
+            fast.addU32(v32);
+            ref.addU32(v32);
+        }
+
+        // Split the span into random add() chunks (including empty
+        // and odd-length ones) so the odd-byte stream state is hit.
+        std::size_t pos = 0;
+        while (pos < data.size()) {
+            const auto chunk = static_cast<std::size_t>(
+                rng.uniformInt(0, data.size() - pos));
+            fast.add(data.subspan(pos, chunk));
+            ref.add(data.subspan(pos, chunk));
+            if (chunk == 0) {
+                fast.add(data.subspan(pos, 1));
+                ref.add(data.subspan(pos, 1));
+                pos += 1;
+            } else {
+                pos += chunk;
+            }
+        }
+        ASSERT_EQ(fast.finish(), ref.finish())
+            << "len=" << n << " lead=" << lead;
+
+        // One-shot form agrees too.
+        ASSERT_EQ(inet::internetChecksum(data),
+                  [&] {
+                      inet::ChecksumBytewise one;
+                      one.add(data);
+                      return one.finish();
+                  }());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChecksumWordwiseProperty,
+                         ::testing::Values(7, 21, 42, 77, 99));
+
+// Regression: a 4-byte span whose native-order accumulator is exactly
+// 0x1ffff. Folding that to 16 bits passes through 0x10000, so an
+// implementation that folds a fixed number of times and truncates
+// (instead of folding to closure) silently drops the final end-around
+// carry and reports 0x0000 instead of 0x0001 for the folded word.
+TEST(ChecksumWordwise, FoldCarryAtSixteenBitBoundary)
+{
+    const std::array<std::uint8_t, 4> raw = {0xff, 0xff, 0x01, 0x00};
+    inet::ChecksumAccumulator fast;
+    inet::ChecksumBytewise ref;
+    fast.add(raw);
+    ref.add(raw);
+    EXPECT_EQ(fast.finish(), ref.finish());
+    // Same span offset by every lead alignment, to cover the carry in
+    // the 2/4-byte tail loads as well as the 8-byte bulk loop.
+    for (std::size_t lead = 0; lead < 8; ++lead) {
+        std::vector<std::uint8_t> buf(lead, 0x00);
+        for (int rep = 0; rep < 3; ++rep)
+            buf.insert(buf.end(), raw.begin(), raw.end());
+        inet::ChecksumAccumulator f2;
+        inet::ChecksumBytewise r2;
+        f2.add({buf.data() + lead, buf.size() - lead});
+        r2.add({buf.data() + lead, buf.size() - lead});
+        EXPECT_EQ(f2.finish(), r2.finish()) << "lead=" << lead;
+    }
+}
 
 // ---------------------------------------------------------------------
 // IPv6 fragmentation: any payload reassembles through any MTU, in any
@@ -130,7 +234,7 @@ TEST_P(ByteFifoProperty, MatchesReferenceModel)
     std::deque<std::uint8_t> model;
 
     for (int op = 0; op < 2000; ++op) {
-        const auto kind = rng.uniformInt(0, 2);
+        const auto kind = rng.uniformInt(0, 3);
         if (kind == 0) { // append
             const auto n =
                 static_cast<std::size_t>(rng.uniformInt(0, 300));
@@ -146,6 +250,21 @@ TEST_P(ByteFifoProperty, MatchesReferenceModel)
             model.erase(model.begin(),
                         model.begin() +
                             static_cast<std::ptrdiff_t>(n));
+        } else if (kind == 2 && !model.empty()) {
+            // Sequential segment reads at advancing offsets: the
+            // pattern the cached seek cursor is built for.
+            const std::size_t seg = 1 +
+                static_cast<std::size_t>(rng.uniformInt(0, 63));
+            std::size_t off = 0;
+            while (off < model.size()) {
+                const std::size_t len =
+                    std::min(seg, model.size() - off);
+                std::vector<std::uint8_t> out(len);
+                fifo.copyOut(off, len, out.data());
+                for (std::size_t i = 0; i < len; ++i)
+                    ASSERT_EQ(out[i], model[off + i]);
+                off += len;
+            }
         } else if (!model.empty()) { // random copyOut
             const auto off = static_cast<std::size_t>(
                 rng.uniformInt(0, model.size() - 1));

@@ -6,6 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <functional>
+#include <vector>
+
 #include "sim/clock.hh"
 #include "sim/event_queue.hh"
 #include "sim/random.hh"
@@ -188,4 +192,103 @@ TEST(Simulation, RunForAdvancesTime)
     Simulation sim;
     sim.runFor(5 * oneUs);
     EXPECT_EQ(sim.now(), 5 * oneUs);
+}
+
+// ---------------------------------------------------------------------
+// Pooled event records: handle generations, when(), slab reuse
+// ---------------------------------------------------------------------
+
+TEST(EventQueue, WhenReportsMaxTickOnceRunOrCancelled)
+{
+    EventQueue eq;
+    EventHandle inert;
+    EXPECT_EQ(inert.when(), maxTick);
+
+    auto h = eq.schedule(10, [] {});
+    EXPECT_EQ(h.when(), 10u);
+    h.cancel();
+    EXPECT_EQ(h.when(), maxTick);
+
+    auto h2 = eq.schedule(20, [] {});
+    EXPECT_EQ(h2.when(), 20u);
+    eq.run();
+    // Regression: a handle whose event already fired must not report
+    // its old expiry tick.
+    EXPECT_EQ(h2.when(), maxTick);
+    EXPECT_FALSE(h2.pending());
+}
+
+TEST(EventQueue, StaleHandleOnRecycledSlotIsInert)
+{
+    EventQueue eq;
+    bool second = false;
+    auto h1 = eq.schedule(10, [] {});
+    eq.run();
+    // The slot is free now; the next schedule reuses it (LIFO).
+    auto h2 = eq.schedule(20, [&] { second = true; });
+    EXPECT_FALSE(h1.pending());
+    EXPECT_EQ(h1.when(), maxTick);
+    h1.cancel(); // must NOT cancel the new occupant of the slot
+    EXPECT_TRUE(h2.pending());
+    eq.run();
+    EXPECT_TRUE(second);
+}
+
+TEST(EventQueue, SteadyStateSchedulingDoesNotGrowSlab)
+{
+    EventQueue eq;
+    int count = 0;
+    std::function<void()> chain = [&] {
+        if (++count < 1000)
+            eq.scheduleIn(1, chain);
+    };
+    eq.schedule(0, chain);
+    eq.run();
+    EXPECT_EQ(count, 1000);
+    // One self-rescheduling event occupies one slot, recycled on
+    // every fire; a couple of records cover the whole run.
+    EXPECT_LE(eq.slabSize(), 2u);
+    EXPECT_EQ(eq.freeSlots(), eq.slabSize());
+}
+
+TEST(EventQueue, CancelledSlotIsNotReusedUntilHeapPopsIt)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    auto h = eq.schedule(10, [&] { order.push_back(1); });
+    h.cancel();
+    // The cancelled record's heap entry is still queued; scheduling
+    // more events must not corrupt it.
+    for (int i = 0; i < 8; ++i)
+        eq.schedule(20 + i, [&, i] { order.push_back(10 + i); });
+    eq.run();
+    EXPECT_EQ(order.size(), 8u);
+    EXPECT_EQ(order.front(), 10);
+    EXPECT_EQ(eq.freeSlots(), eq.slabSize());
+}
+
+TEST(EventQueue, ClearDropsEventsAndRecyclesSlots)
+{
+    EventQueue eq;
+    bool ran = false;
+    eq.schedule(10, [&] { ran = true; });
+    eq.schedule(20, [&] { ran = true; });
+    eq.clear();
+    EXPECT_TRUE(eq.empty());
+    eq.run();
+    EXPECT_FALSE(ran);
+    EXPECT_EQ(eq.freeSlots(), eq.slabSize());
+}
+
+TEST(EventQueue, LargeClosuresFallBackToHeapCorrectly)
+{
+    EventQueue eq;
+    // Capture well past EventFn::inlineBytes to force the heap path.
+    std::array<std::uint64_t, 64> big{};
+    big[0] = 7;
+    big[63] = 9;
+    std::uint64_t seen = 0;
+    eq.schedule(10, [big, &seen] { seen = big[0] + big[63]; });
+    eq.run();
+    EXPECT_EQ(seen, 16u);
 }
