@@ -12,6 +12,12 @@
  * can show before/after numbers instead of claiming them. Workload
  * sizes scale with QPIP_SIMSPEED_MB (default 32).
  *
+ * The dual-star scale-out workload (8 hosts, all ordered pairs) runs
+ * twice: once on the classic serial loop and once under the parallel
+ * engine with --threads=N (or QPIP_SIMSPEED_THREADS, default 1).
+ * Neither run counts toward the legacy ttcp aggregate, so the
+ * headline number stays comparable with earlier records.
+ *
  * Wall time is intentionally nondeterministic; everything *simulated*
  * here is seed-1 deterministic, so two runs differ only in the wall
  * columns. This binary lives in bench/ (not src/), outside the
@@ -19,11 +25,13 @@
  * look at std::chrono at all.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "apps/nbd.hh"
@@ -44,6 +52,8 @@ struct WorkloadResult
     std::uint64_t simBytes = 0;
     double wallSeconds = 0.0;
     bool completed = false;
+    /** Worker threads (-1: legacy serial workload, no field). */
+    int threads = -1;
 
     double eventsPerSec() const
     {
@@ -76,30 +86,55 @@ scaleMb()
     return 32;
 }
 
-/** Run @p body, filling the wall/event/tick columns around it. */
-template <typename Body>
+int
+threadKnob()
+{
+    if (const char *env = std::getenv("QPIP_SIMSPEED_THREADS")) {
+        const int n = std::atoi(env);
+        if (n > 0)
+            return n;
+    }
+    return 1;
+}
+
+/**
+ * Run @p body, filling the wall/event/tick columns around it.
+ * @p count_events reads the executed-event total for this testbed
+ * (global queue for serial runs, engine total for parallel ones).
+ */
+template <typename Body, typename Count>
 WorkloadResult
 timed(const std::string &name, bool ttcp, sim::Simulation &sim,
-      std::uint64_t sim_bytes, Body &&body)
+      std::uint64_t sim_bytes, Count &&count_events, Body &&body)
 {
     WorkloadResult r;
     r.name = name;
     r.ttcp = ttcp;
     r.simBytes = sim_bytes;
-    const std::uint64_t events0 = sim.eventQueue().executed();
+    const std::uint64_t events0 = count_events();
     const sim::Tick t0 = sim.now();
     const auto wall0 = std::chrono::steady_clock::now();
     r.completed = body();
     const auto wall1 = std::chrono::steady_clock::now();
-    r.events = sim.eventQueue().executed() - events0;
+    r.events = count_events() - events0;
     r.simTicks = sim.now() - t0;
     r.wallSeconds =
         std::chrono::duration<double>(wall1 - wall0).count();
     return r;
 }
 
+template <typename Body>
+WorkloadResult
+timed(const std::string &name, bool ttcp, sim::Simulation &sim,
+      std::uint64_t sim_bytes, Body &&body)
+{
+    return timed(name, ttcp, sim, sim_bytes,
+                 [&sim] { return sim.eventQueue().executed(); },
+                 std::forward<Body>(body));
+}
+
 std::vector<WorkloadResult>
-runAll()
+runAll(int threads)
 {
     const std::uint64_t bytes = std::uint64_t(scaleMb()) << 20;
     std::vector<WorkloadResult> out;
@@ -148,6 +183,41 @@ runAll()
                                     .completed;
                             }));
     }
+
+    // Scale-out sweep: 8 hosts on a dual-star, every ordered pair.
+    const auto pairs = allPairs(8);
+    const std::uint64_t per_pair = std::max<std::uint64_t>(
+        bytes / pairs.size(), std::uint64_t(64) << 10);
+    const std::uint64_t pair_bytes = per_pair * pairs.size();
+    {
+        SocketsTestbed bed(8, SocketsFabric::GigabitEthernet, 1,
+                           host::HostCostModel{},
+                           FabricTopology::DualStar);
+        auto r = timed("ttcp_dualstar8_serial", false, bed.sim(),
+                       pair_bytes, [&] {
+                           const auto res = runSocketsTtcpPairs(
+                               bed, pairs, per_pair);
+                           return res.completed;
+                       });
+        r.threads = 0;
+        out.push_back(r);
+    }
+    {
+        SocketsTestbed bed(8, SocketsFabric::GigabitEthernet, 1,
+                           host::HostCostModel{},
+                           FabricTopology::DualStar);
+        bed.enableParallel(threads);
+        auto r = timed(
+            "ttcp_dualstar8_parallel", false, bed.sim(), pair_bytes,
+            [&] { return bed.engine()->executed(); },
+            [&] {
+                const auto res =
+                    runSocketsTtcpPairs(bed, pairs, per_pair);
+                return res.completed;
+            });
+        r.threads = threads;
+        out.push_back(r);
+    }
     return out;
 }
 
@@ -171,14 +241,19 @@ writeJson(const std::vector<WorkloadResult> &results,
             ttcp_events += r.events;
             ttcp_wall += r.wallSeconds;
         }
+        std::string threads_field;
+        if (r.threads >= 0)
+            threads_field =
+                "\"threads\": " + std::to_string(r.threads) + ", ";
         std::fprintf(
             f,
-            "    {\"name\": \"%s\", \"completed\": %s, "
+            "    {\"name\": \"%s\", %s\"completed\": %s, "
             "\"events\": %llu, \"simTicks\": %llu, "
             "\"simBytes\": %llu, \"wallSeconds\": %.4f, "
             "\"eventsPerSec\": %.0f, \"simBytesPerWallSec\": %.0f, "
             "\"simTicksPerWallSec\": %.0f}%s\n",
-            r.name.c_str(), r.completed ? "true" : "false",
+            r.name.c_str(), threads_field.c_str(),
+            r.completed ? "true" : "false",
             static_cast<unsigned long long>(r.events),
             static_cast<unsigned long long>(r.simTicks),
             static_cast<unsigned long long>(r.simBytes), r.wallSeconds,
@@ -205,15 +280,19 @@ int
 main(int argc, char **argv)
 {
     std::string out = "BENCH_simspeed.json";
+    int threads = threadKnob();
     for (int i = 1; i < argc; ++i) {
         if (std::strncmp(argv[i], "--out=", 6) == 0)
             out = argv[i] + 6;
+        else if (std::strncmp(argv[i], "--threads=", 10) == 0)
+            threads = std::max(1, std::atoi(argv[i] + 10));
     }
 
-    auto results = runAll();
+    auto results = runAll(threads);
 
-    std::printf("\n=== simulator speed (%zu MB per workload) ===\n",
-                scaleMb());
+    std::printf("\n=== simulator speed (%zu MB per workload, "
+                "%d worker thread%s) ===\n",
+                scaleMb(), threads, threads == 1 ? "" : "s");
     std::printf("%-24s %12s %10s %14s %14s\n", "workload", "events",
                 "wall_s", "events/sec", "simMB/wall_s");
     std::uint64_t ttcp_events = 0;

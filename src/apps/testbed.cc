@@ -20,18 +20,58 @@ v6Of(std::size_t i)
     return inet::InetAddr(*a);
 }
 
+std::unique_ptr<net::Fabric>
+makeFabric(sim::Simulation &sim, net::LinkConfig link,
+           FabricTopology topology, std::size_t n_hosts)
+{
+    switch (topology) {
+      case FabricTopology::Star:
+        return std::make_unique<net::StarFabric>(sim, "fabric", link);
+      case FabricTopology::DualStar:
+        return std::make_unique<net::DualStarFabric>(sim, "fabric",
+                                                     link, n_hosts);
+      case FabricTopology::FatTree:
+        return std::make_unique<net::FatTreeFabric>(sim, "fabric",
+                                                    link, n_hosts);
+    }
+    sim::panic("makeFabric: unknown topology");
+}
+
+/**
+ * One partition per host named "host<i>" (binding the host, its OS,
+ * stack and NIC by name prefix), then hand the fabric's switches and
+ * links to partitionFabric.
+ */
+template <typename Bed>
+std::unique_ptr<sim::ParallelEngine>
+makeEngine(Bed &bed, int threads)
+{
+    auto engine =
+        std::make_unique<sim::ParallelEngine>(bed.sim(), threads);
+    std::vector<sim::Partition *> parts;
+    for (std::size_t i = 0; i < bed.numHosts(); ++i) {
+        const std::string prefix = "host" + std::to_string(i);
+        sim::Partition &p = engine->addPartition(prefix);
+        engine->assignByPrefix(prefix, p);
+        parts.push_back(&p);
+    }
+    net::partitionFabric(*engine, bed.fabric(), parts);
+    return engine;
+}
+
 } // namespace
 
 SocketsTestbed::SocketsTestbed(std::size_t n_hosts,
                                SocketsFabric fabric_kind,
                                std::uint64_t seed,
-                               host::HostCostModel costs)
+                               host::HostCostModel costs,
+                               FabricTopology topology)
     : sim_(seed)
 {
     const bool gige = fabric_kind == SocketsFabric::GigabitEthernet;
     net::LinkConfig link =
         gige ? net::gigabitEthernetLink() : net::myrinetLink(9000);
-    fabric_ = std::make_unique<net::StarFabric>(sim_, "fabric", link);
+    fabric_ = makeFabric(sim_, link, topology, n_hosts);
 
     for (std::size_t i = 0; i < n_hosts; ++i) {
         auto node = static_cast<net::NodeId>(i);
@@ -60,7 +100,18 @@ SocketsTestbed::~SocketsTestbed()
     // Pending event closures can hold the last references to sockets
     // and connections; release them while stacks and NICs still
     // exist.
-    sim_.eventQueue().clear();
+    if (engine_ != nullptr) {
+        engine_->park();
+        engine_->clearAll();
+    } else {
+        sim_.eventQueue().clear();
+    }
+}
+
+void
+SocketsTestbed::enableParallel(int threads)
+{
+    engine_ = makeEngine(*this, threads);
 }
 
 inet::SockAddr
@@ -78,14 +129,15 @@ SocketsTestbed::tcpConfig() const
 QpipTestbed::QpipTestbed(std::size_t n_hosts, std::uint32_t mtu,
                          std::uint64_t seed,
                          nic::QpipNicParams nic_params,
-                         host::HostCostModel costs, IpFamily family)
+                         host::HostCostModel costs, IpFamily family,
+                         FabricTopology topology)
     : sim_(seed), family_(family)
 {
     const auto addr_of = [family](std::size_t i) {
         return family == IpFamily::V6 ? v6Of(i) : v4Of(i);
     };
-    fabric_ = std::make_unique<net::StarFabric>(sim_, "fabric",
-                                                net::myrinetLink(mtu));
+    fabric_ = makeFabric(sim_, net::myrinetLink(mtu), topology,
+                         n_hosts);
     for (std::size_t i = 0; i < n_hosts; ++i) {
         auto node = static_cast<net::NodeId>(i);
         net::Link &spoke = fabric_->addNode(node);
@@ -113,7 +165,18 @@ QpipTestbed::~QpipTestbed()
     // Pending event closures can hold the last references to queue
     // pairs and CQs; release them while providers and NICs still
     // exist.
-    sim_.eventQueue().clear();
+    if (engine_ != nullptr) {
+        engine_->park();
+        engine_->clearAll();
+    } else {
+        sim_.eventQueue().clear();
+    }
+}
+
+void
+QpipTestbed::enableParallel(int threads)
+{
+    engine_ = makeEngine(*this, threads);
 }
 
 inet::SockAddr

@@ -23,12 +23,16 @@
 #include "nic/eth_nic.hh"
 #include "nic/qpip_nic.hh"
 #include "qpip/qpip.hh"
+#include "sim/parallel_engine.hh"
 #include "sim/simulation.hh"
 
 namespace qpip::apps {
 
 /** Which baseline fabric a sockets testbed models. */
 enum class SocketsFabric { GigabitEthernet, MyrinetIp };
+
+/** Which fabric shape wires the hosts together. */
+enum class FabricTopology { Star, DualStar, FatTree };
 
 /** Address family a testbed assigns to its nodes. */
 enum class IpFamily { V4, V6 };
@@ -48,13 +52,26 @@ class SocketsTestbed
   public:
     SocketsTestbed(std::size_t n_hosts, SocketsFabric fabric_kind,
                    std::uint64_t seed = 1,
-                   host::HostCostModel costs = host::HostCostModel{});
+                   host::HostCostModel costs = host::HostCostModel{},
+                   FabricTopology topology = FabricTopology::Star);
     ~SocketsTestbed();
 
     sim::Simulation &sim() { return sim_; }
     host::Host &host(std::size_t i) { return *hosts_.at(i); }
     nic::EthNic &nicOf(std::size_t i) { return *nics_.at(i); }
-    net::StarFabric &fabric() { return *fabric_; }
+    net::Fabric &fabric() { return *fabric_; }
+    std::size_t numHosts() const { return hosts_.size(); }
+
+    /**
+     * Shard the testbed across a parallel engine: one partition per
+     * host (host + NIC + the sending side of its spoke), one per
+     * switch, with the fabric's minimum propagation delay as the
+     * conservative lookahead. Call once, after construction and
+     * before the first run. threads=1 runs the identical partitioned
+     * schedule on one thread — the bit-identity baseline.
+     */
+    void enableParallel(int threads);
+    sim::ParallelEngine *engine() { return engine_.get(); }
 
     /** The v4 address of host @p i with @p port. */
     inet::SockAddr addr(std::size_t i, std::uint16_t port) const;
@@ -64,7 +81,14 @@ class SocketsTestbed
 
   private:
     sim::Simulation sim_;
-    std::unique_ptr<net::StarFabric> fabric_;
+    /**
+     * Declared before the model objects: the engine owns the
+     * partition event queues, which must outlive every host/NIC
+     * holding event handles into them. The destructor parks the
+     * worker pool before any model teardown begins.
+     */
+    std::unique_ptr<sim::ParallelEngine> engine_;
+    std::unique_ptr<net::Fabric> fabric_;
     std::vector<std::unique_ptr<host::Host>> hosts_;
     std::vector<std::unique_ptr<nic::EthNic>> nics_;
 };
@@ -79,7 +103,8 @@ class QpipTestbed
                 std::uint64_t seed = 1,
                 nic::QpipNicParams nic_params = nic::QpipNicParams{},
                 host::HostCostModel costs = host::HostCostModel{},
-                IpFamily family = IpFamily::V6);
+                IpFamily family = IpFamily::V6,
+                FabricTopology topology = FabricTopology::Star);
     ~QpipTestbed();
 
     sim::Simulation &sim() { return sim_; }
@@ -89,7 +114,12 @@ class QpipTestbed
     {
         return *providers_.at(i);
     }
-    net::StarFabric &fabric() { return *fabric_; }
+    net::Fabric &fabric() { return *fabric_; }
+    std::size_t numHosts() const { return hosts_.size(); }
+
+    /** See SocketsTestbed::enableParallel. */
+    void enableParallel(int threads);
+    sim::ParallelEngine *engine() { return engine_.get(); }
 
     /** The fabric address of host @p i with @p port. */
     inet::SockAddr addr(std::size_t i, std::uint16_t port) const;
@@ -97,7 +127,9 @@ class QpipTestbed
   private:
     sim::Simulation sim_;
     IpFamily family_;
-    std::unique_ptr<net::StarFabric> fabric_;
+    /** See SocketsTestbed: destroyed after the model it schedules. */
+    std::unique_ptr<sim::ParallelEngine> engine_;
+    std::unique_ptr<net::Fabric> fabric_;
     std::vector<std::unique_ptr<host::Host>> hosts_;
     std::vector<std::unique_ptr<nic::QpipNic>> nics_;
     std::vector<std::unique_ptr<verbs::Provider>> providers_;

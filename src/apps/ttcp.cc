@@ -213,4 +213,124 @@ runQpipTtcp(QpipTestbed &bed, std::size_t total_bytes,
                   bed.host(1).cpu().busyTotal(), total_bytes, ok);
 }
 
+std::vector<TtcpPair>
+allPairs(std::size_t n_hosts)
+{
+    std::vector<TtcpPair> pairs;
+    for (std::size_t i = 0; i < n_hosts; ++i) {
+        for (std::size_t j = 0; j < n_hosts; ++j) {
+            if (i != j)
+                pairs.push_back(TtcpPair{i, j});
+        }
+    }
+    return pairs;
+}
+
+MultiTtcpResult
+runSocketsTtcpPairs(SocketsTestbed &bed,
+                    const std::vector<TtcpPair> &pairs,
+                    std::size_t bytes_per_pair,
+                    std::size_t chunk_bytes)
+{
+    auto &sim = bed.sim();
+    auto cfg = bed.tcpConfig();
+    cfg.noDelay = true;
+
+    // One flag per pair, each written only by its receiving host's
+    // partition: a shared counter here would be incremented
+    // concurrently from different worker threads. The completion
+    // predicate sums the flags, and only runs at epoch barriers.
+    auto done = std::make_shared<std::vector<std::uint8_t>>(
+        pairs.size(), std::uint8_t{0});
+    const auto done_count = [done] {
+        std::size_t n = 0;
+        for (const std::uint8_t f : *done)
+            n += f;
+        return n;
+    };
+
+    // Listeners first: pair k on port 5001+k.
+    for (std::size_t k = 0; k < pairs.size(); ++k) {
+        auto drain = std::make_shared<
+            std::function<void(std::shared_ptr<TcpSocket>)>>();
+        auto received = std::make_shared<std::size_t>(0);
+        *drain = [received, done, k, bytes_per_pair,
+                  drain](std::shared_ptr<TcpSocket> sock) {
+            sock->recv(262144, [received, done, k, bytes_per_pair,
+                                drain,
+                                sock](std::vector<std::uint8_t> d) {
+                if (d.empty())
+                    return; // EOF
+                *received += d.size();
+                if (*received >= bytes_per_pair) {
+                    (*done)[k] = 1;
+                    return;
+                }
+                (*drain)(sock);
+            });
+        };
+        bed.host(pairs[k].dst)
+            .stack()
+            .tcpListen(static_cast<std::uint16_t>(ttcpPort + k), cfg,
+                       [drain](std::shared_ptr<TcpSocket> sock) {
+                           (*drain)(sock);
+                       });
+    }
+
+    // Connect every sender (source port 30000+k keeps 4-tuples
+    // unique even when one host runs several pairs).
+    std::vector<std::shared_ptr<TcpSocket>> socks;
+    socks.reserve(pairs.size());
+    for (std::size_t k = 0; k < pairs.size(); ++k) {
+        socks.push_back(bed.host(pairs[k].src).stack().tcpConnect(
+            bed.addr(pairs[k].src,
+                     static_cast<std::uint16_t>(30000 + k)),
+            bed.addr(pairs[k].dst,
+                     static_cast<std::uint16_t>(ttcpPort + k)),
+            cfg, nullptr));
+    }
+    sim.runUntilCondition(
+        [&] {
+            for (const auto &s : socks) {
+                if (!s->connected())
+                    return false;
+            }
+            return true;
+        },
+        sim.now() + runDeadline);
+
+    const Tick t0 = sim.now();
+    for (auto &sock : socks) {
+        auto sent = std::make_shared<std::size_t>(0);
+        auto pump = std::make_shared<std::function<void()>>();
+        *pump = [sock, sent, bytes_per_pair, chunk_bytes, pump] {
+            if (*sent >= bytes_per_pair)
+                return;
+            const std::size_t n =
+                std::min(chunk_bytes, bytes_per_pair - *sent);
+            *sent += n;
+            sock->sendAll(std::vector<std::uint8_t>(n, 0xcd),
+                          [pump] { (*pump)(); });
+        };
+        (*pump)();
+    }
+
+    const bool ok = sim.runUntilCondition(
+        [&] { return done_count() >= pairs.size(); },
+        sim.now() + runDeadline);
+
+    MultiTtcpResult r;
+    r.pairsCompleted = done_count();
+    r.completed = ok;
+    const Tick wall = sim.now() - t0;
+    if (wall != 0) {
+        r.elapsedMs = sim::ticksToSec(wall) * 1e3;
+        r.aggMbPerSec =
+            static_cast<double>(r.pairsCompleted) *
+            static_cast<double>(bytes_per_pair) / (1024.0 * 1024.0) /
+            sim::ticksToSec(wall);
+    }
+    return r;
+}
+
 } // namespace qpip::apps

@@ -9,6 +9,8 @@
 
 #pragma once
 
+#include <vector>
+
 #include "apps/testbed.hh"
 
 namespace qpip::apps {
@@ -36,5 +38,39 @@ TtcpResult runQpipTtcp(QpipTestbed &bed, std::size_t total_bytes,
                        std::size_t chunk_bytes = 16384,
                        std::size_t pipeline_depth = 64,
                        sim::Tick poll_interval = 200 * sim::oneUs);
+
+/** One directed transfer of a multi-pair run. */
+struct TtcpPair
+{
+    std::size_t src = 0;
+    std::size_t dst = 1;
+};
+
+/** Result of a multi-pair run. */
+struct MultiTtcpResult
+{
+    /** Sum of all pairs' payload over the common elapsed window. */
+    double aggMbPerSec = 0.0;
+    double elapsedMs = 0.0;
+    std::size_t pairsCompleted = 0;
+    bool completed = false;
+};
+
+/** Every ordered pair (i, j), i != j, over @p n_hosts hosts. */
+std::vector<TtcpPair> allPairs(std::size_t n_hosts);
+
+/**
+ * Run concurrent bulk TCP transfers for every pair in @p pairs
+ * (pair k listens on port 5001+k and connects from port 30000+k).
+ * The scale-out ttcp workload: with a multi-switch fabric and a
+ * parallel-enabled testbed this is the engine's headline sweep, and
+ * it runs identically — including bit-identical stats — in serial
+ * mode.
+ */
+MultiTtcpResult
+runSocketsTtcpPairs(SocketsTestbed &bed,
+                    const std::vector<TtcpPair> &pairs,
+                    std::size_t bytes_per_pair,
+                    std::size_t chunk_bytes = 16384);
 
 } // namespace qpip::apps

@@ -16,10 +16,11 @@ spinPoll(verbs::Provider &prov, verbs::CompletionQueue &cq,
     // The empty poll charged the CPU; retry the moment it frees.
     auto &os = prov.host().os();
     const sim::Tick next = prov.host().cpu().busyUntil();
-    os.simulation().eventQueue().schedule(
-        next, [&prov, &cq, cb = std::move(cb)]() mutable {
-            spinPoll(prov, cq, std::move(cb));
-        });
+    // Schedule through the OS SimObject so the retry lands on the
+    // host's partition queue under the parallel engine.
+    os.schedule(next, [&prov, &cq, cb = std::move(cb)]() mutable {
+        spinPoll(prov, cq, std::move(cb));
+    });
 }
 
 void
@@ -49,7 +50,7 @@ periodicReaper(verbs::Provider &prov, sim::Tick interval,
     if (!drain())
         return;
     auto &os = prov.host().os();
-    os.simulation().eventQueue().scheduleIn(
+    os.scheduleIn(
         interval, [&prov, interval, drain = std::move(drain)]() mutable {
             periodicReaper(prov, interval, std::move(drain));
         });

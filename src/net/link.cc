@@ -71,11 +71,133 @@ Link::txIdleAt(int side) const
     return dir_.at(static_cast<std::size_t>(side)).busyUntil;
 }
 
+void
+Link::bindSide(int side, const LinkBoundary &boundary)
+{
+    auto &d = dir_.at(static_cast<std::size_t>(side));
+    d.bnd = boundary;
+    d.faults = std::make_unique<FaultInjector>(*boundary.rng);
+    d.faults->config = faults_.config;
+}
+
+void
+Link::setSideTap(int side,
+                 std::function<void(const Packet &, sim::Tick)> tap)
+{
+    dir_.at(static_cast<std::size_t>(side)).tap = std::move(tap);
+}
+
+void
+Link::foldBoundaryStats()
+{
+    for (auto &d : dir_) {
+        if (d.bnd.eq == nullptr)
+            continue;
+        packetsSent.inc(d.packetsSent.value());
+        bytesSent.inc(d.bytesSent.value());
+        oversizeDrops.inc(d.oversizeDrops.value());
+        queueDrops.inc(d.queueDrops.value());
+        d.packetsSent.reset();
+        d.bytesSent.reset();
+        d.oversizeDrops.reset();
+        d.queueDrops.reset();
+        faults_.drops.inc(d.faults->drops.value());
+        faults_.dups.inc(d.faults->dups.value());
+        faults_.corruptions.inc(d.faults->corruptions.value());
+        faults_.reorders.inc(d.faults->reorders.value());
+        d.faults->drops.reset();
+        d.faults->dups.reset();
+        d.faults->corruptions.reset();
+        d.faults->reorders.reset();
+    }
+}
+
+/**
+ * The parallel-mode transmit path: identical wire model to send(),
+ * but all mutable state it touches — busyUntil, counters, the fault
+ * stream, the tap — is owned by this direction's sending partition,
+ * and delivery goes through the bound queue or the cross-partition
+ * mailbox instead of the global queue.
+ */
+bool
+Link::sendBoundary(Direction &tx, int from_side, PacketPtr pkt)
+{
+    const int to_side = from_side ^ 1;
+
+    if (pkt->data.size() > cfg_.mtu) {
+        tx.oversizeDrops.inc();
+        warn("%s: dropping oversize packet (%zu > mtu %u)",
+             name().c_str(), pkt->data.size(), cfg_.mtu);
+        return false;
+    }
+
+    const sim::Tick now = tx.bnd.eq->now();
+    if (tx.busyUntil > now) {
+        const sim::Tick backlog = tx.busyUntil - now;
+        const sim::Tick one_mtu =
+            serializationDelay(cfg_.mtu + cfg_.overheadBytes);
+        if (backlog > one_mtu * cfg_.txQueueCap) {
+            tx.queueDrops.inc();
+            return false;
+        }
+    }
+
+    pkt->linkOverheadBytes = cfg_.overheadBytes;
+    if (pkt->injectedAt == 0)
+        pkt->injectedAt = now;
+
+    const sim::Tick start = std::max(now, tx.busyUntil);
+    const sim::Tick ser = serializationDelay(pkt->wireBytes());
+    tx.busyUntil = start + ser;
+
+    tx.packetsSent.inc();
+    tx.bytesSent.inc(pkt->wireBytes());
+
+    // Live config (tests flip fault rates between runs), private
+    // per-direction stream and counters.
+    tx.faults->config = faults_.config;
+    FaultDecision fault = tx.faults->apply(*pkt);
+
+    if (tx.tap)
+        tx.tap(*pkt, start);
+    // No tracer span: the parallel engine rejects tracing outright.
+
+    if (fault.drop)
+        return true; // consumed the wire, never arrives
+
+    auto &rx = dir_.at(static_cast<std::size_t>(to_side));
+    if (rx.receiver == nullptr)
+        panic("%s: side %d has no receiver", name().c_str(), to_side);
+    NetReceiver *receiver = rx.receiver;
+
+    const auto post = [&](PacketPtr p, sim::Tick extra) {
+        const sim::Tick arrive = tx.busyUntil + cfg_.propDelay + extra;
+        if (tx.bnd.outbox != nullptr) {
+            tx.bnd.outbox->post(arrive, sim::defaultPriority,
+                                [receiver, p] {
+                                    receiver->onPacket(p);
+                                });
+        } else {
+            tx.bnd.eq->schedule(arrive, [receiver, p] {
+                receiver->onPacket(p);
+            });
+        }
+    };
+
+    post(pkt, fault.extraDelay);
+    if (fault.duplicate)
+        post(clonePacket(*pkt), fault.extraDelay);
+    return true;
+}
+
 bool
 Link::send(int from_side, PacketPtr pkt)
 {
     auto &tx = dir_.at(static_cast<std::size_t>(from_side));
     const int to_side = from_side ^ 1;
+
+    if (tx.bnd.eq != nullptr)
+        return sendBoundary(tx, from_side, std::move(pkt));
 
     if (pkt->data.size() > cfg_.mtu) {
         oversizeDrops.inc();
@@ -110,7 +232,9 @@ Link::send(int from_side, PacketPtr pkt)
 
     FaultDecision fault = faults_.apply(*pkt);
 
-    if (txTap)
+    if (tx.tap)
+        tx.tap(*pkt, start);
+    else if (txTap)
         txTap(*pkt, start);
     if (tracer().enabled()) {
         // Tag with the link-local sequence number (not pkt->id, which

@@ -16,14 +16,32 @@
 #include <array>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "net/fault.hh"
 #include "net/packet.hh"
+#include "sim/partition.hh"
 #include "sim/sim_object.hh"
 #include "sim/stats.hh"
 
 namespace qpip::net {
+
+/**
+ * Parallel mode: the execution-context binding of one link
+ * direction. The transmitter of a side always runs in the sender's
+ * partition; @p outbox carries deliveries toward a receiver living in
+ * a different partition (nullptr when both endpoints share one).
+ */
+struct LinkBoundary
+{
+    /** The sending partition's event queue (drives this direction). */
+    sim::EventQueue *eq = nullptr;
+    /** The sending partition's RNG (per-direction fault stream). */
+    sim::Random *rng = nullptr;
+    /** Cross-partition channel to the receiver, or nullptr. */
+    sim::Mailbox *outbox = nullptr;
+};
 
 /** Static parameters of a link. */
 struct LinkConfig
@@ -75,6 +93,38 @@ class Link : public sim::SimObject
     FaultInjector &faults() { return faults_; }
 
     /**
+     * Parallel mode: bind the transmitter of @p side to its sending
+     * partition. From then on this direction schedules on the bound
+     * queue, draws faults from a per-direction injector seeded off
+     * the bound RNG, and counts into per-direction shadow counters
+     * (folded into the public ones by foldBoundaryStats()). Wired up
+     * by net::partitionFabric during setup.
+     */
+    void bindSide(int side, const LinkBoundary &boundary);
+
+    /** @return true once either side has been bound (parallel mode). */
+    bool
+    bound() const
+    {
+        return dir_[0].bnd.eq != nullptr || dir_[1].bnd.eq != nullptr;
+    }
+
+    /**
+     * Per-side capture tap (parallel mode: each tap is invoked only
+     * from its own sending partition). Overrides txTap for that side.
+     */
+    void setSideTap(int side,
+                    std::function<void(const Packet &, sim::Tick)> tap);
+
+    /**
+     * Fold the per-direction shadow counters (packet/byte/drop/fault
+     * counts) into the public counters and reset them. Sums are
+     * commutative, so the result is independent of execution
+     * interleaving; registered as an engine fold hook.
+     */
+    void foldBoundaryStats();
+
+    /**
      * Capture tap: invoked for every frame that occupies the wire
      * (after fault injection, so corrupted bytes are seen) with the
      * tick its serialization starts. See net/pcap.hh.
@@ -91,9 +141,20 @@ class Link : public sim::SimObject
     {
         NetReceiver *receiver = nullptr;
         sim::Tick busyUntil = 0;
+        // --- parallel mode only -------------------------------------
+        LinkBoundary bnd;
+        /** Per-direction fault stream (bnd.rng), folded post-run. */
+        std::unique_ptr<FaultInjector> faults;
+        /** Shadow counters owned by the sending partition. */
+        sim::Counter packetsSent;
+        sim::Counter bytesSent;
+        sim::Counter oversizeDrops;
+        sim::Counter queueDrops;
+        std::function<void(const Packet &, sim::Tick)> tap;
     };
 
     void deliver(int to_side, PacketPtr pkt, sim::Tick extra_delay);
+    bool sendBoundary(Direction &tx, int from_side, PacketPtr pkt);
 
     LinkConfig cfg_;
     FaultInjector faults_;

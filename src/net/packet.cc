@@ -4,15 +4,21 @@ namespace qpip::net {
 
 namespace {
 
-std::uint64_t gNextPacketId = 1;
+// Per-thread pools keep the partitioned engine lock-free; ids are
+// trace-only and never affect behavior.
+// qpip-lint: thread-ok(per-thread pool state, see Pools below)
+thread_local std::uint64_t gNextPacketId = 1;
 
 /**
- * Process-wide recycling pools. The simulation is single-threaded and
- * event order is deterministic, so release order — and therefore the
- * LIFO freelist order — replays identically. Pooled storage is
- * behaviorally invisible: every acquired packet is field-reset and
- * every acquired buffer is cleared; only capacity (never contents or
- * ids) survives recycling.
+ * Per-thread recycling pools. Within one thread event order is
+ * deterministic, so release order — and therefore the LIFO freelist
+ * order — replays identically; making the pools thread-local keeps
+ * that property per partition worker under the parallel engine
+ * without any locking. Pooled storage is behaviorally invisible:
+ * every acquired packet is field-reset and every acquired buffer is
+ * cleared; only capacity (never contents or ids) survives recycling.
+ * A packet released on a different thread than it was acquired on
+ * simply retires into the releasing thread's pool.
  */
 struct Pools
 {
@@ -30,7 +36,8 @@ struct Pools
 Pools &
 pools()
 {
-    static Pools p;
+    // qpip-lint: thread-ok(see gNextPacketId above)
+    thread_local Pools p;
     return p;
 }
 

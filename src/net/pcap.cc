@@ -76,4 +76,13 @@ tapLink(Link &link, PcapWriter &writer)
     };
 }
 
+void
+tapLinkSide(Link &link, int side, PcapWriter &writer)
+{
+    link.setSideTap(side,
+                    [&writer](const Packet &pkt, sim::Tick when) {
+                        writer.record(pkt, when);
+                    });
+}
+
 } // namespace qpip::net

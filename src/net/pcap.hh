@@ -61,4 +61,13 @@ class PcapWriter
  */
 void tapLink(Link &link, PcapWriter &writer);
 
+/**
+ * Tap only the transmitter of @p side into @p writer. Parallel mode
+ * requires one writer per direction — each side's tap fires in that
+ * side's sending partition, so a shared writer would interleave
+ * nondeterministically. Compare captures per side (or concatenate in
+ * a fixed order) instead.
+ */
+void tapLinkSide(Link &link, int side, PcapWriter &writer);
+
 } // namespace qpip::net

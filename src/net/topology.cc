@@ -1,34 +1,236 @@
 #include "net/topology.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
+#include "sim/parallel_engine.hh"
 
 namespace qpip::net {
 
-StarFabric::StarFabric(sim::Simulation &sim, std::string name,
-                       LinkConfig link_config)
-    : sim_(sim), name_(std::move(name)), linkCfg_(link_config),
-      switch_(std::make_unique<Switch>(sim, name_ + ".switch"))
+// --- Fabric ---------------------------------------------------------
+
+Fabric::Fabric(sim::Simulation &sim, std::string name,
+               LinkConfig link_config)
+    : sim_(sim), name_(std::move(name)), linkCfg_(link_config)
 {}
 
 Link &
-StarFabric::addNode(NodeId node)
-{
-    auto link = std::make_unique<Link>(
-        sim_, name_ + ".link" + std::to_string(node), linkCfg_);
-    const int port = switch_->connect(*link, 1);
-    switch_->addRoute(node, port);
-    links_.emplace_back(node, std::move(link));
-    return *links_.back().second;
-}
-
-Link &
-StarFabric::linkFor(NodeId node)
+Fabric::linkFor(NodeId node)
 {
     for (auto &[id, link] : links_) {
         if (id == node)
             return *link;
     }
-    sim::panic("StarFabric: unknown node %u", node);
+    sim::panic("%s: unknown node %u", name_.c_str(), node);
+}
+
+sim::Tick
+Fabric::minPropDelay() const
+{
+    sim::Tick min = sim::maxTick;
+    for (const Edge &e : edges_)
+        min = std::min(min, e.link->config().propDelay);
+    return min;
+}
+
+Switch &
+Fabric::makeSwitch(const std::string &name)
+{
+    switches_.push_back(std::make_unique<Switch>(sim_, name));
+    return *switches_.back();
+}
+
+int
+Fabric::makeSpoke(NodeId node, std::size_t sw_index)
+{
+    auto link = std::make_unique<Link>(
+        sim_, name_ + ".link" + std::to_string(node), linkCfg_);
+    const int port = switches_.at(sw_index)->connect(*link, 1);
+    Edge edge;
+    edge.link = link.get();
+    edge.ends[0] = Attachment{false, node};
+    edge.ends[1] =
+        Attachment{true, static_cast<std::uint32_t>(sw_index)};
+    edges_.push_back(edge);
+    links_.emplace_back(node, std::move(link));
+    return port;
+}
+
+std::array<int, 2>
+Fabric::makeTrunk(const std::string &name, std::size_t a,
+                  std::size_t b)
+{
+    auto link = std::make_unique<Link>(sim_, name, linkCfg_);
+    const int port_a = switches_.at(a)->connect(*link, 0);
+    const int port_b = switches_.at(b)->connect(*link, 1);
+    Edge edge;
+    edge.link = link.get();
+    edge.ends[0] = Attachment{true, static_cast<std::uint32_t>(a)};
+    edge.ends[1] = Attachment{true, static_cast<std::uint32_t>(b)};
+    edges_.push_back(edge);
+    trunks_.push_back(std::move(link));
+    return {port_a, port_b};
+}
+
+// --- StarFabric -----------------------------------------------------
+
+StarFabric::StarFabric(sim::Simulation &sim, std::string name,
+                       LinkConfig link_config)
+    : Fabric(sim, std::move(name), link_config)
+{
+    makeSwitch(name_ + ".switch");
+}
+
+Link &
+StarFabric::addNode(NodeId node)
+{
+    const int port = makeSpoke(node, 0);
+    switches_.front()->addRoute(node, port);
+    return *links_.back().second;
+}
+
+// --- DualStarFabric -------------------------------------------------
+
+DualStarFabric::DualStarFabric(sim::Simulation &sim, std::string name,
+                               LinkConfig link_config,
+                               std::size_t n_hosts)
+    : Fabric(sim, std::move(name), link_config), nHosts_(n_hosts),
+      half_((n_hosts + 1) / 2)
+{
+    makeSwitch(name_ + ".switch0");
+    makeSwitch(name_ + ".switch1");
+    trunkPort_ = makeTrunk(name_ + ".trunk", 0, 1);
+}
+
+std::size_t
+DualStarFabric::switchOf(NodeId node) const
+{
+    return node < half_ ? 0 : 1;
+}
+
+Link &
+DualStarFabric::addNode(NodeId node)
+{
+    if (node >= nHosts_) {
+        sim::panic("%s: node %u out of range (n_hosts=%zu)",
+                   name_.c_str(), node, nHosts_);
+    }
+    const std::size_t own = switchOf(node);
+    const std::size_t other = own ^ 1;
+    const int port = makeSpoke(node, own);
+    switches_.at(own)->addRoute(node, port);
+    // The far star reaches this host over the trunk.
+    switches_.at(other)->addRoute(node, trunkPort_.at(other));
+    return *links_.back().second;
+}
+
+// --- FatTreeFabric --------------------------------------------------
+
+FatTreeFabric::FatTreeFabric(sim::Simulation &sim, std::string name,
+                             LinkConfig link_config,
+                             std::size_t n_hosts,
+                             std::size_t hosts_per_edge,
+                             std::size_t n_spines)
+    : Fabric(sim, std::move(name), link_config), nHosts_(n_hosts),
+      hostsPerEdge_(hosts_per_edge),
+      nEdges_((n_hosts + hosts_per_edge - 1) / hosts_per_edge),
+      nSpines_(n_spines)
+{
+    if (hosts_per_edge == 0 || n_spines == 0)
+        sim::panic("%s: degenerate fat-tree shape", name_.c_str());
+    for (std::size_t e = 0; e < nEdges_; ++e)
+        makeSwitch(name_ + ".edge" + std::to_string(e));
+    for (std::size_t s = 0; s < nSpines_; ++s)
+        makeSwitch(name_ + ".spine" + std::to_string(s));
+
+    upPortOnEdge_.resize(nEdges_, std::vector<int>(nSpines_, -1));
+    upPortOnSpine_.resize(nSpines_, std::vector<int>(nEdges_, -1));
+    for (std::size_t e = 0; e < nEdges_; ++e) {
+        for (std::size_t s = 0; s < nSpines_; ++s) {
+            const auto ports =
+                makeTrunk(name_ + ".up" + std::to_string(e) + "_" +
+                              std::to_string(s),
+                          e, nEdges_ + s);
+            upPortOnEdge_[e][s] = ports[0];
+            upPortOnSpine_[s][e] = ports[1];
+        }
+    }
+}
+
+std::size_t
+FatTreeFabric::edgeOf(NodeId node) const
+{
+    return node / hostsPerEdge_;
+}
+
+std::size_t
+FatTreeFabric::spineOf(NodeId node) const
+{
+    return node % nSpines_;
+}
+
+Link &
+FatTreeFabric::addNode(NodeId node)
+{
+    if (node >= nHosts_) {
+        sim::panic("%s: node %u out of range (n_hosts=%zu)",
+                   name_.c_str(), node, nHosts_);
+    }
+    const std::size_t own = edgeOf(node);
+    const std::size_t spine = spineOf(node);
+    const int port = makeSpoke(node, own);
+    switches_.at(own)->addRoute(node, port);
+    // Remote edges climb to this host's spine; the spine descends to
+    // the owning edge.
+    for (std::size_t e = 0; e < nEdges_; ++e) {
+        if (e != own) {
+            switches_.at(e)->addRoute(node, upPortOnEdge_[e][spine]);
+        }
+    }
+    switches_.at(nEdges_ + spine)
+        ->addRoute(node, upPortOnSpine_[spine][own]);
+    return *links_.back().second;
+}
+
+// --- partitionFabric ------------------------------------------------
+
+void
+partitionFabric(sim::ParallelEngine &engine, Fabric &fabric,
+                const std::vector<sim::Partition *> &host_parts)
+{
+    std::vector<sim::Partition *> sw_parts;
+    sw_parts.reserve(fabric.numSwitches());
+    for (std::size_t i = 0; i < fabric.numSwitches(); ++i) {
+        Switch &sw = fabric.switchAt(i);
+        sim::Partition &p = engine.addPartition(sw.name());
+        engine.assignByPrefix(sw.name(), p);
+        sw_parts.push_back(&p);
+    }
+
+    engine.setLookahead(fabric.minPropDelay());
+
+    const auto part_of =
+        [&](const Fabric::Attachment &a) -> sim::Partition * {
+        return a.isSwitch ? sw_parts.at(a.index)
+                          : host_parts.at(a.index);
+    };
+
+    for (const Fabric::Edge &e : fabric.edges()) {
+        for (int side = 0; side < 2; ++side) {
+            sim::Partition *src = part_of(e.ends.at(
+                static_cast<std::size_t>(side)));
+            sim::Partition *dst = part_of(e.ends.at(
+                static_cast<std::size_t>(side ^ 1)));
+            LinkBoundary b;
+            b.eq = &src->eventQueue();
+            b.rng = &src->rng();
+            b.outbox =
+                src == dst ? nullptr : &engine.mailbox(*src, *dst);
+            e.link->bindSide(side, b);
+        }
+        Link *link = e.link;
+        engine.addFoldHook([link] { link->foldBoundaryStats(); });
+    }
 }
 
 } // namespace qpip::net

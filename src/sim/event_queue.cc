@@ -10,7 +10,8 @@ using detail::EventState;
 void
 EventQueue::panicPast(Tick when) const
 {
-    panic("event scheduled in the past (when=%llu now=%llu)",
+    panic("%s: event scheduled in the past (when=%llu now=%llu)",
+          label_.empty() ? "event queue" : label_.c_str(),
           static_cast<unsigned long long>(when),
           static_cast<unsigned long long>(now_));
 }

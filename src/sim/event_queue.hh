@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <deque>
 #include <new>
+#include <string>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -266,6 +267,14 @@ class EventQueue
      */
     void clear();
 
+    /**
+     * Partition-local mode: label this queue with its owning
+     * partition's name so scheduling diagnostics identify the shard
+     * (the global queue stays unlabelled).
+     */
+    void setLabel(std::string label) { label_ = std::move(label); }
+    const std::string &label() const { return label_; }
+
     /** Slab capacity in records (diagnostics/tests). */
     std::size_t slabSize() const { return slab_.size(); }
 
@@ -409,6 +418,7 @@ class EventQueue
     std::uint64_t nextSeq_ = 0;
     std::uint64_t executed_ = 0;
     bool clearing_ = false;
+    std::string label_;
 };
 
 inline bool

@@ -1,0 +1,310 @@
+#include "sim/parallel_engine.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+#include "sim/sim_object.hh"
+#include "sim/trace.hh"
+
+namespace qpip::sim {
+
+namespace {
+
+/**
+ * Derive a partition's RNG seed from the simulation seed and the
+ * partition id: distinct, deterministic streams (Random expands the
+ * seed through splitmix64, so nearby values diverge immediately).
+ */
+std::uint64_t
+partitionSeed(std::uint64_t sim_seed, std::uint32_t id)
+{
+    return sim_seed ^ (0x9E3779B97F4A7C15ULL * (id + 1));
+}
+
+} // namespace
+
+ParallelEngine::ParallelEngine(Simulation &sim, int threads)
+    : sim_(sim), threads_(threads < 1 ? 1 : threads)
+{
+    if (sim_.parallelEngine() != nullptr)
+        panic("ParallelEngine: simulation already has an engine");
+    sim_.engine_ = this;
+    workers_.reserve(static_cast<std::size_t>(threads_ - 1));
+    for (int i = 1; i < threads_; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+void
+ParallelEngine::park()
+{
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        stop_ = true;
+    }
+    cvStart_.notify_all();
+    for (auto &w : workers_) {
+        if (w.joinable())
+            w.join();
+    }
+    workers_.clear();
+}
+
+ParallelEngine::~ParallelEngine()
+{
+    park();
+    sim_.engine_ = nullptr;
+}
+
+Partition &
+ParallelEngine::addPartition(const std::string &name)
+{
+    const auto id = static_cast<std::uint32_t>(parts_.size());
+    parts_.push_back(std::make_unique<Partition>(
+        id, name, partitionSeed(sim_.seed(), id)));
+    return *parts_.back();
+}
+
+Partition *
+ParallelEngine::findPartition(const std::string &name)
+{
+    for (auto &p : parts_) {
+        if (p->name() == name)
+            return p.get();
+    }
+    return nullptr;
+}
+
+Mailbox &
+ParallelEngine::mailbox(Partition &src, Partition &dst)
+{
+    for (auto &mb : mail_) {
+        if (&mb->src() == &src && &mb->dst() == &dst)
+            return *mb;
+    }
+    mail_.push_back(std::make_unique<Mailbox>(src, dst));
+    mail_.back()->horizon_ = &epochHorizon_;
+    return *mail_.back();
+}
+
+void
+ParallelEngine::assignByPrefix(const std::string &prefix, Partition &p)
+{
+    for (SimObject *obj : sim_.objectsSnapshot()) {
+        const std::string &n = obj->name();
+        const bool exact = n == prefix;
+        const bool child = n.size() > prefix.size() &&
+                           n.compare(0, prefix.size(), prefix) == 0 &&
+                           n[prefix.size()] == '.';
+        if (exact || child)
+            obj->bindExecContext(p.eventQueue(), p.rng());
+    }
+}
+
+void
+ParallelEngine::setLookahead(Tick l)
+{
+    if (l == 0)
+        panic("ParallelEngine: lookahead must be at least one tick");
+    lookahead_ = l;
+}
+
+void
+ParallelEngine::addFoldHook(std::function<void()> fold)
+{
+    foldHooks_.push_back(std::move(fold));
+}
+
+std::uint64_t
+ParallelEngine::executed() const
+{
+    std::uint64_t n = 0;
+    for (const auto &p : parts_)
+        n += p->eventQueue().executed();
+    return n;
+}
+
+void
+ParallelEngine::checkRunnable()
+{
+    if (sim_.tracer().enabled()) {
+        panic("ParallelEngine: event tracing is unsupported (span "
+              "append order would depend on thread interleaving)");
+    }
+    if (!sim_.eventQueue().empty()) {
+        panic("ParallelEngine: events pending on the global queue — "
+              "a SimObject was not assigned to any partition");
+    }
+    if (!mail_.empty() && lookahead_ == maxTick) {
+        panic("ParallelEngine: cross-partition mailboxes exist but no "
+              "lookahead was set");
+    }
+}
+
+void
+ParallelEngine::injectMail()
+{
+    inject_.clear();
+    for (auto &mb : mail_) {
+        for (auto &m : mb->msgs_) {
+            inject_.push_back(Inject{m.when, m.priority, m.seq,
+                                     mb->src().id(), &mb->dst(),
+                                     std::move(m.fn)});
+        }
+        mb->msgs_.clear();
+    }
+    if (inject_.empty())
+        return;
+    // The deterministic merge order: (tick, priority, seq, srcId) is
+    // a strict total order (seq streams are per-source partition), so
+    // destination-queue insertion order — and with it the seq numbers
+    // the destination assigns — is independent of thread count.
+    std::sort(inject_.begin(), inject_.end(),
+              [](const Inject &a, const Inject &b) {
+                  if (a.when != b.when)
+                      return a.when < b.when;
+                  if (a.priority != b.priority)
+                      return a.priority < b.priority;
+                  if (a.seq != b.seq)
+                      return a.seq < b.seq;
+                  return a.srcId < b.srcId;
+              });
+    for (auto &in : inject_) {
+        in.dst->eventQueue().schedule(in.when, std::move(in.fn),
+                                      in.priority);
+    }
+    inject_.clear();
+}
+
+Tick
+ParallelEngine::globalNextTick()
+{
+    Tick next = maxTick;
+    for (auto &p : parts_)
+        next = std::min(next, p->eventQueue().nextEventTick());
+    return next;
+}
+
+void
+ParallelEngine::claimLoop(std::unique_lock<std::mutex> &lock)
+{
+    for (;;) {
+        if (nextPart_ >= parts_.size())
+            return;
+        Partition *p = parts_[nextPart_++].get();
+        lock.unlock();
+        {
+            ExecContextScope scope(&p->execContext());
+            p->eventQueue().runUntil(epochHorizon_);
+        }
+        lock.lock();
+    }
+}
+
+void
+ParallelEngine::workerLoop()
+{
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lock(m_);
+    for (;;) {
+        cvStart_.wait(lock,
+                      [&] { return stop_ || epochGen_ != seen; });
+        if (stop_)
+            return;
+        seen = epochGen_;
+        claimLoop(lock);
+        if (--busy_ == 0)
+            cvDone_.notify_one();
+    }
+}
+
+void
+ParallelEngine::runEpoch(Tick horizon)
+{
+    std::unique_lock<std::mutex> lock(m_);
+    epochHorizon_ = horizon;
+    nextPart_ = 0;
+    busy_ = workers_.size();
+    ++epochGen_;
+    cvStart_.notify_all();
+    claimLoop(lock); // the calling thread pulls its share too
+    cvDone_.wait(lock, [&] { return busy_ == 0; });
+    ++epochs_;
+}
+
+void
+ParallelEngine::foldAll()
+{
+    for (auto &fold : foldHooks_)
+        fold();
+}
+
+std::uint64_t
+ParallelEngine::runUntil(Tick until)
+{
+    checkRunnable();
+    const std::uint64_t before = executed();
+    for (;;) {
+        injectMail();
+        const Tick next = globalNextTick();
+        if (next >= until)
+            break;
+        const Tick horizon =
+            until - next <= lookahead_ ? until : next + lookahead_;
+        now_ = horizon;
+        runEpoch(horizon);
+    }
+    if (until != maxTick) {
+        // Mirror EventQueue::runUntil: idle partitions still advance
+        // their clocks to the stop time (no events can remain below
+        // it — the loop above only exits once next >= until).
+        for (auto &p : parts_) {
+            ExecContextScope scope(&p->execContext());
+            p->eventQueue().runUntil(until);
+        }
+        now_ = std::max(now_, until);
+    }
+    foldAll();
+    return executed() - before;
+}
+
+bool
+ParallelEngine::runUntilCondition(const std::function<bool()> &pred,
+                                  Tick deadline)
+{
+    checkRunnable();
+    if (pred()) {
+        foldAll();
+        return true;
+    }
+    for (;;) {
+        injectMail();
+        const Tick next = globalNextTick();
+        if (next >= deadline) {
+            foldAll();
+            return pred();
+        }
+        const Tick horizon = deadline - next <= lookahead_
+                                 ? deadline
+                                 : next + lookahead_;
+        now_ = horizon;
+        runEpoch(horizon);
+        if (pred()) {
+            foldAll();
+            return true;
+        }
+    }
+}
+
+void
+ParallelEngine::clearAll()
+{
+    for (auto &mb : mail_)
+        mb->msgs_.clear();
+    for (auto &p : parts_) {
+        ExecContextScope scope(&p->execContext());
+        p->eventQueue().clear();
+    }
+    sim_.eventQueue().clear();
+}
+
+} // namespace qpip::sim

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * A deterministic conservative parallel discrete-event engine.
+ *
+ * The simulation is sharded into Partitions (see partition.hh), each
+ * owning a private event queue and RNG stream. Execution proceeds in
+ * barrier epochs:
+ *
+ *   1. drain every Mailbox and inject the messages into the
+ *      destination queues in deterministic merge order, sorted by
+ *      (tick, priority, seq, source partition id);
+ *   2. compute the global next event tick N = min over partitions;
+ *   3. run every partition independently up to the epoch horizon
+ *      H = N + lookahead (workers claim partitions from a shared
+ *      index — which thread runs which partition is arbitrary, the
+ *      outcome is not);
+ *   4. barrier; repeat.
+ *
+ * The lookahead L is the minimum latency of any cross-partition link.
+ * Because a message posted while executing an event at tick t arrives
+ * no earlier than t + L >= (epoch start) + L = H, every cross-
+ * partition effect of the running epoch lands at or beyond the
+ * horizon — injecting it at the next barrier is causally exact, not
+ * an approximation. Mailbox::post asserts this invariant.
+ *
+ * Determinism: each partition's queue preserves the serial
+ * (when, priority, seq) total order; injection order into a queue is
+ * fixed by the merge sort above; RNG streams are per-partition. None
+ * of that depends on the number of worker threads, so an N-thread run
+ * is bit-identical to a 1-thread run of the same partitioning. (A
+ * partitioned run may differ from the unpartitioned serial schedule —
+ * per-partition RNG/seq streams — which is why `threads=1` without an
+ * engine remains the default and untouched code path.)
+ *
+ * This is the one place in the tree allowed to use threading
+ * primitives (see qpip-lint rule T1): all protocol code stays
+ * single-threaded by construction, executing inside exactly one
+ * partition per epoch with mutex/condvar-ordered handoffs between
+ * epochs.
+ */
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/partition.hh"
+#include "sim/simulation.hh"
+#include "sim/types.hh"
+
+namespace qpip::sim {
+
+class ParallelEngine
+{
+  public:
+    /**
+     * Install the engine on @p sim (Simulation::run* delegate here
+     * until destruction). @p threads is the worker count: 1 executes
+     * partitions inline on the calling thread.
+     */
+    ParallelEngine(Simulation &sim, int threads);
+    ~ParallelEngine();
+
+    ParallelEngine(const ParallelEngine &) = delete;
+    ParallelEngine &operator=(const ParallelEngine &) = delete;
+
+    /** Create a partition. RNG stream derives from sim seed + id. */
+    Partition &addPartition(const std::string &name);
+
+    std::size_t numPartitions() const { return parts_.size(); }
+    Partition &partition(std::size_t i) { return *parts_.at(i); }
+    Partition *findPartition(const std::string &name);
+
+    /** Find-or-create the src->dst mailbox. */
+    Mailbox &mailbox(Partition &src, Partition &dst);
+
+    /**
+     * Bind every registered SimObject whose name is @p prefix or
+     * starts with "@p prefix." to partition @p p (its queue and RNG).
+     */
+    void assignByPrefix(const std::string &prefix, Partition &p);
+
+    /**
+     * Set the conservative synchronization window: the minimum
+     * cross-partition delivery latency. @pre l >= 1 tick.
+     */
+    void setLookahead(Tick l);
+    Tick lookahead() const { return lookahead_; }
+
+    /**
+     * Register a hook run at the end of every run*() call, after the
+     * final barrier — e.g. folding per-direction link shadow counters
+     * into the public ones. Hooks must be idempotent across calls
+     * (fold-and-reset).
+     */
+    void addFoldHook(std::function<void()> fold);
+
+    int threads() const { return threads_; }
+
+    /** Epoch horizon of the latest epoch (the engine's "now"). */
+    Tick now() const { return now_; }
+
+    /** Total events executed across all partitions. */
+    std::uint64_t executed() const;
+
+    /** Barrier epochs run so far (diagnostics/tests). */
+    std::uint64_t epochs() const { return epochs_; }
+
+    /** Run until all partitions drain. @return events executed. */
+    std::uint64_t run() { return runUntil(maxTick); }
+
+    /** Run until an absolute tick. @return events executed. */
+    std::uint64_t runUntil(Tick until);
+
+    /**
+     * Run until @p pred() holds — checked at every epoch barrier, the
+     * parallel analogue of "after every event" — or @p deadline.
+     */
+    bool runUntilCondition(const std::function<bool()> &pred,
+                           Tick deadline = maxTick);
+
+    /** Discard pending events in every partition (teardown). */
+    void clearAll();
+
+    /**
+     * Join the worker pool (idempotent; the destructor calls it).
+     * Owners whose model objects hold event handles into partition
+     * queues call this first in teardown, so the single-threaded
+     * destruction of those objects still sees live queues.
+     */
+    void park();
+
+  private:
+    void checkRunnable();
+    void injectMail();
+    Tick globalNextTick();
+    void runEpoch(Tick horizon);
+    void claimLoop(std::unique_lock<std::mutex> &lock);
+    void workerLoop();
+    void foldAll();
+
+    Simulation &sim_;
+    int threads_;
+    Tick lookahead_ = maxTick;
+    Tick now_ = 0;
+    std::uint64_t epochs_ = 0;
+    std::vector<std::unique_ptr<Partition>> parts_;
+    std::vector<std::unique_ptr<Mailbox>> mail_;
+    std::vector<std::function<void()>> foldHooks_;
+    /** Scratch for the injection merge sort (kept to reuse capacity). */
+    struct Inject
+    {
+        Tick when;
+        int priority;
+        std::uint64_t seq;
+        std::uint32_t srcId;
+        Partition *dst;
+        std::function<void()> fn;
+    };
+    std::vector<Inject> inject_;
+
+    // Worker pool. All shared coordination state lives under m_; the
+    // mutex handoffs order every cross-epoch access to partition
+    // queues, mailboxes and counters (no atomics needed).
+    std::vector<std::thread> workers_;
+    std::mutex m_;
+    std::condition_variable cvStart_;
+    std::condition_variable cvDone_;
+    std::uint64_t epochGen_ = 0;
+    Tick epochHorizon_ = 0;
+    std::size_t nextPart_ = 0;
+    std::size_t busy_ = 0;
+    bool stop_ = false;
+};
+
+} // namespace qpip::sim

@@ -1,0 +1,34 @@
+#include "sim/partition.hh"
+
+namespace qpip::sim {
+
+namespace detail {
+
+namespace {
+thread_local ExecContext *gExecContext = nullptr;
+} // namespace
+
+ExecContext *
+currentExecContext()
+{
+    return gExecContext;
+}
+
+void
+setCurrentExecContext(ExecContext *ctx)
+{
+    gExecContext = ctx;
+}
+
+} // namespace detail
+
+Partition::Partition(std::uint32_t id, std::string name,
+                     std::uint64_t seed)
+    : id_(id), name_(std::move(name)), rng_(seed)
+{
+    eq_.setLabel(name_);
+    ctx_.eq = &eq_;
+    ctx_.rng = &rng_;
+}
+
+} // namespace qpip::sim

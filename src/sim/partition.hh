@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Partitions and mailboxes: the sharding primitives of the
+ * deterministic parallel engine (see parallel_engine.hh).
+ *
+ * A Partition owns a private EventQueue and a private Random stream;
+ * during one barrier epoch it is executed by exactly one worker
+ * thread, so everything bound to a partition runs single-threaded.
+ * Cross-partition communication goes through Mailbox: the source
+ * partition posts closures timestamped at least one lookahead window
+ * into the future, and the engine injects them into the destination
+ * queues at the next epoch barrier in a deterministic merge order —
+ * sorted by (tick, priority, seq, source partition id) — so the
+ * resulting schedule is independent of thread count and interleaving.
+ *
+ * The thread-local ExecContext lets objects constructed *while a
+ * partition is executing* (e.g. a TCP connection spun up by an
+ * accept) bind to the creating partition's queue and RNG instead of
+ * the simulation-global ones.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+#include "sim/random.hh"
+#include "sim/types.hh"
+
+namespace qpip::sim {
+
+class ParallelEngine;
+
+/**
+ * Which partition (if any) the current thread is executing: the event
+ * queue and RNG stream that SimObjects constructed on this thread
+ * bind to.
+ */
+struct ExecContext
+{
+    EventQueue *eq = nullptr;
+    Random *rng = nullptr;
+};
+
+namespace detail {
+
+/** The calling thread's execution context (nullptr outside epochs). */
+ExecContext *currentExecContext();
+void setCurrentExecContext(ExecContext *ctx);
+
+} // namespace detail
+
+/** RAII installer for the thread-local ExecContext. */
+class ExecContextScope
+{
+  public:
+    explicit ExecContextScope(ExecContext *ctx)
+        : prev_(detail::currentExecContext())
+    {
+        detail::setCurrentExecContext(ctx);
+    }
+
+    ~ExecContextScope() { detail::setCurrentExecContext(prev_); }
+
+    ExecContextScope(const ExecContextScope &) = delete;
+    ExecContextScope &operator=(const ExecContextScope &) = delete;
+
+  private:
+    ExecContext *prev_;
+};
+
+/**
+ * One shard of the simulation: a private event-queue slab plus a
+ * private RNG stream.
+ */
+class Partition
+{
+  public:
+    Partition(std::uint32_t id, std::string name, std::uint64_t seed);
+
+    Partition(const Partition &) = delete;
+    Partition &operator=(const Partition &) = delete;
+
+    std::uint32_t id() const { return id_; }
+    const std::string &name() const { return name_; }
+
+    EventQueue &eventQueue() { return eq_; }
+    Random &rng() { return rng_; }
+    ExecContext &execContext() { return ctx_; }
+
+    /** Next mailbox message sequence number (deterministic). */
+    std::uint64_t nextMailSeq() { return mailSeq_++; }
+
+  private:
+    std::uint32_t id_;
+    std::string name_;
+    EventQueue eq_;
+    Random rng_;
+    ExecContext ctx_;
+    std::uint64_t mailSeq_ = 0;
+};
+
+/**
+ * A one-way cross-partition channel. Only the source partition's
+ * executing thread may post; only the engine (at the epoch barrier,
+ * all workers parked) drains. Posted timestamps must be at or beyond
+ * the current epoch horizon — that is exactly the conservative
+ * lookahead guarantee the engine's synchronization window rests on,
+ * so a violation is a simulator bug and panics.
+ */
+class Mailbox
+{
+  public:
+    Mailbox(Partition &src, Partition &dst) : src_(src), dst_(dst) {}
+
+    Mailbox(const Mailbox &) = delete;
+    Mailbox &operator=(const Mailbox &) = delete;
+
+    Partition &src() { return src_; }
+    Partition &dst() { return dst_; }
+
+    /** Post a closure for delivery at @p when in the destination. */
+    template <typename F>
+    void
+    post(Tick when, int priority, F &&fn)
+    {
+        if (horizon_ != nullptr && when < *horizon_) [[unlikely]] {
+            panic("Mailbox %s->%s: post at %llu violates the epoch "
+                  "horizon %llu (lookahead too large?)",
+                  src_.name().c_str(), dst_.name().c_str(),
+                  static_cast<unsigned long long>(when),
+                  static_cast<unsigned long long>(*horizon_));
+        }
+        msgs_.push_back(Msg{when, priority, src_.nextMailSeq(),
+                            std::function<void()>(std::forward<F>(fn))});
+    }
+
+  private:
+    friend class ParallelEngine;
+
+    struct Msg
+    {
+        Tick when;
+        int priority;
+        std::uint64_t seq;
+        std::function<void()> fn;
+    };
+
+    Partition &src_;
+    Partition &dst_;
+    /** Installed by the engine: the running epoch's horizon. */
+    const Tick *horizon_ = nullptr;
+    std::vector<Msg> msgs_;
+};
+
+} // namespace qpip::sim

@@ -1,5 +1,6 @@
 #include "sim/sim_object.hh"
 
+#include "sim/partition.hh"
 #include "sim/simulation.hh"
 
 namespace qpip::sim {
@@ -7,9 +8,20 @@ namespace qpip::sim {
 SimObject::SimObject(Simulation &sim, std::string name)
     : sim_(sim), name_(std::move(name))
 {
+    if (const ExecContext *ctx = detail::currentExecContext()) {
+        eq_ = ctx->eq;
+        rng_ = ctx->rng;
+    } else {
+        eq_ = &sim_.eventQueue();
+        rng_ = &sim_.rng();
+    }
     stats_.init(sim_.stats(), name_);
+    sim_.registerObject(this);
 }
 
-SimObject::~SimObject() = default;
+SimObject::~SimObject()
+{
+    sim_.unregisterObject(this);
+}
 
 } // namespace qpip::sim

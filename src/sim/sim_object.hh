@@ -3,6 +3,14 @@
  * SimObject: named base class for every simulated component. Provides
  * access to the owning Simulation's event queue and RNG plus schedule
  * helpers, mirroring the gem5 SimObject idiom.
+ *
+ * Partitioning: an object schedules into — and draws randomness from
+ * — whatever execution context it is bound to. By default that is the
+ * simulation's global queue and RNG (the serial path). The parallel
+ * engine rebinds objects to their partition's queue/stream via
+ * bindExecContext(); objects constructed *while* a partition executes
+ * (e.g. components spun up by an accept) inherit the thread-local
+ * context automatically.
  */
 
 #pragma once
@@ -36,11 +44,23 @@ class SimObject
     const std::string &name() const { return name_; }
     Simulation &simulation() { return sim_; }
 
-    /** Current simulated time. */
-    Tick curTick() const { return sim_.now(); }
+    /** Current simulated time (of the bound execution context). */
+    Tick curTick() const { return eq_->now(); }
 
-    /** The owning simulation's event queue. */
-    EventQueue &eventQueue() { return sim_.eventQueue(); }
+    /** The event queue this object schedules into. */
+    EventQueue &eventQueue() { return *eq_; }
+
+    /**
+     * Rebind to a partition's execution context. Called by
+     * ParallelEngine::assignByPrefix during setup — never while the
+     * simulation is running.
+     */
+    void
+    bindExecContext(EventQueue &eq, Random &rng)
+    {
+        eq_ = &eq;
+        rng_ = &rng;
+    }
 
     /**
      * Schedule a closure at an absolute tick. The callable goes
@@ -64,8 +84,8 @@ class SimObject
                                        priority);
     }
 
-    /** Simulation-wide deterministic RNG. */
-    Random &rng() { return sim_.rng(); }
+    /** Deterministic RNG stream of the bound execution context. */
+    Random &rng() { return *rng_; }
 
     /** Simulation-wide stats registry. */
     StatRegistry &statRegistry() { return sim_.stats(); }
@@ -88,6 +108,8 @@ class SimObject
   private:
     Simulation &sim_;
     std::string name_;
+    EventQueue *eq_;
+    Random *rng_;
     StatGroup stats_;
 };
 

@@ -4,11 +4,20 @@
  * global RNG, the stats registry and the event tracer. Experiments
  * construct one Simulation, build a testbed of SimObjects against it,
  * and drive it with run()/runUntil()/runFor().
+ *
+ * A Simulation normally executes serially on its own event queue.
+ * When a ParallelEngine is installed (SimConfig::threads > 1 via the
+ * testbeds, or constructed directly), the run*() entry points
+ * delegate to the engine's barrier-epoch loop; the serial path stays
+ * the default and compiles exactly as before.
  */
 
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
 
 #include "sim/event_queue.hh"
 #include "sim/random.hh"
@@ -18,6 +27,22 @@
 
 namespace qpip::sim {
 
+class ParallelEngine;
+class SimObject;
+
+/** Top-level knobs every experiment shares. */
+struct SimConfig
+{
+    /** Master seed: the global RNG and partition streams derive here. */
+    std::uint64_t seed = 1;
+    /**
+     * Worker threads for the parallel engine. 1 (the default) means
+     * the plain serial event loop; >1 asks the testbed to partition
+     * the simulation and install a ParallelEngine.
+     */
+    int threads = 1;
+};
+
 /**
  * Top-level simulation context.
  */
@@ -25,6 +50,7 @@ class Simulation
 {
   public:
     explicit Simulation(std::uint64_t seed = 1);
+    explicit Simulation(const SimConfig &cfg);
 
     EventQueue &eventQueue() { return eq_; }
     Random &rng() { return rng_; }
@@ -32,30 +58,54 @@ class Simulation
     const StatRegistry &stats() const { return stats_; }
     Tracer &tracer() { return tracer_; }
 
-    Tick now() const { return eq_.now(); }
+    std::uint64_t seed() const { return cfg_.seed; }
+    const SimConfig &config() const { return cfg_; }
+
+    /** The installed parallel engine, or nullptr (serial mode). */
+    ParallelEngine *parallelEngine() const { return engine_; }
+
+    Tick
+    now() const
+    {
+        return engine_ != nullptr ? engineNow() : eq_.now();
+    }
 
     /** Run until the event queue drains. @return events executed. */
-    std::uint64_t run() { return eq_.run(); }
+    std::uint64_t
+    run()
+    {
+        return engine_ != nullptr ? engineRunUntil(maxTick) : eq_.run();
+    }
 
     /** Run until an absolute tick. @return events executed. */
-    std::uint64_t runUntil(Tick until) { return eq_.runUntil(until); }
+    std::uint64_t
+    runUntil(Tick until)
+    {
+        return engine_ != nullptr ? engineRunUntil(until)
+                                  : eq_.runUntil(until);
+    }
 
     /** Run for a relative duration. @return events executed. */
     std::uint64_t
     runFor(Tick duration)
     {
-        return eq_.runUntil(eq_.now() + duration);
+        return runUntil(now() + duration);
     }
 
     /**
-     * Run until @p pred() becomes true (checked after every event) or
-     * @p deadline passes.
+     * Run until @p pred() becomes true or @p deadline passes. Serial
+     * mode checks after every event; under a parallel engine the
+     * check happens at every epoch barrier.
      * @return true if the predicate was satisfied.
      */
     template <typename Pred>
     bool
     runUntilCondition(Pred pred, Tick deadline = maxTick)
     {
+        if (engine_ != nullptr) {
+            return engineRunUntilCondition(
+                std::function<bool()>(std::move(pred)), deadline);
+        }
         while (!pred()) {
             if (!eq_.step(deadline))
                 return pred();
@@ -63,11 +113,27 @@ class Simulation
         return true;
     }
 
+    // --- SimObject registry (used by ParallelEngine::assignByPrefix)
+    void registerObject(SimObject *obj);
+    void unregisterObject(SimObject *obj);
+    std::vector<SimObject *> objectsSnapshot() const;
+
   private:
+    friend class ParallelEngine; // installs/uninstalls engine_
+
+    Tick engineNow() const;
+    std::uint64_t engineRunUntil(Tick until);
+    bool engineRunUntilCondition(std::function<bool()> pred,
+                                 Tick deadline);
+
+    SimConfig cfg_;
     EventQueue eq_;
     Random rng_;
     StatRegistry stats_;
     Tracer tracer_;
+    ParallelEngine *engine_ = nullptr;
+    mutable std::mutex objMutex_;
+    std::vector<SimObject *> objects_;
 };
 
 } // namespace qpip::sim

@@ -35,6 +35,7 @@ StatRegistry::insert(const std::string &path, Entry entry)
 {
     if (path.empty())
         panic("StatRegistry: empty stat path");
+    std::lock_guard<std::mutex> lock(m_);
     auto [it, inserted] = entries_.emplace(path, entry);
     (void)it;
     if (!inserted)
@@ -68,18 +69,28 @@ StatRegistry::add(const std::string &path, const Histogram &h)
 void
 StatRegistry::remove(const std::string &path)
 {
+    std::lock_guard<std::mutex> lock(m_);
     entries_.erase(path);
 }
 
 bool
 StatRegistry::contains(const std::string &path) const
 {
+    std::lock_guard<std::mutex> lock(m_);
     return entries_.contains(path);
+}
+
+std::size_t
+StatRegistry::size() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return entries_.size();
 }
 
 const Counter *
 StatRegistry::counter(const std::string &path) const
 {
+    std::lock_guard<std::mutex> lock(m_);
     auto it = entries_.find(path);
     return it == entries_.end() ? nullptr : it->second.counter;
 }
@@ -87,6 +98,7 @@ StatRegistry::counter(const std::string &path) const
 const SampleStat *
 StatRegistry::sample(const std::string &path) const
 {
+    std::lock_guard<std::mutex> lock(m_);
     auto it = entries_.find(path);
     return it == entries_.end() ? nullptr : it->second.sample;
 }
@@ -94,6 +106,7 @@ StatRegistry::sample(const std::string &path) const
 const Histogram *
 StatRegistry::histogram(const std::string &path) const
 {
+    std::lock_guard<std::mutex> lock(m_);
     auto it = entries_.find(path);
     return it == entries_.end() ? nullptr : it->second.histogram;
 }
@@ -109,6 +122,7 @@ std::vector<std::string>
 StatRegistry::match(const std::string &pattern) const
 {
     std::vector<std::string> out;
+    std::lock_guard<std::mutex> lock(m_);
     for (const auto &[path, entry] : entries_) {
         if (statPatternMatch(pattern, path))
             out.push_back(path);
@@ -139,6 +153,7 @@ StatRegistry::jsonDump(const std::string &pattern) const
 {
     std::string out = "{";
     bool first = true;
+    std::lock_guard<std::mutex> lock(m_);
     for (const auto &[path, e] : entries_) {
         if (!statPatternMatch(pattern, path))
             continue;

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -41,7 +42,7 @@ class StatRegistry
     void remove(const std::string &path);
 
     bool contains(const std::string &path) const;
-    std::size_t size() const { return entries_.size(); }
+    std::size_t size() const;
 
     /** Typed lookup; nullptr when absent or a different kind. */
     const Counter *counter(const std::string &path) const;
@@ -72,6 +73,13 @@ class StatRegistry
 
     void insert(const std::string &path, Entry entry);
 
+    /**
+     * Registration happens at runtime (per-connection TCP stats), so
+     * under a parallel engine concurrent partitions may add/remove
+     * paths; the map itself needs a lock. Entry *values* are written
+     * only by their single owning partition and read after runs.
+     */
+    mutable std::mutex m_;
     std::map<std::string, Entry> entries_;
 };
 

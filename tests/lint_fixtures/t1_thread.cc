@@ -1,0 +1,18 @@
+// qpip-lint fixture: T1 threading primitives outside src/sim.
+// Violations on known lines, asserted by tests/test_lint.cc.
+// qpip-lint-layer: net
+#include <mutex>
+
+std::mutex gFixtureMutex;
+
+thread_local int gFixtureTls = 0;
+
+// qpip-lint: thread-ok(fixture: waived atomic stays silent)
+std::atomic<int> gFixtureWaived{0};
+
+int
+fixtureLocked()
+{
+    std::lock_guard<std::mutex> lock(gFixtureMutex);
+    return gFixtureTls;
+}

@@ -11,12 +11,19 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
+#include <vector>
 
+#include "apps/disk.hh"
+#include "apps/nbd.hh"
 #include "apps/pingpong.hh"
 #include "apps/testbed.hh"
 #include "apps/ttcp.hh"
 #include "net/link.hh"
+#include "net/pcap.hh"
+#include "net/topology.hh"
+#include "sim/parallel_engine.hh"
 #include "sim/simulation.hh"
 #include "sim/trace.hh"
 
@@ -75,6 +82,125 @@ runLossyTransfer(std::uint64_t seed)
     return out;
 }
 
+/**
+ * Observable end state of one partitioned (parallel-engine) run.
+ * Identical across thread counts by construction; these artifacts
+ * are what the bit-identity tests compare.
+ */
+struct ParallelArtifacts
+{
+    std::string statsJson;
+    /** Every link direction's pcap image, concatenated in a fixed
+     *  (edge, side) order. */
+    std::vector<std::uint8_t> pcap;
+    sim::Tick endTick = 0;
+    std::uint64_t executed = 0;
+    bool completed = false;
+    std::uint64_t faultEvents = 0;
+};
+
+/** Tap both directions of every fabric edge, in deterministic order. */
+std::vector<std::unique_ptr<net::PcapWriter>>
+tapAllEdges(net::Fabric &fabric)
+{
+    std::vector<std::unique_ptr<net::PcapWriter>> taps;
+    for (const auto &e : fabric.edges()) {
+        for (int side = 0; side < 2; ++side) {
+            taps.push_back(std::make_unique<net::PcapWriter>());
+            net::tapLinkSide(*e.link, side, *taps.back());
+        }
+    }
+    return taps;
+}
+
+void
+collectParallel(apps::SocketsTestbed &bed,
+                const std::vector<std::unique_ptr<net::PcapWriter>> &taps,
+                ParallelArtifacts &out)
+{
+    out.statsJson = bed.sim().stats().jsonDump();
+    out.endTick = bed.sim().now();
+    out.executed = bed.engine()->executed();
+    for (const auto &t : taps) {
+        out.pcap.insert(out.pcap.end(), t->bytes().begin(),
+                        t->bytes().end());
+    }
+    for (const auto &path : bed.sim().stats().match("*.faults.*"))
+        out.faultEvents += bed.sim().stats().counterValue(path);
+}
+
+/** All-pairs ttcp over a partitioned 4-host dual-star. */
+ParallelArtifacts
+runParallelTtcpPairs(int threads, std::uint64_t seed)
+{
+    apps::SocketsTestbed bed(4, apps::SocketsFabric::GigabitEthernet,
+                             seed, host::HostCostModel{},
+                             apps::FabricTopology::DualStar);
+    bed.enableParallel(threads);
+    const auto taps = tapAllEdges(bed.fabric());
+    const auto r =
+        apps::runSocketsTtcpPairs(bed, apps::allPairs(4), 32 * 1024);
+    ParallelArtifacts out;
+    out.completed = r.completed && r.pairsCompleted == 12;
+    collectParallel(bed, taps, out);
+    return out;
+}
+
+/** The lossy-wire transfer of runLossyTransfer, partitioned. */
+ParallelArtifacts
+runParallelLossy(int threads, std::uint64_t seed)
+{
+    apps::SocketsTestbed bed(2, apps::SocketsFabric::GigabitEthernet,
+                             seed, host::HostCostModel{},
+                             apps::FabricTopology::DualStar);
+    bed.enableParallel(threads);
+    for (net::NodeId node = 0; node < 2; ++node) {
+        auto &faults = bed.fabric().linkFor(node).faults();
+        faults.config.dropProb = 0.02;
+        faults.config.dupProb = 0.01;
+        faults.config.corruptProb = 0.01;
+        faults.config.reorderProb = 0.05;
+    }
+    const auto taps = tapAllEdges(bed.fabric());
+    const auto r = apps::runSocketsTtcp(bed, 128 * 1024);
+    ParallelArtifacts out;
+    out.completed = r.completed;
+    collectParallel(bed, taps, out);
+    return out;
+}
+
+/**
+ * NBD write+read against a partitioned 2-host dual-star. No pcap
+ * here: the NBD client draws its source port from a process-global
+ * counter, so successive runs differ in the TCP headers (but in
+ * nothing observable through stats or timing).
+ */
+ParallelArtifacts
+runParallelNbd(int threads, std::uint64_t seed)
+{
+    apps::SocketsTestbed bed(2, apps::SocketsFabric::GigabitEthernet,
+                             seed, host::HostCostModel{},
+                             apps::FabricTopology::DualStar);
+    bed.enableParallel(threads);
+    // The store is server-side state: it must live (and burn disk
+    // model time) on the server host's partition.
+    apps::ServerStore store(bed.sim(), "store", 1 << 20);
+    bed.engine()->assignByPrefix(
+        "store", *bed.engine()->findPartition("host1"));
+    apps::NbdSocketServer server(bed.host(1).stack(), store,
+                                 apps::NbdServerConfig{});
+    const auto w =
+        apps::runNbdSocketsSequential(bed, 0, 1, true, 256 * 1024);
+    const auto r =
+        apps::runNbdSocketsSequential(bed, 0, 1, false, 256 * 1024);
+    ParallelArtifacts out;
+    out.completed = w.completed && r.completed && r.dataOk;
+    out.statsJson = bed.sim().stats().jsonDump();
+    out.endTick = bed.sim().now();
+    out.executed = bed.engine()->executed();
+    return out;
+}
+
 } // namespace
 
 TEST(Determinism, QpipPingPongReplaysIdentically)
@@ -115,4 +241,53 @@ TEST(Determinism, LossyFabricTransferReplaysIdentically)
     EXPECT_EQ(a.traceJson, b.traceJson);
     // The fault injector really fired, or this test proves nothing.
     EXPECT_GT(a.faultEvents, 0u);
+}
+
+// --- parallel engine: N threads == 1 thread, bit for bit -----------
+
+TEST(ParallelDeterminism, TtcpPairsThreadCountInvariant)
+{
+    const auto one = runParallelTtcpPairs(1, 11);
+    const auto four = runParallelTtcpPairs(4, 11);
+    ASSERT_TRUE(one.completed);
+    ASSERT_TRUE(four.completed);
+    EXPECT_EQ(one.endTick, four.endTick);
+    EXPECT_EQ(one.executed, four.executed);
+    EXPECT_EQ(one.statsJson, four.statsJson);
+    EXPECT_EQ(one.pcap, four.pcap);
+    // Sanity: real traffic crossed the tapped wires.
+    EXPECT_GT(one.statsJson.size(), 1000u);
+    EXPECT_GT(one.pcap.size(), 10000u);
+    // And the 4-thread run itself replays bit-identically.
+    const auto again = runParallelTtcpPairs(4, 11);
+    EXPECT_EQ(four.statsJson, again.statsJson);
+    EXPECT_EQ(four.pcap, again.pcap);
+}
+
+TEST(ParallelDeterminism, LossyTransferThreadCountInvariant)
+{
+    const auto one = runParallelLossy(1, 1234);
+    const auto four = runParallelLossy(4, 1234);
+    ASSERT_TRUE(one.completed);
+    ASSERT_TRUE(four.completed);
+    EXPECT_EQ(one.endTick, four.endTick);
+    EXPECT_EQ(one.executed, four.executed);
+    EXPECT_EQ(one.statsJson, four.statsJson);
+    EXPECT_EQ(one.pcap, four.pcap);
+    EXPECT_EQ(one.faultEvents, four.faultEvents);
+    // Same RNG stream on both sides of the comparison: the faults
+    // really fired, and identically so.
+    EXPECT_GT(one.faultEvents, 0u);
+}
+
+TEST(ParallelDeterminism, NbdThreadCountInvariant)
+{
+    const auto one = runParallelNbd(1, 5);
+    const auto four = runParallelNbd(4, 5);
+    ASSERT_TRUE(one.completed);
+    ASSERT_TRUE(four.completed);
+    EXPECT_EQ(one.endTick, four.endTick);
+    EXPECT_EQ(one.executed, four.executed);
+    EXPECT_EQ(one.statsJson, four.statsJson);
+    EXPECT_GT(one.statsJson.size(), 1000u);
 }

@@ -68,6 +68,33 @@ TEST(LintRules, W1FiresOnMemcpyAndReinterpretCast)
     EXPECT_EQ(diags[1].line, 13);
 }
 
+TEST(LintRules, T1FiresOnThreadingPrimitives)
+{
+    const auto diags = lintFixture("t1_thread.cc");
+    ASSERT_EQ(diags.size(), 4u);
+    for (const auto &d : diags)
+        EXPECT_EQ(d.rule, "T1");
+    EXPECT_EQ(diags[0].line, 4);  // #include <mutex>
+    EXPECT_EQ(diags[1].line, 6);  // std::mutex
+    EXPECT_EQ(diags[2].line, 8);  // thread_local
+    EXPECT_EQ(diags[3].line, 16); // std::lock_guard
+    // The waived std::atomic on line 11 stays silent.
+    EXPECT_NE(diags[0].message.find("#include <mutex>"),
+              std::string::npos);
+}
+
+TEST(LintRules, T1ExemptsSimLayer)
+{
+    // The parallel engine's own layer may use the primitives.
+    const std::string src = "#include <mutex>\n"
+                            "#include <atomic>\n"
+                            "std::mutex m;\n"
+                            "thread_local int t = 0;\n";
+    EXPECT_TRUE(lintFile("src/sim/engine.cc", src).empty());
+    // Any other src layer may not.
+    EXPECT_FALSE(lintFile("src/host/stack.cc", src).empty());
+}
+
 TEST(LintRules, H1FiresOnIfndefGuard)
 {
     const auto diags = lintFixture("h1_guard.hh");

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Multi-switch fabric tests: dual-star and 2-level fat-tree shapes,
+ * all-pairs ttcp traffic across them (serial), and parallel-engine
+ * smoke runs over a partitioned testbed.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/testbed.hh"
+#include "apps/ttcp.hh"
+#include "net/topology.hh"
+#include "sim/parallel_engine.hh"
+#include "sim/simulation.hh"
+
+using namespace qpip;
+using apps::FabricTopology;
+using apps::SocketsFabric;
+
+namespace {
+
+/** Forwarded-packet count of switch @p name, 0 if unregistered. */
+std::uint64_t
+forwardedOf(sim::Simulation &sim, const std::string &name)
+{
+    const auto *c = sim.stats().counter(name + ".forwarded");
+    return c != nullptr ? c->value() : 0;
+}
+
+} // namespace
+
+TEST(Topology, DualStarShape)
+{
+    sim::Simulation simu(1);
+    net::DualStarFabric fab(simu, "ds", net::gigabitEthernetLink(), 4);
+    for (net::NodeId n = 0; n < 4; ++n)
+        fab.addNode(n);
+    EXPECT_EQ(fab.numSwitches(), 2u);
+    // 4 spokes + 1 trunk.
+    EXPECT_EQ(fab.edges().size(), 5u);
+    EXPECT_EQ(fab.minPropDelay(),
+              net::gigabitEthernetLink().propDelay);
+    // Every host has a spoke.
+    for (net::NodeId n = 0; n < 4; ++n)
+        EXPECT_NO_THROW(fab.linkFor(n));
+    simu.eventQueue().clear();
+}
+
+TEST(Topology, FatTreeShape)
+{
+    sim::Simulation simu(1);
+    net::FatTreeFabric fab(simu, "ft", net::gigabitEthernetLink(), 8,
+                           2, 2);
+    for (net::NodeId n = 0; n < 8; ++n)
+        fab.addNode(n);
+    EXPECT_EQ(fab.numEdgeSwitches(), 4u);
+    EXPECT_EQ(fab.numSpineSwitches(), 2u);
+    EXPECT_EQ(fab.numSwitches(), 6u);
+    // 8 spokes + 4 edges x 2 spines uplinks.
+    EXPECT_EQ(fab.edges().size(), 16u);
+    simu.eventQueue().clear();
+}
+
+TEST(Topology, DualStarAllPairsTtcp)
+{
+    apps::SocketsTestbed bed(4, SocketsFabric::GigabitEthernet, 1,
+                             host::HostCostModel{},
+                             FabricTopology::DualStar);
+    const auto pairs = apps::allPairs(4);
+    ASSERT_EQ(pairs.size(), 12u);
+    const auto r = apps::runSocketsTtcpPairs(bed, pairs, 32 * 1024);
+    EXPECT_TRUE(r.completed);
+    EXPECT_EQ(r.pairsCompleted, 12u);
+    EXPECT_GT(r.aggMbPerSec, 0.0);
+    // Cross-star pairs exist, so both switches and the trunk carry
+    // traffic.
+    EXPECT_GT(forwardedOf(bed.sim(), "fabric.switch0"), 0u);
+    EXPECT_GT(forwardedOf(bed.sim(), "fabric.switch1"), 0u);
+}
+
+TEST(Topology, FatTreeAllPairsTtcp)
+{
+    apps::SocketsTestbed bed(8, SocketsFabric::GigabitEthernet, 1,
+                             host::HostCostModel{},
+                             FabricTopology::FatTree);
+    const auto pairs = apps::allPairs(8);
+    ASSERT_EQ(pairs.size(), 56u);
+    const auto r = apps::runSocketsTtcpPairs(bed, pairs, 16 * 1024);
+    EXPECT_TRUE(r.completed);
+    EXPECT_EQ(r.pairsCompleted, 56u);
+    // Every edge and spine switch forwards something under all-pairs.
+    for (const auto name :
+         {"fabric.edge0", "fabric.edge1", "fabric.edge2",
+          "fabric.edge3", "fabric.spine0", "fabric.spine1"}) {
+        EXPECT_GT(forwardedOf(bed.sim(), name), 0u) << name;
+    }
+}
+
+TEST(Topology, DualStarParallelSocketsSmoke)
+{
+    apps::SocketsTestbed bed(8, SocketsFabric::GigabitEthernet, 1,
+                             host::HostCostModel{},
+                             FabricTopology::DualStar);
+    bed.enableParallel(2);
+    ASSERT_NE(bed.engine(), nullptr);
+    // 8 host partitions + 2 switch partitions.
+    EXPECT_EQ(bed.engine()->numPartitions(), 10u);
+    EXPECT_EQ(bed.engine()->lookahead(), bed.fabric().minPropDelay());
+
+    // Ring traffic: every host sends to its clockwise neighbour.
+    std::vector<apps::TtcpPair> pairs;
+    for (std::size_t i = 0; i < 8; ++i)
+        pairs.push_back(apps::TtcpPair{i, (i + 1) % 8});
+    const auto r = apps::runSocketsTtcpPairs(bed, pairs, 32 * 1024);
+    EXPECT_TRUE(r.completed);
+    EXPECT_EQ(r.pairsCompleted, 8u);
+    EXPECT_GT(bed.engine()->epochs(), 0u);
+    EXPECT_GT(bed.engine()->executed(), 0u);
+}
+
+TEST(Topology, DualStarParallelQpipSmoke)
+{
+    apps::QpipTestbed bed(2, apps::qpipNativeMtu, 1,
+                          nic::QpipNicParams{}, host::HostCostModel{},
+                          apps::IpFamily::V6,
+                          FabricTopology::DualStar);
+    bed.enableParallel(2);
+    ASSERT_NE(bed.engine(), nullptr);
+    // Hosts 0 and 1 sit on different stars: the transfer crosses the
+    // trunk and two partition boundaries each way.
+    const auto r = apps::runQpipTtcp(bed, 64 * 1024);
+    EXPECT_TRUE(r.completed);
+    EXPECT_GT(r.mbPerSec, 0.0);
+    EXPECT_GT(bed.engine()->epochs(), 0u);
+}

@@ -87,6 +87,7 @@ waiverToken(const std::string &rule)
     if (rule == "D2") return "unordered-iter-ok";
     if (rule == "L1") return "layer-ok";
     if (rule == "W1") return "wire-ok";
+    if (rule == "T1") return "thread-ok";
     return "";
 }
 
@@ -468,6 +469,54 @@ ruleW1(Ctx &ctx)
     }
 }
 
+// --- T1: threading primitives outside the sim layer ---------------
+
+/**
+ * The parallel engine (src/sim) is the one place allowed to spawn
+ * threads and synchronize: every other layer runs single-threaded
+ * within its partition, and ad-hoc locking there would hide
+ * scheduling nondeterminism the engine's barrier protocol exists to
+ * prevent. Model-level concurrency belongs in events, not threads.
+ */
+void
+ruleT1(Ctx &ctx)
+{
+    static const std::regex incRe(
+        R"(^\s*#\s*include\s*<(thread|mutex|shared_mutex|atomic|)"
+        R"(condition_variable|stop_token|barrier|latch|semaphore|)"
+        R"(future)>)");
+    static const std::regex useRe(
+        R"(\bstd\s*::\s*(thread|jthread|mutex|recursive_mutex|)"
+        R"(timed_mutex|recursive_timed_mutex|shared_mutex|)"
+        R"(shared_timed_mutex|condition_variable|)"
+        R"(condition_variable_any|atomic\w*|lock_guard|unique_lock|)"
+        R"(scoped_lock|shared_lock|promise|future|async|call_once|)"
+        R"(once_flag)\b)");
+    static const std::regex tlsRe(R"(\bthread_local\b)");
+    for (std::size_t i = 0; i < ctx.lx.code.size(); ++i) {
+        const std::string &l = ctx.lx.code[i];
+        std::smatch m;
+        if (std::regex_search(l, m, incRe)) {
+            ctx.add("T1", i,
+                    "#include <" + m[1].str() +
+                        "> outside src/sim: threading primitives "
+                        "live in the parallel engine; partitioned "
+                        "code is single-threaded");
+        } else if (std::regex_search(l, m, useRe)) {
+            ctx.add("T1", i,
+                    "std::" + m[1].str() +
+                        " outside src/sim: the parallel engine owns "
+                        "all synchronization; model concurrency with "
+                        "events, not threads");
+        } else if (std::regex_search(l, tlsRe)) {
+            ctx.add("T1", i,
+                    "thread_local outside src/sim: per-thread state "
+                    "in model code hides scheduling dependence; bind "
+                    "state to the SimObject or partition instead");
+        }
+    }
+}
+
 // --- H1: header guard style ---------------------------------------
 
 void
@@ -499,6 +548,8 @@ lintFile(const std::string &path, const std::string &contents)
         ruleD2(ctx);
         if (!wireAllowlisted(path))
             ruleW1(ctx);
+        if (layer != Layer::Sim)
+            ruleT1(ctx);
     }
     ruleL1(ctx);
     if (isHeader(path))

@@ -14,6 +14,9 @@
  *       <- {tests, bench, examples};
  *   W1  wire-format hygiene: no reinterpret_cast or memcpy outside
  *       the designated serializers (inet/checksum.*, net/serialize.*);
+ *   T1  threading primitives (std::thread/mutex/atomic/..., the
+ *       matching headers, thread_local) only under src/sim — the
+ *       parallel engine owns all synchronization;
  *   H1  every header uses '#pragma once'.
  *
  * A violation line may carry a waiver comment
