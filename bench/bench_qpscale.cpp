@@ -1,0 +1,271 @@
+/**
+ * @file
+ * QP-scale benchmark: completion rate versus QP count under a finite
+ * QP-context cache. The 133 MHz LANai keeps QP context blocks in its
+ * 2 MB SRAM; once the active working set outgrows the cache (default
+ * 1024 contexts), every doorbell and receive touches a cold context
+ * and pays the fetch (plus a writeback for the victim) through the
+ * serialized firmware processor. A round-robin send pattern across N
+ * QPs is the worst case: N at or below the capacity never misses, N
+ * above it misses on essentially every touch — the context-cache
+ * thrash cliff.
+ *
+ * One server host parks N reliable QPs on a shared receive queue; one
+ * client host connects N QPs and streams 1-byte messages round-robin
+ * with a bounded outstanding window. The recorded metric is
+ * completions per simulated second (firmware-bound, so wall time does
+ * not matter), plus the cache hit/miss/eviction counters that explain
+ * it.
+ *
+ * Output is a JSON report (default ./BENCH_qpscale.json, override
+ * with --out=<path>). Knobs: QPIP_QPSCALE_MSGS (messages per point,
+ * default 16384), QPIP_QPSCALE_CACHE (cache capacity, default 1024),
+ * QPIP_QPSCALE_MAXQPS (largest point, default 16384). Everything
+ * simulated is seed-1 deterministic; like bench_simspeed, this lives
+ * in bench/ and may look at the wall clock for the convenience
+ * columns only.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apps/testbed.hh"
+#include "apps/verbs_util.hh"
+
+using namespace qpip;
+using namespace qpip::apps;
+
+namespace {
+
+struct Point
+{
+    std::size_t qps = 0;
+    std::uint64_t messages = 0;
+    sim::Tick simTicks = 0;
+    double completionsPerSimSec = 0.0;
+    std::uint64_t txHits = 0, txMisses = 0, txEvictions = 0;
+    std::uint64_t rxHits = 0, rxMisses = 0, rxEvictions = 0;
+    double wallSeconds = 0.0;
+    bool completed = false;
+};
+
+std::size_t
+envKnob(const char *name, std::size_t fallback)
+{
+    if (const char *env = std::getenv(name)) {
+        const long v = std::atol(env);
+        if (v > 0)
+            return static_cast<std::size_t>(v);
+    }
+    return fallback;
+}
+
+Point
+runPoint(std::size_t n_qps, std::uint64_t messages,
+         std::size_t cache_capacity)
+{
+    nic::QpipNicParams params;
+    params.qpCacheCapacity = cache_capacity;
+    QpipTestbed bed(2, qpipNativeMtu, 1, params);
+    auto &client = bed.provider(0);
+    auto &server = bed.provider(1);
+
+    constexpr std::size_t srqDepth = 256;
+    constexpr std::size_t window = 64; // outstanding sends
+
+    auto scq = server.createCq(1 << 16);
+    auto ccq = client.createCq(1 << 16);
+    auto srq = server.createSrq(1 << 16);
+    std::vector<std::uint8_t> rbuf(srqDepth), sbuf(1);
+    auto rmr = server.registerMemory(rbuf);
+    auto smr = client.registerMemory(sbuf);
+    std::uint64_t srqPosted = 0;
+    for (; srqPosted < srqDepth; ++srqPosted)
+        srq->postRecv(srqPosted, *rmr, srqPosted % srqDepth, 1);
+
+    verbs::QpAttrs server_attrs;
+    server_attrs.srq = srq;
+    verbs::Acceptor acc(server, 700, scq, scq);
+    std::vector<std::shared_ptr<verbs::QueuePair>> serverQps;
+    serverQps.reserve(n_qps);
+    for (std::size_t i = 0; i < n_qps; ++i) {
+        acc.acceptOne(
+            [&](std::shared_ptr<verbs::QueuePair> q) {
+                serverQps.push_back(std::move(q));
+            },
+            server_attrs);
+    }
+
+    std::vector<std::shared_ptr<verbs::QueuePair>> clientQps;
+    clientQps.reserve(n_qps);
+    std::size_t connected = 0;
+    for (std::size_t i = 0; i < n_qps; ++i) {
+        // Send ring sized to the global window: a single QP can end
+        // up holding every outstanding send at small N.
+        auto qp = client.createQp(nic::QpType::ReliableTcp, ccq, ccq,
+                                  verbs::QpAttrs{window, 0, nullptr, 0});
+        qp->connect(bed.addr(1, 700),
+                    [&](bool ok) { connected += ok ? 1 : 0; });
+        clientQps.push_back(std::move(qp));
+    }
+    Point p;
+    p.qps = n_qps;
+    p.messages = messages;
+    if (!bed.sim().runUntilCondition(
+            [&] {
+                return connected == n_qps &&
+                       serverQps.size() == n_qps;
+            },
+            bed.sim().now() + 600 * sim::oneSec)) {
+        return p; // connect storm stalled: report incomplete
+    }
+
+    // Steady state starts here: count only the messaging phase.
+    const auto &txc = bed.nicOf(0).qpCache();
+    const auto &rxc = bed.nicOf(1).qpCache();
+    const std::uint64_t txHits0 = txc.hits.value();
+    const std::uint64_t txMiss0 = txc.misses.value();
+    const std::uint64_t txEvict0 = txc.evictions.value();
+    const std::uint64_t rxHits0 = rxc.hits.value();
+    const std::uint64_t rxMiss0 = rxc.misses.value();
+    const std::uint64_t rxEvict0 = rxc.evictions.value();
+    const sim::Tick t0 = bed.sim().now();
+    const auto wall0 = std::chrono::steady_clock::now();
+
+    std::uint64_t received = 0;
+    waitLoop(*scq, [&](verbs::Completion c) {
+        if (c.isSend)
+            return;
+        ++received;
+        srq->postRecv(srqPosted, *rmr, srqPosted % srqDepth, 1);
+        ++srqPosted;
+    });
+
+    // Round-robin across all QPs — the cache's worst case.
+    std::uint64_t sent = 0;
+    std::size_t nextQp = 0;
+    auto sendNext = [&] {
+        if (sent >= messages)
+            return;
+        if (!clientQps[nextQp]->postSend(sent, *smr, 0, 1)) {
+            std::fprintf(stderr, "send ring overflow at qp %zu\n",
+                         nextQp);
+            std::exit(1);
+        }
+        nextQp = (nextQp + 1) % n_qps;
+        ++sent;
+    };
+    waitLoop(*ccq, [&](verbs::Completion c) {
+        if (c.isSend)
+            sendNext();
+    });
+    for (std::size_t i = 0; i < window && i < messages; ++i)
+        sendNext();
+
+    p.completed = bed.sim().runUntilCondition(
+        [&] { return received >= messages; },
+        bed.sim().now() + 36000 * sim::oneSec);
+
+    const auto wall1 = std::chrono::steady_clock::now();
+    p.simTicks = bed.sim().now() - t0;
+    p.wallSeconds =
+        std::chrono::duration<double>(wall1 - wall0).count();
+    p.completionsPerSimSec =
+        p.simTicks > 0
+            ? static_cast<double>(received) /
+                  (static_cast<double>(p.simTicks) /
+                   static_cast<double>(sim::oneSec))
+            : 0.0;
+    p.txHits = txc.hits.value() - txHits0;
+    p.txMisses = txc.misses.value() - txMiss0;
+    p.txEvictions = txc.evictions.value() - txEvict0;
+    p.rxHits = rxc.hits.value() - rxHits0;
+    p.rxMisses = rxc.misses.value() - rxMiss0;
+    p.rxEvictions = rxc.evictions.value() - rxEvict0;
+    return p;
+}
+
+void
+writeJson(const std::vector<Point> &points, std::size_t cache,
+          const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        std::exit(1);
+    }
+    std::fprintf(f, "{\n  \"benchmark\": \"qpscale\",\n");
+    std::fprintf(f, "  \"qpCacheCapacity\": %zu,\n", cache);
+    std::fprintf(f, "  \"points\": [\n");
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const auto &p = points[i];
+        std::fprintf(
+            f,
+            "    {\"qps\": %zu, \"completed\": %s, "
+            "\"messages\": %llu, \"simTicks\": %llu, "
+            "\"completionsPerSimSec\": %.0f, "
+            "\"txCtx\": {\"hits\": %llu, \"misses\": %llu, "
+            "\"evictions\": %llu}, "
+            "\"rxCtx\": {\"hits\": %llu, \"misses\": %llu, "
+            "\"evictions\": %llu}, "
+            "\"wallSeconds\": %.3f}%s\n",
+            p.qps, p.completed ? "true" : "false",
+            static_cast<unsigned long long>(p.messages),
+            static_cast<unsigned long long>(p.simTicks),
+            p.completionsPerSimSec,
+            static_cast<unsigned long long>(p.txHits),
+            static_cast<unsigned long long>(p.txMisses),
+            static_cast<unsigned long long>(p.txEvictions),
+            static_cast<unsigned long long>(p.rxHits),
+            static_cast<unsigned long long>(p.rxMisses),
+            static_cast<unsigned long long>(p.rxEvictions),
+            p.wallSeconds, i + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out = "BENCH_qpscale.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--out=", 6) == 0)
+            out = argv[i] + 6;
+    }
+    const auto messages =
+        static_cast<std::uint64_t>(envKnob("QPIP_QPSCALE_MSGS", 16384));
+    const std::size_t cache = envKnob("QPIP_QPSCALE_CACHE", 1024);
+    const std::size_t maxQps = envKnob("QPIP_QPSCALE_MAXQPS", 16384);
+
+    std::vector<Point> points;
+    std::printf("=== completion rate vs QP count (cache %zu contexts, "
+                "%llu msgs/point) ===\n",
+                cache, static_cast<unsigned long long>(messages));
+    std::printf("%8s %14s %16s %12s %12s %10s\n", "qps", "msgs",
+                "compl/simsec", "txMisses", "rxMisses", "wall_s");
+    bool all_ok = true;
+    for (std::size_t n = 16; n <= maxQps; n *= 4) {
+        auto p = runPoint(n, messages, cache);
+        std::printf("%8zu %14llu %16.0f %12llu %12llu %10.2f%s\n",
+                    p.qps,
+                    static_cast<unsigned long long>(p.messages),
+                    p.completionsPerSimSec,
+                    static_cast<unsigned long long>(p.txMisses),
+                    static_cast<unsigned long long>(p.rxMisses),
+                    p.wallSeconds,
+                    p.completed ? "" : "  [INCOMPLETE]");
+        all_ok = all_ok && p.completed;
+        points.push_back(p);
+    }
+    writeJson(points, cache, out);
+    std::printf("\nwrote %s\n", out.c_str());
+    return all_ok ? 0 : 1;
+}

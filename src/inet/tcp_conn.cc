@@ -1049,7 +1049,7 @@ TcpConnection::processData(const TcpHeader &hdr,
                 // Retransmission of the segment we already hold.
                 return;
             }
-            if (!observer_.canAcceptMessage(*this, payload.size())) {
+            if (!observer_.canAcceptMessage(*this, payload)) {
                 // No receive WR posted: retain the message un-ACKed
                 // until the application posts one.
                 stats_.msgRefused.inc();
@@ -1148,7 +1148,7 @@ TcpConnection::onReceiveWindowGrew()
         return;
 
     if (holdingMessage_ &&
-        observer_.canAcceptMessage(*this, heldMessage_.size())) {
+        observer_.canAcceptMessage(*this, heldMessage_)) {
         std::vector<std::uint8_t> msg = std::move(heldMessage_);
         heldMessage_.clear();
         holdingMessage_ = false;

@@ -159,11 +159,14 @@ class TcpObserver
     {}
 
     /**
-     * Message mode: may the connection accept a message of this size
-     * right now (is a receive WR posted)? Refusal drops the segment
+     * Message mode: may the connection accept this message right now
+     * (is a receive WR posted)? The payload is passed so protocol
+     * observers can peek a framing opcode — one-sided RDMA ops are
+     * admitted without a posted WR. Refusal drops the segment
      * un-ACKed; the peer retransmits.
      */
-    virtual bool canAcceptMessage(TcpConnection &, std::size_t)
+    virtual bool canAcceptMessage(TcpConnection &,
+                                  std::span<const std::uint8_t>)
     {
         return true;
     }

@@ -13,4 +13,108 @@ ByteReader::bytes(std::uint8_t *dst, std::size_t n)
     pos_ += n;
 }
 
+const char *
+rdmaOpcodeName(RdmaOpcode op)
+{
+    switch (op) {
+      case RdmaOpcode::Send: return "send";
+      case RdmaOpcode::Write: return "write";
+      case RdmaOpcode::ReadReq: return "read-req";
+      case RdmaOpcode::WriteAck: return "write-ack";
+      case RdmaOpcode::ReadResp: return "read-resp";
+    }
+    return "?";
+}
+
+std::size_t
+rdmaHeaderBytes(RdmaOpcode op)
+{
+    switch (op) {
+      case RdmaOpcode::Send:
+        return 1;
+      case RdmaOpcode::Write: // op + opId + raddr + rkey
+        return 1 + 8 + 8 + 4;
+      case RdmaOpcode::ReadReq: // op + opId + raddr + rkey + length
+        return 1 + 8 + 8 + 4 + 4;
+      case RdmaOpcode::WriteAck: // op + opId + status
+      case RdmaOpcode::ReadResp:
+        return 1 + 8 + 1;
+    }
+    return 0;
+}
+
+std::vector<std::uint8_t>
+serializeRdmaMessage(const RdmaHeader &hdr,
+                     std::span<const std::uint8_t> payload)
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(rdmaHeaderBytes(hdr.opcode) + payload.size());
+    ByteWriter w(out);
+    w.u8(static_cast<std::uint8_t>(hdr.opcode));
+    switch (hdr.opcode) {
+      case RdmaOpcode::Send:
+        break;
+      case RdmaOpcode::Write:
+        w.u64(hdr.opId);
+        w.u64(hdr.raddr);
+        w.u32(hdr.rkey);
+        break;
+      case RdmaOpcode::ReadReq:
+        w.u64(hdr.opId);
+        w.u64(hdr.raddr);
+        w.u32(hdr.rkey);
+        w.u32(hdr.length);
+        break;
+      case RdmaOpcode::WriteAck:
+      case RdmaOpcode::ReadResp:
+        w.u64(hdr.opId);
+        w.u8(static_cast<std::uint8_t>(hdr.status));
+        break;
+    }
+    w.bytes(payload);
+    return out;
+}
+
+bool
+parseRdmaMessage(std::span<const std::uint8_t> msg, RdmaHeader &out,
+                 std::span<const std::uint8_t> &payload)
+{
+    ByteReader r(msg);
+    const std::uint8_t op = r.u8();
+    if (!r.ok() ||
+        op > static_cast<std::uint8_t>(RdmaOpcode::ReadResp)) {
+        return false;
+    }
+    out = RdmaHeader{};
+    out.opcode = static_cast<RdmaOpcode>(op);
+    switch (out.opcode) {
+      case RdmaOpcode::Send:
+        break;
+      case RdmaOpcode::Write:
+        out.opId = r.u64();
+        out.raddr = r.u64();
+        out.rkey = r.u32();
+        break;
+      case RdmaOpcode::ReadReq:
+        out.opId = r.u64();
+        out.raddr = r.u64();
+        out.rkey = r.u32();
+        out.length = r.u32();
+        break;
+      case RdmaOpcode::WriteAck:
+      case RdmaOpcode::ReadResp: {
+        out.opId = r.u64();
+        const std::uint8_t st = r.u8();
+        if (st > static_cast<std::uint8_t>(RdmaWireStatus::RemoteAccess))
+            return false;
+        out.status = static_cast<RdmaWireStatus>(st);
+        break;
+      }
+    }
+    if (!r.ok())
+        return false;
+    payload = r.rest();
+    return true;
+}
+
 } // namespace qpip::net

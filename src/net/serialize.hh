@@ -1,9 +1,11 @@
 /**
  * @file
  * Bounds-checked big-endian (network byte order) serialization used by
- * every protocol header in src/inet. Readers fail soft: out-of-bounds
- * reads return zero and latch !ok(), so corrupted packets can be
- * parsed defensively and then discarded.
+ * every protocol header in src/inet, plus the QPIP RDMA message
+ * framing (a RETH-style extended transport header carried inside the
+ * TCP message payload on RDMA-enabled QPs). Readers fail soft:
+ * out-of-bounds reads return zero and latch !ok(), so corrupted
+ * packets can be parsed defensively and then discarded.
  */
 
 #pragma once
@@ -165,5 +167,62 @@ class ByteReader
     std::size_t pos_ = 0;
     bool ok_ = true;
 };
+
+// ---------------------------------------------------------------------
+// QPIP RDMA message framing
+// ---------------------------------------------------------------------
+
+/**
+ * Per-message transport opcode on RDMA-enabled QPs. The opcode is the
+ * first byte of every TCP message; legacy (non-RDMA) QPs carry raw
+ * payloads and never see these.
+ */
+enum class RdmaOpcode : std::uint8_t {
+    Send = 0,      ///< two-sided send, consumes a receive WR
+    Write = 1,     ///< one-sided write; RETH + payload
+    ReadReq = 2,   ///< one-sided read request; RETH + length
+    WriteAck = 3,  ///< responder's completion of a Write
+    ReadResp = 4,  ///< responder's reply to a ReadReq (+ payload)
+};
+
+const char *rdmaOpcodeName(RdmaOpcode op);
+
+/** Status carried in WriteAck / ReadResp. */
+enum class RdmaWireStatus : std::uint8_t {
+    Ok = 0,
+    RemoteAccess = 1, ///< bad rkey, out of bounds, or no permission
+};
+
+/**
+ * The decoded framing header. Field validity depends on the opcode:
+ * Write/ReadReq carry the RETH (raddr, rkey); ReadReq also carries
+ * length; responses carry status. opId matches a response to its
+ * request (per-QP, monotonically increasing).
+ */
+struct RdmaHeader
+{
+    RdmaOpcode opcode = RdmaOpcode::Send;
+    std::uint64_t opId = 0;
+    std::uint64_t raddr = 0; ///< byte offset into the remote MR
+    std::uint32_t rkey = 0;
+    std::uint32_t length = 0; ///< ReadReq: bytes requested
+    RdmaWireStatus status = RdmaWireStatus::Ok;
+};
+
+/** Serialized header size for @p op (payload follows immediately). */
+std::size_t rdmaHeaderBytes(RdmaOpcode op);
+
+/** Frame @p payload under @p hdr into one message buffer. */
+std::vector<std::uint8_t>
+serializeRdmaMessage(const RdmaHeader &hdr,
+                     std::span<const std::uint8_t> payload);
+
+/**
+ * Parse a framed message. @return false on truncation or an unknown
+ * opcode; on success @p out is filled and @p payload views the bytes
+ * after the header (inside @p msg).
+ */
+bool parseRdmaMessage(std::span<const std::uint8_t> msg, RdmaHeader &out,
+                      std::span<const std::uint8_t> &payload);
 
 } // namespace qpip::net

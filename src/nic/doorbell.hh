@@ -21,8 +21,11 @@ namespace qpip::nic {
 /** One doorbell record. */
 struct Doorbell
 {
+    /** QP number, or SRQ number when isSrq is set. */
     QpNum qp = invalidQp;
     bool isSend = false;
+    /** Addressed to a shared receive queue instead of a QP. */
+    bool isSrq = false;
 };
 
 /**

@@ -67,6 +67,23 @@ struct FirmwareCostModel
     sim::Cycles updateRxData = us(1.5);
     sim::Cycles updateRxAck = us(9.0);
 
+    // --- one-sided RDMA engine ---------------------------------------
+    /** Build the RETH-style framing header on the requester. */
+    sim::Cycles rdmaHeaderBuild = us(1.5);
+    /** Parse the framing header and dispatch on the opcode. */
+    sim::Cycles rdmaParse = us(1.5);
+    /** Firmware-generated response (WriteAck / ReadResp) assembly. */
+    sim::Cycles rdmaRespBuild = us(2.0);
+
+    // --- QP context cache (LANai SRAM as a finite resource) ----------
+    /**
+     * Fetch a QP context absent from NIC SRAM: DMA the state block
+     * from host memory and rebuild the demux entry.
+     */
+    sim::Cycles qpCtxFetch = us(6.0);
+    /** Write back an evicted (dirty) context to host memory. */
+    sim::Cycles qpCtxWriteback = us(3.0);
+
     // --- management FSM ----------------------------------------------
     sim::Cycles mgmtCommand = us(8.0);
     sim::Cycles timerService = us(1.0);
@@ -147,6 +164,11 @@ infinibandGradeCosts()
     m.updateRxData = FirmwareCostModel::us(0.3);
     m.updateRxAck = FirmwareCostModel::us(0.5);
     m.mgmtCommand = FirmwareCostModel::us(2.0);
+    m.rdmaHeaderBuild = FirmwareCostModel::us(0.3);
+    m.rdmaParse = FirmwareCostModel::us(0.3);
+    m.rdmaRespBuild = FirmwareCostModel::us(0.4);
+    m.qpCtxFetch = FirmwareCostModel::us(1.5);
+    m.qpCtxWriteback = FirmwareCostModel::us(0.8);
     return m;
 }
 

@@ -28,6 +28,8 @@ fwStageName(FwStage s)
       case FwStage::Checksum: return "Checksum";
       case FwStage::Fragment: return "Fragment";
       case FwStage::Reassembly: return "Reassembly";
+      case FwStage::RdmaExec: return "RDMA Exec";
+      case FwStage::CtxFetch: return "Ctx Fetch";
       case FwStage::Mgmt: return "Mgmt";
       case FwStage::Timer: return "Timer";
       case FwStage::NumStages: break;
@@ -56,6 +58,8 @@ fwStageTag(FwStage s)
       case FwStage::Checksum: return "checksum";
       case FwStage::Fragment: return "fragment";
       case FwStage::Reassembly: return "reassembly";
+      case FwStage::RdmaExec: return "rdmaExec";
+      case FwStage::CtxFetch: return "ctxFetch";
       case FwStage::Mgmt: return "mgmt";
       case FwStage::Timer: return "timer";
       case FwStage::NumStages: break;

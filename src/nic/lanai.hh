@@ -37,6 +37,8 @@ enum class FwStage : std::uint8_t {
     Checksum,
     Fragment,
     Reassembly,
+    RdmaExec,  ///< one-sided op header build/parse/execute/respond
+    CtxFetch,  ///< QP context cache miss service (fetch/writeback)
     Mgmt,
     Timer,
     NumStages,

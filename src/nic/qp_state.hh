@@ -24,8 +24,10 @@ namespace qpip::nic {
 
 using QpNum = std::uint32_t;
 using MrKey = std::uint32_t;
+using SrqNum = std::uint32_t;
 
 constexpr QpNum invalidQp = 0;
+constexpr SrqNum invalidSrq = 0;
 
 /** QP service type. */
 enum class QpType : std::uint8_t {
@@ -39,9 +41,32 @@ enum class WcStatus : std::uint8_t {
     LengthError,  ///< message larger than the posted receive buffer
     Flushed,      ///< QP torn down with the WR outstanding
     RemoteReset,  ///< connection reset under the WR
+    RemoteAccessError, ///< one-sided op refused: rkey/bounds/rights
 };
 
 const char *wcStatusName(WcStatus s);
+
+/** Work-request operation (send queue). */
+enum class WrOpcode : std::uint8_t {
+    Send,      ///< two-sided, consumes a remote receive WR
+    RdmaWrite, ///< one-sided write into a remote MR
+    RdmaRead,  ///< one-sided read from a remote MR
+};
+
+const char *wrOpcodeName(WrOpcode op);
+
+/**
+ * Memory-registration access rights, a bitmask. Local access is
+ * always granted; remote rights are opt-in at registration time, and
+ * one-sided ops against a region lacking them complete in
+ * WcStatus::RemoteAccessError on the requester.
+ */
+using MrAccess = std::uint8_t;
+constexpr MrAccess accessLocal = 0x1;
+constexpr MrAccess accessRemoteRead = 0x2;
+constexpr MrAccess accessRemoteWrite = 0x4;
+constexpr MrAccess accessRemoteRw =
+    accessRemoteRead | accessRemoteWrite;
 
 /** One scatter/gather element into registered memory. */
 struct Sge
@@ -55,9 +80,14 @@ struct Sge
 struct SendWr
 {
     std::uint64_t id = 0;
+    WrOpcode opcode = WrOpcode::Send;
     Sge sge;
     /** Destination for UD QPs (ignored on connected QPs). */
     inet::SockAddr remote;
+    /** One-sided ops: byte offset into the remote MR. */
+    std::uint64_t raddr = 0;
+    /** One-sided ops: the remote MR's key. */
+    MrKey rkey = 0;
 };
 
 /** A receive work request. */
@@ -73,6 +103,7 @@ struct Completion
     std::uint64_t wrId = 0;
     QpNum qp = invalidQp;
     bool isSend = false;
+    WrOpcode opcode = WrOpcode::Send;
     WcStatus status = WcStatus::Success;
     std::size_t byteLen = 0;
     /** Source of a UD receive. */
@@ -86,6 +117,15 @@ struct Completion
 struct QpHostRings
 {
     std::deque<SendWr> sendQ;
+    std::deque<RecvWr> recvQ;
+};
+
+/**
+ * The host-memory ring of a shared receive queue: receive WRs that
+ * any attached QP may consume, in post order.
+ */
+struct SrqHostRing
+{
     std::deque<RecvWr> recvQ;
 };
 
@@ -151,27 +191,35 @@ class CqRing
 class MrTable
 {
   public:
-    /** Register @p bytes of memory at @p base under a fresh key. */
+    /**
+     * Register @p bytes of memory at @p base under a fresh key with
+     * the given access rights (local access is always implied).
+     */
     MrKey
-    registerMemory(std::uint8_t *base, std::size_t bytes)
+    registerMemory(std::uint8_t *base, std::size_t bytes,
+                   MrAccess access = accessLocal)
     {
         const MrKey key = nextKey_++;
-        table_[key] = Region{base, bytes};
+        table_[key] = Region{base, bytes,
+                             static_cast<MrAccess>(access | accessLocal)};
         return key;
     }
 
     void deregister(MrKey key) { table_.erase(key); }
 
     /**
-     * Resolve an SGE to a host pointer, validating bounds.
-     * @return nullptr if the key is unknown or the range is out of
-     *         bounds — the NIC completes such WRs in error.
+     * Resolve an SGE to a host pointer, validating bounds and access
+     * rights. @return nullptr if the key is unknown, the range is out
+     * of bounds, or the region lacks any bit of @p required — the NIC
+     * completes such WRs in error.
      */
     std::uint8_t *
-    resolve(const Sge &sge) const
+    resolve(const Sge &sge, MrAccess required = accessLocal) const
     {
         auto it = table_.find(sge.key);
         if (it == table_.end())
+            return nullptr;
+        if ((it->second.access & required) != required)
             return nullptr;
         if (sge.offset + sge.length > it->second.bytes)
             return nullptr;
@@ -185,6 +233,7 @@ class MrTable
     {
         std::uint8_t *base = nullptr;
         std::size_t bytes = 0;
+        MrAccess access = accessLocal;
     };
 
     /** Ordered by key so any future scan is replay-deterministic. */

@@ -19,6 +19,18 @@ wcStatusName(WcStatus s)
       case WcStatus::LengthError: return "length-error";
       case WcStatus::Flushed: return "flushed";
       case WcStatus::RemoteReset: return "remote-reset";
+      case WcStatus::RemoteAccessError: return "remote-access-error";
+    }
+    return "?";
+}
+
+const char *
+wrOpcodeName(WrOpcode op)
+{
+    switch (op) {
+      case WrOpcode::Send: return "send";
+      case WrOpcode::RdmaWrite: return "rdma-write";
+      case WrOpcode::RdmaRead: return "rdma-read";
     }
     return "?";
 }
@@ -46,6 +58,25 @@ QpipNicParams::defaultFirmwareTcpConfig()
 // QpContext
 // ---------------------------------------------------------------------
 
+/**
+ * NIC-side state of one shared receive queue: the doorbell-FSM shadow
+ * of the host ring plus the attach list (in attach order, so window
+ * redelivery after a replenish is deterministic). SRQ contexts are
+ * pinned in SRAM — they are shared infrastructure like the demux
+ * table, not per-QP state, so they don't flow through the QP context
+ * cache.
+ */
+struct QpipNic::SrqContext
+{
+    SrqNum num = invalidSrq;
+    SrqHostRing *ring = nullptr;
+    std::uint64_t seen = 0;
+    std::uint64_t consumed = 0;
+    std::uint32_t postedCount = 0;
+    std::uint64_t postedBytes = 0;
+    std::vector<QpContext *> attached;
+};
+
 struct QpipNic::QpContext : public inet::TcpObserver,
                             public inet::UdpEndpoint
 {
@@ -60,6 +91,11 @@ struct QpipNic::QpContext : public inet::TcpObserver,
     QpHostRings *rings;
     CqRing *scq;
     CqRing *rcq;
+
+    /** Receive WRs come from here instead of rings->recvQ when set. */
+    SrqContext *srq = nullptr;
+    /** Non-zero: RDMA framing on, one-sided window in bytes. */
+    std::uint32_t rdmaWindow = 0;
 
     inet::SockAddr local;
     bool bound = false;
@@ -77,18 +113,47 @@ struct QpipNic::QpContext : public inet::TcpObserver,
     std::uint32_t postedRecvCount = 0;
     std::uint64_t postedRecvBytes = 0;
 
-    // Sent-but-unacked send WRs, completion in FIFO order.
-    std::deque<std::pair<std::uint64_t, SendWr>> inflightSends;
+    /** What an unacked TCP message was carrying. */
+    enum class TxKind : std::uint8_t {
+        Send,    ///< a plain send WR: completes on the TCP ACK
+        RdmaReq, ///< Write/ReadReq: completes on the explicit response
+        FwResp,  ///< firmware-generated WriteAck/ReadResp: no WR
+    };
+
+    struct Inflight
+    {
+        std::uint64_t tag = 0;
+        TxKind kind = TxKind::Send;
+        SendWr wr;
+    };
+
+    // Sent-but-unacked TCP messages, ACKed in FIFO order.
+    std::deque<Inflight> inflightSends;
     std::uint64_t nextTag = 1;
+
+    // One-sided ops awaiting their response, answered in FIFO order
+    // (responses ride the same TCP stream as the requests).
+    std::deque<std::pair<std::uint64_t, SendWr>> pendingRdma;
+    std::uint64_t nextRdmaId = 1;
+
+    bool
+    recvWrAvailable() const
+    {
+        return srq != nullptr ? srq->postedCount > 0
+                              : postedRecvCount > 0;
+    }
 
     // --- inet::UdpEndpoint --------------------------------------------
     void
     udpDeliver(std::vector<std::uint8_t> &&msg,
                const inet::SockAddr &from) override
     {
-        if (postedRecvCount == 0) {
+        if (!recvWrAvailable()) {
             // Unreliable service: no posted WR, the datagram is gone.
-            nic.udpNoWrDrops.inc();
+            if (srq != nullptr)
+                nic.srqEmptyDrops.inc();
+            else
+                nic.udpNoWrDrops.inc();
             return;
         }
         nic.receiveIntoWr(*this, std::move(msg), from);
@@ -111,15 +176,31 @@ struct QpipNic::QpContext : public inet::TcpObserver,
     }
 
     bool
-    canAcceptMessage(inet::TcpConnection &, std::size_t) override
+    canAcceptMessage(inet::TcpConnection &,
+                     std::span<const std::uint8_t> payload) override
     {
-        return postedRecvCount > 0;
+        // One-sided ops and responses consume no receive WR: peek the
+        // framing opcode and wave anything but a Send through.
+        if (rdmaWindow > 0 && !payload.empty() &&
+            payload[0] !=
+                static_cast<std::uint8_t>(net::RdmaOpcode::Send)) {
+            return true;
+        }
+        const bool avail = recvWrAvailable();
+        if (!avail && srq != nullptr)
+            nic.srqRnrHolds.inc();
+        return avail;
     }
 
     void
     onMessage(inet::TcpConnection &conn_ref,
               std::vector<std::uint8_t> &&msg) override
     {
+        if (rdmaWindow > 0) {
+            nic.handleRdmaMessage(*this, std::move(msg),
+                                  conn_ref.tuple().remote);
+            return;
+        }
         nic.receiveIntoWr(*this, std::move(msg),
                           conn_ref.tuple().remote);
     }
@@ -127,18 +208,24 @@ struct QpipNic::QpContext : public inet::TcpObserver,
     void
     onMessageAcked(inet::TcpConnection &, std::uint64_t tag) override
     {
-        if (inflightSends.empty() || inflightSends.front().first != tag)
+        if (inflightSends.empty() || inflightSends.front().tag != tag)
             sim::panic("qp%u: send completion out of order", num);
-        SendWr wr = std::move(inflightSends.front().second);
+        Inflight fly = std::move(inflightSends.front());
         inflightSends.pop_front();
+        nic.touchQpContext(num);
         // Table 3 "Update" (ACK): WR status + QP state writeback.
         nic.fw_.charge(FwStage::UpdateRx, nic.costs().updateRxAck);
+        if (fly.kind != TxKind::Send) {
+            // One-sided requests complete on their response;
+            // firmware responses carry no WR at all.
+            return;
+        }
         Completion c;
-        c.wrId = wr.id;
+        c.wrId = fly.wr.id;
         c.qp = num;
         c.isSend = true;
         c.status = WcStatus::Success;
-        c.byteLen = wr.sge.length;
+        c.byteLen = fly.wr.sge.length;
         nic.pushCompletion(scq, c);
     }
 
@@ -172,8 +259,13 @@ struct QpipNic::QpContext : public inet::TcpObserver,
     std::uint32_t
     receiveWindow(inet::TcpConnection &) override
     {
+        // Posted receive-WR bytes (own ring or the shared queue's),
+        // plus the standing one-sided window on RDMA-enabled QPs so
+        // Write/Read traffic flows with zero WRs posted.
+        const std::uint64_t posted =
+            srq != nullptr ? srq->postedBytes : postedRecvBytes;
         return static_cast<std::uint32_t>(std::min<std::uint64_t>(
-            postedRecvBytes, 0xffffffffull));
+            posted + rdmaWindow, 0xffffffffull));
     }
 };
 
@@ -189,8 +281,8 @@ QpipNic::QpipNic(sim::Simulation &sim, std::string name, net::Link &link,
       dmaIn_(sim, this->name() + ".dma_in", params.dma),
       dmaOut_(sim, this->name() + ".dma_out", params.dma),
       doorbells_(sim, this->name() + ".doorbells", params.doorbellCap),
-      inet_(*this, params.reassExpiry), badPackets(inet_.badFrames),
-      noQpDrops(inet_.noMatchDrops)
+      qpCache_(params.qpCacheCapacity), inet_(*this, params.reassExpiry),
+      badPackets(inet_.badFrames), noQpDrops(inet_.noMatchDrops)
 {
     // Force the prototype's transport subset regardless of overrides.
     params_.tcp.messageMode = true;
@@ -199,6 +291,16 @@ QpipNic::QpipNic(sim::Simulation &sim, std::string name, net::Link &link,
     regStat("noQpDrops", noQpDrops);
     regStat("udpNoWrDrops", udpNoWrDrops);
     regStat("cqOverflows", cqOverflows);
+    regStat("rdma.writes", rdmaWrites);
+    regStat("rdma.reads", rdmaReads);
+    regStat("rdma.remoteErrors", rdmaRemoteErrors);
+    regStat("rdma.malformed", rdmaMalformed);
+    regStat("srq.rnrHolds", srqRnrHolds);
+    regStat("srq.emptyDrops", srqEmptyDrops);
+    regStat("qpCache.hits", qpCache_.hits);
+    regStat("qpCache.misses", qpCache_.misses);
+    regStat("qpCache.evictions", qpCache_.evictions);
+    regStat("qpCache.writebacks", ctxWritebacks);
     regStat("reass.fragmentsIn", inet_.reassembler().fragmentsIn);
     regStat("reass.reassembled", inet_.reassembler().reassembled);
     regStat("reass.expired", inet_.reassembler().expired);
@@ -226,10 +328,11 @@ QpipNic::setAddress(const inet::InetAddr &addr)
 }
 
 MrKey
-QpipNic::registerMemory(std::uint8_t *base, std::size_t bytes)
+QpipNic::registerMemory(std::uint8_t *base, std::size_t bytes,
+                        MrAccess access)
 {
     fw_.charge(FwStage::Mgmt, params_.costs.mgmtCommand);
-    return mrs_.registerMemory(base, bytes);
+    return mrs_.registerMemory(base, bytes, access);
 }
 
 void
@@ -241,12 +344,31 @@ QpipNic::deregisterMemory(MrKey key)
 
 QpNum
 QpipNic::createQp(QpType type, QpHostRings *rings, CqRing *scq,
-                  CqRing *rcq)
+                  CqRing *rcq, const QpCreateAttrs &attrs)
 {
     fw_.charge(FwStage::Mgmt, params_.costs.mgmtCommand);
     const QpNum num = nextQpNum_++;
-    qps_[num] = std::make_unique<QpContext>(*this, num, type, rings,
-                                            scq, rcq);
+    auto ctx = std::make_unique<QpContext>(*this, num, type, rings,
+                                           scq, rcq);
+    if (attrs.srq != invalidSrq) {
+        auto it = srqs_.find(attrs.srq);
+        if (it == srqs_.end())
+            sim::fatal("createQp: unknown srq %u", attrs.srq);
+        ctx->srq = it->second.get();
+        ctx->srq->attached.push_back(ctx.get());
+    }
+    if (attrs.rdmaWindowBytes > 0) {
+        if (type != QpType::ReliableTcp)
+            sim::fatal("createQp: RDMA framing needs a reliable QP");
+        ctx->rdmaWindow = attrs.rdmaWindowBytes;
+    }
+    qps_[num] = std::move(ctx);
+    // The management FSM builds the context in SRAM; whatever it
+    // displaces goes back to host memory.
+    if (qpCache_.install(num) != invalidQp) {
+        ctxWritebacks.inc();
+        fw_.charge(FwStage::CtxFetch, params_.costs.qpCtxWriteback);
+    }
     return num;
 }
 
@@ -265,7 +387,37 @@ QpipNic::destroyQp(QpNum qp)
     if (ctx->bound && ctx->type == QpType::UnreliableUdp)
         inet_.unbindUdp(ctx->local.port);
     flushQp(*ctx, WcStatus::Flushed);
+    if (ctx->srq != nullptr) {
+        auto &att = ctx->srq->attached;
+        att.erase(std::remove(att.begin(), att.end(), ctx), att.end());
+    }
+    qpCache_.remove(qp);
     qps_.erase(qp);
+}
+
+SrqNum
+QpipNic::createSrq(SrqHostRing *ring)
+{
+    fw_.charge(FwStage::Mgmt, params_.costs.mgmtCommand);
+    const SrqNum num = nextSrqNum_++;
+    auto ctx = std::make_unique<SrqContext>();
+    ctx->num = num;
+    ctx->ring = ring;
+    srqs_[num] = std::move(ctx);
+    return num;
+}
+
+void
+QpipNic::destroySrq(SrqNum srq)
+{
+    auto it = srqs_.find(srq);
+    if (it == srqs_.end())
+        return;
+    if (!it->second->attached.empty())
+        sim::fatal("destroySrq: srq %u still has %zu attached QPs",
+                   srq, it->second->attached.size());
+    fw_.charge(FwStage::Mgmt, params_.costs.mgmtCommand);
+    srqs_.erase(it);
 }
 
 void
@@ -361,7 +513,13 @@ QpipNic::connectionOf(QpNum qp)
 void
 QpipNic::postDoorbell(QpNum qp, bool is_send)
 {
-    doorbells_.ring(Doorbell{qp, is_send});
+    doorbells_.ring(Doorbell{qp, is_send, false});
+}
+
+void
+QpipNic::postSrqDoorbell(SrqNum srq)
+{
+    doorbells_.ring(Doorbell{srq, false, true});
 }
 
 void
@@ -378,8 +536,31 @@ QpipNic::doorbellDrain()
                                      params_.costs.swDoorbellFactor);
     }
     fw_.exec(FwStage::DoorbellProcess, c, [this, db] {
-        auto *ctx = lookupQp(db.qp);
-        if (ctx != nullptr) {
+        if (db.isSrq) {
+            auto it = srqs_.find(db.qp);
+            if (it != srqs_.end()) {
+                auto &srq = *it->second;
+                const std::uint64_t total =
+                    srq.consumed + srq.ring->recvQ.size();
+                const std::uint64_t fresh = total - srq.seen;
+                srq.seen = total;
+                const auto &q = srq.ring->recvQ;
+                for (std::uint64_t i = 0; i < fresh; ++i) {
+                    const auto &wr = q[q.size() - fresh + i];
+                    ++srq.postedCount;
+                    srq.postedBytes += wr.sge.length;
+                }
+                if (fresh > 0) {
+                    // Replenish fan-out, in attach order: any held
+                    // message on an attached connection may land now.
+                    for (auto *ctx : srq.attached) {
+                        if (ctx->conn)
+                            ctx->conn->onReceiveWindowGrew();
+                    }
+                }
+            }
+        } else if (auto *ctx = lookupQp(db.qp); ctx != nullptr) {
+            touchQpContext(db.qp);
             if (db.isSend) {
                 const std::uint64_t total =
                     ctx->sendConsumed + ctx->rings->sendQ.size();
@@ -407,6 +588,22 @@ QpipNic::doorbellDrain()
     });
 }
 
+void
+QpipNic::touchQpContext(QpNum qp)
+{
+    if (!qpCache_.enabled())
+        return;
+    const auto t = qpCache_.touch(qp);
+    if (t.hit)
+        return;
+    sim::Cycles c = params_.costs.qpCtxFetch;
+    if (t.evicted != invalidQp) {
+        ctxWritebacks.inc();
+        c += params_.costs.qpCtxWriteback;
+    }
+    fw_.charge(FwStage::CtxFetch, c);
+}
+
 // ---------------------------------------------------------------------
 // Scheduler / transmit FSM
 // ---------------------------------------------------------------------
@@ -427,13 +624,33 @@ QpipNic::serviceSendWr(QpContext &qp)
         SendWr wr = qp.rings->sendQ.front();
         qp.rings->sendQ.pop_front();
         ++qp.sendConsumed;
+        touchQpContext(qp.num);
+
+        if (wr.opcode != WrOpcode::Send &&
+            (qp.type != QpType::ReliableTcp || qp.rdmaWindow == 0)) {
+            sim::panic("qp%u: one-sided WR on a non-RDMA QP", qp.num);
+        }
+
+        if (wr.opcode == WrOpcode::RdmaRead) {
+            serviceRdmaRead(qp, std::move(wr));
+            return;
+        }
 
         std::uint8_t *src = mrs_.resolve(wr.sge);
-        if (src == nullptr) {
+        // A Write whose framed message exceeds the peer's standing
+        // one-sided window could never leave the send queue (the
+        // receiver posts no WRs for it); fail it deterministically.
+        const bool oversize =
+            wr.opcode == WrOpcode::RdmaWrite &&
+            net::rdmaHeaderBytes(net::RdmaOpcode::Write) +
+                    wr.sge.length >
+                qp.rdmaWindow;
+        if (src == nullptr || oversize) {
             Completion c;
             c.wrId = wr.id;
             c.qp = qp.num;
             c.isSend = true;
+            c.opcode = wr.opcode;
             c.status = WcStatus::LengthError;
             pushCompletion(qp.scq, c);
             return;
@@ -459,23 +676,112 @@ QpipNic::serviceSendWr(QpContext &qp)
                  [this, &qp, wr = std::move(wr),
                   data = std::move(data)]() mutable {
                      if (qp.type == QpType::ReliableTcp) {
-                         if (!qp.conn) {
-                             Completion c;
-                             c.wrId = wr.id;
-                             c.qp = qp.num;
-                             c.isSend = true;
-                             c.status = WcStatus::Flushed;
-                             pushCompletion(qp.scq, c);
-                             return;
-                         }
-                         const std::uint64_t tag = qp.nextTag++;
-                         qp.inflightSends.emplace_back(tag, wr);
-                         qp.conn->sendMessage(std::move(data), tag);
+                         sendTcpMessage(qp, std::move(wr),
+                                        std::move(data));
                      } else {
                          sendUdpMessage(qp, std::move(wr),
                                         std::move(data));
                      }
                  });
+    });
+}
+
+void
+QpipNic::sendTcpMessage(QpContext &qp, SendWr wr,
+                        std::vector<std::uint8_t> data)
+{
+    if (!qp.conn) {
+        Completion c;
+        c.wrId = wr.id;
+        c.qp = qp.num;
+        c.isSend = true;
+        c.opcode = wr.opcode;
+        c.status = WcStatus::Flushed;
+        pushCompletion(qp.scq, c);
+        return;
+    }
+    const std::uint64_t tag = qp.nextTag++;
+    if (qp.rdmaWindow == 0) {
+        // Legacy framing: the message is the raw payload.
+        qp.inflightSends.push_back(
+            {tag, QpContext::TxKind::Send, wr});
+        qp.conn->sendMessage(std::move(data), tag);
+        return;
+    }
+    net::RdmaHeader h;
+    if (wr.opcode == WrOpcode::Send) {
+        h.opcode = net::RdmaOpcode::Send;
+        qp.inflightSends.push_back(
+            {tag, QpContext::TxKind::Send, wr});
+    } else {
+        h.opcode = net::RdmaOpcode::Write;
+        h.opId = qp.nextRdmaId++;
+        h.raddr = wr.raddr;
+        h.rkey = wr.rkey;
+        fw_.charge(FwStage::RdmaExec, params_.costs.rdmaHeaderBuild);
+        if (tracer()->enabled()) {
+            tracer()->instant(name(), "rdma write req", curTick(),
+                              "{\"qp\":" + std::to_string(qp.num) +
+                                  ",\"bytes\":" +
+                                  std::to_string(wr.sge.length) + "}");
+        }
+        qp.inflightSends.push_back(
+            {tag, QpContext::TxKind::RdmaReq, wr});
+        qp.pendingRdma.emplace_back(h.opId, wr);
+    }
+    qp.conn->sendMessage(net::serializeRdmaMessage(h, data), tag);
+}
+
+void
+QpipNic::serviceRdmaRead(QpContext &qp, SendWr wr)
+{
+    // The WR's SGE is the local landing buffer. Validate it — and
+    // that the response message can traverse our own standing
+    // window — before anything crosses the wire.
+    std::uint8_t *dst = mrs_.resolve(wr.sge);
+    const bool oversize =
+        net::rdmaHeaderBytes(net::RdmaOpcode::ReadResp) +
+            wr.sge.length >
+        qp.rdmaWindow;
+    if (dst == nullptr || oversize) {
+        Completion c;
+        c.wrId = wr.id;
+        c.qp = qp.num;
+        c.isSend = true;
+        c.opcode = wr.opcode;
+        c.status = WcStatus::LengthError;
+        pushCompletion(qp.scq, c);
+        return;
+    }
+    fw_.charge(FwStage::RdmaExec, params_.costs.rdmaHeaderBuild);
+    schedule(fw_.busyUntil(), [this, &qp, wr]() mutable {
+        if (!qp.conn) {
+            Completion c;
+            c.wrId = wr.id;
+            c.qp = qp.num;
+            c.isSend = true;
+            c.opcode = wr.opcode;
+            c.status = WcStatus::Flushed;
+            pushCompletion(qp.scq, c);
+            return;
+        }
+        net::RdmaHeader h;
+        h.opcode = net::RdmaOpcode::ReadReq;
+        h.opId = qp.nextRdmaId++;
+        h.raddr = wr.raddr;
+        h.rkey = wr.rkey;
+        h.length = static_cast<std::uint32_t>(wr.sge.length);
+        if (tracer()->enabled()) {
+            tracer()->instant(name(), "rdma read req", curTick(),
+                              "{\"qp\":" + std::to_string(qp.num) +
+                                  ",\"bytes\":" +
+                                  std::to_string(wr.sge.length) + "}");
+        }
+        const std::uint64_t tag = qp.nextTag++;
+        qp.inflightSends.push_back(
+            {tag, QpContext::TxKind::RdmaReq, wr});
+        qp.pendingRdma.emplace_back(h.opId, wr);
+        qp.conn->sendMessage(net::serializeRdmaMessage(h, {}), tag);
     });
 }
 
@@ -659,13 +965,26 @@ void
 QpipNic::receiveIntoWr(QpContext &qp, std::vector<std::uint8_t> msg,
                        const inet::SockAddr &from)
 {
-    if (qp.postedRecvCount == 0 || qp.rings->recvQ.empty())
-        sim::panic("receiveIntoWr without a posted WR");
-    RecvWr wr = qp.rings->recvQ.front();
-    qp.rings->recvQ.pop_front();
-    ++qp.recvConsumed;
-    --qp.postedRecvCount;
-    qp.postedRecvBytes -= wr.sge.length;
+    touchQpContext(qp.num);
+    RecvWr wr;
+    if (qp.srq != nullptr) {
+        auto &srq = *qp.srq;
+        if (srq.postedCount == 0 || srq.ring->recvQ.empty())
+            sim::panic("receiveIntoWr without a posted SRQ WR");
+        wr = srq.ring->recvQ.front();
+        srq.ring->recvQ.pop_front();
+        ++srq.consumed;
+        --srq.postedCount;
+        srq.postedBytes -= wr.sge.length;
+    } else {
+        if (qp.postedRecvCount == 0 || qp.rings->recvQ.empty())
+            sim::panic("receiveIntoWr without a posted WR");
+        wr = qp.rings->recvQ.front();
+        qp.rings->recvQ.pop_front();
+        ++qp.recvConsumed;
+        --qp.postedRecvCount;
+        qp.postedRecvBytes -= wr.sge.length;
+    }
 
     fw_.exec(FwStage::GetWr, params_.costs.getWr,
              [this, &qp, wr, msg = std::move(msg), from]() mutable {
@@ -707,6 +1026,194 @@ QpipNic::receiveIntoWr(QpContext &qp, std::vector<std::uint8_t> msg,
 }
 
 // ---------------------------------------------------------------------
+// One-sided RDMA engine
+// ---------------------------------------------------------------------
+
+void
+QpipNic::handleRdmaMessage(QpContext &qp, std::vector<std::uint8_t> msg,
+                           const inet::SockAddr &from)
+{
+    touchQpContext(qp.num);
+    fw_.exec(FwStage::RdmaExec, params_.costs.rdmaParse,
+             [this, &qp, msg = std::move(msg), from]() mutable {
+                 net::RdmaHeader h;
+                 std::span<const std::uint8_t> payload;
+                 if (!net::parseRdmaMessage(msg, h, payload)) {
+                     rdmaMalformed.inc();
+                     return;
+                 }
+                 switch (h.opcode) {
+                   case net::RdmaOpcode::Send:
+                     receiveIntoWr(qp,
+                                   std::vector<std::uint8_t>(
+                                       payload.begin(), payload.end()),
+                                   from);
+                     break;
+                   case net::RdmaOpcode::Write:
+                     executeRdmaWrite(qp, h, payload);
+                     break;
+                   case net::RdmaOpcode::ReadReq:
+                     executeRdmaRead(qp, h);
+                     break;
+                   case net::RdmaOpcode::WriteAck:
+                   case net::RdmaOpcode::ReadResp:
+                     completeRdmaOp(qp, h, payload);
+                     break;
+                 }
+             });
+}
+
+void
+QpipNic::executeRdmaWrite(QpContext &qp, const net::RdmaHeader &hdr,
+                          std::span<const std::uint8_t> payload)
+{
+    net::RdmaHeader resp;
+    resp.opcode = net::RdmaOpcode::WriteAck;
+    resp.opId = hdr.opId;
+
+    const Sge target{hdr.rkey,
+                     static_cast<std::size_t>(hdr.raddr),
+                     payload.size()};
+    std::uint8_t *dst = mrs_.resolve(target, accessRemoteWrite);
+    if (dst == nullptr) {
+        rdmaRemoteErrors.inc();
+        resp.status = net::RdmaWireStatus::RemoteAccess;
+        sendRdmaResponse(qp, resp, {});
+        return;
+    }
+    // Put Data: DMA the payload from NIC SRAM into the target region
+    // (same shape as the two-sided receive path).
+    const Tick begin = std::max(curTick(), fw_.busyUntil());
+    const Tick fixed =
+        fw_.clock().cyclesToTicks(params_.costs.putDataFixed);
+    const Tick touch = fw_.clock().cyclesToTicks(
+        static_cast<sim::Cycles>(params_.costs.touchPerByte *
+                                 static_cast<double>(payload.size())));
+    const Tick dma = dmaOut_.chargeAt(begin, payload.size()) - begin;
+    fw_.chargeTicks(FwStage::PutData, fixed + std::max(touch, dma));
+    std::copy(payload.begin(), payload.end(), dst);
+    fw_.charge(FwStage::UpdateRx, params_.costs.updateRxData);
+    rdmaWrites.inc();
+    if (tracer()->enabled()) {
+        tracer()->instant(name(), "rdma write exec", curTick(),
+                          "{\"qp\":" + std::to_string(qp.num) +
+                              ",\"bytes\":" +
+                              std::to_string(payload.size()) + "}");
+    }
+    sendRdmaResponse(qp, resp, {});
+}
+
+void
+QpipNic::executeRdmaRead(QpContext &qp, const net::RdmaHeader &hdr)
+{
+    net::RdmaHeader resp;
+    resp.opcode = net::RdmaOpcode::ReadResp;
+    resp.opId = hdr.opId;
+
+    const Sge source{hdr.rkey,
+                     static_cast<std::size_t>(hdr.raddr),
+                     static_cast<std::size_t>(hdr.length)};
+    const std::uint8_t *src = mrs_.resolve(source, accessRemoteRead);
+    if (src == nullptr) {
+        rdmaRemoteErrors.inc();
+        resp.status = net::RdmaWireStatus::RemoteAccess;
+        sendRdmaResponse(qp, resp, {});
+        return;
+    }
+    // Get Data: stage the requested range from host memory into NIC
+    // SRAM for transmission (mirror of the transmit path).
+    const Tick begin = std::max(curTick(), fw_.busyUntil());
+    const Tick fixed =
+        fw_.clock().cyclesToTicks(params_.costs.getDataFixed);
+    const Tick touch = fw_.clock().cyclesToTicks(
+        static_cast<sim::Cycles>(params_.costs.touchPerByte *
+                                 static_cast<double>(hdr.length)));
+    const Tick dma = dmaIn_.chargeAt(begin, hdr.length) - begin;
+    fw_.chargeTicks(FwStage::GetData, fixed + std::max(touch, dma));
+    rdmaReads.inc();
+    if (tracer()->enabled()) {
+        tracer()->instant(name(), "rdma read exec", curTick(),
+                          "{\"qp\":" + std::to_string(qp.num) +
+                              ",\"bytes\":" +
+                              std::to_string(hdr.length) + "}");
+    }
+    sendRdmaResponse(qp, resp, {src, src + hdr.length});
+}
+
+void
+QpipNic::sendRdmaResponse(QpContext &qp, net::RdmaHeader hdr,
+                          std::span<const std::uint8_t> payload)
+{
+    fw_.charge(FwStage::RdmaExec, params_.costs.rdmaRespBuild);
+    auto bytes = net::serializeRdmaMessage(hdr, payload);
+    schedule(fw_.busyUntil(),
+             [this, &qp, bytes = std::move(bytes)]() mutable {
+                 if (!qp.conn)
+                     return; // torn down before the response left
+                 const std::uint64_t tag = qp.nextTag++;
+                 qp.inflightSends.push_back(
+                     {tag, QpContext::TxKind::FwResp, SendWr{}});
+                 qp.conn->sendMessage(std::move(bytes), tag);
+             });
+}
+
+void
+QpipNic::completeRdmaOp(QpContext &qp, const net::RdmaHeader &hdr,
+                        std::span<const std::uint8_t> payload)
+{
+    if (qp.pendingRdma.empty() ||
+        qp.pendingRdma.front().first != hdr.opId) {
+        sim::panic("qp%u: rdma response out of order", qp.num);
+    }
+    SendWr wr = std::move(qp.pendingRdma.front().second);
+    qp.pendingRdma.pop_front();
+
+    Completion c;
+    c.wrId = wr.id;
+    c.qp = qp.num;
+    c.isSend = true;
+    c.opcode = wr.opcode;
+
+    if (hdr.status != net::RdmaWireStatus::Ok) {
+        c.status = WcStatus::RemoteAccessError;
+        fw_.charge(FwStage::UpdateRx, params_.costs.updateRxData);
+        pushCompletion(qp.scq, c);
+        return;
+    }
+
+    if (hdr.opcode == net::RdmaOpcode::ReadResp) {
+        std::uint8_t *dst = mrs_.resolve(wr.sge);
+        if (dst == nullptr || payload.size() != wr.sge.length) {
+            // Landing buffer vanished or the responder lied about
+            // the length: surface it locally.
+            c.status = WcStatus::LengthError;
+            c.byteLen = payload.size();
+            fw_.charge(FwStage::UpdateRx, params_.costs.updateRxData);
+            pushCompletion(qp.scq, c);
+            return;
+        }
+        // Put Data: land the read payload in the local buffer.
+        const Tick begin = std::max(curTick(), fw_.busyUntil());
+        const Tick fixed =
+            fw_.clock().cyclesToTicks(params_.costs.putDataFixed);
+        const Tick touch = fw_.clock().cyclesToTicks(
+            static_cast<sim::Cycles>(
+                params_.costs.touchPerByte *
+                static_cast<double>(payload.size())));
+        const Tick dma =
+            dmaOut_.chargeAt(begin, payload.size()) - begin;
+        fw_.chargeTicks(FwStage::PutData,
+                        fixed + std::max(touch, dma));
+        std::copy(payload.begin(), payload.end(), dst);
+    }
+
+    c.status = WcStatus::Success;
+    c.byteLen = wr.sge.length;
+    fw_.charge(FwStage::UpdateRx, params_.costs.updateRxData);
+    pushCompletion(qp.scq, c);
+}
+
+// ---------------------------------------------------------------------
 // Completions, teardown, env services
 // ---------------------------------------------------------------------
 
@@ -727,12 +1234,28 @@ void
 QpipNic::flushQp(QpContext &qp, WcStatus status)
 {
     while (!qp.inflightSends.empty()) {
-        auto [tag, wr] = std::move(qp.inflightSends.front());
+        QpContext::Inflight fly = std::move(qp.inflightSends.front());
         qp.inflightSends.pop_front();
+        // RdmaReq entries complete via pendingRdma (below); firmware
+        // responses never surface a completion.
+        if (fly.kind != QpContext::TxKind::Send)
+            continue;
+        Completion c;
+        c.wrId = fly.wr.id;
+        c.qp = qp.num;
+        c.isSend = true;
+        c.opcode = fly.wr.opcode;
+        c.status = status;
+        pushCompletion(qp.scq, c);
+    }
+    while (!qp.pendingRdma.empty()) {
+        SendWr wr = std::move(qp.pendingRdma.front().second);
+        qp.pendingRdma.pop_front();
         Completion c;
         c.wrId = wr.id;
         c.qp = qp.num;
         c.isSend = true;
+        c.opcode = wr.opcode;
         c.status = status;
         pushCompletion(qp.scq, c);
     }
@@ -746,6 +1269,7 @@ QpipNic::flushQp(QpContext &qp, WcStatus status)
         c.wrId = wr.id;
         c.qp = qp.num;
         c.isSend = true;
+        c.opcode = wr.opcode;
         c.status = status;
         pushCompletion(qp.scq, c);
     }

@@ -38,10 +38,12 @@
 #include "inet/tcp_conn.hh"
 #include "inet/udp.hh"
 #include "net/link.hh"
+#include "net/serialize.hh"
 #include "nic/doorbell.hh"
 #include "nic/dma.hh"
 #include "nic/firmware_cost.hh"
 #include "nic/lanai.hh"
+#include "nic/qp_ctx_cache.hh"
 #include "nic/qp_state.hh"
 
 namespace qpip::nic {
@@ -57,8 +59,28 @@ struct QpipNicParams
     inet::TcpConfig tcp = defaultFirmwareTcpConfig();
     /** Reassembly partial-datagram expiry. */
     sim::Tick reassExpiry = 50 * sim::oneMs;
+    /**
+     * QP contexts resident in NIC SRAM before eviction (the LANai's
+     * 2 MB part holds on the order of a thousand context blocks
+     * beside the firmware and staging buffers). Zero disables the
+     * cache model: every touch hits and nothing is charged.
+     */
+    std::size_t qpCacheCapacity = 1024;
 
     static inet::TcpConfig defaultFirmwareTcpConfig();
+};
+
+/** Optional QP creation attributes (SRQ attachment, RDMA framing). */
+struct QpCreateAttrs
+{
+    /** Draw receive WRs from this SRQ instead of the QP's own ring. */
+    SrqNum srq = invalidSrq;
+    /**
+     * Non-zero enables RDMA message framing on this (reliable) QP and
+     * adds this many bytes of one-sided receive window beyond posted
+     * WR bytes. Both endpoints of a connection must enable it.
+     */
+    std::uint32_t rdmaWindowBytes = 0;
 };
 
 /**
@@ -81,7 +103,8 @@ class QpipNic : public sim::SimObject,
     const inet::InetAddr &address() const { return addr_; }
     inet::NeighborTable &routes() { return inet_.routes(); }
 
-    MrKey registerMemory(std::uint8_t *base, std::size_t bytes);
+    MrKey registerMemory(std::uint8_t *base, std::size_t bytes,
+                         MrAccess access = accessLocal);
     void deregisterMemory(MrKey key);
 
     /**
@@ -89,8 +112,13 @@ class QpipNic : public sim::SimObject,
      * and whose send/receive completions go to @p scq / @p rcq.
      */
     QpNum createQp(QpType type, QpHostRings *rings, CqRing *scq,
-                   CqRing *rcq);
+                   CqRing *rcq, const QpCreateAttrs &attrs = {});
     void destroyQp(QpNum qp);
+
+    /** Create a shared receive queue backed by host ring @p ring. */
+    SrqNum createSrq(SrqHostRing *ring);
+    /** Destroy an SRQ. @pre no QP is still attached to it. */
+    void destroySrq(SrqNum srq);
 
     /** Bind the QP to a local port (UDP demux / TCP source port). */
     void bindLocal(QpNum qp, std::uint16_t port);
@@ -110,6 +138,9 @@ class QpipNic : public sim::SimObject,
     // --- datapath (user-level) ----------------------------------------
     /** Notify the NIC of newly posted WRs (rings a doorbell). */
     void postDoorbell(QpNum qp, bool is_send);
+
+    /** Notify the NIC of newly posted SRQ receive WRs. */
+    void postSrqDoorbell(SrqNum srq);
 
     // --- NetReceiver ----------------------------------------------------
     void onPacket(net::PacketPtr pkt) override;
@@ -153,11 +184,15 @@ class QpipNic : public sim::SimObject,
     const QpipNicParams &params() const { return params_; }
     inet::TcpConnection *connectionOf(QpNum qp);
 
+    /** The QP context cache (hit/miss/eviction introspection). */
+    const QpContextCache &qpCache() const { return qpCache_; }
+
     /** The shared protocol engine (firmware execution context). */
     inet::InetStack &inet() { return inet_; }
 
   private:
     struct QpContext;
+    struct SrqContext;
 
     std::shared_ptr<void> aliveToken_ = std::make_shared<int>(0);
     net::Link &link_;
@@ -168,6 +203,7 @@ class QpipNic : public sim::SimObject,
     DmaEngine dmaOut_; ///< NIC -> host payload DMA
     DoorbellFifo doorbells_;
     MrTable mrs_;
+    QpContextCache qpCache_;
     inet::InetStack inet_;
 
   public:
@@ -177,6 +213,16 @@ class QpipNic : public sim::SimObject,
     sim::Counter &noQpDrops;
     sim::Counter udpNoWrDrops;
     sim::Counter cqOverflows;
+    // One-sided RDMA engine.
+    sim::Counter rdmaWrites;
+    sim::Counter rdmaReads;
+    sim::Counter rdmaRemoteErrors;
+    sim::Counter rdmaMalformed;
+    // Shared receive queues.
+    sim::Counter srqRnrHolds;   ///< TCP messages held: SRQ empty
+    sim::Counter srqEmptyDrops; ///< UD datagrams dropped: SRQ empty
+    // QP context cache (evictions are counted by the cache itself).
+    sim::Counter ctxWritebacks;
 
   private:
     // FSM bodies.
@@ -188,6 +234,27 @@ class QpipNic : public sim::SimObject,
     void receiveIntoWr(QpContext &qp, std::vector<std::uint8_t> msg,
                        const inet::SockAddr &from);
 
+    // One-sided RDMA engine.
+    void sendTcpMessage(QpContext &qp, SendWr wr,
+                        std::vector<std::uint8_t> data);
+    void serviceRdmaRead(QpContext &qp, SendWr wr);
+    void handleRdmaMessage(QpContext &qp,
+                           std::vector<std::uint8_t> msg,
+                           const inet::SockAddr &from);
+    void executeRdmaWrite(QpContext &qp, const net::RdmaHeader &hdr,
+                          std::span<const std::uint8_t> payload);
+    void executeRdmaRead(QpContext &qp, const net::RdmaHeader &hdr);
+    void sendRdmaResponse(QpContext &qp, net::RdmaHeader hdr,
+                          std::span<const std::uint8_t> payload);
+    void completeRdmaOp(QpContext &qp, const net::RdmaHeader &hdr,
+                        std::span<const std::uint8_t> payload);
+
+    /**
+     * Reference a QP's context in NIC SRAM; on a miss, charge the
+     * fetch (and any writeback of the displaced context).
+     */
+    void touchQpContext(QpNum qp);
+
     /** Push a completion at firmware-completion time. */
     void pushCompletion(CqRing *cq, Completion c);
 
@@ -198,10 +265,13 @@ class QpipNic : public sim::SimObject,
     inet::InetAddr addr_;
     std::uint16_t ephemeralPort_ = 40000;
     QpNum nextQpNum_ = 1;
+    SrqNum nextSrqNum_ = 1;
     bool drainActive_ = false;
 
     /** Ordered by QP number: table walks follow creation order. */
     std::map<QpNum, std::unique_ptr<QpContext>> qps_;
+    /** Ordered by SRQ number. */
+    std::map<SrqNum, std::unique_ptr<SrqContext>> srqs_;
     // qpip-lint: nondet-ok(lookup/erase only, never iterated)
     std::unordered_map<inet::TcpConnection *, QpContext *> connOwner_;
 

@@ -16,8 +16,15 @@ void
 Acceptor::acceptOne(AcceptCb cb, std::size_t max_send_wr,
                     std::size_t max_recv_wr)
 {
+    acceptOne(std::move(cb),
+              QpAttrs{max_send_wr, max_recv_wr, nullptr, 0});
+}
+
+void
+Acceptor::acceptOne(AcceptCb cb, QpAttrs attrs)
+{
     auto qp = provider_.createQp(nic::QpType::ReliableTcp, scq_, rcq_,
-                                 max_send_wr, max_recv_wr);
+                                 std::move(attrs));
     qp->accept(port_, [qp, cb = std::move(cb)] { cb(qp); });
 }
 

@@ -41,6 +41,9 @@ class Acceptor
     void acceptOne(AcceptCb cb, std::size_t max_send_wr = 512,
                    std::size_t max_recv_wr = 512);
 
+    /** As above, with full QP attributes (SRQ, RDMA window). */
+    void acceptOne(AcceptCb cb, QpAttrs attrs);
+
     std::uint16_t port() const { return port_; }
 
   private:

@@ -6,10 +6,12 @@
 namespace qpip::verbs {
 
 MemoryRegion::MemoryRegion(Provider &provider,
-                           std::span<std::uint8_t> memory)
+                           std::span<std::uint8_t> memory,
+                           nic::MrAccess access)
     : provider_(provider), nic_(provider.nic()),
       nicAlive_(provider.nic().lifeToken()), memory_(memory),
-      key_(provider.nic().registerMemory(memory.data(), memory.size()))
+      key_(provider.nic().registerMemory(memory.data(), memory.size(),
+                                         access))
 {}
 
 MemoryRegion::~MemoryRegion()

@@ -26,7 +26,8 @@ class Provider;
 class MemoryRegion
 {
   public:
-    MemoryRegion(Provider &provider, std::span<std::uint8_t> memory);
+    MemoryRegion(Provider &provider, std::span<std::uint8_t> memory,
+                 nic::MrAccess access = nic::accessLocal);
     ~MemoryRegion();
 
     MemoryRegion(const MemoryRegion &) = delete;

@@ -20,6 +20,8 @@ namespace qpip::verbs {
 class CompletionQueue;
 class MemoryRegion;
 class QueuePair;
+class SharedReceiveQueue;
+struct QpAttrs;
 
 /**
  * Host-side verbs costs (cycles at the host clock). Calibrated so
@@ -55,12 +57,18 @@ class Provider
 
     /**
      * Register @p memory for DMA. The returned region must not
-     * outlive the memory.
+     * outlive the memory. Remote one-sided access is off unless the
+     * corresponding @p access rights are granted at registration.
      */
     std::shared_ptr<MemoryRegion>
-    registerMemory(std::span<std::uint8_t> memory);
+    registerMemory(std::span<std::uint8_t> memory,
+                   nic::MrAccess access = nic::accessLocal);
 
     std::shared_ptr<CompletionQueue> createCq(std::size_t cap = 4096);
+
+    /** Create a shared receive queue. */
+    std::shared_ptr<SharedReceiveQueue>
+    createSrq(std::size_t max_wr = 4096);
 
     /**
      * Create a QP with its send and receive channels bound to the
@@ -71,6 +79,11 @@ class Provider
              std::shared_ptr<CompletionQueue> rcq,
              std::size_t max_send_wr = 512,
              std::size_t max_recv_wr = 512);
+
+    /** Create a QP with full attributes (SRQ, RDMA window). */
+    std::shared_ptr<QueuePair>
+    createQp(nic::QpType type, std::shared_ptr<CompletionQueue> scq,
+             std::shared_ptr<CompletionQueue> rcq, QpAttrs attrs);
 
   private:
     host::Host &host_;

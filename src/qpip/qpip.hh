@@ -26,3 +26,4 @@
 #include "qpip/memory_region.hh"
 #include "qpip/provider.hh"
 #include "qpip/queue_pair.hh"
+#include "qpip/srq.hh"

@@ -2,6 +2,7 @@
 
 #include "qpip/completion_queue.hh"
 #include "qpip/provider.hh"
+#include "qpip/srq.hh"
 #include "sim/logging.hh"
 
 namespace qpip::verbs {
@@ -9,16 +10,28 @@ namespace qpip::verbs {
 QueuePair::QueuePair(Provider &provider, nic::QpType type,
                      std::shared_ptr<CompletionQueue> scq,
                      std::shared_ptr<CompletionQueue> rcq,
-                     std::size_t max_send_wr, std::size_t max_recv_wr)
+                     QpAttrs attrs)
     : provider_(provider), nic_(provider.nic()),
       nicAlive_(provider.nic().lifeToken()), type_(type),
       scq_(std::move(scq)), rcq_(std::move(rcq)),
-      maxSendWr_(max_send_wr), maxRecvWr_(max_recv_wr)
+      srq_(std::move(attrs.srq)), maxSendWr_(attrs.maxSendWr),
+      maxRecvWr_(attrs.maxRecvWr), rdmaWindow_(attrs.rdmaWindowBytes)
 {
+    nic::QpCreateAttrs nic_attrs;
+    nic_attrs.srq = srq_ ? srq_->num() : nic::invalidSrq;
+    nic_attrs.rdmaWindowBytes = rdmaWindow_;
     num_ = nic_.createQp(
         type_, &rings_, scq_ ? &scq_->ring() : nullptr,
-        rcq_ ? &rcq_->ring() : nullptr);
+        rcq_ ? &rcq_->ring() : nullptr, nic_attrs);
 }
+
+QueuePair::QueuePair(Provider &provider, nic::QpType type,
+                     std::shared_ptr<CompletionQueue> scq,
+                     std::shared_ptr<CompletionQueue> rcq,
+                     std::size_t max_send_wr, std::size_t max_recv_wr)
+    : QueuePair(provider, type, std::move(scq), std::move(rcq),
+                QpAttrs{max_send_wr, max_recv_wr, nullptr, 0})
+{}
 
 QueuePair::~QueuePair()
 {
@@ -75,6 +88,8 @@ bool
 QueuePair::postRecv(std::uint64_t wr_id, const MemoryRegion &mr,
                     std::size_t offset, std::size_t length)
 {
+    if (srq_)
+        sim::panic("qp%u: postRecv on an SRQ-attached QP", num_);
     if (rings_.recvQ.size() >= maxRecvWr_)
         return false;
     provider_.host().os().charge(provider_.costs().postRecv);
@@ -83,6 +98,47 @@ QueuePair::postRecv(std::uint64_t wr_id, const MemoryRegion &mr,
     wr.sge = mr.sge(offset, length);
     rings_.recvQ.push_back(wr);
     provider_.nic().postDoorbell(num_, false);
+    return true;
+}
+
+bool
+QueuePair::postWrite(std::uint64_t wr_id, const MemoryRegion &mr,
+                     std::size_t offset, std::size_t length,
+                     nic::MrKey rkey, std::uint64_t raddr)
+{
+    return postOneSided(wr_id, nic::WrOpcode::RdmaWrite, mr, offset,
+                        length, rkey, raddr);
+}
+
+bool
+QueuePair::postRead(std::uint64_t wr_id, const MemoryRegion &mr,
+                    std::size_t offset, std::size_t length,
+                    nic::MrKey rkey, std::uint64_t raddr)
+{
+    return postOneSided(wr_id, nic::WrOpcode::RdmaRead, mr, offset,
+                        length, rkey, raddr);
+}
+
+bool
+QueuePair::postOneSided(std::uint64_t wr_id, nic::WrOpcode opcode,
+                        const MemoryRegion &mr, std::size_t offset,
+                        std::size_t length, nic::MrKey rkey,
+                        std::uint64_t raddr)
+{
+    if (rdmaWindow_ == 0)
+        sim::panic("qp%u: one-sided post on a QP without "
+                   "rdmaWindowBytes", num_);
+    if (rings_.sendQ.size() >= maxSendWr_)
+        return false;
+    provider_.host().os().charge(provider_.costs().postSend);
+    nic::SendWr wr;
+    wr.id = wr_id;
+    wr.opcode = opcode;
+    wr.sge = mr.sge(offset, length);
+    wr.raddr = raddr;
+    wr.rkey = rkey;
+    rings_.sendQ.push_back(wr);
+    provider_.nic().postDoorbell(num_, true);
     return true;
 }
 

@@ -23,6 +23,27 @@ namespace qpip::verbs {
 
 class CompletionQueue;
 class Provider;
+class SharedReceiveQueue;
+
+/**
+ * Optional QP creation attributes.
+ */
+struct QpAttrs
+{
+    std::size_t maxSendWr = 512;
+    std::size_t maxRecvWr = 512;
+    /**
+     * Draw receive WRs from this SRQ instead of a per-QP ring. The QP
+     * keeps the SRQ alive; postRecv() on the QP becomes invalid.
+     */
+    std::shared_ptr<SharedReceiveQueue> srq;
+    /**
+     * Non-zero enables one-sided RDMA (postWrite/postRead) on this
+     * reliable QP and bounds the largest one-sided message. Both ends
+     * of a connection must enable it (it changes the wire framing).
+     */
+    std::uint32_t rdmaWindowBytes = 0;
+};
 
 /**
  * One queue pair.
@@ -32,6 +53,9 @@ class QueuePair
   public:
     using ConnectCb = std::function<void(bool ok)>;
 
+    QueuePair(Provider &provider, nic::QpType type,
+              std::shared_ptr<CompletionQueue> scq,
+              std::shared_ptr<CompletionQueue> rcq, QpAttrs attrs = {});
     QueuePair(Provider &provider, nic::QpType type,
               std::shared_ptr<CompletionQueue> scq,
               std::shared_ptr<CompletionQueue> rcq,
@@ -70,15 +94,41 @@ class QueuePair
 
     /**
      * Post a receive WR identifying where an incoming message lands.
+     * Invalid on a QP attached to an SRQ (post to the SRQ instead).
      * @return false if the receive queue is full.
      */
     bool postRecv(std::uint64_t wr_id, const MemoryRegion &mr,
                   std::size_t offset, std::size_t length);
 
+    /**
+     * Post a one-sided RDMA Write: push [offset, offset+length) of
+     * local @p mr into the peer's region named by (@p rkey, @p raddr).
+     * The peer's application is not involved and consumes no receive
+     * WR. Requires rdmaWindowBytes on both ends.
+     * @return false if the send queue is full.
+     */
+    bool postWrite(std::uint64_t wr_id, const MemoryRegion &mr,
+                   std::size_t offset, std::size_t length,
+                   nic::MrKey rkey, std::uint64_t raddr);
+
+    /**
+     * Post a one-sided RDMA Read: pull @p length bytes from the
+     * peer's (@p rkey, @p raddr) into local @p mr at @p offset.
+     * @return false if the send queue is full.
+     */
+    bool postRead(std::uint64_t wr_id, const MemoryRegion &mr,
+                  std::size_t offset, std::size_t length,
+                  nic::MrKey rkey, std::uint64_t raddr);
+
     std::size_t sendQueueDepth() const { return rings_.sendQ.size(); }
     std::size_t recvQueueDepth() const { return rings_.recvQ.size(); }
 
   private:
+    bool postOneSided(std::uint64_t wr_id, nic::WrOpcode opcode,
+                      const MemoryRegion &mr, std::size_t offset,
+                      std::size_t length, nic::MrKey rkey,
+                      std::uint64_t raddr);
+
     Provider &provider_;
     nic::QpipNic &nic_;
     /** Expired once the NIC is destroyed (skip teardown calls). */
@@ -86,8 +136,10 @@ class QueuePair
     nic::QpType type_;
     std::shared_ptr<CompletionQueue> scq_;
     std::shared_ptr<CompletionQueue> rcq_;
+    std::shared_ptr<SharedReceiveQueue> srq_;
     std::size_t maxSendWr_;
     std::size_t maxRecvWr_;
+    std::uint32_t rdmaWindow_;
     nic::QpHostRings rings_;
     nic::QpNum num_ = nic::invalidQp;
 };

@@ -1,0 +1,36 @@
+#include "qpip/srq.hh"
+
+#include "qpip/provider.hh"
+
+namespace qpip::verbs {
+
+SharedReceiveQueue::SharedReceiveQueue(Provider &provider,
+                                       std::size_t max_wr)
+    : provider_(provider), nic_(provider.nic()),
+      nicAlive_(provider.nic().lifeToken()), maxWr_(max_wr),
+      num_(provider.nic().createSrq(&ring_))
+{}
+
+SharedReceiveQueue::~SharedReceiveQueue()
+{
+    if (!nicAlive_.expired())
+        nic_.destroySrq(num_);
+}
+
+bool
+SharedReceiveQueue::postRecv(std::uint64_t wr_id,
+                             const MemoryRegion &mr,
+                             std::size_t offset, std::size_t length)
+{
+    if (ring_.recvQ.size() >= maxWr_)
+        return false;
+    provider_.host().os().charge(provider_.costs().postRecv);
+    nic::RecvWr wr;
+    wr.id = wr_id;
+    wr.sge = mr.sge(offset, length);
+    ring_.recvQ.push_back(wr);
+    provider_.nic().postSrqDoorbell(num_);
+    return true;
+}
+
+} // namespace qpip::verbs

@@ -150,7 +150,8 @@ class TcpTestNode : public inet::TcpEnv, public inet::TcpObserver
     }
 
     bool
-    canAcceptMessage(inet::TcpConnection &, std::size_t) override
+    canAcceptMessage(inet::TcpConnection &,
+                     std::span<const std::uint8_t>) override
     {
         return acceptMessages;
     }

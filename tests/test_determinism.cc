@@ -11,11 +11,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "apps/disk.hh"
+#include "apps/verbs_util.hh"
 #include "apps/nbd.hh"
 #include "apps/pingpong.hh"
 #include "apps/testbed.hh"
@@ -201,6 +203,139 @@ runParallelNbd(int threads, std::uint64_t seed)
     return out;
 }
 
+/**
+ * RDMA Write/Read/Send fan-in over an SRQ on a partitioned 4-host
+ * dual-star: three clients drive one-sided and two-sided traffic at
+ * one server whose receives all come from a shared receive queue.
+ */
+ParallelArtifacts
+runParallelRdmaSrq(int threads, std::uint64_t seed)
+{
+    apps::QpipTestbed bed(4, apps::qpipNativeMtu, seed,
+                          nic::QpipNicParams{}, host::HostCostModel{},
+                          apps::IpFamily::V6,
+                          apps::FabricTopology::DualStar);
+    bed.enableParallel(threads);
+    const auto taps = tapAllEdges(bed.fabric());
+
+    constexpr std::size_t clients[] = {0, 2, 3};
+    constexpr int opsPerClient = 9; // op%3: 0=Write 1=Read 2=Send
+    constexpr std::size_t opBytes = 2048;
+
+    auto scq = bed.provider(1).createCq();
+    auto srq = bed.provider(1).createSrq();
+    std::vector<std::uint8_t> rbuf(1 << 16);
+    auto rmr = bed.provider(1).registerMemory(rbuf,
+                                              nic::accessRemoteRw);
+    for (std::size_t i = 0; i < 16; ++i)
+        srq->postRecv(i, *rmr, 32768 + i * 2048, 2048);
+
+    verbs::QpAttrs attrs;
+    attrs.rdmaWindowBytes = 1 << 14;
+    verbs::QpAttrs server_attrs = attrs;
+    server_attrs.srq = srq;
+    verbs::Acceptor acc(bed.provider(1), 700, scq, scq);
+    std::vector<std::shared_ptr<verbs::QueuePair>> serverQps;
+    for (std::size_t i = 0; i < std::size(clients); ++i) {
+        acc.acceptOne(
+            [&](std::shared_ptr<verbs::QueuePair> q) {
+                serverQps.push_back(std::move(q));
+            },
+            server_attrs);
+    }
+
+    struct Client
+    {
+        std::shared_ptr<verbs::CompletionQueue> cq;
+        std::vector<std::uint8_t> buf;
+        std::shared_ptr<verbs::MemoryRegion> mr;
+        std::shared_ptr<verbs::QueuePair> qp;
+        int done = 0;
+        bool connected = false;
+    };
+    std::vector<Client> cs(std::size(clients));
+    for (std::size_t i = 0; i < std::size(clients); ++i) {
+        auto &c = cs[i];
+        c.cq = bed.provider(clients[i]).createCq();
+        c.buf.assign(1 << 15, static_cast<std::uint8_t>(i + 1));
+        c.mr = bed.provider(clients[i]).registerMemory(c.buf);
+        c.qp = bed.provider(clients[i])
+                   .createQp(nic::QpType::ReliableTcp, c.cq, c.cq,
+                             attrs);
+        c.qp->connect(bed.addr(1, 700),
+                      [&c](bool ok) { c.connected = ok; });
+    }
+    bed.sim().runUntilCondition(
+        [&] {
+            return serverQps.size() == std::size(clients) &&
+                   std::all_of(cs.begin(), cs.end(),
+                               [](const Client &c) {
+                                   return c.connected;
+                               });
+        },
+        bed.sim().now() + 30 * sim::oneSec);
+
+    std::size_t serverReceives = 0;
+    apps::waitLoop(*scq, [&](verbs::Completion c) {
+        if (!c.isSend)
+            ++serverReceives;
+    });
+
+    for (std::size_t i = 0; i < std::size(clients); ++i) {
+        auto &c = cs[i];
+        auto postNext = [&bed, &c, &rmr, i](auto &&self) -> void {
+            if (c.done >= opsPerClient)
+                return;
+            const auto roff =
+                static_cast<std::uint64_t>(i * 8192 +
+                                           (c.done % 4) * 2048);
+            switch (c.done % 3) {
+              case 0:
+                c.qp->postWrite(c.done, *c.mr, 0, opBytes,
+                                rmr->key(), roff);
+                break;
+              case 1:
+                c.qp->postRead(c.done, *c.mr, 4096, opBytes,
+                               rmr->key(), roff);
+                break;
+              default:
+                c.qp->postSend(c.done, *c.mr, 8192, opBytes);
+                break;
+            }
+            // Re-arm before this op completes; Wait() holds one
+            // waiter at a time, so arm from the completion callback.
+            c.cq->wait([&c, self](verbs::Completion) {
+                ++c.done;
+                self(self);
+            });
+        };
+        postNext(postNext);
+    }
+
+    const std::size_t wantReceives =
+        std::size(clients) * (opsPerClient / 3);
+    const bool completed = bed.sim().runUntilCondition(
+        [&] {
+            return serverReceives >= wantReceives &&
+                   std::all_of(cs.begin(), cs.end(),
+                               [](const Client &c) {
+                                   return c.done >= opsPerClient;
+                               });
+        },
+        bed.sim().now() + 120 * sim::oneSec);
+
+    ParallelArtifacts out;
+    out.completed = completed;
+    out.statsJson = bed.sim().stats().jsonDump();
+    out.endTick = bed.sim().now();
+    out.executed = bed.engine()->executed();
+    for (const auto &t : taps) {
+        out.pcap.insert(out.pcap.end(), t->bytes().begin(),
+                        t->bytes().end());
+    }
+    return out;
+}
+
 } // namespace
 
 TEST(Determinism, QpipPingPongReplaysIdentically)
@@ -290,4 +425,22 @@ TEST(ParallelDeterminism, NbdThreadCountInvariant)
     EXPECT_EQ(one.executed, four.executed);
     EXPECT_EQ(one.statsJson, four.statsJson);
     EXPECT_GT(one.statsJson.size(), 1000u);
+}
+
+TEST(ParallelDeterminism, RdmaSrqThreadCountInvariant)
+{
+    const auto one = runParallelRdmaSrq(1, 21);
+    const auto four = runParallelRdmaSrq(4, 21);
+    ASSERT_TRUE(one.completed);
+    ASSERT_TRUE(four.completed);
+    EXPECT_EQ(one.endTick, four.endTick);
+    EXPECT_EQ(one.executed, four.executed);
+    EXPECT_EQ(one.statsJson, four.statsJson);
+    EXPECT_EQ(one.pcap, four.pcap);
+    EXPECT_GT(one.statsJson.size(), 1000u);
+    EXPECT_GT(one.pcap.size(), 10000u);
+    // And the 4-thread run itself replays bit-identically.
+    const auto again = runParallelRdmaSrq(4, 21);
+    EXPECT_EQ(four.statsJson, again.statsJson);
+    EXPECT_EQ(four.pcap, again.pcap);
 }

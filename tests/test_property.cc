@@ -516,3 +516,124 @@ INSTANTIATE_TEST_SUITE_P(
         FaultCase{4, {0.0, 0.0, 0.0, 0.0, 20 * sim::oneUs}},
         FaultCase{5, {1.0, 1.0, 1.0, 1.0, 20 * sim::oneUs}},
         FaultCase{6, {0.25, 0.0, 0.9, 0.0, 20 * sim::oneUs}}));
+
+// ---------------------------------------------------------------------
+// RDMA under loss: a random serialized mix of Write/Read/Send over a
+// lossy fabric must leave both memory regions exactly as a golden
+// serial execution on plain arrays would
+// ---------------------------------------------------------------------
+
+struct RdmaLossCase
+{
+    std::uint64_t seed;
+    double loss;
+};
+
+class RdmaLossProperty : public ::testing::TestWithParam<RdmaLossCase>
+{};
+
+TEST_P(RdmaLossProperty, MixedOpsMatchGoldenExecution)
+{
+    apps::QpipTestbed bed(2, 4000, GetParam().seed);
+    for (net::NodeId node = 0; node < 2; ++node) {
+        auto &faults = bed.fabric().linkFor(node).faults();
+        faults.config.dropProb = GetParam().loss;
+    }
+    auto &sim = bed.sim();
+    sim::Random rng(GetParam().seed * 131 + 7);
+
+    constexpr std::size_t regionBytes = 1 << 15;
+    constexpr std::size_t maxOp = 6000;
+    auto cq0 = bed.provider(0).createCq();
+    auto cq1 = bed.provider(1).createCq();
+    std::vector<std::uint8_t> lbuf(regionBytes), rbuf(regionBytes);
+    auto lmr = bed.provider(0).registerMemory(lbuf);
+    auto rmr = bed.provider(1).registerMemory(rbuf,
+                                             nic::accessRemoteRw);
+    // Golden model: the same regions as plain arrays.
+    std::vector<std::uint8_t> gold_l(regionBytes), gold_r(regionBytes);
+
+    verbs::QpAttrs attrs;
+    attrs.rdmaWindowBytes = 1 << 14;
+    verbs::Acceptor acc(bed.provider(1), 7, cq1, cq1);
+    std::shared_ptr<verbs::QueuePair> rqp;
+    acc.acceptOne([&](std::shared_ptr<verbs::QueuePair> q) {
+        rqp = std::move(q);
+    }, attrs);
+    auto sqp = bed.provider(0).createQp(nic::QpType::ReliableTcp, cq0,
+                                        cq0, attrs);
+    bool connected = false;
+    sqp->connect(bed.addr(1, 7), [&](bool ok) { connected = ok; });
+    ASSERT_TRUE(sim.runUntilCondition(
+        [&] { return connected && rqp != nullptr; },
+        sim.now() + 120 * sim::oneSec));
+
+    constexpr int nOps = 24;
+    for (int op = 0; op < nOps; ++op) {
+        const auto kind = rng.uniformInt(0, 2);
+        const auto len = static_cast<std::size_t>(
+            rng.uniformInt(1, maxOp));
+        const auto loff = static_cast<std::size_t>(rng.uniformInt(
+            0, static_cast<std::uint64_t>(regionBytes - len)));
+        const auto roff = static_cast<std::size_t>(rng.uniformInt(
+            0, static_cast<std::uint64_t>(regionBytes - len)));
+        int doneSend = 0, doneRecv = 0;
+        int needSend = 1, needRecv = 0;
+        verbs::WcStatus sendStatus = verbs::WcStatus::Success;
+        if (kind == 0) { // RDMA Write
+            for (std::size_t i = 0; i < len; ++i)
+                lbuf[loff + i] = static_cast<std::uint8_t>(
+                    op * 17 + i * 3 + 1);
+            std::copy(lbuf.begin() + loff, lbuf.begin() + loff + len,
+                      gold_l.begin() + loff);
+            std::copy(gold_l.begin() + loff,
+                      gold_l.begin() + loff + len,
+                      gold_r.begin() + roff);
+            ASSERT_TRUE(sqp->postWrite(op, *lmr, loff, len,
+                                       rmr->key(), roff));
+        } else if (kind == 1) { // RDMA Read
+            std::copy(gold_r.begin() + roff,
+                      gold_r.begin() + roff + len,
+                      gold_l.begin() + loff);
+            ASSERT_TRUE(
+                sqp->postRead(op, *lmr, loff, len, rmr->key(), roff));
+        } else { // two-sided Send
+            needRecv = 1;
+            for (std::size_t i = 0; i < len; ++i)
+                lbuf[loff + i] = static_cast<std::uint8_t>(
+                    op * 29 + i * 5 + 2);
+            std::copy(lbuf.begin() + loff, lbuf.begin() + loff + len,
+                      gold_l.begin() + loff);
+            std::copy(gold_l.begin() + loff,
+                      gold_l.begin() + loff + len,
+                      gold_r.begin() + roff);
+            ASSERT_TRUE(rqp->postRecv(op, *rmr, roff, len));
+            ASSERT_TRUE(sqp->postSend(op, *lmr, loff, len));
+        }
+        // Serialized: drain this op's completions before the next.
+        ASSERT_TRUE(sim.runUntilCondition(
+            [&] {
+                verbs::Completion c;
+                while (cq0->poll(c)) {
+                    ++doneSend;
+                    sendStatus = c.status;
+                }
+                while (cq1->poll(c))
+                    ++doneRecv;
+                return doneSend >= needSend && doneRecv >= needRecv;
+            },
+            sim.now() + 600 * sim::oneSec))
+            << "op " << op << " stalled";
+        ASSERT_EQ(sendStatus, verbs::WcStatus::Success)
+            << "op " << op;
+    }
+
+    EXPECT_EQ(lbuf, gold_l);
+    EXPECT_EQ(rbuf, gold_r);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedLossGrid, RdmaLossProperty,
+    ::testing::Values(RdmaLossCase{1, 0.0}, RdmaLossCase{2, 0.02},
+                      RdmaLossCase{3, 0.05}, RdmaLossCase{4, 0.02},
+                      RdmaLossCase{5, 0.05}));

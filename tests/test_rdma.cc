@@ -1,0 +1,504 @@
+/**
+ * @file
+ * One-sided RDMA and shared-receive-queue tests: Write/Read round
+ * trips (pcap-verified against the wire), rkey/bounds protection
+ * (remote-access-error completions, untouched target memory), SRQ
+ * fan-in from many QPs, SRQ exhaustion (RNR hold on reliable QPs,
+ * drop accounting on UD), and the QP context cache's hit/miss/evict
+ * bookkeeping.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "apps/testbed.hh"
+#include "net/pcap.hh"
+
+using namespace qpip;
+using namespace qpip::apps;
+using verbs::Completion;
+using verbs::QpAttrs;
+using verbs::WcStatus;
+
+namespace {
+
+std::vector<std::uint8_t>
+pattern(std::size_t n, std::uint8_t seed = 7)
+{
+    std::vector<std::uint8_t> v(n);
+    for (std::size_t i = 0; i < n; ++i)
+        v[i] = static_cast<std::uint8_t>(seed * 13 + i * 3 + 1);
+    return v;
+}
+
+/** Connected RC pair with RDMA framing enabled on both ends. */
+struct RdmaPair
+{
+    explicit RdmaPair(QpipTestbed &bed, nic::MrAccess remote_access,
+                      std::size_t buf_bytes = 1 << 16,
+                      std::uint32_t window = 1 << 16)
+        : bed(bed)
+    {
+        cq0 = bed.provider(0).createCq();
+        cq1 = bed.provider(1).createCq();
+        buf0 = std::vector<std::uint8_t>(buf_bytes);
+        buf1 = std::vector<std::uint8_t>(buf_bytes);
+        mr0 = bed.provider(0).registerMemory(buf0);
+        mr1 = bed.provider(1).registerMemory(buf1, remote_access);
+
+        QpAttrs attrs;
+        attrs.rdmaWindowBytes = window;
+        acceptor = std::make_shared<verbs::Acceptor>(
+            bed.provider(1), 700, cq1, cq1);
+        acceptor->acceptOne(
+            [this](std::shared_ptr<verbs::QueuePair> q) {
+                qp1 = std::move(q);
+            },
+            attrs);
+        qp0 = bed.provider(0).createQp(nic::QpType::ReliableTcp, cq0,
+                                       cq0, attrs);
+        bool connected = false;
+        qp0->connect(bed.addr(1, 700),
+                     [&](bool ok) { connected = ok; });
+        bed.sim().runUntilCondition(
+            [&] { return connected && qp1 != nullptr; },
+            bed.sim().now() + 10 * sim::oneSec);
+    }
+
+    bool ready() const { return qp0 && qp1; }
+
+    QpipTestbed &bed;
+    std::shared_ptr<verbs::CompletionQueue> cq0, cq1;
+    std::vector<std::uint8_t> buf0, buf1;
+    std::shared_ptr<verbs::MemoryRegion> mr0, mr1;
+    std::shared_ptr<verbs::Acceptor> acceptor;
+    std::shared_ptr<verbs::QueuePair> qp0, qp1;
+};
+
+bool
+awaitCompletion(QpipTestbed &bed, verbs::CompletionQueue &cq,
+                Completion &out,
+                sim::Tick deadline = 10 * sim::oneSec)
+{
+    bed.sim().runUntilCondition([&] { return cq.depth() > 0; },
+                                bed.sim().now() + deadline);
+    return cq.poll(out);
+}
+
+/** Tap both directions of every fabric edge. */
+std::vector<std::unique_ptr<net::PcapWriter>>
+tapAllEdges(net::Fabric &fabric)
+{
+    std::vector<std::unique_ptr<net::PcapWriter>> taps;
+    for (const auto &e : fabric.edges()) {
+        for (int side = 0; side < 2; ++side) {
+            taps.push_back(std::make_unique<net::PcapWriter>());
+            net::tapLinkSide(*e.link, side, *taps.back());
+        }
+    }
+    return taps;
+}
+
+/** Whether @p needle occurs in any tapped capture. */
+bool
+capturesContain(
+    const std::vector<std::unique_ptr<net::PcapWriter>> &taps,
+    const std::vector<std::uint8_t> &needle)
+{
+    for (const auto &t : taps) {
+        const auto &hay = t->bytes();
+        if (std::search(hay.begin(), hay.end(), needle.begin(),
+                        needle.end()) != hay.end()) {
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// One-sided round trips
+// ---------------------------------------------------------------------
+
+TEST(Rdma, WriteRoundTripPcapVerified)
+{
+    QpipTestbed bed(2);
+    const auto taps = tapAllEdges(bed.fabric());
+    RdmaPair p(bed, nic::accessRemoteRw);
+    ASSERT_TRUE(p.ready());
+
+    const auto msg = pattern(4096);
+    std::copy(msg.begin(), msg.end(), p.buf0.begin());
+    ASSERT_TRUE(p.qp0->postWrite(42, *p.mr0, 0, msg.size(),
+                                 p.mr1->key(), 256));
+
+    Completion c;
+    ASSERT_TRUE(awaitCompletion(bed, *p.cq0, c));
+    EXPECT_TRUE(c.isSend);
+    EXPECT_EQ(c.wrId, 42u);
+    EXPECT_EQ(c.opcode, nic::WrOpcode::RdmaWrite);
+    EXPECT_EQ(c.status, WcStatus::Success);
+    EXPECT_EQ(c.byteLen, msg.size());
+
+    // One-sided: the target landed at raddr with no responder CQE.
+    EXPECT_TRUE(std::equal(msg.begin(), msg.end(),
+                           p.buf1.begin() + 256));
+    EXPECT_EQ(p.cq1->depth(), 0u);
+    EXPECT_EQ(bed.nicOf(1).rdmaWrites.value(), 1u);
+    EXPECT_EQ(bed.nicOf(1).rdmaRemoteErrors.value(), 0u);
+
+    // The payload really crossed the wire (shows up in the capture).
+    EXPECT_TRUE(capturesContain(taps, msg));
+}
+
+TEST(Rdma, ReadRoundTripPcapVerified)
+{
+    QpipTestbed bed(2);
+    const auto taps = tapAllEdges(bed.fabric());
+    RdmaPair p(bed, nic::accessRemoteRw);
+    ASSERT_TRUE(p.ready());
+
+    const auto remote = pattern(2048, 11);
+    std::copy(remote.begin(), remote.end(), p.buf1.begin() + 512);
+    ASSERT_TRUE(p.qp0->postRead(43, *p.mr0, 64, remote.size(),
+                                p.mr1->key(), 512));
+
+    Completion c;
+    ASSERT_TRUE(awaitCompletion(bed, *p.cq0, c));
+    EXPECT_TRUE(c.isSend);
+    EXPECT_EQ(c.wrId, 43u);
+    EXPECT_EQ(c.opcode, nic::WrOpcode::RdmaRead);
+    EXPECT_EQ(c.status, WcStatus::Success);
+    EXPECT_EQ(c.byteLen, remote.size());
+
+    EXPECT_TRUE(std::equal(remote.begin(), remote.end(),
+                           p.buf0.begin() + 64));
+    EXPECT_EQ(p.cq1->depth(), 0u);
+    EXPECT_EQ(bed.nicOf(1).rdmaReads.value(), 1u);
+
+    // The read data crossed the wire in the response direction.
+    EXPECT_TRUE(capturesContain(taps, remote));
+}
+
+TEST(Rdma, TwoSidedSendStillWorksOnRdmaQp)
+{
+    QpipTestbed bed(2);
+    RdmaPair p(bed, nic::accessRemoteRw);
+    ASSERT_TRUE(p.ready());
+
+    const auto msg = pattern(1024, 5);
+    std::copy(msg.begin(), msg.end(), p.buf0.begin());
+    p.qp1->postRecv(1, *p.mr1, 0, 4096);
+    p.qp0->postSend(2, *p.mr0, 0, msg.size());
+
+    Completion c;
+    ASSERT_TRUE(awaitCompletion(bed, *p.cq1, c));
+    EXPECT_FALSE(c.isSend);
+    EXPECT_EQ(c.status, WcStatus::Success);
+    EXPECT_EQ(c.byteLen, msg.size());
+    EXPECT_TRUE(std::equal(msg.begin(), msg.end(), p.buf1.begin()));
+}
+
+// ---------------------------------------------------------------------
+// Protection: rkey / bounds / rights violations
+// ---------------------------------------------------------------------
+
+TEST(Rdma, WriteWithoutRemoteWriteRightsFails)
+{
+    QpipTestbed bed(2);
+    // Target registered local-only: remote write must be refused.
+    RdmaPair p(bed, nic::accessLocal);
+    ASSERT_TRUE(p.ready());
+
+    const auto msg = pattern(512);
+    std::copy(msg.begin(), msg.end(), p.buf0.begin());
+    ASSERT_TRUE(
+        p.qp0->postWrite(1, *p.mr0, 0, msg.size(), p.mr1->key(), 0));
+
+    Completion c;
+    ASSERT_TRUE(awaitCompletion(bed, *p.cq0, c));
+    EXPECT_EQ(c.status, WcStatus::RemoteAccessError);
+    EXPECT_EQ(c.opcode, nic::WrOpcode::RdmaWrite);
+    EXPECT_EQ(bed.nicOf(1).rdmaRemoteErrors.value(), 1u);
+    // Target memory untouched.
+    EXPECT_TRUE(std::all_of(p.buf1.begin(), p.buf1.end(),
+                            [](std::uint8_t b) { return b == 0; }));
+}
+
+TEST(Rdma, WriteOutOfBoundsFails)
+{
+    QpipTestbed bed(2);
+    RdmaPair p(bed, nic::accessRemoteRw, 4096);
+    ASSERT_TRUE(p.ready());
+
+    const auto msg = pattern(1024);
+    std::copy(msg.begin(), msg.end(), p.buf0.begin());
+    // raddr + length overruns the 4 KB target region.
+    ASSERT_TRUE(p.qp0->postWrite(1, *p.mr0, 0, msg.size(),
+                                 p.mr1->key(), 4096 - 100));
+
+    Completion c;
+    ASSERT_TRUE(awaitCompletion(bed, *p.cq0, c));
+    EXPECT_EQ(c.status, WcStatus::RemoteAccessError);
+    EXPECT_EQ(bed.nicOf(1).rdmaRemoteErrors.value(), 1u);
+}
+
+TEST(Rdma, ReadWithBogusRkeyFails)
+{
+    QpipTestbed bed(2);
+    RdmaPair p(bed, nic::accessRemoteRw);
+    ASSERT_TRUE(p.ready());
+
+    ASSERT_TRUE(p.qp0->postRead(9, *p.mr0, 0, 128,
+                                p.mr1->key() + 999, 0));
+    Completion c;
+    ASSERT_TRUE(awaitCompletion(bed, *p.cq0, c));
+    EXPECT_EQ(c.status, WcStatus::RemoteAccessError);
+    EXPECT_EQ(c.opcode, nic::WrOpcode::RdmaRead);
+    EXPECT_EQ(bed.nicOf(1).rdmaRemoteErrors.value(), 1u);
+    EXPECT_EQ(bed.nicOf(1).rdmaReads.value(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Shared receive queues
+// ---------------------------------------------------------------------
+
+TEST(Srq, FanInFromManyQps)
+{
+    QpipTestbed bed(2);
+    auto &sender = bed.provider(0);
+    auto &server = bed.provider(1);
+
+    auto scq = server.createCq();
+    auto srq = server.createSrq();
+    std::vector<std::uint8_t> rbuf(1 << 16);
+    auto rmr = server.registerMemory(rbuf);
+
+    constexpr std::size_t numQps = 8;
+    constexpr std::size_t msgBytes = 256;
+    // One shared pool feeds all QPs: slot i of the buffer.
+    for (std::size_t i = 0; i < numQps; ++i)
+        ASSERT_TRUE(srq->postRecv(100 + i, *rmr, i * 1024, 1024));
+    EXPECT_EQ(srq->depth(), numQps);
+
+    QpAttrs server_attrs;
+    server_attrs.srq = srq;
+    verbs::Acceptor acc(server, 700, scq, scq);
+    std::vector<std::shared_ptr<verbs::QueuePair>> serverQps;
+    for (std::size_t i = 0; i < numQps; ++i) {
+        acc.acceptOne(
+            [&](std::shared_ptr<verbs::QueuePair> q) {
+                serverQps.push_back(std::move(q));
+            },
+            server_attrs);
+    }
+
+    auto ccq = sender.createCq();
+    std::vector<std::uint8_t> sbuf(numQps * msgBytes);
+    auto smr = sender.registerMemory(sbuf);
+    std::vector<std::shared_ptr<verbs::QueuePair>> clientQps;
+    std::size_t connected = 0;
+    for (std::size_t i = 0; i < numQps; ++i) {
+        auto qp = sender.createQp(nic::QpType::ReliableTcp, ccq, ccq);
+        qp->connect(bed.addr(1, 700),
+                    [&](bool ok) { connected += ok ? 1 : 0; });
+        clientQps.push_back(std::move(qp));
+    }
+    ASSERT_TRUE(bed.sim().runUntilCondition(
+        [&] { return connected == numQps; },
+        bed.sim().now() + 20 * sim::oneSec));
+
+    // Every client sends one distinct message.
+    for (std::size_t i = 0; i < numQps; ++i) {
+        auto msg = pattern(msgBytes, static_cast<std::uint8_t>(i));
+        std::copy(msg.begin(), msg.end(),
+                  sbuf.begin() + i * msgBytes);
+        ASSERT_TRUE(clientQps[i]->postSend(i, *smr, i * msgBytes,
+                                           msgBytes));
+    }
+
+    // All arrive as receive completions on the shared CQ.
+    std::size_t received = 0;
+    std::vector<bool> slotUsed(numQps, false);
+    while (received < numQps) {
+        Completion c;
+        ASSERT_TRUE(awaitCompletion(bed, *scq, c, 20 * sim::oneSec));
+        if (c.isSend)
+            continue;
+        EXPECT_EQ(c.status, WcStatus::Success);
+        EXPECT_EQ(c.byteLen, msgBytes);
+        ASSERT_GE(c.wrId, 100u);
+        ASSERT_LT(c.wrId, 100u + numQps);
+        slotUsed[c.wrId - 100] = true;
+        ++received;
+    }
+    // The pool drained WR-per-message, in ring order.
+    EXPECT_TRUE(std::all_of(slotUsed.begin(), slotUsed.end(),
+                            [](bool b) { return b; }));
+    EXPECT_EQ(srq->depth(), 0u);
+    EXPECT_EQ(bed.nicOf(1).srqEmptyDrops.value(), 0u);
+}
+
+TEST(Srq, ExhaustionHoldsTcpMessagesUntilReposted)
+{
+    QpipTestbed bed(2);
+    auto &sender = bed.provider(0);
+    auto &server = bed.provider(1);
+
+    auto scq = server.createCq();
+    auto srq = server.createSrq();
+    std::vector<std::uint8_t> rbuf(1 << 16);
+    auto rmr = server.registerMemory(rbuf);
+    // One 512-byte WR: enough advertised window for both messages to
+    // be transmitted, but only one can land.
+    ASSERT_TRUE(srq->postRecv(100, *rmr, 0, 512));
+
+    QpAttrs server_attrs;
+    server_attrs.srq = srq;
+    verbs::Acceptor acc(server, 700, scq, scq);
+    std::vector<std::shared_ptr<verbs::QueuePair>> serverQps;
+    for (int i = 0; i < 2; ++i) {
+        acc.acceptOne(
+            [&](std::shared_ptr<verbs::QueuePair> q) {
+                serverQps.push_back(std::move(q));
+            },
+            server_attrs);
+    }
+
+    auto ccq = sender.createCq();
+    std::vector<std::uint8_t> sbuf(512);
+    auto smr = sender.registerMemory(sbuf);
+    std::vector<std::shared_ptr<verbs::QueuePair>> clientQps;
+    std::size_t connected = 0;
+    for (int i = 0; i < 2; ++i) {
+        auto qp = sender.createQp(nic::QpType::ReliableTcp, ccq, ccq);
+        qp->connect(bed.addr(1, 700),
+                    [&](bool ok) { connected += ok ? 1 : 0; });
+        clientQps.push_back(std::move(qp));
+    }
+    ASSERT_TRUE(bed.sim().runUntilCondition(
+        [&] { return connected == 2; },
+        bed.sim().now() + 20 * sim::oneSec));
+
+    // Both clients send; the single WR serves the first arrival and
+    // the second message is held un-ACKed (RNR), not dropped.
+    ASSERT_TRUE(clientQps[0]->postSend(0, *smr, 0, 200));
+    ASSERT_TRUE(clientQps[1]->postSend(1, *smr, 200, 200));
+
+    Completion c;
+    ASSERT_TRUE(awaitCompletion(bed, *scq, c, 20 * sim::oneSec));
+    while (c.isSend)
+        ASSERT_TRUE(awaitCompletion(bed, *scq, c, 20 * sim::oneSec));
+    EXPECT_EQ(c.wrId, 100u);
+    bed.sim().runFor(200 * sim::oneMs);
+    EXPECT_GE(bed.nicOf(1).srqRnrHolds.value(), 1u);
+    EXPECT_EQ(srq->depth(), 0u);
+
+    // Reposting frees the held message.
+    ASSERT_TRUE(srq->postRecv(101, *rmr, 1024, 512));
+    ASSERT_TRUE(awaitCompletion(bed, *scq, c, 20 * sim::oneSec));
+    while (c.isSend)
+        ASSERT_TRUE(awaitCompletion(bed, *scq, c, 20 * sim::oneSec));
+    EXPECT_EQ(c.wrId, 101u);
+    EXPECT_EQ(c.status, WcStatus::Success);
+}
+
+TEST(Srq, UdExhaustionDropsAndAccounts)
+{
+    QpipTestbed bed(2);
+    auto &sender = bed.provider(0);
+    auto &server = bed.provider(1);
+
+    auto scq = server.createCq();
+    auto ccq = sender.createCq();
+    auto srq = server.createSrq();
+    std::vector<std::uint8_t> rbuf(8192), sbuf(8192);
+    auto rmr = server.registerMemory(rbuf);
+    auto smr = sender.registerMemory(sbuf);
+
+    QpAttrs attrs;
+    attrs.srq = srq;
+    auto qs =
+        server.createQp(nic::QpType::UnreliableUdp, scq, scq, attrs);
+    qs->bind(9000);
+    auto qc = sender.createQp(nic::QpType::UnreliableUdp, ccq, ccq);
+    qc->bind(9001);
+
+    // SRQ empty: the datagram is dropped and accounted.
+    ASSERT_TRUE(qc->postSend(1, *smr, 0, 256, bed.addr(1, 9000)));
+    bed.sim().runFor(100 * sim::oneMs);
+    EXPECT_EQ(bed.nicOf(1).srqEmptyDrops.value(), 1u);
+    EXPECT_EQ(scq->depth(), 0u); // nothing delivered
+    Completion c;
+    ASSERT_TRUE(ccq->poll(c)); // the client's send CQE
+    EXPECT_TRUE(c.isSend);
+
+    // With a WR posted, delivery works.
+    ASSERT_TRUE(srq->postRecv(7, *rmr, 0, 4096));
+    ASSERT_TRUE(qc->postSend(2, *smr, 0, 256, bed.addr(1, 9000)));
+    ASSERT_TRUE(awaitCompletion(bed, *scq, c, 10 * sim::oneSec));
+    while (c.isSend)
+        ASSERT_TRUE(awaitCompletion(bed, *scq, c, 10 * sim::oneSec));
+    EXPECT_EQ(c.wrId, 7u);
+    EXPECT_EQ(c.byteLen, 256u);
+}
+
+// ---------------------------------------------------------------------
+// QP context cache
+// ---------------------------------------------------------------------
+
+TEST(QpCtxCache, MissesAndEvictionsAreCounted)
+{
+    nic::QpipNicParams params;
+    params.qpCacheCapacity = 2; // tiny SRAM: 2 resident contexts
+    QpipTestbed bed(2, qpipNativeMtu, 1, params);
+
+    auto &prov = bed.provider(0);
+    auto cq = prov.createCq();
+    // Three QPs thrash a two-entry cache.
+    auto a = prov.createQp(nic::QpType::UnreliableUdp, cq, cq);
+    auto b = prov.createQp(nic::QpType::UnreliableUdp, cq, cq);
+    auto q3 = prov.createQp(nic::QpType::UnreliableUdp, cq, cq);
+    a->bind(9000);
+    b->bind(9001);
+    q3->bind(9002);
+    bed.sim().runFor(10 * sim::oneMs);
+
+    const auto &cache = bed.nicOf(0).qpCache();
+    // Warm installs: creating the third QP evicted the first.
+    EXPECT_EQ(cache.evictions.value(), 1u);
+    EXPECT_EQ(cache.misses.value(), 0u);
+
+    std::vector<std::uint8_t> buf(4096);
+    auto mr = prov.registerMemory(buf);
+    // Touching the evicted QP now misses (fetch) and evicts another.
+    ASSERT_TRUE(a->postSend(1, *mr, 0, 64, bed.addr(1, 9100)));
+    bed.sim().runFor(10 * sim::oneMs);
+    EXPECT_GE(cache.misses.value(), 1u);
+    EXPECT_GE(cache.evictions.value(), 2u);
+    EXPECT_GE(bed.nicOf(0).ctxWritebacks.value(), 1u);
+}
+
+TEST(QpCtxCache, DisabledCacheCountsNothing)
+{
+    nic::QpipNicParams params;
+    params.qpCacheCapacity = 0;
+    QpipTestbed bed(2, qpipNativeMtu, 1, params);
+
+    auto &prov = bed.provider(0);
+    auto cq = prov.createCq();
+    auto qp = prov.createQp(nic::QpType::UnreliableUdp, cq, cq);
+    qp->bind(9000);
+    std::vector<std::uint8_t> buf(4096);
+    auto mr = prov.registerMemory(buf);
+    ASSERT_TRUE(qp->postSend(1, *mr, 0, 64, bed.addr(1, 9100)));
+    bed.sim().runFor(10 * sim::oneMs);
+
+    const auto &cache = bed.nicOf(0).qpCache();
+    EXPECT_FALSE(cache.enabled());
+    EXPECT_EQ(cache.hits.value(), 0u);
+    EXPECT_EQ(cache.misses.value(), 0u);
+    EXPECT_EQ(cache.evictions.value(), 0u);
+}
