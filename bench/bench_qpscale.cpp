@@ -10,12 +10,15 @@
  * above it misses on essentially every touch — the context-cache
  * thrash cliff.
  *
- * One server host parks N reliable QPs on a shared receive queue; one
- * client host connects N QPs and streams 1-byte messages round-robin
- * with a bounded outstanding window. The recorded metric is
- * completions per simulated second (firmware-bound, so wall time does
- * not matter), plus the cache hit/miss/eviction counters that explain
- * it.
+ * Two arms per sweep. RC: one server host parks N reliable QPs on a
+ * shared receive queue; one client host connects N QPs and streams
+ * 1-byte messages round-robin with a bounded outstanding window. RUD:
+ * the same fan-in, but N reliable-datagram peers target ONE server QP
+ * whose per-peer state lives in host memory — the server's context
+ * working set is a single entry at any N, so its curve rides flat
+ * through the RC cliff. The recorded metric is completions per
+ * simulated second (firmware-bound, so wall time does not matter),
+ * plus the cache hit/miss/eviction counters that explain it.
  *
  * Output is a JSON report (default ./BENCH_qpscale.json, override
  * with --out=<path>). Knobs: QPIP_QPSCALE_MSGS (messages per point,
@@ -44,6 +47,7 @@ namespace {
 
 struct Point
 {
+    const char *transport = "rc";
     std::size_t qps = 0;
     std::uint64_t messages = 0;
     sim::Tick simTicks = 0;
@@ -190,6 +194,132 @@ runPoint(std::size_t n_qps, std::uint64_t messages,
     return p;
 }
 
+/**
+ * The reliable-datagram arm: the same round-robin 1-byte fan-in, but
+ * every client "peer" talks to ONE server RUD QP whose per-peer
+ * reliability state lives in host memory — the server NIC touches a
+ * single cached context no matter how many peers are active. The
+ * client host models N independent peer hosts, so its NIC gets an
+ * uncontended cache; the system under test is the server at the
+ * default capacity.
+ */
+Point
+runRudPoint(std::size_t n_peers, std::uint64_t messages,
+            std::size_t cache_capacity)
+{
+    nic::QpipNicParams serverParams;
+    serverParams.qpCacheCapacity = cache_capacity;
+    nic::QpipNicParams clientParams;
+    clientParams.qpCacheCapacity = n_peers + 16;
+    QpipTestbed bed(2, qpipNativeMtu, 1,
+                    {clientParams, serverParams});
+    auto &client = bed.provider(0);
+    auto &server = bed.provider(1);
+
+    constexpr std::size_t srqDepth = 256;
+    constexpr std::size_t window = 64; // outstanding sends
+
+    auto scq = server.createCq(1 << 16);
+    auto ccq = client.createCq(1 << 16);
+    auto srq = server.createSrq(1 << 16);
+    std::vector<std::uint8_t> rbuf(srqDepth), sbuf(1);
+    auto rmr = server.registerMemory(rbuf);
+    auto smr = client.registerMemory(sbuf);
+    std::uint64_t srqPosted = 0;
+    for (; srqPosted < srqDepth; ++srqPosted)
+        srq->postRecv(srqPosted, *rmr, srqPosted % srqDepth, 1);
+
+    verbs::QpAttrs server_attrs;
+    server_attrs.srq = srq;
+    auto serverQp = server.createQp(nic::QpType::ReliableDatagram,
+                                    scq, scq, server_attrs);
+    serverQp->bind(800);
+    const auto serverAddr = bed.addr(1, 800);
+
+    std::vector<std::shared_ptr<verbs::QueuePair>> peers;
+    peers.reserve(n_peers);
+    for (std::size_t i = 0; i < n_peers; ++i) {
+        auto qp = client.createQp(nic::QpType::ReliableDatagram, ccq,
+                                  ccq,
+                                  verbs::QpAttrs{window, 0, nullptr, 0});
+        qp->bind(static_cast<std::uint16_t>(2000 + i));
+        peers.push_back(std::move(qp));
+    }
+    Point p;
+    p.transport = "rud";
+    p.qps = n_peers;
+    p.messages = messages;
+
+    // Drain the QP-create/bind management work queued on the client
+    // firmware so the measured window sees steady state only (the RC
+    // arm's connect phase does this implicitly).
+    bed.sim().runFor(sim::oneSec);
+
+    const auto &txc = bed.nicOf(0).qpCache();
+    const auto &rxc = bed.nicOf(1).qpCache();
+    const std::uint64_t txHits0 = txc.hits.value();
+    const std::uint64_t txMiss0 = txc.misses.value();
+    const std::uint64_t txEvict0 = txc.evictions.value();
+    const std::uint64_t rxHits0 = rxc.hits.value();
+    const std::uint64_t rxMiss0 = rxc.misses.value();
+    const std::uint64_t rxEvict0 = rxc.evictions.value();
+    const sim::Tick t0 = bed.sim().now();
+    const auto wall0 = std::chrono::steady_clock::now();
+
+    std::uint64_t received = 0;
+    waitLoop(*scq, [&](verbs::Completion c) {
+        if (c.isSend)
+            return;
+        ++received;
+        srq->postRecv(srqPosted, *rmr, srqPosted % srqDepth, 1);
+        ++srqPosted;
+    });
+
+    // Round-robin across all peers; completions are ack-gated, so
+    // the window self-clocks off the server's serialized firmware.
+    std::uint64_t sent = 0;
+    std::size_t nextQp = 0;
+    auto sendNext = [&] {
+        if (sent >= messages)
+            return;
+        if (!peers[nextQp]->postSend(sent, *smr, 0, 1, serverAddr)) {
+            std::fprintf(stderr, "send ring overflow at peer %zu\n",
+                         nextQp);
+            std::exit(1);
+        }
+        nextQp = (nextQp + 1) % n_peers;
+        ++sent;
+    };
+    waitLoop(*ccq, [&](verbs::Completion c) {
+        if (c.isSend)
+            sendNext();
+    });
+    for (std::size_t i = 0; i < window && i < messages; ++i)
+        sendNext();
+
+    p.completed = bed.sim().runUntilCondition(
+        [&] { return received >= messages; },
+        bed.sim().now() + 36000 * sim::oneSec);
+
+    const auto wall1 = std::chrono::steady_clock::now();
+    p.simTicks = bed.sim().now() - t0;
+    p.wallSeconds =
+        std::chrono::duration<double>(wall1 - wall0).count();
+    p.completionsPerSimSec =
+        p.simTicks > 0
+            ? static_cast<double>(received) /
+                  (static_cast<double>(p.simTicks) /
+                   static_cast<double>(sim::oneSec))
+            : 0.0;
+    p.txHits = txc.hits.value() - txHits0;
+    p.txMisses = txc.misses.value() - txMiss0;
+    p.txEvictions = txc.evictions.value() - txEvict0;
+    p.rxHits = rxc.hits.value() - rxHits0;
+    p.rxMisses = rxc.misses.value() - rxMiss0;
+    p.rxEvictions = rxc.evictions.value() - rxEvict0;
+    return p;
+}
+
 void
 writeJson(const std::vector<Point> &points, std::size_t cache,
           const std::string &path)
@@ -206,7 +336,8 @@ writeJson(const std::vector<Point> &points, std::size_t cache,
         const auto &p = points[i];
         std::fprintf(
             f,
-            "    {\"qps\": %zu, \"completed\": %s, "
+            "    {\"transport\": \"%s\", \"qps\": %zu, "
+            "\"completed\": %s, "
             "\"messages\": %llu, \"simTicks\": %llu, "
             "\"completionsPerSimSec\": %.0f, "
             "\"txCtx\": {\"hits\": %llu, \"misses\": %llu, "
@@ -214,7 +345,7 @@ writeJson(const std::vector<Point> &points, std::size_t cache,
             "\"rxCtx\": {\"hits\": %llu, \"misses\": %llu, "
             "\"evictions\": %llu}, "
             "\"wallSeconds\": %.3f}%s\n",
-            p.qps, p.completed ? "true" : "false",
+            p.transport, p.qps, p.completed ? "true" : "false",
             static_cast<unsigned long long>(p.messages),
             static_cast<unsigned long long>(p.simTicks),
             p.completionsPerSimSec,
@@ -249,13 +380,13 @@ main(int argc, char **argv)
     std::printf("=== completion rate vs QP count (cache %zu contexts, "
                 "%llu msgs/point) ===\n",
                 cache, static_cast<unsigned long long>(messages));
-    std::printf("%8s %14s %16s %12s %12s %10s\n", "qps", "msgs",
-                "compl/simsec", "txMisses", "rxMisses", "wall_s");
+    std::printf("%5s %8s %14s %16s %12s %12s %10s\n", "arm", "qps",
+                "msgs", "compl/simsec", "txMisses", "rxMisses",
+                "wall_s");
     bool all_ok = true;
-    for (std::size_t n = 16; n <= maxQps; n *= 4) {
-        auto p = runPoint(n, messages, cache);
-        std::printf("%8zu %14llu %16.0f %12llu %12llu %10.2f%s\n",
-                    p.qps,
+    const auto record = [&](Point p) {
+        std::printf("%5s %8zu %14llu %16.0f %12llu %12llu %10.2f%s\n",
+                    p.transport, p.qps,
                     static_cast<unsigned long long>(p.messages),
                     p.completionsPerSimSec,
                     static_cast<unsigned long long>(p.txMisses),
@@ -263,8 +394,15 @@ main(int argc, char **argv)
                     p.wallSeconds,
                     p.completed ? "" : "  [INCOMPLETE]");
         all_ok = all_ok && p.completed;
-        points.push_back(p);
-    }
+        points.push_back(std::move(p));
+    };
+    for (std::size_t n = 16; n <= maxQps; n *= 4)
+        record(runPoint(n, messages, cache));
+    // The scale-out arm: N peers fan into one reliable-datagram QP;
+    // the server's context working set stays at one entry, so the
+    // curve should ride flat through the RC arm's cache cliff.
+    for (std::size_t n = 16; n <= maxQps; n *= 4)
+        record(runRudPoint(n, messages, cache));
     writeJson(points, cache, out);
     std::printf("\nwrote %s\n", out.c_str());
     return all_ok ? 0 : 1;

@@ -131,8 +131,21 @@ QpipTestbed::QpipTestbed(std::size_t n_hosts, std::uint32_t mtu,
                          nic::QpipNicParams nic_params,
                          host::HostCostModel costs, IpFamily family,
                          FabricTopology topology)
+    : QpipTestbed(n_hosts, mtu, seed,
+                  std::vector<nic::QpipNicParams>(n_hosts, nic_params),
+                  costs, family, topology)
+{
+}
+
+QpipTestbed::QpipTestbed(std::size_t n_hosts, std::uint32_t mtu,
+                         std::uint64_t seed,
+                         std::vector<nic::QpipNicParams> nic_params,
+                         host::HostCostModel costs, IpFamily family,
+                         FabricTopology topology)
     : sim_(seed), family_(family)
 {
+    if (nic_params.size() != n_hosts)
+        sim::panic("QpipTestbed: nic_params size != n_hosts");
     const auto addr_of = [family](std::size_t i) {
         return family == IpFamily::V6 ? v6Of(i) : v4Of(i);
     };
@@ -145,7 +158,7 @@ QpipTestbed::QpipTestbed(std::size_t n_hosts, std::uint32_t mtu,
             sim_, "host" + std::to_string(i), costs));
         nics_.push_back(std::make_unique<nic::QpipNic>(
             sim_, "host" + std::to_string(i) + ".qnic", spoke, node,
-            nic_params));
+            nic_params[i]));
         nics_[i]->setAddress(addr_of(i));
         providers_.push_back(std::make_unique<verbs::Provider>(
             *hosts_[i], *nics_[i]));

@@ -105,6 +105,19 @@ class QpipTestbed
                 host::HostCostModel costs = host::HostCostModel{},
                 IpFamily family = IpFamily::V6,
                 FabricTopology topology = FabricTopology::Star);
+
+    /**
+     * Heterogeneous variant: one QpipNicParams per host (size must
+     * equal @p n_hosts). Lets an experiment pin, say, a tiny context
+     * cache on the system under test while its load generator runs
+     * uncontended.
+     */
+    QpipTestbed(std::size_t n_hosts, std::uint32_t mtu,
+                std::uint64_t seed,
+                std::vector<nic::QpipNicParams> nic_params,
+                host::HostCostModel costs = host::HostCostModel{},
+                IpFamily family = IpFamily::V6,
+                FabricTopology topology = FabricTopology::Star);
     ~QpipTestbed();
 
     sim::Simulation &sim() { return sim_; }

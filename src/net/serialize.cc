@@ -117,4 +117,72 @@ parseRdmaMessage(std::span<const std::uint8_t> msg, RdmaHeader &out,
     return true;
 }
 
+const char *
+rudOpcodeName(RudOpcode op)
+{
+    switch (op) {
+      case RudOpcode::Data: return "data";
+      case RudOpcode::Ack: return "ack";
+    }
+    return "?";
+}
+
+std::size_t
+rudHeaderBytes(RudOpcode op)
+{
+    switch (op) {
+      case RudOpcode::Data: // op + seq + ack
+        return 1 + 4 + 4;
+      case RudOpcode::Ack: // op + ack
+        return 1 + 4;
+    }
+    return 0;
+}
+
+std::vector<std::uint8_t>
+serializeRudMessage(const RudHeader &hdr,
+                    std::span<const std::uint8_t> payload)
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(rudHeaderBytes(hdr.opcode) + payload.size());
+    ByteWriter w(out);
+    w.u8(static_cast<std::uint8_t>(hdr.opcode));
+    switch (hdr.opcode) {
+      case RudOpcode::Data:
+        w.u32(hdr.seq);
+        w.u32(hdr.ack);
+        break;
+      case RudOpcode::Ack:
+        w.u32(hdr.ack);
+        break;
+    }
+    w.bytes(payload);
+    return out;
+}
+
+bool
+parseRudMessage(std::span<const std::uint8_t> msg, RudHeader &out,
+                std::span<const std::uint8_t> &payload)
+{
+    ByteReader r(msg);
+    const std::uint8_t op = r.u8();
+    if (!r.ok() || op > static_cast<std::uint8_t>(RudOpcode::Ack))
+        return false;
+    out = RudHeader{};
+    out.opcode = static_cast<RudOpcode>(op);
+    switch (out.opcode) {
+      case RudOpcode::Data:
+        out.seq = r.u32();
+        out.ack = r.u32();
+        break;
+      case RudOpcode::Ack:
+        out.ack = r.u32();
+        break;
+    }
+    if (!r.ok())
+        return false;
+    payload = r.rest();
+    return true;
+}
+
 } // namespace qpip::net

@@ -225,4 +225,50 @@ serializeRdmaMessage(const RdmaHeader &hdr,
 bool parseRdmaMessage(std::span<const std::uint8_t> msg, RdmaHeader &out,
                       std::span<const std::uint8_t> &payload);
 
+// ---------------------------------------------------------------------
+// QPIP reliable-datagram (RUD) message framing
+// ---------------------------------------------------------------------
+
+/**
+ * Per-datagram opcode of the reliable-over-UD shim. Every UDP
+ * datagram a ReliableDatagram QP emits starts with one of these;
+ * plain UnreliableUdp QPs carry raw payloads and never see them.
+ */
+enum class RudOpcode : std::uint8_t {
+    Data = 0, ///< sequenced payload; carries a piggybacked ack
+    Ack = 1,  ///< standalone cumulative ack (no payload)
+};
+
+const char *rudOpcodeName(RudOpcode op);
+
+/**
+ * The decoded RUD framing header. seq is valid for Data only; ack is
+ * the cumulative acknowledgment (highest in-order sequence received
+ * from the datagram's destination) and is carried by both opcodes —
+ * Data piggybacks it, Ack exists for nothing else. Sequence numbers
+ * are per (QP, peer) and start at 1; ack 0 means "nothing yet".
+ */
+struct RudHeader
+{
+    RudOpcode opcode = RudOpcode::Data;
+    std::uint32_t seq = 0;
+    std::uint32_t ack = 0;
+};
+
+/** Serialized header size for @p op (payload follows immediately). */
+std::size_t rudHeaderBytes(RudOpcode op);
+
+/** Frame @p payload under @p hdr into one datagram buffer. */
+std::vector<std::uint8_t>
+serializeRudMessage(const RudHeader &hdr,
+                    std::span<const std::uint8_t> payload);
+
+/**
+ * Parse a framed RUD datagram. @return false on truncation or an
+ * unknown opcode; on success @p out is filled and @p payload views
+ * the bytes after the header (inside @p msg).
+ */
+bool parseRudMessage(std::span<const std::uint8_t> msg, RudHeader &out,
+                     std::span<const std::uint8_t> &payload);
+
 } // namespace qpip::net

@@ -75,6 +75,16 @@ struct FirmwareCostModel
     /** Firmware-generated response (WriteAck / ReadResp) assembly. */
     sim::Cycles rdmaRespBuild = us(2.0);
 
+    // --- reliable-datagram (RUD) shim --------------------------------
+    /** Stamp seq + piggybacked ack onto an outgoing datagram. */
+    sim::Cycles rudHeaderBuild = us(1.0);
+    /** Parse the seq/ack framing and locate the peer record. */
+    sim::Cycles rudParse = us(1.5);
+    /** Retire acked sends: walk the unacked window, complete WRs. */
+    sim::Cycles rudAckProcess = us(2.0);
+    /** Assemble a standalone cumulative ack datagram. */
+    sim::Cycles rudAckBuild = us(1.0);
+
     // --- QP context cache (LANai SRAM as a finite resource) ----------
     /**
      * Fetch a QP context absent from NIC SRAM: DMA the state block
@@ -167,6 +177,10 @@ infinibandGradeCosts()
     m.rdmaHeaderBuild = FirmwareCostModel::us(0.3);
     m.rdmaParse = FirmwareCostModel::us(0.3);
     m.rdmaRespBuild = FirmwareCostModel::us(0.4);
+    m.rudHeaderBuild = FirmwareCostModel::us(0.2);
+    m.rudParse = FirmwareCostModel::us(0.3);
+    m.rudAckProcess = FirmwareCostModel::us(0.4);
+    m.rudAckBuild = FirmwareCostModel::us(0.2);
     m.qpCtxFetch = FirmwareCostModel::us(1.5);
     m.qpCtxWriteback = FirmwareCostModel::us(0.8);
     return m;

@@ -29,6 +29,7 @@ fwStageName(FwStage s)
       case FwStage::Fragment: return "Fragment";
       case FwStage::Reassembly: return "Reassembly";
       case FwStage::RdmaExec: return "RDMA Exec";
+      case FwStage::RudExec: return "RUD Exec";
       case FwStage::CtxFetch: return "Ctx Fetch";
       case FwStage::Mgmt: return "Mgmt";
       case FwStage::Timer: return "Timer";
@@ -59,6 +60,7 @@ fwStageTag(FwStage s)
       case FwStage::Fragment: return "fragment";
       case FwStage::Reassembly: return "reassembly";
       case FwStage::RdmaExec: return "rdmaExec";
+      case FwStage::RudExec: return "rudExec";
       case FwStage::CtxFetch: return "ctxFetch";
       case FwStage::Mgmt: return "mgmt";
       case FwStage::Timer: return "timer";

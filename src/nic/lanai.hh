@@ -38,6 +38,7 @@ enum class FwStage : std::uint8_t {
     Fragment,
     Reassembly,
     RdmaExec,  ///< one-sided op header build/parse/execute/respond
+    RudExec,   ///< reliable-datagram shim: seq/ack build, parse, acks
     CtxFetch,  ///< QP context cache miss service (fetch/writeback)
     Mgmt,
     Timer,

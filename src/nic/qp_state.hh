@@ -33,6 +33,14 @@ constexpr SrqNum invalidSrq = 0;
 enum class QpType : std::uint8_t {
     ReliableTcp,   ///< connected, message-per-TCP-segment
     UnreliableUdp, ///< datagram, message-per-UDP-datagram
+    /**
+     * Reliable delivery over UDP datagrams: per-peer sequence
+     * numbers, cumulative acks and retransmission run in a thin
+     * firmware shim whose per-peer state lives in host memory, so one
+     * QP context serves any number of peers without growing the NIC's
+     * cached QP state.
+     */
+    ReliableDatagram,
 };
 
 /** Completion status codes. */

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 
+#include "nic/transport/qp_context.hh"
+#include "nic/transport/rc_engine.hh"
+#include "nic/transport/rud_engine.hh"
+#include "nic/transport/ud_engine.hh"
 #include "sim/logging.hh"
 #include "sim/simulation.hh"
 
@@ -55,221 +59,6 @@ QpipNicParams::defaultFirmwareTcpConfig()
 }
 
 // ---------------------------------------------------------------------
-// QpContext
-// ---------------------------------------------------------------------
-
-/**
- * NIC-side state of one shared receive queue: the doorbell-FSM shadow
- * of the host ring plus the attach list (in attach order, so window
- * redelivery after a replenish is deterministic). SRQ contexts are
- * pinned in SRAM — they are shared infrastructure like the demux
- * table, not per-QP state, so they don't flow through the QP context
- * cache.
- */
-struct QpipNic::SrqContext
-{
-    SrqNum num = invalidSrq;
-    SrqHostRing *ring = nullptr;
-    std::uint64_t seen = 0;
-    std::uint64_t consumed = 0;
-    std::uint32_t postedCount = 0;
-    std::uint64_t postedBytes = 0;
-    std::vector<QpContext *> attached;
-};
-
-struct QpipNic::QpContext : public inet::TcpObserver,
-                            public inet::UdpEndpoint
-{
-    QpContext(QpipNic &nic_ref, QpNum n, QpType t, QpHostRings *r,
-              CqRing *s, CqRing *rc)
-        : nic(nic_ref), num(n), type(t), rings(r), scq(s), rcq(rc)
-    {}
-
-    QpipNic &nic;
-    QpNum num;
-    QpType type;
-    QpHostRings *rings;
-    CqRing *scq;
-    CqRing *rcq;
-
-    /** Receive WRs come from here instead of rings->recvQ when set. */
-    SrqContext *srq = nullptr;
-    /** Non-zero: RDMA framing on, one-sided window in bytes. */
-    std::uint32_t rdmaWindow = 0;
-
-    inet::SockAddr local;
-    bool bound = false;
-    std::unique_ptr<inet::TcpConnection> conn;
-    bool connected = false;
-    ConnectCb connectDone;
-    AcceptCb acceptDone;
-
-    // NIC-side shadow of the host work queues (what the doorbell FSM
-    // maintains in the QPIP state table).
-    std::uint64_t sendSeen = 0;
-    std::uint64_t sendConsumed = 0;
-    std::uint64_t recvSeen = 0;
-    std::uint64_t recvConsumed = 0;
-    std::uint32_t postedRecvCount = 0;
-    std::uint64_t postedRecvBytes = 0;
-
-    /** What an unacked TCP message was carrying. */
-    enum class TxKind : std::uint8_t {
-        Send,    ///< a plain send WR: completes on the TCP ACK
-        RdmaReq, ///< Write/ReadReq: completes on the explicit response
-        FwResp,  ///< firmware-generated WriteAck/ReadResp: no WR
-    };
-
-    struct Inflight
-    {
-        std::uint64_t tag = 0;
-        TxKind kind = TxKind::Send;
-        SendWr wr;
-    };
-
-    // Sent-but-unacked TCP messages, ACKed in FIFO order.
-    std::deque<Inflight> inflightSends;
-    std::uint64_t nextTag = 1;
-
-    // One-sided ops awaiting their response, answered in FIFO order
-    // (responses ride the same TCP stream as the requests).
-    std::deque<std::pair<std::uint64_t, SendWr>> pendingRdma;
-    std::uint64_t nextRdmaId = 1;
-
-    bool
-    recvWrAvailable() const
-    {
-        return srq != nullptr ? srq->postedCount > 0
-                              : postedRecvCount > 0;
-    }
-
-    // --- inet::UdpEndpoint --------------------------------------------
-    void
-    udpDeliver(std::vector<std::uint8_t> &&msg,
-               const inet::SockAddr &from) override
-    {
-        if (!recvWrAvailable()) {
-            // Unreliable service: no posted WR, the datagram is gone.
-            if (srq != nullptr)
-                nic.srqEmptyDrops.inc();
-            else
-                nic.udpNoWrDrops.inc();
-            return;
-        }
-        nic.receiveIntoWr(*this, std::move(msg), from);
-    }
-
-    // --- TcpObserver --------------------------------------------------
-    void
-    onConnected(inet::TcpConnection &) override
-    {
-        connected = true;
-        if (connectDone) {
-            auto cb = std::move(connectDone);
-            nic.schedule(nic.fw_.busyUntil(), [cb] { cb(true); });
-        }
-        if (acceptDone) {
-            auto cb = std::move(acceptDone);
-            const QpNum qp = num;
-            nic.schedule(nic.fw_.busyUntil(), [cb, qp] { cb(qp); });
-        }
-    }
-
-    bool
-    canAcceptMessage(inet::TcpConnection &,
-                     std::span<const std::uint8_t> payload) override
-    {
-        // One-sided ops and responses consume no receive WR: peek the
-        // framing opcode and wave anything but a Send through.
-        if (rdmaWindow > 0 && !payload.empty() &&
-            payload[0] !=
-                static_cast<std::uint8_t>(net::RdmaOpcode::Send)) {
-            return true;
-        }
-        const bool avail = recvWrAvailable();
-        if (!avail && srq != nullptr)
-            nic.srqRnrHolds.inc();
-        return avail;
-    }
-
-    void
-    onMessage(inet::TcpConnection &conn_ref,
-              std::vector<std::uint8_t> &&msg) override
-    {
-        if (rdmaWindow > 0) {
-            nic.handleRdmaMessage(*this, std::move(msg),
-                                  conn_ref.tuple().remote);
-            return;
-        }
-        nic.receiveIntoWr(*this, std::move(msg),
-                          conn_ref.tuple().remote);
-    }
-
-    void
-    onMessageAcked(inet::TcpConnection &, std::uint64_t tag) override
-    {
-        if (inflightSends.empty() || inflightSends.front().tag != tag)
-            sim::panic("qp%u: send completion out of order", num);
-        Inflight fly = std::move(inflightSends.front());
-        inflightSends.pop_front();
-        nic.touchQpContext(num);
-        // Table 3 "Update" (ACK): WR status + QP state writeback.
-        nic.fw_.charge(FwStage::UpdateRx, nic.costs().updateRxAck);
-        if (fly.kind != TxKind::Send) {
-            // One-sided requests complete on their response;
-            // firmware responses carry no WR at all.
-            return;
-        }
-        Completion c;
-        c.wrId = fly.wr.id;
-        c.qp = num;
-        c.isSend = true;
-        c.status = WcStatus::Success;
-        c.byteLen = fly.wr.sge.length;
-        nic.pushCompletion(scq, c);
-    }
-
-    void
-    onPeerClosed(inet::TcpConnection &conn_ref) override
-    {
-        // A QP channel is torn down as a unit: answer the peer's FIN
-        // with our own so the connection fully closes and outstanding
-        // WRs flush.
-        conn_ref.close();
-    }
-
-    void
-    onReset(inet::TcpConnection &) override
-    {
-        connected = false;
-        if (connectDone) {
-            auto cb = std::move(connectDone);
-            nic.schedule(nic.curTick(), [cb] { cb(false); });
-        }
-        nic.flushQp(*this, WcStatus::RemoteReset);
-    }
-
-    void
-    onClosed(inet::TcpConnection &) override
-    {
-        connected = false;
-        nic.flushQp(*this, WcStatus::Flushed);
-    }
-
-    std::uint32_t
-    receiveWindow(inet::TcpConnection &) override
-    {
-        // Posted receive-WR bytes (own ring or the shared queue's),
-        // plus the standing one-sided window on RDMA-enabled QPs so
-        // Write/Read traffic flows with zero WRs posted.
-        const std::uint64_t posted =
-            srq != nullptr ? srq->postedBytes : postedRecvBytes;
-        return static_cast<std::uint32_t>(std::min<std::uint64_t>(
-            posted + rdmaWindow, 0xffffffffull));
-    }
-};
-
-// ---------------------------------------------------------------------
 // Construction / management FSM
 // ---------------------------------------------------------------------
 
@@ -281,7 +70,8 @@ QpipNic::QpipNic(sim::Simulation &sim, std::string name, net::Link &link,
       dmaIn_(sim, this->name() + ".dma_in", params.dma),
       dmaOut_(sim, this->name() + ".dma_out", params.dma),
       doorbells_(sim, this->name() + ".doorbells", params.doorbellCap),
-      qpCache_(params.qpCacheCapacity), inet_(*this, params.reassExpiry),
+      qpCache_(params.qpCacheCapacity, params.qpCacheBytes),
+      inet_(*this, params.reassExpiry),
       badPackets(inet_.badFrames), noQpDrops(inet_.noMatchDrops)
 {
     // Force the prototype's transport subset regardless of overrides.
@@ -297,6 +87,11 @@ QpipNic::QpipNic(sim::Simulation &sim, std::string name, net::Link &link,
     regStat("rdma.malformed", rdmaMalformed);
     regStat("srq.rnrHolds", srqRnrHolds);
     regStat("srq.emptyDrops", srqEmptyDrops);
+    regStat("rud.retransmits", rudRetransmits);
+    regStat("rud.acksSent", rudAcksSent);
+    regStat("rud.seqDrops", rudSeqDrops);
+    regStat("rud.rnrHolds", rudRnrHolds);
+    regStat("rud.malformed", rudMalformed);
     regStat("qpCache.hits", qpCache_.hits);
     regStat("qpCache.misses", qpCache_.misses);
     regStat("qpCache.evictions", qpCache_.evictions);
@@ -304,6 +99,9 @@ QpipNic::QpipNic(sim::Simulation &sim, std::string name, net::Link &link,
     regStat("reass.fragmentsIn", inet_.reassembler().fragmentsIn);
     regStat("reass.reassembled", inet_.reassembler().reassembled);
     regStat("reass.expired", inet_.reassembler().expired);
+    rcEngine_ = std::make_unique<RcEngine>(*this);
+    udEngine_ = std::make_unique<UdEngine>(*this);
+    rudEngine_ = std::make_unique<RudEngine>(*this);
     link_.attach(0, *this);
     doorbells_.setDrainHook([this] {
         if (!drainActive_) {
@@ -319,6 +117,18 @@ QpipNic::~QpipNic()
     // destructors reached from the QP contexts below must not call
     // back into this object.
     aliveToken_.reset();
+}
+
+TransportEngine &
+QpipNic::engineFor(QpType type)
+{
+    switch (type) {
+      case QpType::ReliableTcp: return *rcEngine_;
+      case QpType::UnreliableUdp: return *udEngine_;
+      case QpType::ReliableDatagram: return *rudEngine_;
+    }
+    sim::panic("engineFor: unknown qp type %d",
+               static_cast<int>(type));
 }
 
 void
@@ -364,10 +174,11 @@ QpipNic::createQp(QpType type, QpHostRings *rings, CqRing *scq,
     }
     qps_[num] = std::move(ctx);
     // The management FSM builds the context in SRAM; whatever it
-    // displaces goes back to host memory.
-    if (qpCache_.install(num) != invalidQp) {
-        ctxWritebacks.inc();
-        fw_.charge(FwStage::CtxFetch, params_.costs.qpCtxWriteback);
+    // displaces goes back to host memory (if dirty).
+    const auto ev = qpCache_.install(num, qpContextBytes(type));
+    if (ev.dirtyEvictions > 0) {
+        ctxWritebacks.inc(ev.dirtyEvictions);
+        fw_.charge(FwStage::CtxFetch, ctxMissCycles(ev));
     }
     return num;
 }
@@ -384,8 +195,8 @@ QpipNic::destroyQp(QpNum qp)
         inet_.unregisterConn(ctx->conn->tuple());
         ctx->conn->abort();
     }
-    if (ctx->bound && ctx->type == QpType::UnreliableUdp)
-        inet_.unbindUdp(ctx->local.port);
+    if (ctx->bound)
+        engineFor(ctx->type).unbound(*ctx);
     flushQp(*ctx, WcStatus::Flushed);
     if (ctx->srq != nullptr) {
         auto &att = ctx->srq->attached;
@@ -429,11 +240,7 @@ QpipNic::bindLocal(QpNum qp, std::uint16_t port)
     fw_.charge(FwStage::Mgmt, params_.costs.mgmtCommand);
     ctx->local = inet::SockAddr{addr_, port};
     ctx->bound = true;
-    if (ctx->type == QpType::UnreliableUdp) {
-        if (!inet_.bindUdp(port, ctx))
-            sim::fatal("udp port %u already bound on %s", port,
-                       name().c_str());
-    }
+    engineFor(ctx->type).bound(*ctx);
 }
 
 void
@@ -552,11 +359,9 @@ QpipNic::doorbellDrain()
                 }
                 if (fresh > 0) {
                     // Replenish fan-out, in attach order: any held
-                    // message on an attached connection may land now.
-                    for (auto *ctx : srq.attached) {
-                        if (ctx->conn)
-                            ctx->conn->onReceiveWindowGrew();
-                    }
+                    // message on an attached transport may land now.
+                    for (auto *ctx : srq.attached)
+                        engineFor(ctx->type).recvReplenished(*ctx);
                 }
             }
         } else if (auto *ctx = lookupQp(db.qp); ctx != nullptr) {
@@ -580,8 +385,8 @@ QpipNic::doorbellDrain()
                     ++ctx->postedRecvCount;
                     ctx->postedRecvBytes += wr.sge.length;
                 }
-                if (fresh > 0 && ctx->conn)
-                    ctx->conn->onReceiveWindowGrew();
+                if (fresh > 0)
+                    engineFor(ctx->type).recvReplenished(*ctx);
             }
         }
         doorbellDrain();
@@ -589,19 +394,44 @@ QpipNic::doorbellDrain()
 }
 
 void
-QpipNic::touchQpContext(QpNum qp)
+QpipNic::touchQpContext(QpNum qp, bool dirty)
 {
     if (!qpCache_.enabled())
         return;
-    const auto t = qpCache_.touch(qp);
+    auto *ctx = lookupQp(qp);
+    const std::uint32_t bytes =
+        ctx != nullptr ? qpContextBytes(ctx->type) : qpContextRefBytes;
+    const auto t = qpCache_.touch(qp, bytes, dirty);
     if (t.hit)
         return;
-    sim::Cycles c = params_.costs.qpCtxFetch;
-    if (t.evicted != invalidQp) {
-        ctxWritebacks.inc();
-        c += params_.costs.qpCtxWriteback;
+    if (t.dirtyEvictions > 0)
+        ctxWritebacks.inc(t.dirtyEvictions);
+    fw_.charge(FwStage::CtxFetch, ctxMissCycles(t));
+}
+
+sim::Cycles
+QpipNic::ctxMissCycles(const QpContextCache::Touch &t) const
+{
+    if (!qpCache_.byteMode()) {
+        // Entry-count mode: the legacy flat charges — one full fetch
+        // per miss, one full writeback per dirty victim.
+        const sim::Cycles fetch =
+            t.hit ? 0 : params_.costs.qpCtxFetch;
+        return fetch + params_.costs.qpCtxWriteback *
+                           static_cast<sim::Cycles>(t.dirtyEvictions);
     }
-    fw_.charge(FwStage::CtxFetch, c);
+    // Byte mode: fetch and writeback cost scale with the context
+    // bytes actually moved (the flat costs are calibrated for a
+    // full RC context of qpContextRefBytes).
+    const double ref = static_cast<double>(qpContextRefBytes);
+    const double fetch =
+        t.hit ? 0.0
+              : static_cast<double>(params_.costs.qpCtxFetch) *
+                    (static_cast<double>(t.fetchBytes) / ref);
+    const double wb =
+        static_cast<double>(params_.costs.qpCtxWriteback) *
+        (static_cast<double>(t.writebackBytes) / ref);
+    return static_cast<sim::Cycles>(fetch + wb);
 }
 
 // ---------------------------------------------------------------------
@@ -632,7 +462,7 @@ QpipNic::serviceSendWr(QpContext &qp)
         }
 
         if (wr.opcode == WrOpcode::RdmaRead) {
-            serviceRdmaRead(qp, std::move(wr));
+            rcEngine_->serviceRdmaRead(qp, std::move(wr));
             return;
         }
 
@@ -675,144 +505,10 @@ QpipNic::serviceSendWr(QpContext &qp)
         schedule(fw_.busyUntil(),
                  [this, &qp, wr = std::move(wr),
                   data = std::move(data)]() mutable {
-                     if (qp.type == QpType::ReliableTcp) {
-                         sendTcpMessage(qp, std::move(wr),
-                                        std::move(data));
-                     } else {
-                         sendUdpMessage(qp, std::move(wr),
-                                        std::move(data));
-                     }
+                     engineFor(qp.type).transmit(qp, std::move(wr),
+                                                 std::move(data));
                  });
     });
-}
-
-void
-QpipNic::sendTcpMessage(QpContext &qp, SendWr wr,
-                        std::vector<std::uint8_t> data)
-{
-    if (!qp.conn) {
-        Completion c;
-        c.wrId = wr.id;
-        c.qp = qp.num;
-        c.isSend = true;
-        c.opcode = wr.opcode;
-        c.status = WcStatus::Flushed;
-        pushCompletion(qp.scq, c);
-        return;
-    }
-    const std::uint64_t tag = qp.nextTag++;
-    if (qp.rdmaWindow == 0) {
-        // Legacy framing: the message is the raw payload.
-        qp.inflightSends.push_back(
-            {tag, QpContext::TxKind::Send, wr});
-        qp.conn->sendMessage(std::move(data), tag);
-        return;
-    }
-    net::RdmaHeader h;
-    if (wr.opcode == WrOpcode::Send) {
-        h.opcode = net::RdmaOpcode::Send;
-        qp.inflightSends.push_back(
-            {tag, QpContext::TxKind::Send, wr});
-    } else {
-        h.opcode = net::RdmaOpcode::Write;
-        h.opId = qp.nextRdmaId++;
-        h.raddr = wr.raddr;
-        h.rkey = wr.rkey;
-        fw_.charge(FwStage::RdmaExec, params_.costs.rdmaHeaderBuild);
-        if (tracer()->enabled()) {
-            tracer()->instant(name(), "rdma write req", curTick(),
-                              "{\"qp\":" + std::to_string(qp.num) +
-                                  ",\"bytes\":" +
-                                  std::to_string(wr.sge.length) + "}");
-        }
-        qp.inflightSends.push_back(
-            {tag, QpContext::TxKind::RdmaReq, wr});
-        qp.pendingRdma.emplace_back(h.opId, wr);
-    }
-    qp.conn->sendMessage(net::serializeRdmaMessage(h, data), tag);
-}
-
-void
-QpipNic::serviceRdmaRead(QpContext &qp, SendWr wr)
-{
-    // The WR's SGE is the local landing buffer. Validate it — and
-    // that the response message can traverse our own standing
-    // window — before anything crosses the wire.
-    std::uint8_t *dst = mrs_.resolve(wr.sge);
-    const bool oversize =
-        net::rdmaHeaderBytes(net::RdmaOpcode::ReadResp) +
-            wr.sge.length >
-        qp.rdmaWindow;
-    if (dst == nullptr || oversize) {
-        Completion c;
-        c.wrId = wr.id;
-        c.qp = qp.num;
-        c.isSend = true;
-        c.opcode = wr.opcode;
-        c.status = WcStatus::LengthError;
-        pushCompletion(qp.scq, c);
-        return;
-    }
-    fw_.charge(FwStage::RdmaExec, params_.costs.rdmaHeaderBuild);
-    schedule(fw_.busyUntil(), [this, &qp, wr]() mutable {
-        if (!qp.conn) {
-            Completion c;
-            c.wrId = wr.id;
-            c.qp = qp.num;
-            c.isSend = true;
-            c.opcode = wr.opcode;
-            c.status = WcStatus::Flushed;
-            pushCompletion(qp.scq, c);
-            return;
-        }
-        net::RdmaHeader h;
-        h.opcode = net::RdmaOpcode::ReadReq;
-        h.opId = qp.nextRdmaId++;
-        h.raddr = wr.raddr;
-        h.rkey = wr.rkey;
-        h.length = static_cast<std::uint32_t>(wr.sge.length);
-        if (tracer()->enabled()) {
-            tracer()->instant(name(), "rdma read req", curTick(),
-                              "{\"qp\":" + std::to_string(qp.num) +
-                                  ",\"bytes\":" +
-                                  std::to_string(wr.sge.length) + "}");
-        }
-        const std::uint64_t tag = qp.nextTag++;
-        qp.inflightSends.push_back(
-            {tag, QpContext::TxKind::RdmaReq, wr});
-        qp.pendingRdma.emplace_back(h.opId, wr);
-        qp.conn->sendMessage(net::serializeRdmaMessage(h, {}), tag);
-    });
-}
-
-void
-QpipNic::sendUdpMessage(QpContext &qp, SendWr wr,
-                        std::vector<std::uint8_t> data)
-{
-    // Build UDP Hdr (charged under the header-build stage).
-    fw_.charge(FwStage::BuildTcpHdr, params_.costs.buildUdpHdr);
-    IpDatagram dgram;
-    dgram.src = qp.local.addr;
-    dgram.dst = wr.remote.addr;
-    dgram.proto = IpProto::Udp;
-    dgram.payload = inet::serializeUdp(qp.local.addr, wr.remote.addr,
-                                       qp.local.port, wr.remote.port,
-                                       data);
-    const auto res = inet_.ipOutput(std::move(dgram));
-
-    // "As soon as a UDP message is sent, the associated send WR is
-    // marked as complete." An oversized message reports the verbs
-    // moral equivalent of EMSGSIZE.
-    fw_.charge(FwStage::UpdateTx, params_.costs.updateTxData);
-    Completion c;
-    c.wrId = wr.id;
-    c.qp = qp.num;
-    c.isSend = true;
-    c.status = res == inet::IpSendResult::MsgSize
-                   ? WcStatus::LengthError
-                   : WcStatus::Success;
-    c.byteLen = wr.sge.length;
-    pushCompletion(qp.scq, c);
 }
 
 void
@@ -1026,194 +722,6 @@ QpipNic::receiveIntoWr(QpContext &qp, std::vector<std::uint8_t> msg,
 }
 
 // ---------------------------------------------------------------------
-// One-sided RDMA engine
-// ---------------------------------------------------------------------
-
-void
-QpipNic::handleRdmaMessage(QpContext &qp, std::vector<std::uint8_t> msg,
-                           const inet::SockAddr &from)
-{
-    touchQpContext(qp.num);
-    fw_.exec(FwStage::RdmaExec, params_.costs.rdmaParse,
-             [this, &qp, msg = std::move(msg), from]() mutable {
-                 net::RdmaHeader h;
-                 std::span<const std::uint8_t> payload;
-                 if (!net::parseRdmaMessage(msg, h, payload)) {
-                     rdmaMalformed.inc();
-                     return;
-                 }
-                 switch (h.opcode) {
-                   case net::RdmaOpcode::Send:
-                     receiveIntoWr(qp,
-                                   std::vector<std::uint8_t>(
-                                       payload.begin(), payload.end()),
-                                   from);
-                     break;
-                   case net::RdmaOpcode::Write:
-                     executeRdmaWrite(qp, h, payload);
-                     break;
-                   case net::RdmaOpcode::ReadReq:
-                     executeRdmaRead(qp, h);
-                     break;
-                   case net::RdmaOpcode::WriteAck:
-                   case net::RdmaOpcode::ReadResp:
-                     completeRdmaOp(qp, h, payload);
-                     break;
-                 }
-             });
-}
-
-void
-QpipNic::executeRdmaWrite(QpContext &qp, const net::RdmaHeader &hdr,
-                          std::span<const std::uint8_t> payload)
-{
-    net::RdmaHeader resp;
-    resp.opcode = net::RdmaOpcode::WriteAck;
-    resp.opId = hdr.opId;
-
-    const Sge target{hdr.rkey,
-                     static_cast<std::size_t>(hdr.raddr),
-                     payload.size()};
-    std::uint8_t *dst = mrs_.resolve(target, accessRemoteWrite);
-    if (dst == nullptr) {
-        rdmaRemoteErrors.inc();
-        resp.status = net::RdmaWireStatus::RemoteAccess;
-        sendRdmaResponse(qp, resp, {});
-        return;
-    }
-    // Put Data: DMA the payload from NIC SRAM into the target region
-    // (same shape as the two-sided receive path).
-    const Tick begin = std::max(curTick(), fw_.busyUntil());
-    const Tick fixed =
-        fw_.clock().cyclesToTicks(params_.costs.putDataFixed);
-    const Tick touch = fw_.clock().cyclesToTicks(
-        static_cast<sim::Cycles>(params_.costs.touchPerByte *
-                                 static_cast<double>(payload.size())));
-    const Tick dma = dmaOut_.chargeAt(begin, payload.size()) - begin;
-    fw_.chargeTicks(FwStage::PutData, fixed + std::max(touch, dma));
-    std::copy(payload.begin(), payload.end(), dst);
-    fw_.charge(FwStage::UpdateRx, params_.costs.updateRxData);
-    rdmaWrites.inc();
-    if (tracer()->enabled()) {
-        tracer()->instant(name(), "rdma write exec", curTick(),
-                          "{\"qp\":" + std::to_string(qp.num) +
-                              ",\"bytes\":" +
-                              std::to_string(payload.size()) + "}");
-    }
-    sendRdmaResponse(qp, resp, {});
-}
-
-void
-QpipNic::executeRdmaRead(QpContext &qp, const net::RdmaHeader &hdr)
-{
-    net::RdmaHeader resp;
-    resp.opcode = net::RdmaOpcode::ReadResp;
-    resp.opId = hdr.opId;
-
-    const Sge source{hdr.rkey,
-                     static_cast<std::size_t>(hdr.raddr),
-                     static_cast<std::size_t>(hdr.length)};
-    const std::uint8_t *src = mrs_.resolve(source, accessRemoteRead);
-    if (src == nullptr) {
-        rdmaRemoteErrors.inc();
-        resp.status = net::RdmaWireStatus::RemoteAccess;
-        sendRdmaResponse(qp, resp, {});
-        return;
-    }
-    // Get Data: stage the requested range from host memory into NIC
-    // SRAM for transmission (mirror of the transmit path).
-    const Tick begin = std::max(curTick(), fw_.busyUntil());
-    const Tick fixed =
-        fw_.clock().cyclesToTicks(params_.costs.getDataFixed);
-    const Tick touch = fw_.clock().cyclesToTicks(
-        static_cast<sim::Cycles>(params_.costs.touchPerByte *
-                                 static_cast<double>(hdr.length)));
-    const Tick dma = dmaIn_.chargeAt(begin, hdr.length) - begin;
-    fw_.chargeTicks(FwStage::GetData, fixed + std::max(touch, dma));
-    rdmaReads.inc();
-    if (tracer()->enabled()) {
-        tracer()->instant(name(), "rdma read exec", curTick(),
-                          "{\"qp\":" + std::to_string(qp.num) +
-                              ",\"bytes\":" +
-                              std::to_string(hdr.length) + "}");
-    }
-    sendRdmaResponse(qp, resp, {src, src + hdr.length});
-}
-
-void
-QpipNic::sendRdmaResponse(QpContext &qp, net::RdmaHeader hdr,
-                          std::span<const std::uint8_t> payload)
-{
-    fw_.charge(FwStage::RdmaExec, params_.costs.rdmaRespBuild);
-    auto bytes = net::serializeRdmaMessage(hdr, payload);
-    schedule(fw_.busyUntil(),
-             [this, &qp, bytes = std::move(bytes)]() mutable {
-                 if (!qp.conn)
-                     return; // torn down before the response left
-                 const std::uint64_t tag = qp.nextTag++;
-                 qp.inflightSends.push_back(
-                     {tag, QpContext::TxKind::FwResp, SendWr{}});
-                 qp.conn->sendMessage(std::move(bytes), tag);
-             });
-}
-
-void
-QpipNic::completeRdmaOp(QpContext &qp, const net::RdmaHeader &hdr,
-                        std::span<const std::uint8_t> payload)
-{
-    if (qp.pendingRdma.empty() ||
-        qp.pendingRdma.front().first != hdr.opId) {
-        sim::panic("qp%u: rdma response out of order", qp.num);
-    }
-    SendWr wr = std::move(qp.pendingRdma.front().second);
-    qp.pendingRdma.pop_front();
-
-    Completion c;
-    c.wrId = wr.id;
-    c.qp = qp.num;
-    c.isSend = true;
-    c.opcode = wr.opcode;
-
-    if (hdr.status != net::RdmaWireStatus::Ok) {
-        c.status = WcStatus::RemoteAccessError;
-        fw_.charge(FwStage::UpdateRx, params_.costs.updateRxData);
-        pushCompletion(qp.scq, c);
-        return;
-    }
-
-    if (hdr.opcode == net::RdmaOpcode::ReadResp) {
-        std::uint8_t *dst = mrs_.resolve(wr.sge);
-        if (dst == nullptr || payload.size() != wr.sge.length) {
-            // Landing buffer vanished or the responder lied about
-            // the length: surface it locally.
-            c.status = WcStatus::LengthError;
-            c.byteLen = payload.size();
-            fw_.charge(FwStage::UpdateRx, params_.costs.updateRxData);
-            pushCompletion(qp.scq, c);
-            return;
-        }
-        // Put Data: land the read payload in the local buffer.
-        const Tick begin = std::max(curTick(), fw_.busyUntil());
-        const Tick fixed =
-            fw_.clock().cyclesToTicks(params_.costs.putDataFixed);
-        const Tick touch = fw_.clock().cyclesToTicks(
-            static_cast<sim::Cycles>(
-                params_.costs.touchPerByte *
-                static_cast<double>(payload.size())));
-        const Tick dma =
-            dmaOut_.chargeAt(begin, payload.size()) - begin;
-        fw_.chargeTicks(FwStage::PutData,
-                        fixed + std::max(touch, dma));
-        std::copy(payload.begin(), payload.end(), dst);
-    }
-
-    c.status = WcStatus::Success;
-    c.byteLen = wr.sge.length;
-    fw_.charge(FwStage::UpdateRx, params_.costs.updateRxData);
-    pushCompletion(qp.scq, c);
-}
-
-// ---------------------------------------------------------------------
 // Completions, teardown, env services
 // ---------------------------------------------------------------------
 
@@ -1233,6 +741,9 @@ QpipNic::pushCompletion(CqRing *cq, Completion c)
 void
 QpipNic::flushQp(QpContext &qp, WcStatus status)
 {
+    // Transport-held WRs (RUD unacked windows, blocked sends) flush
+    // first so their completions precede the ring sweeps below.
+    engineFor(qp.type).flushed(qp, status);
     while (!qp.inflightSends.empty()) {
         QpContext::Inflight fly = std::move(qp.inflightSends.front());
         qp.inflightSends.pop_front();

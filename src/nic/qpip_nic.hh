@@ -66,6 +66,14 @@ struct QpipNicParams
      * cache model: every touch hits and nothing is charged.
      */
     std::size_t qpCacheCapacity = 1024;
+    /**
+     * Non-zero switches the context cache to byte-denominated
+     * capacity: context blocks occupy their per-type size
+     * (qpContextBytes) and fetch/writeback charges scale
+     * proportionally. qpCacheCapacity is then ignored — it remains
+     * the back-compat entry-count shim used when this is zero.
+     */
+    std::size_t qpCacheBytes = 0;
 
     static inet::TcpConfig defaultFirmwareTcpConfig();
 };
@@ -83,13 +91,32 @@ struct QpCreateAttrs
     std::uint32_t rdmaWindowBytes = 0;
 };
 
+class TransportEngine;
+class RcEngine;
+class UdEngine;
+class RudEngine;
+
 /**
  * The QPIP intelligent NIC: InetStack in firmware mode.
+ *
+ * The common datapath (doorbell intake, scheduler, WR fetch, payload
+ * staging, delivery into posted WRs, completion DMA) lives here; the
+ * per-service-type tail of each path — wire framing, reliability and
+ * the matching firmware stage charges — is delegated to one
+ * TransportEngine per QP type (src/nic/transport/): RcEngine for the
+ * TCP-backed reliable service, UdEngine for raw datagrams, RudEngine
+ * for the reliable-over-UD shim whose per-peer state lives in host
+ * memory.
  */
 class QpipNic : public sim::SimObject,
                 public net::NetReceiver,
                 public inet::InetEnv
 {
+    friend class TransportEngine;
+    friend class RcEngine;
+    friend class UdEngine;
+    friend class RudEngine;
+
   public:
     using ConnectCb = std::function<void(bool ok)>;
     using AcceptCb = std::function<void(QpNum qp)>;
@@ -219,41 +246,38 @@ class QpipNic : public sim::SimObject,
     sim::Counter rdmaRemoteErrors;
     sim::Counter rdmaMalformed;
     // Shared receive queues.
-    sim::Counter srqRnrHolds;   ///< TCP messages held: SRQ empty
+    sim::Counter srqRnrHolds;   ///< messages held: SRQ empty
     sim::Counter srqEmptyDrops; ///< UD datagrams dropped: SRQ empty
     // QP context cache (evictions are counted by the cache itself).
     sim::Counter ctxWritebacks;
+    // Reliable-datagram shim.
+    sim::Counter rudRetransmits; ///< datagrams re-emitted by the RTO
+    sim::Counter rudAcksSent;    ///< standalone (non-piggybacked) acks
+    sim::Counter rudSeqDrops;    ///< duplicate / out-of-order data
+    sim::Counter rudRnrHolds;    ///< in-order data held: no recv WR
+    sim::Counter rudMalformed;   ///< undecodable RUD framing
 
   private:
     // FSM bodies.
     void doorbellDrain();
     void scheduleSendService(QpContext &qp);
     void serviceSendWr(QpContext &qp);
-    void sendUdpMessage(QpContext &qp, SendWr wr,
-                        std::vector<std::uint8_t> data);
     void receiveIntoWr(QpContext &qp, std::vector<std::uint8_t> msg,
                        const inet::SockAddr &from);
 
-    // One-sided RDMA engine.
-    void sendTcpMessage(QpContext &qp, SendWr wr,
-                        std::vector<std::uint8_t> data);
-    void serviceRdmaRead(QpContext &qp, SendWr wr);
-    void handleRdmaMessage(QpContext &qp,
-                           std::vector<std::uint8_t> msg,
-                           const inet::SockAddr &from);
-    void executeRdmaWrite(QpContext &qp, const net::RdmaHeader &hdr,
-                          std::span<const std::uint8_t> payload);
-    void executeRdmaRead(QpContext &qp, const net::RdmaHeader &hdr);
-    void sendRdmaResponse(QpContext &qp, net::RdmaHeader hdr,
-                          std::span<const std::uint8_t> payload);
-    void completeRdmaOp(QpContext &qp, const net::RdmaHeader &hdr,
-                        std::span<const std::uint8_t> payload);
+    /** The per-service-type datapath tail for @p type. */
+    TransportEngine &engineFor(QpType type);
 
     /**
      * Reference a QP's context in NIC SRAM; on a miss, charge the
-     * fetch (and any writeback of the displaced context).
+     * fetch (and any writeback of displaced dirty contexts). @p dirty
+     * marks the touch as modifying QP state; read-only touches leave
+     * a clean resident copy that evicts for free.
      */
-    void touchQpContext(QpNum qp);
+    void touchQpContext(QpNum qp, bool dirty = true);
+
+    /** Fetch + writeback cycles for one cache miss / install. */
+    sim::Cycles ctxMissCycles(const QpContextCache::Touch &t) const;
 
     /** Push a completion at firmware-completion time. */
     void pushCompletion(CqRing *cq, Completion c);
@@ -267,6 +291,14 @@ class QpipNic : public sim::SimObject,
     QpNum nextQpNum_ = 1;
     SrqNum nextSrqNum_ = 1;
     bool drainActive_ = false;
+
+    // Per-transport engines (constructed in the NIC's constructor,
+    // torn down before the members they reference by declaration
+    // order). RudEngine keeps its per-peer reliability state here, in
+    // what models host memory — not in the QP contexts.
+    std::unique_ptr<RcEngine> rcEngine_;
+    std::unique_ptr<UdEngine> udEngine_;
+    std::unique_ptr<RudEngine> rudEngine_;
 
     /** Ordered by QP number: table walks follow creation order. */
     std::map<QpNum, std::unique_ptr<QpContext>> qps_;

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The reliable-connected (RC) transport engine: the TCP-backed
+ * message service of the paper's prototype, plus the one-sided RDMA
+ * engine that rides the same stream on RDMA-enabled QPs. Moved
+ * verbatim from the pre-split QpipNic — wire format and stage charge
+ * sequence are byte- and timing-identical.
+ */
+
+#pragma once
+
+#include "nic/transport/transport_engine.hh"
+
+namespace qpip::nic {
+
+class RcEngine : public TransportEngine
+{
+  public:
+    using TransportEngine::TransportEngine;
+
+    /** Frame the message (raw or RDMA Send/Write) onto the stream. */
+    void transmit(QpipNic::QpContext &qp, SendWr wr,
+                  std::vector<std::uint8_t> data) override;
+
+    // --- one-sided RDMA engine ---------------------------------------
+    /** Requester side of an RdmaRead WR (no payload to stage). */
+    void serviceRdmaRead(QpipNic::QpContext &qp, SendWr wr);
+
+    /** A framed message arrived on an RDMA-enabled QP's stream. */
+    void handleRdmaMessage(QpipNic::QpContext &qp,
+                           std::vector<std::uint8_t> msg,
+                           const inet::SockAddr &from);
+
+  private:
+    void executeRdmaWrite(QpipNic::QpContext &qp,
+                          const net::RdmaHeader &hdr,
+                          std::span<const std::uint8_t> payload);
+    void executeRdmaRead(QpipNic::QpContext &qp,
+                         const net::RdmaHeader &hdr);
+    void sendRdmaResponse(QpipNic::QpContext &qp, net::RdmaHeader hdr,
+                          std::span<const std::uint8_t> payload);
+    void completeRdmaOp(QpipNic::QpContext &qp,
+                        const net::RdmaHeader &hdr,
+                        std::span<const std::uint8_t> payload);
+};
+
+} // namespace qpip::nic

@@ -1,0 +1,291 @@
+#include "nic/transport/rud_engine.hh"
+
+#include <algorithm>
+
+#include "inet/udp.hh"
+#include "net/serialize.hh"
+#include "nic/transport/qp_context.hh"
+#include "sim/simulation.hh"
+
+namespace qpip::nic {
+
+using inet::IpDatagram;
+using inet::IpProto;
+
+RudEngine::Peer &
+RudEngine::peerFor(const QpContext &qp, const inet::SockAddr &peer)
+{
+    return state_[qp.num][peer];
+}
+
+void
+RudEngine::emitFrame(QpContext &qp, const inet::SockAddr &to,
+                     const std::vector<std::uint8_t> &frame)
+{
+    nic_.fw_.charge(FwStage::BuildTcpHdr,
+                    nic_.params_.costs.buildUdpHdr);
+    IpDatagram dgram;
+    dgram.src = qp.local.addr;
+    dgram.dst = to.addr;
+    dgram.proto = IpProto::Udp;
+    dgram.payload = inet::serializeUdp(qp.local.addr, to.addr,
+                                       qp.local.port, to.port, frame);
+    nic_.inet_.ipOutput(std::move(dgram));
+}
+
+void
+RudEngine::transmit(QpContext &qp, SendWr wr,
+                    std::vector<std::uint8_t> data)
+{
+    Peer &p = peerFor(qp, wr.remote);
+    if (!p.blocked.empty() || p.window.size() >= windowLimit) {
+        // Window full: park the staged WR; the ack that opens the
+        // window drains the queue in order.
+        p.blocked.push_back({wr, std::move(data)});
+        return;
+    }
+    emitData(qp, p, wr, std::move(data));
+}
+
+void
+RudEngine::emitData(QpContext &qp, Peer &p, SendWr wr,
+                    std::vector<std::uint8_t> data)
+{
+    net::RudHeader h;
+    h.opcode = net::RudOpcode::Data;
+    h.seq = p.nextSeq;
+    h.ack = p.expectedSeq - 1;
+
+    nic_.fw_.charge(FwStage::RudExec,
+                    nic_.params_.costs.rudHeaderBuild);
+    auto frame = net::serializeRudMessage(h, data);
+
+    // Oversize checks mirror the UD path: probe before committing a
+    // sequence number so a rejected WR leaves no hole in the stream.
+    nic_.fw_.charge(FwStage::BuildTcpHdr,
+                    nic_.params_.costs.buildUdpHdr);
+    IpDatagram dgram;
+    dgram.src = qp.local.addr;
+    dgram.dst = wr.remote.addr;
+    dgram.proto = IpProto::Udp;
+    dgram.payload =
+        inet::serializeUdp(qp.local.addr, wr.remote.addr,
+                           qp.local.port, wr.remote.port, frame);
+    const auto res = nic_.inet_.ipOutput(std::move(dgram));
+    nic_.fw_.charge(FwStage::UpdateTx,
+                    nic_.params_.costs.updateTxData);
+    if (res == inet::IpSendResult::MsgSize) {
+        Completion c;
+        c.wrId = wr.id;
+        c.qp = qp.num;
+        c.isSend = true;
+        c.opcode = wr.opcode;
+        c.status = WcStatus::LengthError;
+        c.byteLen = wr.sge.length;
+        nic_.pushCompletion(qp.scq, c);
+        return;
+    }
+    p.window.push_back({h.seq, wr, std::move(frame)});
+    ++p.nextSeq;
+    if (!p.rto.pending())
+        armRto(qp, p, wr.remote);
+}
+
+void
+RudEngine::datagramDeliver(QpContext &qp,
+                           std::vector<std::uint8_t> &&msg,
+                           const inet::SockAddr &from)
+{
+    nic_.fw_.charge(FwStage::RudExec, nic_.params_.costs.rudParse);
+    net::RudHeader h;
+    std::span<const std::uint8_t> payload;
+    if (!net::parseRudMessage(msg, h, payload)) {
+        nic_.rudMalformed.inc();
+        return;
+    }
+    Peer &p = peerFor(qp, from);
+    processAck(qp, p, from, h.ack);
+    if (h.opcode == net::RudOpcode::Ack)
+        return;
+
+    if (h.seq != p.expectedSeq || p.holding) {
+        // Go-back-N receiver: anything but the next in-order
+        // sequence is dropped; the sender's timer recovers it. A
+        // duplicate of old data still earns an ack so a sender whose
+        // acks were lost can advance.
+        nic_.rudSeqDrops.inc();
+        if (h.seq < p.expectedSeq)
+            sendAck(qp, p, from);
+        return;
+    }
+    if (!qp.recvWrAvailable()) {
+        // Receiver-not-ready: reliable service must not drop
+        // in-order data. Park it (one datagram per peer — go-back-N
+        // admits no more) and withhold the ack; delivery resumes
+        // from recvReplenished().
+        if (qp.srq != nullptr)
+            nic_.srqRnrHolds.inc();
+        else
+            nic_.rudRnrHolds.inc();
+        p.holding = true;
+        p.held.assign(payload.begin(), payload.end());
+        return;
+    }
+    ++p.expectedSeq;
+    nic_.receiveIntoWr(
+        qp, std::vector<std::uint8_t>(payload.begin(), payload.end()),
+        from);
+    sendAck(qp, p, from);
+}
+
+void
+RudEngine::processAck(QpContext &qp, Peer &p,
+                      const inet::SockAddr &from, std::uint32_t ack)
+{
+    if (ack <= p.ackedSeq)
+        return;
+    nic_.fw_.charge(FwStage::RudExec,
+                    nic_.params_.costs.rudAckProcess);
+    p.ackedSeq = ack;
+    while (!p.window.empty() && p.window.front().seq <= ack) {
+        Unacked u = std::move(p.window.front());
+        p.window.pop_front();
+        Completion c;
+        c.wrId = u.wr.id;
+        c.qp = qp.num;
+        c.isSend = true;
+        c.opcode = u.wr.opcode;
+        c.status = WcStatus::Success;
+        c.byteLen = u.wr.sge.length;
+        nic_.pushCompletion(qp.scq, c);
+    }
+    // Forward progress resets the backoff and restarts the timer
+    // for whatever is still outstanding.
+    p.rtoShift = 0;
+    if (p.rto.pending())
+        p.rto.cancel();
+    if (!p.window.empty())
+        armRto(qp, p, from);
+    while (!p.blocked.empty() && p.window.size() < windowLimit) {
+        PendingSend ps = std::move(p.blocked.front());
+        p.blocked.pop_front();
+        emitData(qp, p, ps.wr, std::move(ps.data));
+    }
+}
+
+void
+RudEngine::sendAck(QpContext &qp, Peer &p, const inet::SockAddr &to)
+{
+    nic_.fw_.charge(FwStage::RudExec,
+                    nic_.params_.costs.rudAckBuild);
+    net::RudHeader h;
+    h.opcode = net::RudOpcode::Ack;
+    h.ack = p.expectedSeq - 1;
+    const auto frame = net::serializeRudMessage(h, {});
+
+    nic_.fw_.charge(FwStage::BuildTcpHdr,
+                    nic_.params_.costs.buildUdpHdr);
+    IpDatagram dgram;
+    dgram.src = qp.local.addr;
+    dgram.dst = to.addr;
+    dgram.proto = IpProto::Udp;
+    dgram.payload = inet::serializeUdp(qp.local.addr, to.addr,
+                                       qp.local.port, to.port, frame);
+    nic_.inet_.ipOutput(std::move(dgram));
+    nic_.fw_.charge(FwStage::UpdateTx,
+                    nic_.params_.costs.updateTxAck);
+    nic_.rudAcksSent.inc();
+}
+
+void
+RudEngine::armRto(const QpContext &qp, Peer &p,
+                  const inet::SockAddr &to)
+{
+    const auto &tcp = nic_.params_.tcp;
+    const std::uint32_t shift = std::min<std::uint32_t>(p.rtoShift, 16);
+    const sim::Tick delay =
+        std::min(tcp.maxRto, tcp.minRto << shift);
+    p.rto = nic_.scheduleTimer(
+        delay, [this, num = qp.num, to]() { rtoFire(num, to); });
+}
+
+void
+RudEngine::rtoFire(QpNum qp, const inet::SockAddr &to)
+{
+    QpContext *ctx = nic_.lookupQp(qp);
+    if (ctx == nullptr)
+        return;
+    auto qit = state_.find(qp);
+    if (qit == state_.end())
+        return;
+    auto pit = qit->second.find(to);
+    if (pit == qit->second.end())
+        return;
+    Peer &p = pit->second;
+    if (p.window.empty())
+        return;
+    if (p.rtoShift < 16)
+        ++p.rtoShift;
+    // Go-back-N: re-emit the whole unacked window. The retained
+    // frames carry their original (possibly stale) piggybacked acks;
+    // cumulative acks make that harmless.
+    for (const Unacked &u : p.window) {
+        nic_.rudRetransmits.inc();
+        emitFrame(*ctx, to, u.frame);
+        nic_.fw_.charge(FwStage::UpdateTx,
+                        nic_.params_.costs.updateTxData);
+    }
+    armRto(*ctx, p, to);
+}
+
+void
+RudEngine::recvReplenished(QpContext &qp)
+{
+    auto qit = state_.find(qp.num);
+    if (qit == state_.end())
+        return;
+    for (auto &[addr, p] : qit->second) {
+        if (!p.holding)
+            continue;
+        if (!qp.recvWrAvailable())
+            break;
+        p.holding = false;
+        ++p.expectedSeq;
+        nic_.receiveIntoWr(qp, std::move(p.held), addr);
+        p.held = {};
+        sendAck(qp, p, addr);
+    }
+}
+
+void
+RudEngine::flushed(QpContext &qp, WcStatus status)
+{
+    auto qit = state_.find(qp.num);
+    if (qit == state_.end())
+        return;
+    for (auto &[addr, p] : qit->second) {
+        if (p.rto.pending())
+            p.rto.cancel();
+        for (const Unacked &u : p.window) {
+            Completion c;
+            c.wrId = u.wr.id;
+            c.qp = qp.num;
+            c.isSend = true;
+            c.opcode = u.wr.opcode;
+            c.status = status;
+            nic_.pushCompletion(qp.scq, c);
+        }
+        for (const PendingSend &ps : p.blocked) {
+            Completion c;
+            c.wrId = ps.wr.id;
+            c.qp = qp.num;
+            c.isSend = true;
+            c.opcode = ps.wr.opcode;
+            c.status = status;
+            nic_.pushCompletion(qp.scq, c);
+        }
+    }
+    state_.erase(qit);
+}
+
+} // namespace qpip::nic

@@ -1,0 +1,40 @@
+#include "nic/transport/transport_engine.hh"
+
+#include "nic/transport/qp_context.hh"
+
+namespace qpip::nic {
+
+void
+TransportEngine::datagramDeliver(QpipNic::QpContext &qp,
+                                 std::vector<std::uint8_t> &&,
+                                 const inet::SockAddr &)
+{
+    sim::panic("qp%u: datagram delivered to a non-datagram transport",
+               qp.num);
+}
+
+void
+TransportEngine::bound(QpipNic::QpContext &)
+{
+}
+
+void
+TransportEngine::unbound(QpipNic::QpContext &)
+{
+}
+
+void
+TransportEngine::recvReplenished(QpipNic::QpContext &qp)
+{
+    // Connected service: the receive window just grew; any message
+    // the TCP engine held back may be deliverable now.
+    if (qp.conn)
+        qp.conn->onReceiveWindowGrew();
+}
+
+void
+TransportEngine::flushed(QpipNic::QpContext &, WcStatus)
+{
+}
+
+} // namespace qpip::nic

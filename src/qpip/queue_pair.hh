@@ -2,9 +2,12 @@
  * @file
  * The queue pair — the logical endpoint of a communication link. Its
  * work queues live in host memory; posting adds a WR and rings the
- * NIC's doorbell. Reliable QPs ride a firmware TCP connection
- * (message-per-segment); unreliable QPs map messages one-to-one onto
- * UDP datagrams.
+ * NIC's doorbell. Reliable connected QPs ride a firmware TCP
+ * connection (message-per-segment); unreliable QPs map messages
+ * one-to-one onto UDP datagrams; reliable-datagram QPs add in-order
+ * exactly-once delivery over the datagram path (bind a port, then
+ * postSend to any number of peers — the NIC's RUD engine sequences,
+ * acks and retransmits per peer).
  */
 
 #pragma once

@@ -1,0 +1,10 @@
+// qpip-lint fixture: L1 private-include violation — an apps-layer
+// file reaching into the NIC's private transport engines. The plain
+// DAG check is silent here (nic sits below apps); the private-header
+// edge must fire anyway. Never compiled, only linted.
+// qpip-lint-layer: apps
+#include "nic/transport/rud_engine.hh"
+
+// A deliberate, documented exception stays silent:
+// qpip-lint: layer-ok(fixture: white-box engine probe)
+#include "nic/transport/rc_engine.hh"

@@ -338,7 +338,8 @@ TEST(Interop, QpipOverIpv4TtcpSmoke)
 {
     // The shared engine makes the address family a configuration
     // knob: the same QPIP firmware datapath runs over IPv4.
-    apps::QpipTestbed bed(2, apps::qpipNativeMtu, 1, {}, {},
+    apps::QpipTestbed bed(2, apps::qpipNativeMtu, 1,
+                          nic::QpipNicParams{}, {},
                           apps::IpFamily::V4);
     net::PcapWriter pcap;
     net::tapLink(bed.fabric().linkFor(0), pcap);

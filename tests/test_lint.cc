@@ -58,6 +58,17 @@ TEST(LintRules, L1FiresOnUpwardInclude)
               std::string::npos);
 }
 
+TEST(LintRules, L1FiresOnPrivateTransportInclude)
+{
+    const auto diags = lintFixture("l1_transport.cc");
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].rule, "L1");
+    EXPECT_EQ(diags[0].line, 6);
+    EXPECT_NE(diags[0].message.find(
+                  "nic/transport/ headers are private"),
+              std::string::npos);
+}
+
 TEST(LintRules, W1FiresOnMemcpyAndReinterpretCast)
 {
     const auto diags = lintFixture("w1_wirecast.cc");

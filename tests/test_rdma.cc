@@ -4,8 +4,10 @@
  * trips (pcap-verified against the wire), rkey/bounds protection
  * (remote-access-error completions, untouched target memory), SRQ
  * fan-in from many QPs, SRQ exhaustion (RNR hold on reliable QPs,
- * drop accounting on UD), and the QP context cache's hit/miss/evict
- * bookkeeping.
+ * drop accounting on UD), the reliable-datagram (RUD) shim
+ * (in-order ack-gated delivery, many-peer fan-in, RNR holds instead
+ * of drops on SRQ exhaustion), and the QP context cache's
+ * hit/miss/evict bookkeeping in both entry and byte denominations.
  */
 
 #include <gtest/gtest.h>
@@ -501,4 +503,285 @@ TEST(QpCtxCache, DisabledCacheCountsNothing)
     EXPECT_EQ(cache.hits.value(), 0u);
     EXPECT_EQ(cache.misses.value(), 0u);
     EXPECT_EQ(cache.evictions.value(), 0u);
+}
+
+TEST(QpCtxCache, ByteModeEvictsBySizeWithDirtyTracking)
+{
+    // 1 KB of context SRAM, denominated in bytes.
+    nic::QpContextCache cache(0, 1024);
+    EXPECT_TRUE(cache.byteMode());
+    EXPECT_TRUE(cache.enabled());
+
+    // Two full-size RC contexts fill it exactly; no evictions.
+    EXPECT_EQ(cache.install(1, 512).evictedCount, 0u);
+    EXPECT_EQ(cache.install(2, 512).evictedCount, 0u);
+    EXPECT_EQ(cache.usedBytes(), 1024u);
+
+    // A third RC context displaces the LRU (qp1). Installed contexts
+    // are dirty by definition, so the victim owes its bytes back.
+    const auto t3 = cache.install(3, 512);
+    EXPECT_EQ(t3.evictedCount, 1u);
+    EXPECT_EQ(t3.evicted, 1u);
+    EXPECT_EQ(t3.dirtyEvictions, 1u);
+    EXPECT_EQ(t3.writebackBytes, 512u);
+    EXPECT_FALSE(cache.resident(1));
+
+    // Four UD-size fetches fit in the space of one RC block: the
+    // first displaces qp2, the rest land free.
+    const auto t4 = cache.touch(4, 128, /*dirty=*/false);
+    EXPECT_FALSE(t4.hit);
+    EXPECT_EQ(t4.fetchBytes, 128u);
+    EXPECT_EQ(t4.evictedCount, 1u);
+    for (nic::QpNum q = 5; q <= 7; ++q)
+        EXPECT_EQ(cache.touch(q, 128, false).evictedCount, 0u);
+    EXPECT_EQ(cache.usedBytes(), 512u + 4 * 128u);
+
+    // Shelter the dirty RC block at the MRU position, then fetch
+    // another RC-size block: it displaces all four small victims at
+    // once — and because they were clean (read-only touches), none
+    // of them owes a writeback.
+    EXPECT_TRUE(cache.touch(3, 512, false).hit);
+    const auto t8 = cache.touch(8, 512, true);
+    EXPECT_FALSE(t8.hit);
+    EXPECT_EQ(t8.evictedCount, 4u);
+    EXPECT_EQ(t8.dirtyEvictions, 0u);
+    EXPECT_EQ(t8.writebackBytes, 0u);
+
+    // The sheltered dirty block pays its writeback when it finally
+    // goes: a fetch that displaces it reports the 512 dirty bytes.
+    const auto t9 = cache.touch(9, 128, false);
+    EXPECT_FALSE(t9.hit);
+    EXPECT_EQ(t9.dirtyEvictions, 1u);
+    EXPECT_EQ(t9.writebackBytes, 512u);
+
+    // A clean resident entry turns dirty on a dirty re-touch.
+    EXPECT_FALSE(cache.dirty(9));
+    EXPECT_TRUE(cache.touch(9, 128, true).hit);
+    EXPECT_TRUE(cache.dirty(9));
+}
+
+TEST(QpCtxCache, ByteCapacityParamDrivesNicCache)
+{
+    nic::QpipNicParams params;
+    // Room for exactly two UD contexts (128 B each).
+    params.qpCacheBytes = 256;
+    QpipTestbed bed(2, qpipNativeMtu, 1, params);
+
+    auto &prov = bed.provider(0);
+    auto cq = prov.createCq();
+    auto a = prov.createQp(nic::QpType::UnreliableUdp, cq, cq);
+    auto b = prov.createQp(nic::QpType::UnreliableUdp, cq, cq);
+    auto c = prov.createQp(nic::QpType::UnreliableUdp, cq, cq);
+    a->bind(9000);
+    b->bind(9001);
+    c->bind(9002);
+    bed.sim().runFor(10 * sim::oneMs);
+
+    const auto &cache = bed.nicOf(0).qpCache();
+    EXPECT_TRUE(cache.byteMode());
+    EXPECT_LE(cache.usedBytes(), 256u);
+    // Creating the third UD context displaced the first.
+    EXPECT_EQ(cache.evictions.value(), 1u);
+
+    std::vector<std::uint8_t> buf(4096);
+    auto mr = prov.registerMemory(buf);
+    ASSERT_TRUE(a->postSend(1, *mr, 0, 64, bed.addr(1, 9100)));
+    bed.sim().runFor(10 * sim::oneMs);
+    EXPECT_GE(cache.misses.value(), 1u);
+    EXPECT_GE(bed.nicOf(0).ctxWritebacks.value(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Reliable datagrams (RUD)
+// ---------------------------------------------------------------------
+
+TEST(Rud, InOrderDeliveryWithAckGatedCompletions)
+{
+    QpipTestbed bed(2);
+    auto &client = bed.provider(0);
+    auto &server = bed.provider(1);
+
+    auto scq = server.createCq();
+    auto ccq = client.createCq();
+    std::vector<std::uint8_t> rbuf(1 << 14), sbuf(1 << 14);
+    auto rmr = server.registerMemory(rbuf);
+    auto smr = client.registerMemory(sbuf);
+
+    auto qs = server.createQp(nic::QpType::ReliableDatagram, scq, scq);
+    qs->bind(800);
+    auto qc = client.createQp(nic::QpType::ReliableDatagram, ccq, ccq);
+    qc->bind(801);
+
+    constexpr std::size_t numMsgs = 4;
+    constexpr std::size_t msgBytes = 512;
+    for (std::size_t i = 0; i < numMsgs; ++i)
+        ASSERT_TRUE(qs->postRecv(100 + i, *rmr, i * 1024, 1024));
+    for (std::size_t i = 0; i < numMsgs; ++i) {
+        const auto msg =
+            pattern(msgBytes, static_cast<std::uint8_t>(i + 1));
+        std::copy(msg.begin(), msg.end(),
+                  sbuf.begin() + i * msgBytes);
+        ASSERT_TRUE(qc->postSend(i, *smr, i * msgBytes, msgBytes,
+                                 bed.addr(1, 800)));
+    }
+
+    // Delivery is in posted order, WR-per-message.
+    for (std::size_t i = 0; i < numMsgs; ++i) {
+        Completion c;
+        ASSERT_TRUE(awaitCompletion(bed, *scq, c));
+        EXPECT_FALSE(c.isSend);
+        EXPECT_EQ(c.wrId, 100 + i);
+        EXPECT_EQ(c.status, WcStatus::Success);
+        EXPECT_EQ(c.byteLen, msgBytes);
+        EXPECT_EQ(c.from, bed.addr(0, 801));
+        const auto expect =
+            pattern(msgBytes, static_cast<std::uint8_t>(i + 1));
+        EXPECT_TRUE(std::equal(expect.begin(), expect.end(),
+                               rbuf.begin() + i * 1024));
+    }
+
+    // Send completions are ack-gated and arrive in order too.
+    for (std::size_t i = 0; i < numMsgs; ++i) {
+        Completion c;
+        ASSERT_TRUE(awaitCompletion(bed, *ccq, c));
+        EXPECT_TRUE(c.isSend);
+        EXPECT_EQ(c.wrId, i);
+        EXPECT_EQ(c.status, WcStatus::Success);
+    }
+    EXPECT_GE(bed.nicOf(1).rudAcksSent.value(), 1u);
+    EXPECT_EQ(bed.nicOf(0).rudRetransmits.value(), 0u);
+    EXPECT_EQ(bed.nicOf(0).udpNoWrDrops.value(), 0u);
+}
+
+TEST(Rud, ManyPeersFanInToOneQp)
+{
+    QpipTestbed bed(2);
+    auto &client = bed.provider(0);
+    auto &server = bed.provider(1);
+
+    auto scq = server.createCq();
+    auto ccq = client.createCq();
+    std::vector<std::uint8_t> rbuf(1 << 14), sbuf(1 << 14);
+    auto rmr = server.registerMemory(rbuf);
+    auto smr = client.registerMemory(sbuf);
+
+    // One server QP; each client-side QP is a distinct peer (its own
+    // source port), with its own sequence space on the server.
+    auto qs = server.createQp(nic::QpType::ReliableDatagram, scq, scq);
+    qs->bind(800);
+
+    constexpr std::size_t numPeers = 4;
+    constexpr std::size_t perPeer = 2;
+    constexpr std::size_t msgBytes = 128;
+    std::vector<std::shared_ptr<verbs::QueuePair>> peers;
+    for (std::size_t i = 0; i < numPeers; ++i) {
+        auto qp =
+            client.createQp(nic::QpType::ReliableDatagram, ccq, ccq);
+        qp->bind(static_cast<std::uint16_t>(2000 + i));
+        peers.push_back(std::move(qp));
+    }
+    for (std::size_t i = 0; i < numPeers * perPeer; ++i)
+        ASSERT_TRUE(qs->postRecv(100 + i, *rmr, i * 256, 256));
+    for (std::size_t round = 0; round < perPeer; ++round) {
+        for (std::size_t i = 0; i < numPeers; ++i) {
+            const std::size_t n = round * numPeers + i;
+            ASSERT_TRUE(peers[i]->postSend(n, *smr, n * msgBytes,
+                                           msgBytes,
+                                           bed.addr(1, 800)));
+        }
+    }
+
+    std::map<std::uint16_t, std::size_t> perPort;
+    for (std::size_t n = 0; n < numPeers * perPeer; ++n) {
+        Completion c;
+        ASSERT_TRUE(awaitCompletion(bed, *scq, c));
+        ASSERT_FALSE(c.isSend);
+        EXPECT_EQ(c.status, WcStatus::Success);
+        ++perPort[c.from.port];
+    }
+    EXPECT_EQ(perPort.size(), numPeers);
+    for (const auto &[port, count] : perPort)
+        EXPECT_EQ(count, perPeer) << "port " << port;
+
+    // Every send eventually completes (acked), none retransmitted on
+    // a clean fabric.
+    std::size_t sendsDone = 0;
+    while (sendsDone < numPeers * perPeer) {
+        Completion c;
+        ASSERT_TRUE(awaitCompletion(bed, *ccq, c));
+        if (c.isSend && c.status == WcStatus::Success)
+            ++sendsDone;
+    }
+    EXPECT_EQ(bed.nicOf(0).rudRetransmits.value(), 0u);
+}
+
+TEST(Rud, SrqExhaustionHoldsAndAccountsRnr)
+{
+    QpipTestbed bed(2);
+    auto &client = bed.provider(0);
+    auto &server = bed.provider(1);
+
+    auto scq = server.createCq();
+    auto ccq = client.createCq();
+    auto srq = server.createSrq();
+    std::vector<std::uint8_t> rbuf(8192), sbuf(8192);
+    auto rmr = server.registerMemory(rbuf);
+    auto smr = client.registerMemory(sbuf);
+
+    QpAttrs attrs;
+    attrs.srq = srq;
+    auto qs = server.createQp(nic::QpType::ReliableDatagram, scq, scq,
+                              attrs);
+    qs->bind(800);
+    auto qc = client.createQp(nic::QpType::ReliableDatagram, ccq, ccq);
+    qc->bind(801);
+
+    // SRQ empty: unlike UD (which drops and counts srq.emptyDrops),
+    // the reliable service holds the in-order datagram un-acked and
+    // accounts an RNR hold.
+    ASSERT_TRUE(qc->postSend(1, *smr, 0, 256, bed.addr(1, 800)));
+    bed.sim().runFor(100 * sim::oneMs);
+    EXPECT_GE(bed.nicOf(1).srqRnrHolds.value(), 1u);
+    EXPECT_EQ(bed.nicOf(1).srqEmptyDrops.value(), 0u);
+    EXPECT_EQ(scq->depth(), 0u); // nothing delivered...
+    EXPECT_EQ(ccq->depth(), 0u); // ...and nothing acked
+
+    // Reposting releases the held datagram; the ack then completes
+    // the client's send.
+    ASSERT_TRUE(srq->postRecv(7, *rmr, 0, 4096));
+    Completion c;
+    ASSERT_TRUE(awaitCompletion(bed, *scq, c, 20 * sim::oneSec));
+    EXPECT_EQ(c.wrId, 7u);
+    EXPECT_EQ(c.byteLen, 256u);
+    EXPECT_EQ(c.status, WcStatus::Success);
+    ASSERT_TRUE(awaitCompletion(bed, *ccq, c, 20 * sim::oneSec));
+    EXPECT_TRUE(c.isSend);
+    EXPECT_EQ(c.wrId, 1u);
+    EXPECT_EQ(c.status, WcStatus::Success);
+}
+
+TEST(Rud, FlushSurfacesWindowedSendsOnDestroy)
+{
+    QpipTestbed bed(2);
+    auto &client = bed.provider(0);
+    auto ccq = client.createCq();
+    std::vector<std::uint8_t> sbuf(4096);
+    auto smr = client.registerMemory(sbuf);
+
+    auto qc = client.createQp(nic::QpType::ReliableDatagram, ccq, ccq);
+    qc->bind(801);
+    // The peer port is bound by nobody: data flows out but no ack
+    // ever returns, so the WR stays in the unacked window.
+    ASSERT_TRUE(qc->postSend(1, *smr, 0, 256, bed.addr(1, 802)));
+    bed.sim().runFor(20 * sim::oneMs);
+    EXPECT_EQ(ccq->depth(), 0u);
+
+    // Destroying the QP flushes the window.
+    qc.reset();
+    bed.sim().runFor(10 * sim::oneMs);
+    Completion c;
+    ASSERT_TRUE(ccq->poll(c));
+    EXPECT_TRUE(c.isSend);
+    EXPECT_EQ(c.wrId, 1u);
+    EXPECT_EQ(c.status, WcStatus::Flushed);
 }

@@ -438,6 +438,22 @@ ruleL1(Ctx &ctx)
                         "<- host <- nic <- qpip <- apps <- "
                         "{tests,bench,examples})");
     }
+
+    // The transport engines are the NIC's private internals: even
+    // layers above nic in the DAG (qpip, apps, tests, bench) must
+    // not reach into them — the verbs surface is the public seam.
+    static const std::regex privRe(
+        R"(^\s*#\s*include\s+"nic/transport/)");
+    for (std::size_t i = 0; i < ctx.lx.raw.size(); ++i) {
+        if (!std::regex_search(ctx.lx.raw[i], privRe))
+            continue;
+        if (ctx.layer == Layer::Nic)
+            continue;
+        ctx.add("L1", i,
+                "layering violation: nic/transport/ headers are "
+                "private to the nic layer; drive transports through "
+                "the qpip verbs surface");
+    }
 }
 
 // --- W1: wire-format hygiene --------------------------------------
