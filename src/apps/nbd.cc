@@ -20,6 +20,7 @@ constexpr Tick runDeadline = 1200 * sim::oneSec;
 std::uint16_t
 nextClientPort()
 {
+    // qpip-lint: partition-ok(called only from the serial run* harness entry points, before any partitioned execution starts)
     static std::uint16_t port = 30100;
     return port++;
 }

@@ -18,6 +18,7 @@ spinPoll(verbs::Provider &prov, verbs::CompletionQueue &cq,
     const sim::Tick next = prov.host().cpu().busyUntil();
     // Schedule through the OS SimObject so the retry lands on the
     // host's partition queue under the parallel engine.
+    // qpip-lint: ref-capture-ok(prov and cq are caller-owned and outlive the spin loop by the verbs contract)
     os.schedule(next, [&prov, &cq, cb = std::move(cb)]() mutable {
         spinPoll(prov, cq, std::move(cb));
     });
@@ -51,6 +52,7 @@ periodicReaper(verbs::Provider &prov, sim::Tick interval,
         return;
     auto &os = prov.host().os();
     os.scheduleIn(
+        // qpip-lint: ref-capture-ok(prov is caller-owned and outlives the reaper loop by the verbs contract)
         interval, [&prov, interval, drain = std::move(drain)]() mutable {
             periodicReaper(prov, interval, std::move(drain));
         });

@@ -53,9 +53,12 @@ Switch::forward(PacketPtr pkt, int in_port)
         return;
     }
     forwarded.inc();
-    Port &port = *ports_.at(static_cast<std::size_t>(out_port));
-    schedule(curTick() + routingDelay_, [&port, pkt] {
-        port.link().send(port.linkSide(), pkt);
+    // Ports live as long as the switch, so the deferred send may
+    // hold the port by pointer (the link.cc idiom) — never by
+    // reference to this frame.
+    Port *port = ports_.at(static_cast<std::size_t>(out_port)).get();
+    schedule(curTick() + routingDelay_, [port, pkt] {
+        port->link().send(port->linkSide(), pkt);
     });
 }
 

@@ -441,16 +441,24 @@ QpipNic::ctxMissCycles(const QpContextCache::Touch &t) const
 void
 QpipNic::scheduleSendService(QpContext &qp)
 {
+    // destroyQp() erases the context immediately, so deferred stages
+    // capture the QP number and re-look-up, never a reference.
     fw_.exec(FwStage::Schedule, params_.costs.schedule,
-             [this, &qp] { serviceSendWr(qp); });
+             [this, qpn = qp.num] {
+                 if (QpContext *ctx = lookupQp(qpn))
+                     serviceSendWr(*ctx);
+             });
 }
 
 void
 QpipNic::serviceSendWr(QpContext &qp)
 {
-    fw_.exec(FwStage::GetWr, params_.costs.getWr, [this, &qp] {
-        if (qp.rings->sendQ.empty())
+    fw_.exec(FwStage::GetWr, params_.costs.getWr, [this,
+                                                   qpn = qp.num] {
+        QpContext *ctx = lookupQp(qpn);
+        if (ctx == nullptr || ctx->rings->sendQ.empty())
             return; // raced with destroy/flush
+        QpContext &qp = *ctx;
         SendWr wr = qp.rings->sendQ.front();
         qp.rings->sendQ.pop_front();
         ++qp.sendConsumed;
@@ -503,10 +511,11 @@ QpipNic::serviceSendWr(QpContext &qp)
 
         std::vector<std::uint8_t> data(src, src + len);
         schedule(fw_.busyUntil(),
-                 [this, &qp, wr = std::move(wr),
+                 [this, qpn, wr = std::move(wr),
                   data = std::move(data)]() mutable {
-                     engineFor(qp.type).transmit(qp, std::move(wr),
-                                                 std::move(data));
+                     if (QpContext *c = lookupQp(qpn))
+                         engineFor(c->type).transmit(
+                             *c, std::move(wr), std::move(data));
                  });
     });
 }
@@ -683,7 +692,12 @@ QpipNic::receiveIntoWr(QpContext &qp, std::vector<std::uint8_t> msg,
     }
 
     fw_.exec(FwStage::GetWr, params_.costs.getWr,
-             [this, &qp, wr, msg = std::move(msg), from]() mutable {
+             [this, qpn = qp.num, wr, msg = std::move(msg),
+              from]() mutable {
+                 QpContext *ctx = lookupQp(qpn);
+                 if (ctx == nullptr)
+                     return; // destroyed while the firmware was busy
+                 QpContext &qp = *ctx;
                  std::uint8_t *dst = mrs_.resolve(wr.sge);
                  Completion c;
                  c.wrId = wr.id;

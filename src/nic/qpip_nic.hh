@@ -304,7 +304,7 @@ class QpipNic : public sim::SimObject,
     std::map<QpNum, std::unique_ptr<QpContext>> qps_;
     /** Ordered by SRQ number. */
     std::map<SrqNum, std::unique_ptr<SrqContext>> srqs_;
-    // qpip-lint: nondet-ok(lookup/erase only, never iterated)
+    // Lookup/erase only, never iterated — safe despite pointer keys.
     std::unordered_map<inet::TcpConnection *, QpContext *> connOwner_;
 
     struct PendingAccept

@@ -80,7 +80,14 @@ RcEngine::serviceRdmaRead(QpContext &qp, SendWr wr)
     }
     nic_.fw_.charge(FwStage::RdmaExec,
                     nic_.params_.costs.rdmaHeaderBuild);
-    nic_.schedule(nic_.fw_.busyUntil(), [this, &qp, wr]() mutable {
+    // destroyQp() erases the context immediately: deferred work
+    // captures the QP number and re-looks-up, never a reference.
+    nic_.schedule(nic_.fw_.busyUntil(), [this, qpn = qp.num,
+                                         wr]() mutable {
+        QpContext *ctx = nic_.lookupQp(qpn);
+        if (ctx == nullptr)
+            return; // destroyed while the firmware was busy
+        QpContext &qp = *ctx;
         if (!qp.conn) {
             Completion c;
             c.wrId = wr.id;
@@ -120,7 +127,11 @@ RcEngine::handleRdmaMessage(QpContext &qp,
     nic_.touchQpContext(qp.num);
     nic_.fw_.exec(
         FwStage::RdmaExec, nic_.params_.costs.rdmaParse,
-        [this, &qp, msg = std::move(msg), from]() mutable {
+        [this, qpn = qp.num, msg = std::move(msg), from]() mutable {
+            QpContext *ctx = nic_.lookupQp(qpn);
+            if (ctx == nullptr)
+                return; // destroyed while the firmware was busy
+            QpContext &qp = *ctx;
             net::RdmaHeader h;
             std::span<const std::uint8_t> payload;
             if (!net::parseRdmaMessage(msg, h, payload)) {
@@ -240,9 +251,12 @@ RcEngine::sendRdmaResponse(QpContext &qp, net::RdmaHeader hdr,
                     nic_.params_.costs.rdmaRespBuild);
     auto bytes = net::serializeRdmaMessage(hdr, payload);
     nic_.schedule(nic_.fw_.busyUntil(),
-                  [&qp, bytes = std::move(bytes)]() mutable {
-                      if (!qp.conn)
+                  [this, qpn = qp.num,
+                   bytes = std::move(bytes)]() mutable {
+                      QpContext *ctx = nic_.lookupQp(qpn);
+                      if (ctx == nullptr || !ctx->conn)
                           return; // torn down before the response left
+                      QpContext &qp = *ctx;
                       const std::uint64_t tag = qp.nextTag++;
                       qp.inflightSends.push_back(
                           {tag, QpContext::TxKind::FwResp, SendWr{}});

@@ -1,0 +1,12 @@
+// qpip-lint-layer: nic
+// E1 fixture: by-reference captures in deferred callbacks fire;
+// value captures and subscripts do not.
+
+void
+arm(Timer &t, Conn &conn, int seq)
+{
+    t.schedule(10, [&] { conn.touch(seq); });
+    t.scheduleIn(20, [&conn, seq] { conn.touch(seq); });
+    t.exec([seq] { trace(seq); });
+    t.scheduleTimer(30, [seq](int slot) { table[slot] = seq; });
+}

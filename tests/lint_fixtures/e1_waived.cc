@@ -1,0 +1,9 @@
+// qpip-lint-layer: nic
+// E1 fixture: the same capture, waived with its lifetime story.
+
+void
+arm(Timer &t, Conn &conn, int seq)
+{
+    // qpip-lint: ref-capture-ok(fixture: conn is owned by the caller and outlives the timer)
+    t.schedule(10, [&conn, seq] { conn.touch(seq); });
+}

@@ -1,0 +1,21 @@
+// S1 fixture: registration-literal grammar, per-scope uniqueness,
+// and lookup resolution against the declared set.
+
+struct StatGroup;
+struct StatRegistry;
+
+void
+registerStats(StatGroup &g)
+{
+    g.add("pkts.in", nullptr);
+    g.add("pkts.drop rate", nullptr);
+    g.add("pkts.in", nullptr);
+    g.add("pkts.*", nullptr);
+}
+
+unsigned long
+readStats(StatRegistry &reg)
+{
+    return reg.counterValue("pkts.in") +
+           reg.counterValue("pkts.absent");
+}

@@ -1,0 +1,11 @@
+// S1 fixture: an unresolvable lookup is silenced by its waiver, and
+// the waiver counts as used (so the A1 audit stays quiet too).
+
+struct StatRegistry;
+
+unsigned long
+readStats(StatRegistry &reg)
+{
+    // qpip-lint: stat-path-ok(fixture: the waiver machinery itself is under test)
+    return reg.counterValue("absent.path");
+}

@@ -1,0 +1,11 @@
+// A1 fixture: waivers whose rules no longer fire are themselves
+// findings (and --fix strips them).
+
+int
+answer()
+{
+    // qpip-lint: stat-path-ok(stale: the lookup below was deleted)
+    int x = 40;
+    // qpip-lint: ref-capture-ok(stale: the callback moved elsewhere)
+    return x + 2;
+}

@@ -1,0 +1,15 @@
+// qpip-lint-layer: nic
+// T2 fixture: mutable statics and foreign-queue scheduling fire;
+// constants and casts do not.
+
+static int callCount = 0;
+static constexpr int kMaxRetries = 4;
+
+void
+touch(Mailbox &mb, EventFn fn)
+{
+    static bool warned = false;
+    callCount += warned ? 1 : static_cast<int>(kMaxRetries);
+    mb.peer().eventQueue().schedule(10, fn);
+    eqRemote->scheduleIn(20, fn);
+}

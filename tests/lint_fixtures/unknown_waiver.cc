@@ -1,0 +1,8 @@
+// A1 fixture: a token that names no rule is flagged wherever it
+// appears.
+
+int
+zero()
+{
+    return 0; // qpip-lint: made-up-ok(no rule spells this token)
+}

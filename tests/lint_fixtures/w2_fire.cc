@@ -1,0 +1,40 @@
+// qpip-lint-wire-file
+// W2 fixture: a diverging pair plus both orphan directions.
+
+std::vector<std::uint8_t>
+serializeFoo(const Foo &m)
+{
+    ByteWriter w;
+    w.u8(m.kind);
+    w.u16(m.len);
+    w.bytes(m.payload);
+    return w.take();
+}
+
+Foo
+parseFoo(std::span<const std::uint8_t> in)
+{
+    ByteReader r(in);
+    Foo m;
+    m.kind = r.u8();
+    m.len = r.u32();
+    m.payload = r.rest();
+    return m;
+}
+
+std::vector<std::uint8_t>
+serializeOrphanPing(const Ping &p)
+{
+    ByteWriter w;
+    w.u32(p.seq);
+    return w.take();
+}
+
+Pong
+parseOrphanPong(std::span<const std::uint8_t> in)
+{
+    ByteReader r(in);
+    Pong p;
+    p.seq = r.u32();
+    return p;
+}

@@ -1,0 +1,21 @@
+// qpip-lint-wire-file
+// W2 fixture: the diverging reader is waived at its definition.
+
+std::vector<std::uint8_t>
+serializeBar(const Bar &m)
+{
+    ByteWriter w;
+    w.u8(m.kind);
+    w.u16(m.len);
+    return w.take();
+}
+
+Bar
+parseBar(std::span<const std::uint8_t> in) // qpip-lint: wire-pair-ok(fixture: divergence is the point)
+{
+    ByteReader r(in);
+    Bar m;
+    m.kind = r.u8();
+    m.len = r.u32();
+    return m;
+}

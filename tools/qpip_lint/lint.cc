@@ -4,15 +4,21 @@
 #include <cctype>
 #include <filesystem>
 #include <fstream>
-#include <map>
 #include <optional>
 #include <regex>
-#include <set>
 #include <sstream>
+
+#include "internal.hh"
 
 namespace qpip::lint {
 
 namespace fs = std::filesystem;
+
+using detail::Ctx;
+using detail::FileData;
+using detail::Lexed;
+using detail::Sink;
+using detail::WaiverMap;
 
 std::string
 Diagnostic::format() const
@@ -80,31 +86,47 @@ classifyPath(const std::string &path)
     return Layer::Top;
 }
 
+namespace {
+
+struct RuleToken
+{
+    const char *rule;
+    const char *token;
+};
+
+constexpr RuleToken ruleTokens[] = {
+    {"D1", "nondet-ok"},      {"D2", "unordered-iter-ok"},
+    {"L1", "layer-ok"},       {"W1", "wire-ok"},
+    {"T1", "thread-ok"},      {"S1", "stat-path-ok"},
+    {"W2", "wire-pair-ok"},   {"T2", "partition-ok"},
+    {"E1", "ref-capture-ok"},
+};
+
+} // namespace
+
 const char *
 waiverToken(const std::string &rule)
 {
-    if (rule == "D1") return "nondet-ok";
-    if (rule == "D2") return "unordered-iter-ok";
-    if (rule == "L1") return "layer-ok";
-    if (rule == "W1") return "wire-ok";
-    if (rule == "T1") return "thread-ok";
+    for (const auto &rt : ruleTokens)
+        if (rule == rt.rule)
+            return rt.token;
     return "";
 }
 
-namespace {
-
-/**
- * The lexed view of one file: per physical line, the code text with
- * comments and string/char literal bodies removed, and the comment
- * text (for waiver directives).
- */
-struct Lexed
+const char *
+ruleForWaiverToken(const std::string &token)
 {
-    /** Untouched physical lines (needed for #include paths). */
-    std::vector<std::string> raw;
-    std::vector<std::string> code;
-    std::vector<std::string> comments;
-};
+    for (const auto &rt : ruleTokens)
+        if (token == rt.token)
+            return rt.rule;
+    return "";
+}
+
+// ---------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------
+
+namespace detail {
 
 Lexed
 lex(const std::string &text)
@@ -122,14 +144,17 @@ lex(const std::string &text)
         }
         out.raw.push_back(std::move(line));
     }
-    std::string code, comment;
+    std::string code, comment, literal;
+    std::vector<std::string> lits;
     enum class St { Code, Str, Chr, Line, Block } st = St::Code;
 
     auto flush = [&] {
         out.code.push_back(code);
         out.comments.push_back(comment);
+        out.strings.push_back(lits);
         code.clear();
         comment.clear();
+        lits.clear();
     };
 
     for (std::size_t i = 0; i < text.size(); ++i) {
@@ -138,6 +163,13 @@ lex(const std::string &text)
         if (c == '\n') {
             if (st == St::Line)
                 st = St::Code;
+            if (st == St::Str) {
+                // Unterminated on this line (multi-line raw strings
+                // are not used in this codebase): close it out.
+                lits.push_back(literal);
+                literal.clear();
+                st = St::Code;
+            }
             flush();
             continue;
         }
@@ -151,6 +183,7 @@ lex(const std::string &text)
                 ++i;
             } else if (c == '"') {
                 st = St::Str;
+                literal.clear();
                 code += '"';
             } else if (c == '\'') {
                 st = St::Chr;
@@ -161,10 +194,16 @@ lex(const std::string &text)
             break;
           case St::Str:
             if (c == '\\' && n != '\0') {
+                literal += c;
+                literal += n;
                 ++i;
             } else if (c == '"') {
                 st = St::Code;
                 code += '"';
+                lits.push_back(literal);
+                literal.clear();
+            } else {
+                literal += c;
             }
             break;
           case St::Chr:
@@ -192,17 +231,12 @@ lex(const std::string &text)
     return out;
 }
 
-/**
- * Waiver tokens in effect on each line: a trailing comment waives
- * its own line; a comment-only line waives the next code line
- * (NOLINTNEXTLINE style), chaining through blank/comment lines.
- */
-std::vector<std::set<std::string>>
+WaiverMap
 collectWaivers(const Lexed &lx)
 {
     static const std::regex re(
         R"(qpip-lint:\s*([a-z][a-z-]*-ok)\(\s*[^)\s][^)]*\))");
-    std::vector<std::set<std::string>> out(lx.comments.size());
+    WaiverMap out(lx.comments.size());
     auto blankCode = [&](std::size_t i) {
         return lx.code[i].find_first_not_of(" \t") == std::string::npos;
     };
@@ -210,7 +244,7 @@ collectWaivers(const Lexed &lx)
         auto begin = std::sregex_iterator(lx.comments[i].begin(),
                                           lx.comments[i].end(), re);
         for (auto it = begin; it != std::sregex_iterator(); ++it)
-            out[i].insert((*it)[1].str());
+            out[i].emplace((*it)[1].str(), static_cast<int>(i));
     }
     for (std::size_t i = 0; i + 1 < out.size(); ++i) {
         if (!out[i].empty() && blankCode(i))
@@ -218,6 +252,15 @@ collectWaivers(const Lexed &lx)
     }
     return out;
 }
+
+std::size_t
+FileData::lineOf(std::size_t offset) const
+{
+    auto it = std::upper_bound(starts.begin(), starts.end(), offset);
+    return static_cast<std::size_t>(it - starts.begin()) - 1;
+}
+
+namespace {
 
 std::optional<Layer>
 layerDirective(const Lexed &lx)
@@ -232,77 +275,65 @@ layerDirective(const Lexed &lx)
 }
 
 bool
-isHeader(const std::string &path)
+wireDirective(const Lexed &lx)
+{
+    for (const auto &c : lx.comments)
+        if (c.find("qpip-lint-wire-file") != std::string::npos)
+            return true;
+    return false;
+}
+
+} // namespace
+
+bool
+isHeaderPath(const std::string &path)
 {
     return path.ends_with(".hh") || path.ends_with(".h");
 }
 
-struct Ctx
+bool
+wireAllowlisted(const std::string &path)
 {
-    const std::string &path;
-    Layer layer;
-    const Lexed &lx;
-    const std::vector<std::set<std::string>> &waivers;
-    std::vector<Diagnostic> &diags;
-
-    bool
-    waived(std::size_t line_idx, const std::string &rule) const
-    {
-        return line_idx < waivers.size() &&
-               waivers[line_idx].count(waiverToken(rule)) != 0;
-    }
-
-    void
-    add(const std::string &rule, std::size_t line_idx, std::string msg)
-    {
-        if (!waived(line_idx, rule))
-            diags.push_back(Diagnostic{rule, path,
-                                       static_cast<int>(line_idx) + 1,
-                                       std::move(msg)});
-    }
-};
-
-// --- D1: nondeterminism sources -----------------------------------
-
-void
-ruleD1(Ctx &ctx)
-{
-    struct Banned
-    {
-        std::regex re;
-        const char *what;
-    };
-    static const std::vector<Banned> banned = {
-        {std::regex(R"(\bs?rand\s*\()"),
-         "C library rand()/srand() is not replay-deterministic; use "
-         "sim::Random"},
-        {std::regex(R"(\brandom_device\b)"),
-         "std::random_device draws entropy from the OS; use the "
-         "seeded sim::Random"},
-        {std::regex(R"(\b(system_clock|steady_clock|high_resolution_clock)\b)"),
-         "wall-clock time source; use sim::Clock / Simulation time"},
-        {std::regex(R"(\b(gettimeofday|clock_gettime)\b)"),
-         "wall-clock time source; use sim::Clock / Simulation time"},
-        {std::regex(R"(\bgetpid\s*\()"),
-         "process id varies across runs; derive ids from the seed"},
-        {std::regex(R"(\btime\s*\(\s*(nullptr|NULL|0)?\s*\))"),
-         "time() reads the wall clock; use sim::Clock / Simulation "
-         "time"},
-        {std::regex(R"(\bmap\s*<[^,<>]*\*\s*,)"),
-         "pointer-keyed map: addresses vary across runs, so key "
-         "order (and any iteration) is nondeterministic"},
-    };
-    for (std::size_t i = 0; i < ctx.lx.code.size(); ++i) {
-        for (const auto &b : banned) {
-            if (std::regex_search(ctx.lx.code[i], b.re))
-                ctx.add("D1", i, b.what);
-        }
-    }
+    const std::string p = normalize(path);
+    return p.find("inet/checksum.") != std::string::npos ||
+           p.find("net/serialize.") != std::string::npos;
 }
 
-// --- D2: iteration over unordered containers ----------------------
+FileData
+makeFileData(const std::string &path, const std::string &contents)
+{
+    FileData f;
+    f.path = path;
+    f.lx = lex(contents);
+    f.waivers = collectWaivers(f.lx);
+    f.layer = layerDirective(f.lx).value_or(classifyPath(path));
+    f.wireFile =
+        normalize(path).find("net/serialize.") != std::string::npos ||
+        wireDirective(f.lx);
+    for (const auto &l : f.lx.code) {
+        f.starts.push_back(f.all.size());
+        f.all += l;
+        f.all += '\n';
+    }
+    return f;
+}
 
-/** Skip a balanced <...> starting at @p pos (which must be '<'). */
+void
+Sink::add(const FileData &f, const std::string &rule,
+          std::size_t line_idx, std::string msg)
+{
+    if (line_idx < f.waivers.size()) {
+        auto it = f.waivers[line_idx].find(waiverToken(rule));
+        if (it != f.waivers[line_idx].end()) {
+            usedWaivers.emplace(&f, it->second);
+            return;
+        }
+    }
+    diags.push_back(Diagnostic{rule, f.path,
+                               static_cast<int>(line_idx) + 1,
+                               std::move(msg)});
+}
+
 std::size_t
 skipAngles(const std::string &s, std::size_t pos)
 {
@@ -316,261 +347,193 @@ skipAngles(const std::string &s, std::size_t pos)
     return std::string::npos;
 }
 
-void
-ruleD2(Ctx &ctx)
+std::size_t
+skipParens(const std::string &s, std::size_t pos)
 {
-    // Join the code text, remembering line starts for offset->line.
-    std::string all;
-    std::vector<std::size_t> starts;
-    for (const auto &l : ctx.lx.code) {
-        starts.push_back(all.size());
-        all += l;
-        all += '\n';
+    int depth = 0;
+    for (; pos < s.size(); ++pos) {
+        if (s[pos] == '(')
+            ++depth;
+        else if (s[pos] == ')' && --depth == 0)
+            return pos + 1;
     }
-    auto lineOf = [&](std::size_t off) {
-        auto it = std::upper_bound(starts.begin(), starts.end(), off);
-        return static_cast<std::size_t>(it - starts.begin()) - 1;
-    };
-
-    // Pass 1: names of variables (and type aliases) whose type is an
-    // unordered associative container.
-    static const std::regex declRe(R"(\bunordered_(map|set)\s*<)");
-    static const std::regex nameRe(
-        R"(^\s*[&*]?\s*([A-Za-z_]\w*)\s*([;={(),]))");
-    static const std::regex aliasRe(R"(\busing\s+([A-Za-z_]\w*)\s*=\s*$)");
-    std::set<std::string> unorderedVars, unorderedAliases;
-    for (auto it = std::sregex_iterator(all.begin(), all.end(), declRe);
-         it != std::sregex_iterator(); ++it) {
-        const std::size_t open =
-            static_cast<std::size_t>(it->position()) + it->length() - 1;
-        // "using Alias = std::unordered_map<...>;"
-        const std::size_t pos = static_cast<std::size_t>(it->position());
-        std::size_t bol = all.rfind('\n', pos);
-        bol = bol == std::string::npos ? 0 : bol + 1;
-        std::string before = all.substr(bol, pos - bol);
-        // Strip a trailing "std::" qualifier so aliasRe can anchor.
-        if (before.ends_with("std::"))
-            before.erase(before.size() - 5);
-        std::smatch am;
-        if (std::regex_search(before, am, aliasRe)) {
-            unorderedAliases.insert(am[1].str());
-            continue;
-        }
-        const std::size_t end = skipAngles(all, open);
-        if (end == std::string::npos)
-            continue;
-        std::smatch nm;
-        const std::string after = all.substr(end, 160);
-        if (std::regex_search(after, nm, nameRe))
-            unorderedVars.insert(nm[1].str());
-    }
-    // Declarations through an alias: "Alias name;".
-    for (const auto &alias : unorderedAliases) {
-        const std::regex aliasDecl("\\b" + alias +
-                                   R"(\s*[&*]?\s*([A-Za-z_]\w*)\s*[;={(),])");
-        for (auto it =
-                 std::sregex_iterator(all.begin(), all.end(), aliasDecl);
-             it != std::sregex_iterator(); ++it)
-            unorderedVars.insert((*it)[1].str());
-    }
-    if (unorderedVars.empty())
-        return;
-
-    auto lastComponent = [](std::string expr) {
-        const auto dot = expr.find_last_of('.');
-        if (dot != std::string::npos)
-            expr = expr.substr(dot + 1);
-        const auto arrow = expr.rfind("->");
-        if (arrow != std::string::npos)
-            expr = expr.substr(arrow + 2);
-        return expr;
-    };
-
-    // Pass 2a: range-for over a tracked variable.
-    static const std::regex rangeForRe(
-        R"(\bfor\s*\([^;()]*:\s*([A-Za-z_][\w.]*(?:->[\w.]+)*)\s*\))");
-    for (auto it =
-             std::sregex_iterator(all.begin(), all.end(), rangeForRe);
-         it != std::sregex_iterator(); ++it) {
-        const std::string var = lastComponent((*it)[1].str());
-        if (unorderedVars.count(var))
-            ctx.add("D2", lineOf(static_cast<std::size_t>(it->position())),
-                    "range-for over std::unordered container '" + var +
-                        "': iteration order is hash/insertion "
-                        "dependent and breaks same-seed replay");
-    }
-
-    // Pass 2b: iterator loops (x.begin() / cbegin / rbegin).
-    static const std::regex beginRe(
-        R"(([A-Za-z_][\w.]*(?:->[\w.]+)*)\s*\.\s*c?r?begin\s*\()");
-    for (auto it = std::sregex_iterator(all.begin(), all.end(), beginRe);
-         it != std::sregex_iterator(); ++it) {
-        const std::string var = lastComponent((*it)[1].str());
-        if (unorderedVars.count(var))
-            ctx.add("D2", lineOf(static_cast<std::size_t>(it->position())),
-                    "iterator walk over std::unordered container '" +
-                        var + "': order is hash/insertion dependent "
-                              "and breaks same-seed replay");
-    }
+    return std::string::npos;
 }
-
-// --- L1: include layering -----------------------------------------
-
-void
-ruleL1(Ctx &ctx)
-{
-    static const std::regex incRe(
-        R"(^\s*#\s*include\s+"([A-Za-z_0-9]+)/)");
-    for (std::size_t i = 0; i < ctx.lx.raw.size(); ++i) {
-        // String-literal bodies are blanked in the code view, so the
-        // include path has to come from the raw line.
-        std::smatch m;
-        if (!std::regex_search(ctx.lx.raw[i], m, incRe))
-            continue;
-        const auto inc = layerByName(m[1].str());
-        if (!inc)
-            continue; // system-ish or unknown prefix: not layered
-        if (layerRank(*inc) > layerRank(ctx.layer))
-            ctx.add("L1", i,
-                    std::string("layering violation: ") +
-                        layerName(ctx.layer) + " must not include " +
-                        layerName(*inc) + " (DAG: sim <- net <- inet "
-                        "<- host <- nic <- qpip <- apps <- "
-                        "{tests,bench,examples})");
-    }
-
-    // The transport engines are the NIC's private internals: even
-    // layers above nic in the DAG (qpip, apps, tests, bench) must
-    // not reach into them — the verbs surface is the public seam.
-    static const std::regex privRe(
-        R"(^\s*#\s*include\s+"nic/transport/)");
-    for (std::size_t i = 0; i < ctx.lx.raw.size(); ++i) {
-        if (!std::regex_search(ctx.lx.raw[i], privRe))
-            continue;
-        if (ctx.layer == Layer::Nic)
-            continue;
-        ctx.add("L1", i,
-                "layering violation: nic/transport/ headers are "
-                "private to the nic layer; drive transports through "
-                "the qpip verbs surface");
-    }
-}
-
-// --- W1: wire-format hygiene --------------------------------------
 
 bool
-wireAllowlisted(const std::string &path)
+globMatch(const std::string &pattern, const std::string &text)
 {
-    const std::string p = normalize(path);
-    return p.find("inet/checksum.") != std::string::npos ||
-           p.find("net/serialize.") != std::string::npos;
-}
-
-void
-ruleW1(Ctx &ctx)
-{
-    static const std::regex castRe(R"(\breinterpret_cast\b)");
-    static const std::regex memcpyRe(R"(\bmemcpy\s*\()");
-    for (std::size_t i = 0; i < ctx.lx.code.size(); ++i) {
-        if (std::regex_search(ctx.lx.code[i], castRe))
-            ctx.add("W1", i,
-                    "reinterpret_cast near wire data: serialize "
-                    "through net::Serializer / inet::checksum "
-                    "byte-order helpers instead");
-        if (std::regex_search(ctx.lx.code[i], memcpyRe))
-            ctx.add("W1", i,
-                    "raw memcpy: wire I/O must go through "
-                    "net::Serializer / inet::checksum byte-order "
-                    "helpers");
-    }
-}
-
-// --- T1: threading primitives outside the sim layer ---------------
-
-/**
- * The parallel engine (src/sim) is the one place allowed to spawn
- * threads and synchronize: every other layer runs single-threaded
- * within its partition, and ad-hoc locking there would hide
- * scheduling nondeterminism the engine's barrier protocol exists to
- * prevent. Model-level concurrency belongs in events, not threads.
- */
-void
-ruleT1(Ctx &ctx)
-{
-    static const std::regex incRe(
-        R"(^\s*#\s*include\s*<(thread|mutex|shared_mutex|atomic|)"
-        R"(condition_variable|stop_token|barrier|latch|semaphore|)"
-        R"(future)>)");
-    static const std::regex useRe(
-        R"(\bstd\s*::\s*(thread|jthread|mutex|recursive_mutex|)"
-        R"(timed_mutex|recursive_timed_mutex|shared_mutex|)"
-        R"(shared_timed_mutex|condition_variable|)"
-        R"(condition_variable_any|atomic\w*|lock_guard|unique_lock|)"
-        R"(scoped_lock|shared_lock|promise|future|async|call_once|)"
-        R"(once_flag)\b)");
-    static const std::regex tlsRe(R"(\bthread_local\b)");
-    for (std::size_t i = 0; i < ctx.lx.code.size(); ++i) {
-        const std::string &l = ctx.lx.code[i];
-        std::smatch m;
-        if (std::regex_search(l, m, incRe)) {
-            ctx.add("T1", i,
-                    "#include <" + m[1].str() +
-                        "> outside src/sim: threading primitives "
-                        "live in the parallel engine; partitioned "
-                        "code is single-threaded");
-        } else if (std::regex_search(l, m, useRe)) {
-            ctx.add("T1", i,
-                    "std::" + m[1].str() +
-                        " outside src/sim: the parallel engine owns "
-                        "all synchronization; model concurrency with "
-                        "events, not threads");
-        } else if (std::regex_search(l, tlsRe)) {
-            ctx.add("T1", i,
-                    "thread_local outside src/sim: per-thread state "
-                    "in model code hides scheduling dependence; bind "
-                    "state to the SimObject or partition instead");
+    std::size_t p = 0, t = 0;
+    std::size_t star = std::string::npos, mark = 0;
+    while (t < text.size()) {
+        if (p < pattern.size() &&
+            (pattern[p] == '?' || pattern[p] == text[t])) {
+            ++p;
+            ++t;
+        } else if (p < pattern.size() && pattern[p] == '*') {
+            star = p++;
+            mark = t;
+        } else if (star != std::string::npos) {
+            p = star + 1;
+            t = ++mark;
+        } else {
+            return false;
         }
     }
+    while (p < pattern.size() && pattern[p] == '*')
+        ++p;
+    return p == pattern.size();
 }
 
-// --- H1: header guard style ---------------------------------------
+} // namespace detail
+
+// ---------------------------------------------------------------------
+// Drivers
+// ---------------------------------------------------------------------
+
+namespace {
 
 void
-ruleH1(Ctx &ctx)
+sortDiags(std::vector<Diagnostic> &diags)
 {
-    for (const auto &l : ctx.lx.code)
-        if (l.find("#pragma once") != std::string::npos)
-            return;
-    ctx.diags.push_back(Diagnostic{
-        "H1", ctx.path, 1,
-        "header must use '#pragma once' (no #ifndef guards)"});
+    std::stable_sort(diags.begin(), diags.end(),
+                     [](const Diagnostic &a, const Diagnostic &b) {
+                         if (a.file != b.file)
+                             return a.file < b.file;
+                         if (a.line != b.line)
+                             return a.line < b.line;
+                         return a.rule < b.rule;
+                     });
+}
+
+void
+runFileRules(const FileData &f, Sink &sink)
+{
+    Ctx ctx{f, sink};
+    if (f.layer != Layer::Top) {
+        detail::ruleD1(ctx);
+        detail::ruleD2(ctx);
+        if (!detail::wireAllowlisted(f.path))
+            detail::ruleW1(ctx);
+        if (f.layer != Layer::Sim)
+            detail::ruleT1(ctx);
+    }
+    detail::ruleL1(ctx);
+    if (detail::isHeaderPath(f.path))
+        detail::ruleH1(ctx);
+}
+
+/**
+ * A1: every waiver comment must have suppressed at least one finding
+ * of an enabled rule during this run.
+ */
+void
+auditWaivers(const std::vector<FileData> &files, Sink &sink,
+             const ProjectOptions &opts)
+{
+    static const char *projectRuleIds[] = {"S1", "W2", "T2", "E1"};
+    auto ruleEnabled = [&](const std::string &rule) {
+        for (const char *r : projectRuleIds)
+            if (rule == r)
+                return opts.projectRules;
+        return opts.fileRules;
+    };
+    for (const auto &f : files) {
+        // Collect distinct waiver sites: (origin line, token).
+        std::set<std::pair<int, std::string>> sites;
+        for (const auto &perLine : f.waivers)
+            for (const auto &[token, origin] : perLine)
+                sites.emplace(origin, token);
+        for (const auto &[origin, token] : sites) {
+            const std::string rule = ruleForWaiverToken(token);
+            if (rule.empty()) {
+                sink.diags.push_back(Diagnostic{
+                    "A1", f.path, origin + 1,
+                    "unknown waiver token '" + token +
+                        "': no rule uses it (see waiverToken())"});
+                continue;
+            }
+            if (!ruleEnabled(rule))
+                continue;
+            if (!sink.usedWaivers.count({&f, origin})) {
+                sink.diags.push_back(Diagnostic{
+                    "A1", f.path, origin + 1,
+                    "stale waiver '" + token + "': rule " + rule +
+                        " no longer fires on the waived line — "
+                        "delete the waiver (or fix the regression "
+                        "that was hiding behind it)"});
+            }
+        }
+    }
 }
 
 } // namespace
 
 std::vector<Diagnostic>
+lintProject(const std::vector<SourceFile> &files,
+            const ProjectOptions &opts)
+{
+    std::vector<FileData> data;
+    data.reserve(files.size());
+    for (const auto &sf : files)
+        data.push_back(detail::makeFileData(sf.path, sf.contents));
+
+    Sink sink;
+    if (opts.fileRules)
+        for (const auto &f : data)
+            runFileRules(f, sink);
+
+    if (opts.projectRules) {
+        const detail::ProjectIndex ix = detail::buildIndex(data);
+        detail::ruleS1(ix, sink);
+        detail::ruleW2(ix, sink);
+        for (const auto &f : data) {
+            detail::ruleT2(f, sink);
+            detail::ruleE1(f, sink);
+        }
+    }
+
+    if (opts.auditWaivers)
+        auditWaivers(data, sink, opts);
+
+    std::vector<Diagnostic> out;
+    if (opts.reportOnly.empty()) {
+        out = std::move(sink.diags);
+    } else {
+        for (auto &d : sink.diags)
+            if (opts.reportOnly.count(d.file))
+                out.push_back(std::move(d));
+    }
+    sortDiags(out);
+    return out;
+}
+
+IndexSummary
+summarizeIndex(const std::vector<SourceFile> &files)
+{
+    std::vector<FileData> data;
+    data.reserve(files.size());
+    for (const auto &sf : files)
+        data.push_back(detail::makeFileData(sf.path, sf.contents));
+    const detail::ProjectIndex ix = detail::buildIndex(data);
+
+    IndexSummary out;
+    out.statLeafPaths = ix.statLeafPaths;
+    out.statSegments = ix.statSegments;
+    for (const auto &[name, fn] : ix.serializers)
+        out.serializers.insert(name);
+    for (const auto &[name, fn] : ix.parsers)
+        out.parsers.insert(name);
+    return out;
+}
+
+std::vector<Diagnostic>
 lintFile(const std::string &path, const std::string &contents)
 {
-    const Lexed lx = lex(contents);
-    const auto waivers = collectWaivers(lx);
-    const Layer layer =
-        layerDirective(lx).value_or(classifyPath(path));
-
-    std::vector<Diagnostic> diags;
-    Ctx ctx{path, layer, lx, waivers, diags};
-
-    if (layer != Layer::Top) {
-        ruleD1(ctx);
-        ruleD2(ctx);
-        if (!wireAllowlisted(path))
-            ruleW1(ctx);
-        if (layer != Layer::Sim)
-            ruleT1(ctx);
-    }
-    ruleL1(ctx);
-    if (isHeader(path))
-        ruleH1(ctx);
-
+    const FileData f = detail::makeFileData(path, contents);
+    Sink sink;
+    runFileRules(f, sink);
+    std::vector<Diagnostic> diags = std::move(sink.diags);
     std::stable_sort(diags.begin(), diags.end(),
                      [](const Diagnostic &a, const Diagnostic &b) {
                          if (a.line != b.line)
@@ -591,6 +554,131 @@ lintPath(const std::string &path)
     ss << in.rdbuf();
     return lintFile(path, ss.str());
 }
+
+std::vector<SourceFile>
+readSources(const std::string &root,
+            const std::vector<std::string> &paths)
+{
+    std::vector<SourceFile> out;
+    for (const auto &p : paths) {
+        const bool absolute =
+            !p.empty() && (p[0] == '/' || (p.size() > 1 && p[1] == ':'));
+        const std::string full = absolute ? p : root + "/" + p;
+        SourceFile sf;
+        sf.path = p;
+        std::ifstream in(full, std::ios::binary);
+        if (!in) {
+            sf.contents.clear();
+            out.push_back(std::move(sf));
+            continue;
+        }
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        sf.contents = ss.str();
+        out.push_back(std::move(sf));
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Mechanical fixes
+// ---------------------------------------------------------------------
+
+std::string
+applyFixes(const std::string &contents,
+           const std::vector<Diagnostic> &diags, bool &changed)
+{
+    changed = false;
+    bool addPragma = false;
+    std::set<int> staleLines; // 1-based
+    for (const auto &d : diags) {
+        if (d.rule == "H1")
+            addPragma = true;
+        else if (d.rule == "A1" &&
+                 d.message.rfind("stale waiver", 0) == 0)
+            staleLines.insert(d.line);
+    }
+    if (!addPragma && staleLines.empty())
+        return contents;
+
+    std::vector<std::string> lines;
+    {
+        std::string cur;
+        for (const char c : contents) {
+            if (c == '\n') {
+                lines.push_back(std::move(cur));
+                cur.clear();
+            } else {
+                cur += c;
+            }
+        }
+        lines.push_back(std::move(cur));
+    }
+
+    static const std::regex waiverRe(
+        R"(\s*(//\s*)?qpip-lint:\s*[a-z][a-z-]*-ok\(\s*[^)\s][^)]*\)\s*)");
+    for (const int ln : staleLines) {
+        const std::size_t i = static_cast<std::size_t>(ln) - 1;
+        if (i >= lines.size())
+            continue;
+        std::string stripped =
+            std::regex_replace(lines[i], waiverRe, "");
+        // A now-empty comment or blank line disappears entirely.
+        static const std::regex emptyComment(R"(^\s*(//\s*)?$)");
+        if (std::regex_match(stripped, emptyComment))
+            stripped.clear();
+        if (stripped != lines[i]) {
+            lines[i] = stripped;
+            changed = true;
+        }
+    }
+    // Drop lines emptied by waiver removal (rather than leaving a
+    // blank hole where the comment was).
+    if (changed) {
+        std::vector<std::string> keep;
+        for (std::size_t i = 0; i < lines.size(); ++i) {
+            if (lines[i].empty() &&
+                staleLines.count(static_cast<int>(i) + 1)) {
+                continue;
+            }
+            keep.push_back(lines[i]);
+        }
+        lines = std::move(keep);
+    }
+
+    if (addPragma) {
+        // Insert after a leading block comment, before the first
+        // code line.
+        const Lexed lx = detail::lex(contents);
+        std::size_t at = 0;
+        for (std::size_t i = 0; i < lx.code.size() && i < lines.size();
+             ++i) {
+            if (lx.code[i].find_first_not_of(" \t") !=
+                std::string::npos) {
+                at = i;
+                break;
+            }
+        }
+        lines.insert(lines.begin() + static_cast<long>(at),
+                     "#pragma once");
+        if (at + 1 < lines.size() && !lines[at + 1].empty())
+            lines.insert(lines.begin() + static_cast<long>(at) + 1,
+                         "");
+        changed = true;
+    }
+
+    std::string out;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        out += lines[i];
+        if (i + 1 < lines.size())
+            out += '\n';
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// File discovery
+// ---------------------------------------------------------------------
 
 std::vector<std::string>
 collectTree(const std::string &root)

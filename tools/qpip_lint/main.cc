@@ -2,7 +2,9 @@
  * @file
  * qpip-lint CLI.
  *
- *   qpip_lint [--root <dir>] [--compile-commands <json>] [files...]
+ *   qpip_lint [--root <dir>] [--compile-commands <json>]
+ *             [--sarif <out.sarif>] [--diff <ref>] [--fix]
+ *             [--no-project] [files...]
  *
  * With explicit files, lints exactly those (fixtures use a
  * '// qpip-lint-layer: <name>' directive to place themselves in the
@@ -11,15 +13,72 @@
  * database when one is given — which is how the CMake `lint` target
  * drives it off CMAKE_EXPORT_COMPILE_COMMANDS.
  *
+ * The project-wide families (S1/W2/T2/E1) and the stale-waiver audit
+ * always see the whole file set; --diff <ref> only narrows which
+ * files findings are *reported* for (those changed vs the merge-base
+ * with <ref>, per git). --fix rewrites mechanical findings in place
+ * (H1 pragma insertion, stale-waiver removal). --sarif additionally
+ * writes the findings as SARIF 2.1.0.
+ *
  * Exit status: 0 clean, 1 violations found, 2 usage/IO error.
  */
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "lint.hh"
+#include "sarif.hh"
+
+namespace {
+
+/** Lines of `git <args>` output, empty on failure. */
+std::vector<std::string>
+gitLines(const std::string &root, const std::string &args)
+{
+    const std::string cmd =
+        "git -C '" + root + "' " + args + " 2>/dev/null";
+    std::vector<std::string> out;
+    FILE *p = popen(cmd.c_str(), "r");
+    if (p == nullptr)
+        return out;
+    char buf[4096];
+    std::string cur;
+    while (std::fgets(buf, sizeof buf, p) != nullptr) {
+        cur += buf;
+        while (true) {
+            const auto nl = cur.find('\n');
+            if (nl == std::string::npos)
+                break;
+            out.push_back(cur.substr(0, nl));
+            cur = cur.substr(nl + 1);
+        }
+    }
+    if (!cur.empty())
+        out.push_back(cur);
+    pclose(p);
+    return out;
+}
+
+/** Paths (relative to the repo root) changed vs merge-base(ref). */
+std::set<std::string>
+changedFiles(const std::string &root, const std::string &ref)
+{
+    const auto base =
+        gitLines(root, "merge-base " + ref + " HEAD");
+    const std::string against = base.empty() ? ref : base[0];
+    std::set<std::string> out;
+    for (const auto &f :
+         gitLines(root, "diff --name-only " + against))
+        out.insert(f);
+    return out;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -28,6 +87,10 @@ main(int argc, char **argv)
 
     std::string root = ".";
     std::string compileCommands;
+    std::string sarifOut;
+    std::string diffRef;
+    bool fix = false;
+    bool projectRules = true;
     std::vector<std::string> files;
 
     for (int i = 1; i < argc; ++i) {
@@ -36,9 +99,19 @@ main(int argc, char **argv)
             root = argv[++i];
         } else if (arg == "--compile-commands" && i + 1 < argc) {
             compileCommands = argv[++i];
+        } else if (arg == "--sarif" && i + 1 < argc) {
+            sarifOut = argv[++i];
+        } else if (arg == "--diff" && i + 1 < argc) {
+            diffRef = argv[++i];
+        } else if (arg == "--fix") {
+            fix = true;
+        } else if (arg == "--no-project") {
+            projectRules = false;
         } else if (arg == "--help" || arg == "-h") {
-            std::printf("usage: qpip_lint [--root <dir>] "
-                        "[--compile-commands <json>] [files...]\n");
+            std::printf(
+                "usage: qpip_lint [--root <dir>] "
+                "[--compile-commands <json>] [--sarif <out>] "
+                "[--diff <ref>] [--fix] [--no-project] [files...]\n");
             return 0;
         } else if (!arg.empty() && arg[0] == '-') {
             std::fprintf(stderr, "qpip-lint: unknown option '%s'\n",
@@ -53,7 +126,7 @@ main(int argc, char **argv)
     // compile-commands entries are folded back onto the tree set so
     // nothing is linted (or reported) twice under two spellings.
     std::set<std::string> work;
-    bool treeMode = files.empty();
+    const bool treeMode = files.empty();
     if (treeMode) {
         for (auto &f : collectTree(root))
             work.insert(f);
@@ -75,26 +148,99 @@ main(int argc, char **argv)
         work.insert(files.begin(), files.end());
     }
 
-    int violations = 0;
+    const std::vector<std::string> paths(work.begin(), work.end());
+    std::vector<SourceFile> sources = readSources(root, paths);
+
     bool ioError = false;
-    for (const auto &f : work) {
-        const std::string full =
-            treeMode && f.rfind('/', 0) != 0 && !(f.size() > 1 && f[1] == ':')
-                ? (f.rfind(root + "/", 0) == 0 ? f : root + "/" + f)
-                : f;
-        for (const auto &d : lintPath(full)) {
-            Diagnostic shown = d;
-            shown.file = f;
-            std::printf("%s\n", shown.format().c_str());
-            if (d.rule == "IO")
+    std::vector<SourceFile> readable;
+    for (auto &sf : sources) {
+        if (sf.contents.empty()) {
+            std::ifstream probe(
+                sf.path[0] == '/' ? sf.path : root + "/" + sf.path);
+            if (!probe) {
+                std::fprintf(stderr,
+                             "qpip-lint: cannot open '%s'\n",
+                             sf.path.c_str());
                 ioError = true;
-            else
-                ++violations;
+                continue;
+            }
+        }
+        readable.push_back(std::move(sf));
+    }
+
+    ProjectOptions opts;
+    opts.projectRules = projectRules;
+    // The audit only makes sense when every family that might consume
+    // a waiver actually ran.
+    opts.auditWaivers = projectRules;
+    if (!diffRef.empty()) {
+        // The index still spans the whole tree; only the changed
+        // files' findings are reported.
+        opts.reportOnly = changedFiles(root, diffRef);
+        if (opts.reportOnly.empty())
+            std::fprintf(stderr,
+                         "qpip-lint: --diff %s: no changed files "
+                         "(or not a git checkout); reporting "
+                         "everything\n",
+                         diffRef.c_str());
+    }
+
+    std::vector<Diagnostic> diags = lintProject(readable, opts);
+
+    if (fix) {
+        int fixedFiles = 0;
+        for (const auto &sf : readable) {
+            std::vector<Diagnostic> mine;
+            for (const auto &d : diags)
+                if (d.file == sf.path &&
+                    (d.rule == "H1" || d.rule == "A1"))
+                    mine.push_back(d);
+            if (mine.empty())
+                continue;
+            bool changed = false;
+            const std::string fixedText =
+                applyFixes(sf.contents, mine, changed);
+            if (!changed)
+                continue;
+            const std::string full =
+                sf.path[0] == '/' ? sf.path : root + "/" + sf.path;
+            std::ofstream outf(full, std::ios::binary |
+                                         std::ios::trunc);
+            if (!outf) {
+                std::fprintf(stderr,
+                             "qpip-lint: cannot rewrite '%s'\n",
+                             full.c_str());
+                ioError = true;
+                continue;
+            }
+            outf << fixedText;
+            ++fixedFiles;
+        }
+        if (fixedFiles)
+            std::fprintf(stderr, "qpip-lint: fixed %d file(s); "
+                                 "re-run to see remaining findings\n",
+                         fixedFiles);
+    }
+
+    for (const auto &d : diags)
+        std::printf("%s\n", d.format().c_str());
+
+    if (!sarifOut.empty()) {
+        std::ofstream outf(sarifOut,
+                           std::ios::binary | std::ios::trunc);
+        if (!outf) {
+            std::fprintf(stderr, "qpip-lint: cannot write '%s'\n",
+                         sarifOut.c_str());
+            ioError = true;
+        } else {
+            outf << toSarif(diags);
         }
     }
 
+    const int violations = static_cast<int>(diags.size());
     if (violations)
-        std::fprintf(stderr, "qpip-lint: %d violation(s)\n", violations);
+        std::fprintf(stderr, "qpip-lint: %d violation(s)\n",
+                     violations);
     if (ioError)
         return 2;
     return violations ? 1 : 0;

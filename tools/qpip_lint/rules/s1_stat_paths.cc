@@ -1,0 +1,177 @@
+/**
+ * @file
+ * S1: the stat-path registry rules. Registration literals must follow
+ * the dotted-path grammar and be unique per receiver within a scope;
+ * lookup/glob literals must resolve against the declared set — a
+ * typo'd path otherwise compiles fine and silently reads 0 at
+ * runtime, which is exactly how stat regressions hide.
+ */
+
+#include <map>
+#include <regex>
+#include <string>
+#include <vector>
+
+#include "../internal.hh"
+
+namespace qpip::lint::detail {
+
+namespace {
+
+std::vector<std::string>
+splitDots(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (const char c : s) {
+        if (c == '.') {
+            out.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    out.push_back(cur);
+    return out;
+}
+
+bool
+hasGlob(const std::string &s)
+{
+    return s.find('*') != std::string::npos ||
+           s.find('?') != std::string::npos;
+}
+
+/** Complete path: identifier segments joined by single dots. */
+bool
+pathGrammarOk(const std::string &s)
+{
+    static const std::regex re(R"(^[A-Za-z_]\w*(\.[A-Za-z_]\w*)*$)");
+    return std::regex_match(s, re);
+}
+
+/** Fragment: like a path but may open and/or close on a dot. */
+bool
+fragmentGrammarOk(const std::string &s)
+{
+    if (s == ".")
+        return true;
+    static const std::regex re(
+        R"(^\.?[A-Za-z_]\w*(\.[A-Za-z_]\w*)*\.?$)");
+    return std::regex_match(s, re);
+}
+
+/** Does @p seg (possibly a glob) resolve against any known segment? */
+bool
+segmentResolves(const ProjectIndex &ix, const std::string &seg)
+{
+    if (ix.statSegments.count(seg))
+        return true;
+    if (!hasGlob(seg))
+        return false;
+    for (const auto &s : ix.statSegments)
+        if (globMatch(seg, s))
+            return true;
+    return false;
+}
+
+void
+checkLookup(const ProjectIndex &ix, const StatLookupSite &site,
+            Sink &sink)
+{
+    if (site.wholeLiteral) {
+        const std::string &path = site.literals[0];
+        if (ix.statLeafPaths.count(path))
+            return;
+        if (hasGlob(path)) {
+            for (const auto &leaf : ix.statLeafPaths)
+                if (globMatch(path, leaf))
+                    return;
+        }
+        // Registered full paths carry runtime prefixes ("host0.qnic.")
+        // the index cannot see, so fall back to the final segment: it
+        // must at least name a leaf some component registers.
+        const auto pieces = splitDots(path);
+        if (!pieces.empty() &&
+            segmentResolves(ix, pieces.back()))
+            return;
+        sink.add(*site.file, "S1", site.line,
+                 "stat " + site.kind + " path '" + path +
+                     "' does not resolve against any registered stat "
+                     "(typo'd paths silently read 0); register it or "
+                     "fix the spelling");
+        return;
+    }
+    // Concatenation: only dot-bounded fragments are checkable.
+    for (std::size_t k = 0; k < site.literals.size(); ++k) {
+        const std::string &lit = site.literals[k];
+        if (lit.empty() || lit == ".")
+            continue;
+        const bool startsDot = lit.front() == '.';
+        const bool endsDot = lit.back() == '.';
+        const bool lastLit = k + 1 == site.literals.size();
+        const auto pieces = splitDots(lit);
+        for (std::size_t j = 0; j < pieces.size(); ++j) {
+            if (pieces[j].empty())
+                continue;
+            const bool left = j > 0 || startsDot || k == 0;
+            const bool right = j + 1 < pieces.size() || endsDot ||
+                               (lastLit && site.endsWithLiteral);
+            if (!left || !right)
+                continue; // partial token: cannot be checked
+            if (!segmentResolves(ix, pieces[j]))
+                sink.add(*site.file, "S1", site.line,
+                         "stat " + site.kind + " fragment '" + lit +
+                             "': segment '" + pieces[j] +
+                             "' is not part of any registered stat "
+                             "path");
+        }
+    }
+}
+
+} // namespace
+
+void
+ruleS1(const ProjectIndex &ix, Sink &sink)
+{
+    // Registration sites: grammar + per-scope uniqueness.
+    std::map<std::string, const StatAddSite *> seen;
+    for (const auto &site : ix.statAdds) {
+        for (const auto &lit : site.literals) {
+            if (hasGlob(lit)) {
+                sink.add(*site.file, "S1", site.line,
+                         "stat registration literal '" + lit +
+                             "' contains glob characters: "
+                             "registered paths must be concrete");
+                continue;
+            }
+            const bool ok = site.wholeLiteral ? pathGrammarOk(lit)
+                                              : fragmentGrammarOk(lit);
+            if (!ok)
+                sink.add(*site.file, "S1", site.line,
+                         "stat registration literal '" + lit +
+                             "' does not match the dotted-path "
+                             "grammar ident('.'ident)*");
+        }
+        if (site.wholeLiteral) {
+            const std::string key = site.file->path + "\n" +
+                                    std::to_string(site.scopeId) +
+                                    "\n" + site.receiver + "\n" +
+                                    site.literals[0];
+            const auto [it, inserted] = seen.emplace(key, &site);
+            if (!inserted)
+                sink.add(*site.file, "S1", site.line,
+                         "duplicate stat registration '" +
+                             site.literals[0] + "' on '" +
+                             site.receiver + "' (first at line " +
+                             std::to_string(it->second->line + 1) +
+                             "): the second add overwrites the "
+                             "first entry's pointer");
+        }
+    }
+
+    for (const auto &site : ix.statLookups)
+        checkLookup(ix, site, sink);
+}
+
+} // namespace qpip::lint::detail

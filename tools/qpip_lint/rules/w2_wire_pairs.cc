@@ -1,0 +1,77 @@
+/**
+ * @file
+ * W2: wire-format pairing. Every serializeXxx in a wire file needs a
+ * parseXxx whose canonical field-op sequence (widths, order, branch
+ * labels) mirrors the put sequence — the static form of the pcap
+ * round-trip tests, catching header drift at lint time instead.
+ */
+
+#include <sstream>
+#include <string>
+
+#include "../internal.hh"
+
+namespace qpip::lint::detail {
+
+namespace {
+
+std::string
+opsToString(const std::vector<std::string> &ops)
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < ops.size(); ++i)
+        os << (i ? " " : "") << ops[i];
+    return os.str();
+}
+
+void
+comparePair(const WireFn &ser, const WireFn &par, Sink &sink)
+{
+    const std::size_t n = std::min(ser.ops.size(), par.ops.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        if (ser.ops[i] == par.ops[i])
+            continue;
+        sink.add(*par.file, "W2", par.line,
+                 "parse" + par.name + " diverges from serialize" +
+                     ser.name + " at field op #" + std::to_string(i + 1) +
+                     ": put '" + ser.ops[i] + "' vs get '" +
+                     par.ops[i] + "' (put: [" + opsToString(ser.ops) +
+                     "], get: [" + opsToString(par.ops) + "])");
+        return;
+    }
+    if (ser.ops.size() != par.ops.size())
+        sink.add(*par.file, "W2", par.line,
+                 "parse" + par.name + " reads " +
+                     std::to_string(par.ops.size()) +
+                     " field ops but serialize" + ser.name +
+                     " writes " + std::to_string(ser.ops.size()) +
+                     " (put: [" + opsToString(ser.ops) + "], get: [" +
+                     opsToString(par.ops) + "])");
+}
+
+} // namespace
+
+void
+ruleW2(const ProjectIndex &ix, Sink &sink)
+{
+    for (const auto &[name, ser] : ix.serializers) {
+        const auto pit = ix.parsers.find(name);
+        if (pit == ix.parsers.end()) {
+            sink.add(*ser.file, "W2", ser.line,
+                     "serialize" + name + " has no matching parse" +
+                         name + ": every wire writer needs the "
+                         "symmetric reader next to it");
+            continue;
+        }
+        comparePair(ser, pit->second, sink);
+    }
+    for (const auto &[name, par] : ix.parsers) {
+        if (!ix.serializers.count(name))
+            sink.add(*par.file, "W2", par.line,
+                     "parse" + name + " has no matching serialize" +
+                         name + ": every wire reader needs the "
+                         "symmetric writer next to it");
+    }
+}
+
+} // namespace qpip::lint::detail

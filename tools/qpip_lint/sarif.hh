@@ -1,0 +1,23 @@
+/**
+ * @file
+ * SARIF 2.1.0 emission for qpip-lint findings, consumable by GitHub
+ * code scanning (codeql-action/upload-sarif) and any SARIF viewer.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint.hh"
+
+namespace qpip::lint {
+
+/**
+ * Render @p diags as one SARIF 2.1.0 run. Rule metadata is derived
+ * from the rule ids present in the findings; file URIs are emitted
+ * as given (relative paths recommended), with backslashes normalized.
+ */
+std::string toSarif(const std::vector<Diagnostic> &diags);
+
+} // namespace qpip::lint
