@@ -1,0 +1,354 @@
+/**
+ * @file
+ * Small-message rate benchmark: completions per simulated second with
+ * and without the batching path — chained posts (postSendList), the
+ * doorbell coalescing window and completion-event moderation — across
+ * 64..512-byte messages on the RC and RUD transports.
+ *
+ * The unbatched arm is the paper's per-post discipline: one doorbell
+ * ring, one DoorbellProcess pass and one Schedule pass per WR, one
+ * host notification per completion. The batched arm posts chains of
+ * QPIP_MSGRATE_CHAIN WRs with a single batch doorbell (the FSM pays
+ * the full pass once plus doorbellPerWr per extra WR and one Schedule
+ * for the run), folds back-to-back singleton rings inside the
+ * coalescing window, and lets an armed CQ accumulate CQEs before the
+ * notify upcall. At these sizes the serialized 133 MHz firmware is
+ * the bottleneck, so the saved per-WR doorbell/schedule occupancy
+ * shows up directly as message rate.
+ *
+ * Output is a JSON report (default ./BENCH_msgrate.json, override
+ * with --out=<path>) carrying the doorbell and CQ-moderation counters
+ * alongside each rate. Knobs: QPIP_MSGRATE_MSGS (messages per point,
+ * default 8192), QPIP_MSGRATE_CHAIN (chain length, default 16).
+ * Everything simulated is seed-1 deterministic; wall time is a
+ * convenience column only.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apps/testbed.hh"
+#include "apps/verbs_util.hh"
+
+using namespace qpip;
+using namespace qpip::apps;
+
+namespace {
+
+struct Point
+{
+    const char *transport = "rc";
+    bool batched = false;
+    std::size_t msgBytes = 0;
+    std::uint64_t messages = 0;
+    std::size_t chain = 1;
+    sim::Tick simTicks = 0;
+    double completionsPerSimSec = 0.0;
+    std::uint64_t dbRings = 0;
+    std::uint64_t dbCoalesced = 0;
+    std::uint64_t dbBatchedWrs = 0;
+    std::uint64_t cqNotifies = 0;
+    std::uint64_t cqCoalesced = 0;
+    double wallSeconds = 0.0;
+    bool completed = false;
+};
+
+std::size_t
+envKnob(const char *name, std::size_t fallback)
+{
+    if (const char *env = std::getenv(name)) {
+        const long v = std::atol(env);
+        if (v > 0)
+            return static_cast<std::size_t>(v);
+    }
+    return fallback;
+}
+
+/**
+ * One sweep point: a single client QP streams @p messages of
+ * @p msg_bytes to one server QP feeding an SRQ, with a bounded
+ * outstanding window. The batched arm posts send chains of
+ * @p chain WRs and replenishes the SRQ in equal chains; the
+ * unbatched arm posts and replenishes one WR at a time.
+ */
+Point
+runPoint(bool rud, bool batched, std::size_t msg_bytes,
+         std::uint64_t messages, std::size_t chain)
+{
+    nic::QpipNicParams params;
+    if (batched) {
+        // ~2 us of 133 MHz cycles: wide enough to fold a burst of
+        // back-to-back singleton rings (SRQ replenish, ack-driven
+        // refills), narrow enough not to defer an isolated post.
+        params.doorbellCoalesceCycles = 266;
+        // Notify after 8 CQEs or ~10 us, whichever first.
+        params.cqModerationCount = 8;
+        params.cqModerationCycles = 1330;
+    }
+    QpipTestbed bed(2, qpipNativeMtu, 1, params);
+    auto &client = bed.provider(0);
+    auto &server = bed.provider(1);
+
+    constexpr std::size_t srqDepth = 256;
+    constexpr std::size_t window = 64; // outstanding sends
+
+    auto scq = server.createCq(1 << 16);
+    auto ccq = client.createCq(1 << 16);
+    auto srq = server.createSrq(1 << 16);
+    std::vector<std::uint8_t> rbuf(srqDepth * msg_bytes);
+    std::vector<std::uint8_t> sbuf(msg_bytes);
+    auto rmr = server.registerMemory(rbuf);
+    auto smr = client.registerMemory(sbuf);
+
+    std::uint64_t srqPosted = 0;
+    const auto srqSlotOff = [&](std::uint64_t i) {
+        return (i % srqDepth) * msg_bytes;
+    };
+    for (; srqPosted < srqDepth; ++srqPosted)
+        srq->postRecv(srqPosted, *rmr, srqSlotOff(srqPosted),
+                      msg_bytes);
+
+    Point p;
+    p.transport = rud ? "rud" : "rc";
+    p.batched = batched;
+    p.msgBytes = msg_bytes;
+    p.messages = messages;
+    p.chain = batched ? chain : 1;
+
+    verbs::QpAttrs server_attrs;
+    server_attrs.srq = srq;
+    std::shared_ptr<verbs::QueuePair> serverQp;
+    std::shared_ptr<verbs::QueuePair> clientQp;
+    inet::SockAddr serverAddr;
+    if (rud) {
+        serverQp = server.createQp(nic::QpType::ReliableDatagram, scq,
+                                   scq, server_attrs);
+        serverQp->bind(800);
+        serverAddr = bed.addr(1, 800);
+        clientQp = client.createQp(nic::QpType::ReliableDatagram, ccq,
+                                   ccq,
+                                   verbs::QpAttrs{window, 0, nullptr, 0});
+        clientQp->bind(2000);
+        // Drain the create/bind management work before measuring.
+        bed.sim().runFor(sim::oneSec);
+    } else {
+        verbs::Acceptor acc(server, 700, scq, scq);
+        acc.acceptOne(
+            [&](std::shared_ptr<verbs::QueuePair> q) {
+                serverQp = std::move(q);
+            },
+            server_attrs);
+        bool connected = false;
+        clientQp = client.createQp(nic::QpType::ReliableTcp, ccq, ccq,
+                                   verbs::QpAttrs{window, 0, nullptr, 0});
+        clientQp->connect(bed.addr(1, 700),
+                          [&](bool ok) { connected = ok; });
+        if (!bed.sim().runUntilCondition(
+                [&] { return connected && serverQp != nullptr; },
+                bed.sim().now() + 600 * sim::oneSec)) {
+            return p; // rendezvous stalled: report incomplete
+        }
+    }
+
+    // Steady state starts here: count only the messaging phase.
+    const auto &cdb = bed.nicOf(0).doorbells();
+    const std::uint64_t dbRings0 = cdb.rings.value();
+    const std::uint64_t dbCoalesced0 =
+        cdb.coalesced.value() + bed.nicOf(1).doorbells().coalesced.value();
+    const std::uint64_t dbBatched0 = cdb.batchedWrs.value();
+    const std::uint64_t cqNotifies0 = bed.nicOf(0).cqNotifies.value() +
+                                      bed.nicOf(1).cqNotifies.value();
+    const std::uint64_t cqCoalesced0 =
+        bed.nicOf(0).cqCoalesced.value() +
+        bed.nicOf(1).cqCoalesced.value();
+    const sim::Tick t0 = bed.sim().now();
+    const auto wall0 = std::chrono::steady_clock::now();
+
+    // Server: repost receive WRs as messages land — chained in the
+    // batched arm, one at a time otherwise.
+    std::uint64_t received = 0;
+    std::uint64_t consumedSinceRepost = 0;
+    waitLoop(*scq, [&](verbs::Completion c) {
+        if (c.isSend)
+            return;
+        ++received;
+        ++consumedSinceRepost;
+        const std::size_t replenish = batched ? chain : 1;
+        if (consumedSinceRepost >= replenish) {
+            std::vector<verbs::RecvWrSpec> specs;
+            specs.reserve(consumedSinceRepost);
+            for (std::uint64_t i = 0; i < consumedSinceRepost; ++i) {
+                specs.push_back({srqPosted, rmr.get(),
+                                 srqSlotOff(srqPosted), msg_bytes});
+                ++srqPosted;
+            }
+            if (batched) {
+                srq->postRecvList(specs);
+            } else {
+                for (const auto &s : specs)
+                    srq->postRecv(s.wrId, *s.mr, s.offset, s.length);
+            }
+            consumedSinceRepost = 0;
+        }
+    });
+
+    // Client: keep up to `window` sends outstanding. The batched arm
+    // tops up in chains through postSendList; the unbatched arm posts
+    // one WR per send completion.
+    std::uint64_t sent = 0;
+    std::uint64_t inflight = 0;
+    auto topUp = [&] {
+        if (batched) {
+            while (sent < messages && inflight + chain <= window) {
+                const std::size_t run = static_cast<std::size_t>(
+                    std::min<std::uint64_t>(chain, messages - sent));
+                std::vector<verbs::SendWrSpec> specs;
+                specs.reserve(run);
+                for (std::size_t i = 0; i < run; ++i)
+                    specs.push_back({sent + i, smr.get(), 0, msg_bytes,
+                                     serverAddr});
+                if (!clientQp->postSendList(specs)) {
+                    std::fprintf(stderr, "chained post overflow\n");
+                    std::exit(1);
+                }
+                sent += run;
+                inflight += run;
+            }
+            return;
+        }
+        while (sent < messages && inflight < window) {
+            if (!clientQp->postSend(sent, *smr, 0, msg_bytes,
+                                    serverAddr)) {
+                std::fprintf(stderr, "send ring overflow\n");
+                std::exit(1);
+            }
+            ++sent;
+            ++inflight;
+        }
+    };
+    waitLoop(*ccq, [&](verbs::Completion c) {
+        if (!c.isSend)
+            return;
+        --inflight;
+        topUp();
+    });
+    topUp();
+
+    p.completed = bed.sim().runUntilCondition(
+        [&] { return received >= messages; },
+        bed.sim().now() + 36000 * sim::oneSec);
+
+    const auto wall1 = std::chrono::steady_clock::now();
+    p.simTicks = bed.sim().now() - t0;
+    p.wallSeconds =
+        std::chrono::duration<double>(wall1 - wall0).count();
+    p.completionsPerSimSec =
+        p.simTicks > 0
+            ? static_cast<double>(received) /
+                  (static_cast<double>(p.simTicks) /
+                   static_cast<double>(sim::oneSec))
+            : 0.0;
+    p.dbRings = cdb.rings.value() - dbRings0;
+    p.dbCoalesced = cdb.coalesced.value() +
+                    bed.nicOf(1).doorbells().coalesced.value() -
+                    dbCoalesced0;
+    p.dbBatchedWrs = cdb.batchedWrs.value() - dbBatched0;
+    p.cqNotifies = bed.nicOf(0).cqNotifies.value() +
+                   bed.nicOf(1).cqNotifies.value() - cqNotifies0;
+    p.cqCoalesced = bed.nicOf(0).cqCoalesced.value() +
+                    bed.nicOf(1).cqCoalesced.value() - cqCoalesced0;
+    return p;
+}
+
+void
+writeJson(const std::vector<Point> &points, std::size_t chain,
+          const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        std::exit(1);
+    }
+    std::fprintf(f, "{\n  \"benchmark\": \"msgrate\",\n");
+    std::fprintf(f, "  \"chain\": %zu,\n", chain);
+    std::fprintf(f, "  \"points\": [\n");
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const auto &p = points[i];
+        std::fprintf(
+            f,
+            "    {\"transport\": \"%s\", \"batched\": %s, "
+            "\"msgBytes\": %zu, \"completed\": %s, "
+            "\"messages\": %llu, \"simTicks\": %llu, "
+            "\"completionsPerSimSec\": %.0f, "
+            "\"doorbells\": {\"rings\": %llu, \"coalesced\": %llu, "
+            "\"batchedWrs\": %llu}, "
+            "\"cq\": {\"notifies\": %llu, \"coalesced\": %llu}, "
+            "\"wallSeconds\": %.3f}%s\n",
+            p.transport, p.batched ? "true" : "false", p.msgBytes,
+            p.completed ? "true" : "false",
+            static_cast<unsigned long long>(p.messages),
+            static_cast<unsigned long long>(p.simTicks),
+            p.completionsPerSimSec,
+            static_cast<unsigned long long>(p.dbRings),
+            static_cast<unsigned long long>(p.dbCoalesced),
+            static_cast<unsigned long long>(p.dbBatchedWrs),
+            static_cast<unsigned long long>(p.cqNotifies),
+            static_cast<unsigned long long>(p.cqCoalesced),
+            p.wallSeconds, i + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out = "BENCH_msgrate.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--out=", 6) == 0)
+            out = argv[i] + 6;
+    }
+    const auto messages =
+        static_cast<std::uint64_t>(envKnob("QPIP_MSGRATE_MSGS", 8192));
+    const std::size_t chain = envKnob("QPIP_MSGRATE_CHAIN", 16);
+
+    std::vector<Point> points;
+    std::printf("=== small-message rate, batched vs unbatched "
+                "(chain %zu, %llu msgs/point) ===\n",
+                chain, static_cast<unsigned long long>(messages));
+    std::printf("%5s %8s %9s %16s %9s %10s %11s %10s %10s\n", "arm",
+                "batched", "bytes", "compl/simsec", "dbRings",
+                "dbFolded", "batchedWrs", "notifies", "cqFolded");
+    bool all_ok = true;
+    for (const bool rud : {false, true}) {
+        for (const bool batched : {false, true}) {
+            for (const std::size_t bytes : {64, 128, 256, 512}) {
+                Point p = runPoint(rud, batched, bytes, messages,
+                                   chain);
+                std::printf(
+                    "%5s %8s %9zu %16.0f %9llu %10llu %11llu %10llu "
+                    "%10llu%s\n",
+                    p.transport, p.batched ? "yes" : "no", p.msgBytes,
+                    p.completionsPerSimSec,
+                    static_cast<unsigned long long>(p.dbRings),
+                    static_cast<unsigned long long>(p.dbCoalesced),
+                    static_cast<unsigned long long>(p.dbBatchedWrs),
+                    static_cast<unsigned long long>(p.cqNotifies),
+                    static_cast<unsigned long long>(p.cqCoalesced),
+                    p.completed ? "" : "  [INCOMPLETE]");
+                all_ok = all_ok && p.completed;
+                points.push_back(std::move(p));
+            }
+        }
+    }
+    writeJson(points, chain, out);
+    std::printf("\nwrote %s\n", out.c_str());
+    return all_ok ? 0 : 1;
+}

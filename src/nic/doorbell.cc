@@ -4,34 +4,67 @@ namespace qpip::nic {
 
 DoorbellFifo::DoorbellFifo(sim::Simulation &sim, std::string name,
                            std::size_t capacity)
-    : SimObject(sim, std::move(name)), capacity_(capacity)
+    : SimObject(sim, std::move(name)), capacity_(capacity),
+      slots_(capacity)
 {
     regStat("rings", rings);
     regStat("overflows", overflows);
+    regStat("coalesced", coalesced);
+    regStat("batchedWrs", batchedWrs);
 }
 
 void
 DoorbellFifo::ring(const Doorbell &db)
 {
     rings.inc();
-    scheduleIn(writeLatency, [this, db] {
-        if (fifo_.size() >= capacity_) {
-            overflows.inc();
+    if (db.wrCount > 1)
+        batchedWrs.inc(db.wrCount);
+    scheduleIn(writeLatency, [this, db] { arrive(db); });
+}
+
+void
+DoorbellFifo::arrive(const Doorbell &db)
+{
+    if (coalesceWindow > 0) {
+        auto it = foldable_.find(foldKey(db));
+        if (it != foldable_.end() && it->second.seq >= headSeq_ &&
+            curTick() <= it->second.until) {
+            // The queue's newest record is still awaiting the drain
+            // FSM: this ring folds into it. No drain hook — the
+            // record it joined already triggered one.
+            const std::size_t slot =
+                (head_ + static_cast<std::size_t>(it->second.seq -
+                                                  headSeq_)) %
+                capacity_;
+            slots_[slot].wrCount += db.wrCount;
+            coalesced.inc();
             return;
         }
-        fifo_.push_back(db);
-        if (drainHook_)
-            drainHook_();
-    });
+    }
+    if (size_ >= capacity_) {
+        overflows.inc();
+        return;
+    }
+    const std::size_t tail = (head_ + size_) % capacity_;
+    slots_[tail] = db;
+    if (coalesceWindow > 0) {
+        foldable_[foldKey(db)] =
+            FoldSlot{headSeq_ + size_, curTick() + coalesceWindow};
+    }
+    ++size_;
+    if (drainHook_)
+        drainHook_();
 }
 
 bool
 DoorbellFifo::pop(Doorbell &out)
 {
-    if (fifo_.empty())
+    if (size_ == 0)
         return false;
-    out = fifo_.front();
-    fifo_.pop_front();
+    out = slots_[head_];
+    head_ = (head_ + 1) % capacity_;
+    --size_;
+    ++headSeq_;
     return true;
 }
 

@@ -40,6 +40,14 @@ struct FirmwareCostModel
 
     // --- transmit path (Table 2) -------------------------------------
     sim::Cycles doorbellProcess = us(1.0);
+    /**
+     * Each WR beyond the first announced by one batch doorbell
+     * record (a chained post, or records folded by the coalescing
+     * window): the doorbell FSM pays the full doorbellProcess once
+     * per record and only this increment per extra WR. Singleton
+     * records never pay it, so legacy configs are unaffected.
+     */
+    sim::Cycles doorbellPerWr = us(0.2);
     sim::Cycles schedule = us(2.0);
     sim::Cycles getWr = us(5.5);
     /** Fixed part of Get Data; the payload DMA itself adds to it. */
@@ -154,6 +162,7 @@ infinibandGradeCosts()
     m.hwDemux = true;
     m.touchPerByte = 0.0;
     m.doorbellProcess = FirmwareCostModel::us(0.2);
+    m.doorbellPerWr = FirmwareCostModel::us(0.05);
     m.schedule = FirmwareCostModel::us(0.2);
     m.getWr = FirmwareCostModel::us(0.8);
     m.getDataFixed = FirmwareCostModel::us(0.4);

@@ -147,17 +147,36 @@ class CqRing
   public:
     explicit CqRing(std::size_t capacity = 4096) : capacity_(capacity) {}
 
+    /**
+     * Append a completion. With @p defer_notify the armed notify
+     * hook is NOT fired — the producer moderates notifications
+     * itself and delivers them via notifyNow() (after N CQEs or a
+     * timeout). The default is the legacy immediate upcall.
+     */
     bool
-    push(const Completion &c)
+    push(const Completion &c, bool defer_notify = false)
     {
         if (entries_.size() >= capacity_)
             return false; // CQ overflow: completion lost
         entries_.push_back(c);
-        if (armed_ && notify_) {
+        if (!defer_notify && armed_ && notify_) {
             armed_ = false;
             notify_();
         }
         return true;
+    }
+
+    /**
+     * Fire the armed notify hook now (the moderated-notification
+     * delivery point). No-op when not armed or empty.
+     */
+    void
+    notifyNow()
+    {
+        if (armed_ && notify_ && !entries_.empty()) {
+            armed_ = false;
+            notify_();
+        }
     }
 
     bool

@@ -99,6 +99,12 @@ QpipNic::QpipNic(sim::Simulation &sim, std::string name, net::Link &link,
     regStat("reass.fragmentsIn", inet_.reassembler().fragmentsIn);
     regStat("reass.reassembled", inet_.reassembler().reassembled);
     regStat("reass.expired", inet_.reassembler().expired);
+    regStat("cq.notifies", cqNotifies);
+    regStat("cq.coalesced", cqCoalesced);
+    if (params_.doorbellCoalesceCycles > 0) {
+        doorbells_.coalesceWindow =
+            fw_.clock().cyclesToTicks(params_.doorbellCoalesceCycles);
+    }
     rcEngine_ = std::make_unique<RcEngine>(*this);
     udEngine_ = std::make_unique<UdEngine>(*this);
     rudEngine_ = std::make_unique<RudEngine>(*this);
@@ -318,15 +324,15 @@ QpipNic::connectionOf(QpNum qp)
 // ---------------------------------------------------------------------
 
 void
-QpipNic::postDoorbell(QpNum qp, bool is_send)
+QpipNic::postDoorbell(QpNum qp, bool is_send, std::uint32_t wr_count)
 {
-    doorbells_.ring(Doorbell{qp, is_send, false});
+    doorbells_.ring(Doorbell{qp, is_send, false, wr_count});
 }
 
 void
-QpipNic::postSrqDoorbell(SrqNum srq)
+QpipNic::postSrqDoorbell(SrqNum srq, std::uint32_t wr_count)
 {
-    doorbells_.ring(Doorbell{srq, false, true});
+    doorbells_.ring(Doorbell{srq, false, true, wr_count});
 }
 
 void
@@ -341,6 +347,15 @@ QpipNic::doorbellDrain()
     if (!params_.costs.hwDoorbell) {
         c = static_cast<sim::Cycles>(static_cast<double>(c) *
                                      params_.costs.swDoorbellFactor);
+    }
+    // A batch record (chained post, or rings folded by the coalescing
+    // window) pays the full pass once plus a cheap per-WR increment.
+    // Gated on the record's own count — a singleton record whose
+    // drain happens to see several fresh WRs (burst of singleton
+    // rings) keeps the legacy one-pass-per-record cost.
+    if (db.wrCount > 1) {
+        c += params_.costs.doorbellPerWr *
+             static_cast<sim::Cycles>(db.wrCount - 1);
     }
     fw_.exec(FwStage::DoorbellProcess, c, [this, db] {
         if (db.isSrq) {
@@ -371,8 +386,15 @@ QpipNic::doorbellDrain()
                     ctx->sendConsumed + ctx->rings->sendQ.size();
                 const std::uint64_t fresh = total - ctx->sendSeen;
                 ctx->sendSeen = total;
-                for (std::uint64_t i = 0; i < fresh; ++i)
-                    scheduleSendService(*ctx);
+                if (db.wrCount > 1) {
+                    // Batch record: one scheduler pass consumes the
+                    // whole fresh run.
+                    if (fresh > 0)
+                        scheduleSendService(*ctx, fresh);
+                } else {
+                    for (std::uint64_t i = 0; i < fresh; ++i)
+                        scheduleSendService(*ctx);
+                }
             } else {
                 const std::uint64_t total =
                     ctx->recvConsumed + ctx->rings->recvQ.size();
@@ -439,14 +461,21 @@ QpipNic::ctxMissCycles(const QpContextCache::Touch &t) const
 // ---------------------------------------------------------------------
 
 void
-QpipNic::scheduleSendService(QpContext &qp)
+QpipNic::scheduleSendService(QpContext &qp, std::uint64_t run)
 {
     // destroyQp() erases the context immediately, so deferred stages
     // capture the QP number and re-look-up, never a reference.
+    // A batch doorbell record charges Schedule once for its whole
+    // run; the service loop walks the WRs back to back (each Get WR
+    // still pays its own stage, and each re-validates the QP).
     fw_.exec(FwStage::Schedule, params_.costs.schedule,
-             [this, qpn = qp.num] {
-                 if (QpContext *ctx = lookupQp(qpn))
+             [this, qpn = qp.num, run] {
+                 for (std::uint64_t i = 0; i < run; ++i) {
+                     QpContext *ctx = lookupQp(qpn);
+                     if (ctx == nullptr)
+                         return;
                      serviceSendWr(*ctx);
+                 }
              });
 }
 
@@ -747,9 +776,52 @@ QpipNic::pushCompletion(CqRing *cq, Completion c)
     const sim::Tick at = std::max(curTick(), fw_.busyUntil());
     c.completedAt = at;
     schedule(at, [this, cq, c] {
-        if (!cq->push(c))
+        // Moderation defers the armed-notify upcall until enough
+        // CQEs accumulate (or the timeout below fires). Only pushes
+        // that would have notified — armed CQ — count toward the
+        // threshold; an unarmed CQ means the host is polling and no
+        // event was owed.
+        const bool moderate = params_.cqModerationCount > 1;
+        const bool wasArmed = cq->armed();
+        if (!cq->push(c, moderate)) {
             cqOverflows.inc();
+            return;
+        }
+        if (!moderate) {
+            if (wasArmed)
+                cqNotifies.inc();
+            return;
+        }
+        if (!wasArmed)
+            return;
+        auto &mod = cqMod_[cq];
+        ++mod.pending;
+        if (mod.pending >= params_.cqModerationCount) {
+            cqKick(cq);
+            return;
+        }
+        cqCoalesced.inc();
+        if (mod.pending == 1 && params_.cqModerationCycles > 0) {
+            mod.timer = scheduleIn(
+                fw_.clock().cyclesToTicks(params_.cqModerationCycles),
+                [this, cq] { cqKick(cq); });
+        }
     });
+}
+
+void
+QpipNic::cqKick(CqRing *cq)
+{
+    auto it = cqMod_.find(cq);
+    if (it != cqMod_.end()) {
+        it->second.pending = 0;
+        if (it->second.timer.pending())
+            it->second.timer.cancel();
+    }
+    if (cq->armed() && !cq->empty()) {
+        cqNotifies.inc();
+        cq->notifyNow();
+    }
 }
 
 void

@@ -74,6 +74,30 @@ struct QpipNicParams
      * the back-compat entry-count shim used when this is zero.
      */
     std::size_t qpCacheBytes = 0;
+    /**
+     * Non-zero: doorbell coalescing window, in LANai cycles. A ring
+     * addressed to a queue whose newest doorbell record is still
+     * undrained and younger than the window folds into that record
+     * (one DoorbellProcess pass covers both) instead of re-entering
+     * the FIFO. Zero (default): every ring is its own record, the
+     * paper's per-post discipline.
+     */
+    sim::Cycles doorbellCoalesceCycles = 0;
+    /**
+     * Completion-event moderation: when > 1, an armed CQ is notified
+     * only once this many CQEs have accumulated since the last
+     * notification — or cqModerationCycles after the first deferred
+     * CQE, whichever comes first. 0 or 1 (default): every CQE
+     * notifies immediately, the legacy behavior.
+     */
+    std::uint32_t cqModerationCount = 0;
+    /**
+     * Moderation timeout, in LANai cycles: an armed CQ holding
+     * deferred CQEs is notified this long after the first one even
+     * if the count threshold was never reached. Only meaningful with
+     * cqModerationCount > 1.
+     */
+    sim::Cycles cqModerationCycles = 0;
 
     static inet::TcpConfig defaultFirmwareTcpConfig();
 };
@@ -163,11 +187,16 @@ class QpipNic : public sim::SimObject,
     void disconnect(QpNum qp);
 
     // --- datapath (user-level) ----------------------------------------
-    /** Notify the NIC of newly posted WRs (rings a doorbell). */
-    void postDoorbell(QpNum qp, bool is_send);
+    /**
+     * Notify the NIC of newly posted WRs (rings a doorbell).
+     * @p wr_count is the number of WRs the ring announces — a
+     * chained post passes the chain length and pays one doorbell.
+     */
+    void postDoorbell(QpNum qp, bool is_send,
+                      std::uint32_t wr_count = 1);
 
     /** Notify the NIC of newly posted SRQ receive WRs. */
-    void postSrqDoorbell(SrqNum srq);
+    void postSrqDoorbell(SrqNum srq, std::uint32_t wr_count = 1);
 
     // --- NetReceiver ----------------------------------------------------
     void onPacket(net::PacketPtr pkt) override;
@@ -214,6 +243,9 @@ class QpipNic : public sim::SimObject,
     /** The QP context cache (hit/miss/eviction introspection). */
     const QpContextCache &qpCache() const { return qpCache_; }
 
+    /** The doorbell FIFO (ring/coalesce/batch introspection). */
+    const DoorbellFifo &doorbells() const { return doorbells_; }
+
     /** The shared protocol engine (firmware execution context). */
     inet::InetStack &inet() { return inet_; }
 
@@ -256,11 +288,19 @@ class QpipNic : public sim::SimObject,
     sim::Counter rudSeqDrops;    ///< duplicate / out-of-order data
     sim::Counter rudRnrHolds;    ///< in-order data held: no recv WR
     sim::Counter rudMalformed;   ///< undecodable RUD framing
+    // Completion-event moderation.
+    sim::Counter cqNotifies;  ///< host notifications delivered
+    sim::Counter cqCoalesced; ///< armed-CQ CQEs whose notify deferred
 
   private:
     // FSM bodies.
     void doorbellDrain();
-    void scheduleSendService(QpContext &qp);
+    /**
+     * Queue the scheduler stage for @p qp. A batch doorbell record
+     * passes the whole fresh-WR run: one Schedule charge covers it
+     * and the service loop walks @p run WRs back to back.
+     */
+    void scheduleSendService(QpContext &qp, std::uint64_t run = 1);
     void serviceSendWr(QpContext &qp);
     void receiveIntoWr(QpContext &qp, std::vector<std::uint8_t> msg,
                        const inet::SockAddr &from);
@@ -281,6 +321,12 @@ class QpipNic : public sim::SimObject,
 
     /** Push a completion at firmware-completion time. */
     void pushCompletion(CqRing *cq, Completion c);
+
+    /**
+     * Deliver a moderated notification to @p cq if it is still armed
+     * with entries pending, and reset its moderation state.
+     */
+    void cqKick(CqRing *cq);
 
     void flushQp(QpContext &qp, WcStatus status);
 
@@ -306,6 +352,17 @@ class QpipNic : public sim::SimObject,
     std::map<SrqNum, std::unique_ptr<SrqContext>> srqs_;
     // Lookup/erase only, never iterated — safe despite pointer keys.
     std::unordered_map<inet::TcpConnection *, QpContext *> connOwner_;
+
+    /** Per-CQ completion-event moderation state. */
+    struct CqModState
+    {
+        /** Armed-CQ CQEs accumulated since the last notification. */
+        std::uint32_t pending = 0;
+        /** The timeout kick for the oldest deferred CQE. */
+        sim::EventHandle timer;
+    };
+    // Lookup/erase only, never iterated — safe despite pointer keys.
+    std::unordered_map<CqRing *, CqModState> cqMod_;
 
     struct PendingAccept
     {

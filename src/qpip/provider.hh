@@ -32,6 +32,14 @@ struct VerbsCostModel
 {
     sim::Cycles postSend = 900;
     sim::Cycles postRecv = 650;
+    /**
+     * Per-WR cost inside a chained postSendList/postRecvList: the
+     * descriptor write without the per-call doorbell and fencing
+     * overhead the singleton verbs pay. Only the chained verbs charge
+     * these, so legacy call sites are unaffected.
+     */
+    sim::Cycles postSendChained = 180;
+    sim::Cycles postRecvChained = 130;
     sim::Cycles pollCq = 486;
     /** Empty poll: spinning on a cache-resident CQ. */
     sim::Cycles pollCqEmpty = 60;

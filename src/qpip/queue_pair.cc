@@ -85,6 +85,29 @@ QueuePair::postSend(std::uint64_t wr_id, const MemoryRegion &mr,
 }
 
 bool
+QueuePair::postSendList(std::span<const SendWrSpec> wrs)
+{
+    if (wrs.empty())
+        return true;
+    if (rings_.sendQ.size() + wrs.size() > maxSendWr_)
+        return false;
+    provider_.host().os().charge(
+        provider_.costs().postSend +
+        provider_.costs().postSendChained *
+            static_cast<sim::Cycles>(wrs.size() - 1));
+    for (const auto &spec : wrs) {
+        nic::SendWr wr;
+        wr.id = spec.wrId;
+        wr.sge = spec.mr->sge(spec.offset, spec.length);
+        wr.remote = spec.remote;
+        rings_.sendQ.push_back(wr);
+    }
+    provider_.nic().postDoorbell(
+        num_, true, static_cast<std::uint32_t>(wrs.size()));
+    return true;
+}
+
+bool
 QueuePair::postRecv(std::uint64_t wr_id, const MemoryRegion &mr,
                     std::size_t offset, std::size_t length)
 {
@@ -98,6 +121,30 @@ QueuePair::postRecv(std::uint64_t wr_id, const MemoryRegion &mr,
     wr.sge = mr.sge(offset, length);
     rings_.recvQ.push_back(wr);
     provider_.nic().postDoorbell(num_, false);
+    return true;
+}
+
+bool
+QueuePair::postRecvList(std::span<const RecvWrSpec> wrs)
+{
+    if (srq_)
+        sim::panic("qp%u: postRecvList on an SRQ-attached QP", num_);
+    if (wrs.empty())
+        return true;
+    if (rings_.recvQ.size() + wrs.size() > maxRecvWr_)
+        return false;
+    provider_.host().os().charge(
+        provider_.costs().postRecv +
+        provider_.costs().postRecvChained *
+            static_cast<sim::Cycles>(wrs.size() - 1));
+    for (const auto &spec : wrs) {
+        nic::RecvWr wr;
+        wr.id = spec.wrId;
+        wr.sge = spec.mr->sge(spec.offset, spec.length);
+        rings_.recvQ.push_back(wr);
+    }
+    provider_.nic().postDoorbell(
+        num_, false, static_cast<std::uint32_t>(wrs.size()));
     return true;
 }
 

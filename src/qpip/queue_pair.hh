@@ -14,6 +14,7 @@
 
 #include <functional>
 #include <memory>
+#include <span>
 
 #include "nic/qp_state.hh"
 #include "qpip/memory_region.hh"
@@ -46,6 +47,30 @@ struct QpAttrs
      * of a connection must enable it (it changes the wire framing).
      */
     std::uint32_t rdmaWindowBytes = 0;
+};
+
+/**
+ * One element of a chained send post (postSendList).
+ */
+struct SendWrSpec
+{
+    std::uint64_t wrId = 0;
+    const MemoryRegion *mr = nullptr;
+    std::size_t offset = 0;
+    std::size_t length = 0;
+    /** Destination for UD/RUD QPs (ignored on connected QPs). */
+    inet::SockAddr remote;
+};
+
+/**
+ * One element of a chained receive post (postRecvList).
+ */
+struct RecvWrSpec
+{
+    std::uint64_t wrId = 0;
+    const MemoryRegion *mr = nullptr;
+    std::size_t offset = 0;
+    std::size_t length = 0;
 };
 
 /**
@@ -96,12 +121,30 @@ class QueuePair
                   const inet::SockAddr &remote = {});
 
     /**
+     * Post a chain of send WRs with a single doorbell ring: the
+     * whole list lands in the host ring, then one batch doorbell
+     * (wrCount = chain length) announces it, so the NIC pays one
+     * DoorbellProcess pass and one Schedule pass for the run.
+     * All-or-nothing: @return false (posting nothing) if the chain
+     * would not fit in the send queue; true otherwise. An empty
+     * chain is a no-op returning true.
+     */
+    bool postSendList(std::span<const SendWrSpec> wrs);
+
+    /**
      * Post a receive WR identifying where an incoming message lands.
      * Invalid on a QP attached to an SRQ (post to the SRQ instead).
      * @return false if the receive queue is full.
      */
     bool postRecv(std::uint64_t wr_id, const MemoryRegion &mr,
                   std::size_t offset, std::size_t length);
+
+    /**
+     * Post a chain of receive WRs with a single doorbell ring.
+     * All-or-nothing like postSendList. Invalid on an SRQ-attached
+     * QP (use the SRQ's postRecvList).
+     */
+    bool postRecvList(std::span<const RecvWrSpec> wrs);
 
     /**
      * Post a one-sided RDMA Write: push [offset, offset+length) of

@@ -1,6 +1,7 @@
 #include "qpip/srq.hh"
 
 #include "qpip/provider.hh"
+#include "qpip/queue_pair.hh"
 
 namespace qpip::verbs {
 
@@ -30,6 +31,28 @@ SharedReceiveQueue::postRecv(std::uint64_t wr_id,
     wr.sge = mr.sge(offset, length);
     ring_.recvQ.push_back(wr);
     provider_.nic().postSrqDoorbell(num_);
+    return true;
+}
+
+bool
+SharedReceiveQueue::postRecvList(std::span<const RecvWrSpec> wrs)
+{
+    if (wrs.empty())
+        return true;
+    if (ring_.recvQ.size() + wrs.size() > maxWr_)
+        return false;
+    provider_.host().os().charge(
+        provider_.costs().postRecv +
+        provider_.costs().postRecvChained *
+            static_cast<sim::Cycles>(wrs.size() - 1));
+    for (const auto &spec : wrs) {
+        nic::RecvWr wr;
+        wr.id = spec.wrId;
+        wr.sge = spec.mr->sge(spec.offset, spec.length);
+        ring_.recvQ.push_back(wr);
+    }
+    provider_.nic().postSrqDoorbell(
+        num_, static_cast<std::uint32_t>(wrs.size()));
     return true;
 }
 

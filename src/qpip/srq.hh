@@ -11,6 +11,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 
 #include "nic/qp_state.hh"
 #include "qpip/memory_region.hh"
@@ -22,6 +23,7 @@ class QpipNic;
 namespace qpip::verbs {
 
 class Provider;
+struct RecvWrSpec;
 
 /**
  * A shared receive queue.
@@ -43,6 +45,13 @@ class SharedReceiveQueue
      */
     bool postRecv(std::uint64_t wr_id, const MemoryRegion &mr,
                   std::size_t offset, std::size_t length);
+
+    /**
+     * Post a chain of receive WRs with a single SRQ doorbell ring.
+     * All-or-nothing: @return false (posting nothing) if the chain
+     * would not fit; an empty chain is a no-op returning true.
+     */
+    bool postRecvList(std::span<const RecvWrSpec> wrs);
 
     /** WRs currently posted (host-side view). */
     std::size_t depth() const { return ring_.recvQ.size(); }

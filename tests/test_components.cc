@@ -47,6 +47,107 @@ TEST(DoorbellFifo, OverflowsBeyondCapacity)
     EXPECT_EQ(db.rings.value(), 5u);
 }
 
+TEST(DoorbellFifo, RingBufferWrapsAcrossPops)
+{
+    sim::Simulation sim;
+    nic::DoorbellFifo db(sim, "db", 2);
+    db.ring(nic::Doorbell{1, true});
+    db.ring(nic::Doorbell{2, true});
+    sim.run();
+    nic::Doorbell out;
+    ASSERT_TRUE(db.pop(out));
+    EXPECT_EQ(out.qp, 1u);
+    // The freed slot takes the next record: storage wraps.
+    db.ring(nic::Doorbell{3, true});
+    sim.run();
+    EXPECT_EQ(db.depth(), 2u);
+    EXPECT_EQ(db.overflows.value(), 0u);
+    ASSERT_TRUE(db.pop(out));
+    EXPECT_EQ(out.qp, 2u);
+    ASSERT_TRUE(db.pop(out));
+    EXPECT_EQ(out.qp, 3u);
+    EXPECT_FALSE(db.pop(out));
+}
+
+TEST(DoorbellFifo, CoalescingWindowFoldsSameQueue)
+{
+    sim::Simulation sim;
+    nic::DoorbellFifo db(sim, "db", 4);
+    db.coalesceWindow = sim::oneUs;
+    int drained = 0;
+    db.setDrainHook([&] { ++drained; });
+    db.ring(nic::Doorbell{7, true});
+    db.ring(nic::Doorbell{7, true, false, 3}); // folds into the first
+    db.ring(nic::Doorbell{8, true});           // different queue
+    sim.run();
+    EXPECT_EQ(db.depth(), 2u);
+    EXPECT_EQ(db.coalesced.value(), 1u);
+    EXPECT_EQ(db.batchedWrs.value(), 3u);
+    // A fold joins a record that already triggered the hook.
+    EXPECT_EQ(drained, 2);
+    nic::Doorbell out;
+    ASSERT_TRUE(db.pop(out));
+    EXPECT_EQ(out.qp, 7u);
+    EXPECT_EQ(out.wrCount, 4u); // 1 + the folded 3
+    ASSERT_TRUE(db.pop(out));
+    EXPECT_EQ(out.qp, 8u);
+    EXPECT_EQ(out.wrCount, 1u);
+}
+
+TEST(DoorbellFifo, CoalescingWindowExpires)
+{
+    sim::Simulation sim;
+    nic::DoorbellFifo db(sim, "db", 4);
+    db.coalesceWindow = sim::oneUs;
+    db.ring(nic::Doorbell{7, true});
+    sim.run();
+    // Second ring lands well past the first record's window.
+    db.writeLatency = 5 * sim::oneUs;
+    db.ring(nic::Doorbell{7, true});
+    sim.run();
+    EXPECT_EQ(db.depth(), 2u);
+    EXPECT_EQ(db.coalesced.value(), 0u);
+}
+
+TEST(DoorbellFifo, SrqAndQpRecordsNeverFold)
+{
+    // Send, receive and SRQ rings carrying the same number address
+    // three distinct queues: none fold, and drain keeps ring order.
+    sim::Simulation sim;
+    nic::DoorbellFifo db(sim, "db", 4);
+    db.coalesceWindow = sim::oneUs;
+    db.ring(nic::Doorbell{5, true, false});
+    db.ring(nic::Doorbell{5, false, false});
+    db.ring(nic::Doorbell{5, false, true});
+    sim.run();
+    EXPECT_EQ(db.depth(), 3u);
+    EXPECT_EQ(db.coalesced.value(), 0u);
+    nic::Doorbell out;
+    ASSERT_TRUE(db.pop(out));
+    EXPECT_TRUE(out.isSend);
+    ASSERT_TRUE(db.pop(out));
+    EXPECT_FALSE(out.isSend);
+    EXPECT_FALSE(out.isSrq);
+    ASSERT_TRUE(db.pop(out));
+    EXPECT_TRUE(out.isSrq);
+}
+
+TEST(DoorbellFifo, PoppedRecordIsNoLongerAFoldTarget)
+{
+    sim::Simulation sim;
+    nic::DoorbellFifo db(sim, "db", 4);
+    db.coalesceWindow = 100 * sim::oneUs;
+    db.ring(nic::Doorbell{7, true});
+    sim.run();
+    nic::Doorbell out;
+    ASSERT_TRUE(db.pop(out)); // the FSM consumed it
+    // Still inside the window, but the record is gone: new slot.
+    db.ring(nic::Doorbell{7, true});
+    sim.run();
+    EXPECT_EQ(db.depth(), 1u);
+    EXPECT_EQ(db.coalesced.value(), 0u);
+}
+
 TEST(DmaEngine, SerializesTransfers)
 {
     sim::Simulation sim;

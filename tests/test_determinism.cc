@@ -337,6 +337,127 @@ runParallelRdmaSrq(int threads, std::uint64_t seed)
 }
 
 /**
+ * The RUD fan-in of runParallelRudFanIn with the whole batching path
+ * switched on: chained posts (postSendList / SRQ postRecvList), the
+ * doorbell coalescing window and completion-event moderation. Batch
+ * doorbell records, fold decisions and moderated notify timing must
+ * all be partition-invariant.
+ */
+ParallelArtifacts
+runParallelBatchedFanIn(int threads, std::uint64_t seed)
+{
+    nic::QpipNicParams params;
+    params.doorbellCoalesceCycles = 266;
+    params.cqModerationCount = 4;
+    params.cqModerationCycles = 1330;
+    apps::QpipTestbed bed(4, apps::qpipNativeMtu, seed, params,
+                          host::HostCostModel{}, apps::IpFamily::V6,
+                          apps::FabricTopology::DualStar);
+    bed.enableParallel(threads);
+    const auto taps = tapAllEdges(bed.fabric());
+
+    constexpr std::size_t clients[] = {0, 2, 3};
+    constexpr int msgsPerClient = 9;
+    constexpr int chain = 3;
+    constexpr std::size_t msgBytes = 1536;
+
+    auto scq = bed.provider(1).createCq();
+    auto srq = bed.provider(1).createSrq();
+    std::vector<std::uint8_t> rbuf(1 << 16);
+    auto rmr = bed.provider(1).registerMemory(rbuf);
+    // Fewer posted WRs than in-flight messages, as in the singleton
+    // fan-in: RNR holds and chained replenishment interleave.
+    for (std::size_t i = 0; i < 8; ++i)
+        srq->postRecv(i, *rmr, i * 2048, 2048);
+
+    verbs::QpAttrs server_attrs;
+    server_attrs.srq = srq;
+    auto qs = bed.provider(1).createQp(nic::QpType::ReliableDatagram,
+                                       scq, scq, server_attrs);
+    qs->bind(800);
+
+    std::size_t serverReceives = 0;
+    std::size_t pendingRepost = 0;
+    apps::waitLoop(*scq, [&](verbs::Completion c) {
+        if (c.isSend)
+            return;
+        ++serverReceives;
+        ++pendingRepost;
+        if (pendingRepost < chain)
+            return;
+        // Chained replenish: one SRQ batch doorbell per chain.
+        std::vector<verbs::RecvWrSpec> specs;
+        for (std::size_t i = 0; i < pendingRepost; ++i) {
+            const std::size_t slot = (serverReceives - pendingRepost +
+                                      i) % 8;
+            specs.push_back(
+                {100 + serverReceives + i, rmr.get(), slot * 2048,
+                 2048});
+        }
+        srq->postRecvList(specs);
+        pendingRepost = 0;
+    });
+
+    struct Client
+    {
+        std::shared_ptr<verbs::CompletionQueue> cq;
+        std::vector<std::uint8_t> buf;
+        std::shared_ptr<verbs::MemoryRegion> mr;
+        std::shared_ptr<verbs::QueuePair> qp;
+        std::size_t acked = 0;
+    };
+    std::vector<Client> cs(std::size(clients));
+    for (std::size_t i = 0; i < std::size(clients); ++i) {
+        auto &c = cs[i];
+        c.cq = bed.provider(clients[i]).createCq();
+        c.buf.assign(1 << 15, static_cast<std::uint8_t>(i + 1));
+        c.mr = bed.provider(clients[i]).registerMemory(c.buf);
+        c.qp = bed.provider(clients[i])
+                   .createQp(nic::QpType::ReliableDatagram, c.cq,
+                             c.cq);
+        c.qp->bind(static_cast<std::uint16_t>(2000 + clients[i]));
+        apps::waitLoop(*c.cq, [&c](verbs::Completion comp) {
+            if (comp.isSend)
+                ++c.acked;
+        });
+        // Chained bursts: 9 messages as three 3-WR batch doorbells.
+        for (int m = 0; m < msgsPerClient; m += chain) {
+            std::vector<verbs::SendWrSpec> specs;
+            for (int k = 0; k < chain; ++k) {
+                const int wr = m + k;
+                specs.push_back({static_cast<std::uint64_t>(wr),
+                                 c.mr.get(), wr * msgBytes, msgBytes,
+                                 bed.addr(1, 800)});
+            }
+            c.qp->postSendList(specs);
+        }
+    }
+
+    const std::size_t wantReceives =
+        std::size(clients) * msgsPerClient;
+    const bool completed = bed.sim().runUntilCondition(
+        [&] {
+            return serverReceives >= wantReceives &&
+                   std::all_of(cs.begin(), cs.end(),
+                               [](const Client &c) {
+                                   return c.acked >= msgsPerClient;
+                               });
+        },
+        bed.sim().now() + 120 * sim::oneSec);
+
+    ParallelArtifacts out;
+    out.completed = completed;
+    out.statsJson = bed.sim().stats().jsonDump();
+    out.endTick = bed.sim().now();
+    out.executed = bed.engine()->executed();
+    for (const auto &t : taps) {
+        out.pcap.insert(out.pcap.end(), t->bytes().begin(),
+                        t->bytes().end());
+    }
+    return out;
+}
+
+/**
  * Reliable-datagram fan-in on a partitioned 4-host dual-star: three
  * clients each fire a burst of RUD sends at one server QP whose
  * receives come from a shared receive queue. The per-peer
@@ -557,6 +678,24 @@ TEST(ParallelDeterminism, RudFanInThreadCountInvariant)
     EXPECT_GT(one.pcap.size(), 10000u);
     // And the 4-thread run itself replays bit-identically.
     const auto again = runParallelRudFanIn(4, 29);
+    EXPECT_EQ(four.statsJson, again.statsJson);
+    EXPECT_EQ(four.pcap, again.pcap);
+}
+
+TEST(ParallelDeterminism, BatchedPostsThreadCountInvariant)
+{
+    const auto one = runParallelBatchedFanIn(1, 31);
+    const auto four = runParallelBatchedFanIn(4, 31);
+    ASSERT_TRUE(one.completed);
+    ASSERT_TRUE(four.completed);
+    EXPECT_EQ(one.endTick, four.endTick);
+    EXPECT_EQ(one.executed, four.executed);
+    EXPECT_EQ(one.statsJson, four.statsJson);
+    EXPECT_EQ(one.pcap, four.pcap);
+    EXPECT_GT(one.statsJson.size(), 1000u);
+    EXPECT_GT(one.pcap.size(), 10000u);
+    // And the 4-thread run itself replays bit-identically.
+    const auto again = runParallelBatchedFanIn(4, 31);
     EXPECT_EQ(four.statsJson, again.statsJson);
     EXPECT_EQ(four.pcap, again.pcap);
 }

@@ -412,3 +412,203 @@ TEST(QpipNicStats, FirmwareOccupancyAccrues)
     EXPECT_GT(fw1.stageStat(nic::FwStage::PutData).count(), 0u);
     EXPECT_GT(fw1.stageStat(nic::FwStage::TcpParse).count(), 0u);
 }
+
+// ---------------------------------------------------------------------
+// Batched posting, doorbell coalescing and completion moderation
+// ---------------------------------------------------------------------
+
+TEST(QpipBatching, PostSendListDeliversAllWithOneDoorbell)
+{
+    QpipTestbed bed(2);
+    RcPair p(bed);
+    ASSERT_TRUE(p.ready());
+
+    constexpr std::size_t chain = 4;
+    constexpr std::size_t bytes = 256;
+    auto msg = pattern(chain * bytes);
+    std::copy(msg.begin(), msg.end(), p.buf0.begin());
+    for (std::size_t i = 0; i < chain; ++i)
+        p.qp1->postRecv(100 + i, *p.mr1, i * bytes, bytes);
+
+    const auto &db = bed.nicOf(0).doorbells();
+    auto &fw = bed.nicOf(0).fw();
+    const std::uint64_t rings0 = db.rings.value();
+    const std::uint64_t batched0 = db.batchedWrs.value();
+    const std::uint64_t dbPasses0 =
+        fw.stageStat(nic::FwStage::DoorbellProcess).count();
+    const std::uint64_t schedPasses0 =
+        fw.stageStat(nic::FwStage::Schedule).count();
+
+    std::vector<verbs::SendWrSpec> specs;
+    for (std::size_t i = 0; i < chain; ++i)
+        specs.push_back({200 + i, p.mr0.get(), i * bytes, bytes, {}});
+    ASSERT_TRUE(p.qp0->postSendList(specs));
+
+    // The whole chain rode one doorbell: one PCI ring, one
+    // DoorbellProcess pass, one Schedule pass.
+    std::size_t received = 0, acked = 0;
+    waitLoop(*p.cq1, [&](Completion c) {
+        if (!c.isSend)
+            ++received;
+    });
+    waitLoop(*p.cq0, [&](Completion c) {
+        if (c.isSend)
+            ++acked;
+    });
+    ASSERT_TRUE(bed.sim().runUntilCondition(
+        [&] { return received == chain && acked == chain; },
+        bed.sim().now() + 10 * sim::oneSec));
+
+    EXPECT_EQ(db.rings.value() - rings0, 1u);
+    EXPECT_EQ(db.batchedWrs.value() - batched0, chain);
+    EXPECT_EQ(fw.stageStat(nic::FwStage::DoorbellProcess).count() -
+                  dbPasses0,
+              1u);
+    EXPECT_EQ(fw.stageStat(nic::FwStage::Schedule).count() -
+                  schedPasses0,
+              1u);
+    EXPECT_TRUE(std::equal(msg.begin(), msg.end(), p.buf1.begin()));
+}
+
+TEST(QpipBatching, PostSendListIsAllOrNothing)
+{
+    QpipTestbed bed(2);
+    auto &prov = bed.provider(0);
+    auto cq = prov.createCq();
+    std::vector<std::uint8_t> buf(1024);
+    auto mr = prov.registerMemory(buf);
+    auto qp = prov.createQp(nic::QpType::ReliableTcp, cq, cq, 4, 4);
+
+    std::vector<verbs::SendWrSpec> five(
+        5, verbs::SendWrSpec{1, mr.get(), 0, 16, {}});
+    EXPECT_FALSE(qp->postSendList(five));
+    EXPECT_EQ(qp->sendQueueDepth(), 0u); // nothing partially posted
+
+    std::vector<verbs::SendWrSpec> four(
+        4, verbs::SendWrSpec{2, mr.get(), 0, 16, {}});
+    EXPECT_TRUE(qp->postSendList(four));
+    EXPECT_EQ(qp->sendQueueDepth(), 4u);
+    EXPECT_TRUE(qp->postSendList({})); // empty chain is a no-op
+    EXPECT_EQ(qp->sendQueueDepth(), 4u);
+}
+
+TEST(QpipBatching, CoalescingWindowFoldsBackToBackPosts)
+{
+    // A burst of singleton posts outpaces the serialized firmware, so
+    // rings to the same send queue land while earlier records still
+    // sit in the FIFO — the window folds them and every message still
+    // arrives (the drain's host-ring shadows stay authoritative).
+    nic::QpipNicParams params;
+    params.doorbellCoalesceCycles = 1330; // ~10 us fold window
+    QpipTestbed bed(2, qpipNativeMtu, 1, params);
+    RcPair p(bed);
+    ASSERT_TRUE(p.ready());
+
+    constexpr std::size_t msgs = 8;
+    for (std::size_t i = 0; i < msgs; ++i)
+        p.qp1->postRecv(100 + i, *p.mr1, i * 64, 64);
+    for (std::size_t i = 0; i < msgs; ++i)
+        ASSERT_TRUE(p.qp0->postSend(200 + i, *p.mr0, i * 64, 64));
+
+    std::size_t received = 0;
+    waitLoop(*p.cq1, [&](Completion c) {
+        if (!c.isSend)
+            ++received;
+    });
+    ASSERT_TRUE(bed.sim().runUntilCondition(
+        [&] { return received == msgs; },
+        bed.sim().now() + 10 * sim::oneSec));
+
+    const auto &db = bed.nicOf(0).doorbells();
+    EXPECT_GT(db.coalesced.value(), 0u);
+    EXPECT_LT(db.rings.value() - db.coalesced.value(),
+              db.rings.value());
+}
+
+TEST(QpipBatching, TinyDoorbellCapBurstStillCompletes)
+{
+    // With a 2-deep FIFO most of a burst's doorbells overflow, but
+    // any later drain recomputes freshness from the host ring, so no
+    // WR is lost — overflow costs notifications, not correctness.
+    nic::QpipNicParams params;
+    params.doorbellCap = 2;
+    QpipTestbed bed(2, qpipNativeMtu, 1, params);
+    RcPair p(bed);
+    ASSERT_TRUE(p.ready());
+
+    constexpr std::size_t msgs = 8;
+    for (std::size_t i = 0; i < msgs; ++i)
+        p.qp1->postRecv(100 + i, *p.mr1, i * 64, 64);
+    for (std::size_t i = 0; i < msgs; ++i)
+        ASSERT_TRUE(p.qp0->postSend(200 + i, *p.mr0, i * 64, 64));
+
+    std::size_t received = 0;
+    waitLoop(*p.cq1, [&](Completion c) {
+        if (!c.isSend)
+            ++received;
+    });
+    ASSERT_TRUE(bed.sim().runUntilCondition(
+        [&] { return received == msgs; },
+        bed.sim().now() + 10 * sim::oneSec));
+    EXPECT_GT(bed.nicOf(0).doorbells().overflows.value(), 0u);
+}
+
+TEST(QpipBatching, CqModerationNotifiesAfterCount)
+{
+    nic::QpipNicParams params;
+    params.cqModerationCount = 4;
+    params.cqModerationCycles = 133'000; // 1 ms: count triggers first
+    QpipTestbed bed(2, qpipNativeMtu, 1, params);
+    RcPair p(bed);
+    ASSERT_TRUE(p.ready());
+
+    constexpr std::size_t msgs = 8;
+    for (std::size_t i = 0; i < msgs; ++i)
+        p.qp1->postRecv(100 + i, *p.mr1, i * 64, 64);
+
+    std::size_t received = 0;
+    waitLoop(*p.cq1, [&](Completion c) {
+        if (!c.isSend)
+            ++received;
+    });
+    for (std::size_t i = 0; i < msgs; ++i)
+        ASSERT_TRUE(p.qp0->postSend(200 + i, *p.mr0, i * 64, 64));
+    ASSERT_TRUE(bed.sim().runUntilCondition(
+        [&] { return received == msgs; },
+        bed.sim().now() + 10 * sim::oneSec));
+
+    // 8 receives behind a 4-CQE threshold: fewer interrupts than
+    // messages, and some CQEs recorded as deferred.
+    auto &rx = bed.nicOf(1);
+    EXPECT_GT(rx.cqCoalesced.value(), 0u);
+    EXPECT_LT(rx.cqNotifies.value(), msgs);
+    EXPECT_GE(rx.cqNotifies.value(), 1u);
+}
+
+TEST(QpipBatching, CqModerationTimeoutDeliversShortBatch)
+{
+    // Fewer CQEs than the count threshold: the moderation timer must
+    // flush them, or the blocked host would hang forever.
+    nic::QpipNicParams params;
+    params.cqModerationCount = 64;
+    params.cqModerationCycles = 13'300; // 100 us timeout
+    QpipTestbed bed(2, qpipNativeMtu, 1, params);
+    RcPair p(bed);
+    ASSERT_TRUE(p.ready());
+
+    p.qp1->postRecv(11, *p.mr1, 0, 64);
+    p.qp1->postRecv(12, *p.mr1, 64, 64);
+
+    std::size_t received = 0;
+    waitLoop(*p.cq1, [&](Completion c) {
+        if (!c.isSend)
+            ++received;
+    });
+    ASSERT_TRUE(p.qp0->postSend(21, *p.mr0, 0, 64));
+    ASSERT_TRUE(p.qp0->postSend(22, *p.mr0, 64, 64));
+    ASSERT_TRUE(bed.sim().runUntilCondition(
+        [&] { return received == 2; },
+        bed.sim().now() + 10 * sim::oneSec));
+    EXPECT_GE(bed.nicOf(1).cqNotifies.value(), 1u);
+    EXPECT_GT(bed.nicOf(1).cqCoalesced.value(), 0u);
+}
