@@ -9,9 +9,15 @@
 
 #pragma once
 
+// The standalone record-only benches (simspeed, qpscale, msgrate)
+// define QPIP_BENCH_STANDALONE and link no benchmark library; they
+// get only the knob/best-of-N/stat helpers below.
+#ifndef QPIP_BENCH_STANDALONE
 #include <benchmark/benchmark.h>
+#endif
 
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <string>
 #include <vector>
@@ -19,6 +25,57 @@
 #include "sim/stat_registry.hh"
 
 namespace qpip::bench {
+
+/** Positive integer env knob, or @p fallback when unset/invalid. */
+inline std::size_t
+envKnob(const char *name, std::size_t fallback)
+{
+    if (const char *env = std::getenv(name)) {
+        const long v = std::atol(env);
+        if (v > 0)
+            return static_cast<std::size_t>(v);
+    }
+    return fallback;
+}
+
+/**
+ * Interleaved best-of-N repetition for the record-only benches. Runs
+ * @p run(i) for every point i once per rep, rep-major (rep 0 of every
+ * point, then rep 1, ...), so page-cache and allocator warm-up is
+ * spread evenly across the sweep instead of flattering whichever
+ * point ran last. @p same_sim compares the *simulated* fields of two
+ * reps of one point — they must replay identically, and a mismatch
+ * aborts the bench (exit 1) because a nondeterministic simulation
+ * invalidates every recorded number. @p fold_wall merges a later
+ * rep's wall-clock columns into the kept point (typically min);
+ * @p label names a point for the abort diagnostic.
+ */
+template <typename Run, typename SameSim, typename FoldWall,
+          typename Label>
+auto
+bestOfN(std::size_t n_points, std::size_t reps, Run &&run,
+        SameSim &&same_sim, FoldWall &&fold_wall, Label &&label)
+    -> std::vector<decltype(run(std::size_t{0}))>
+{
+    std::vector<decltype(run(std::size_t{0}))> points(n_points);
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+        for (std::size_t i = 0; i < n_points; ++i) {
+            auto p = run(i);
+            if (rep == 0) {
+                points[i] = std::move(p);
+                continue;
+            }
+            if (!same_sim(points[i], p)) {
+                std::fprintf(stderr,
+                             "nondeterministic point %s across reps\n",
+                             label(p).c_str());
+                std::exit(1);
+            }
+            fold_wall(points[i], p);
+        }
+    }
+    return points;
+}
 
 /** Counter value by registry path (0 when absent). */
 inline double
@@ -78,6 +135,8 @@ printTable(const std::string &title, const std::vector<Row> &rows)
     std::printf("\n");
 }
 
+#ifndef QPIP_BENCH_STANDALONE
+
 inline void
 registerRows(const std::vector<Row> &rows)
 {
@@ -112,10 +171,14 @@ benchMain(int argc, char **argv, const std::string &title,
     return 0;
 }
 
+#endif // QPIP_BENCH_STANDALONE
+
 } // namespace qpip::bench
 
+#ifndef QPIP_BENCH_STANDALONE
 #define QPIP_BENCH_MAIN(title, build)                                  \
     int main(int argc, char **argv)                                    \
     {                                                                   \
         return qpip::bench::benchMain(argc, argv, title, build);        \
     }
+#endif

@@ -45,9 +45,11 @@
 
 #include "apps/testbed.hh"
 #include "apps/verbs_util.hh"
+#include "bench_common.hh"
 
 using namespace qpip;
 using namespace qpip::apps;
+using qpip::bench::envKnob;
 
 namespace {
 
@@ -63,17 +65,6 @@ struct Point
     double wallSeconds = 0.0;
     bool completed = false;
 };
-
-std::size_t
-envKnob(const char *name, std::size_t fallback)
-{
-    if (const char *env = std::getenv(name)) {
-        const long v = std::atol(env);
-        if (v > 0)
-            return static_cast<std::size_t>(v);
-    }
-    return fallback;
-}
 
 Point
 runPoint(std::size_t n_qps, std::uint64_t messages,
@@ -398,32 +389,25 @@ main(int argc, char **argv)
     for (std::size_t n = 16; n <= maxQps; n *= 4)
         sweep.push_back({true, n});
 
-    // Best-of-N, reps interleaved across points: a single cold pass
-    // through the whole sweep per rep, so no point gets all its reps
-    // back to back with a freshly warmed heap.
-    std::vector<Point> points(sweep.size());
-    for (std::size_t rep = 0; rep < reps; ++rep) {
-        for (std::size_t i = 0; i < sweep.size(); ++i) {
-            Point p = sweep[i].rud
-                          ? runRudPoint(sweep[i].qps, messages, cache)
-                          : runPoint(sweep[i].qps, messages, cache);
-            if (rep == 0) {
-                points[i] = p;
-                continue;
-            }
-            if (p.simTicks != points[i].simTicks ||
-                p.completionsPerSimSec !=
-                    points[i].completionsPerSimSec) {
-                std::fprintf(stderr,
-                             "nondeterministic point %s/%zu across "
-                             "reps\n",
-                             p.transport, p.qps);
-                return 1;
-            }
-            points[i].wallSeconds =
-                std::min(points[i].wallSeconds, p.wallSeconds);
-        }
-    }
+    // Best-of-N, reps interleaved across points (see bench_common.hh).
+    const auto points = qpip::bench::bestOfN(
+        sweep.size(), reps,
+        [&](std::size_t i) {
+            return sweep[i].rud
+                       ? runRudPoint(sweep[i].qps, messages, cache)
+                       : runPoint(sweep[i].qps, messages, cache);
+        },
+        [](const Point &a, const Point &b) {
+            return a.simTicks == b.simTicks &&
+                   a.completionsPerSimSec == b.completionsPerSimSec;
+        },
+        [](Point &kept, const Point &p) {
+            kept.wallSeconds = std::min(kept.wallSeconds, p.wallSeconds);
+        },
+        [](const Point &p) {
+            return std::string(p.transport) + "/" +
+                   std::to_string(p.qps);
+        });
 
     std::printf("=== completion rate vs QP count (cache %zu contexts, "
                 "%llu msgs/point) ===\n",

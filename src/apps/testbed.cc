@@ -33,6 +33,10 @@ makeFabric(sim::Simulation &sim, net::LinkConfig link,
       case FabricTopology::FatTree:
         return std::make_unique<net::FatTreeFabric>(sim, "fabric",
                                                     link, n_hosts);
+      case FabricTopology::FatTreeK8:
+        return net::makeKAryFatTree(sim, "fabric", link, 8, n_hosts);
+      case FabricTopology::FatTreeK16:
+        return net::makeKAryFatTree(sim, "fabric", link, 16, n_hosts);
     }
     sim::panic("makeFabric: unknown topology");
 }

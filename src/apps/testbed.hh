@@ -31,8 +31,15 @@ namespace qpip::apps {
 /** Which baseline fabric a sockets testbed models. */
 enum class SocketsFabric { GigabitEthernet, MyrinetIp };
 
-/** Which fabric shape wires the hosts together. */
-enum class FabricTopology { Star, DualStar, FatTree };
+/**
+ * Which fabric shape wires the hosts together. FatTree picks its
+ * radix from the host count; FatTreeK8/FatTreeK16 fix the switch
+ * radix (8/16 ports) the way a real datacenter part would, scaling
+ * edge count with hosts — k=8 carries up to 128 hosts at 4 hosts per
+ * edge switch, k=16 up to 1024 at 8.
+ */
+enum class FabricTopology { Star, DualStar, FatTree, FatTreeK8,
+                            FatTreeK16 };
 
 /** Address family a testbed assigns to its nodes. */
 enum class IpFamily { V4, V6 };

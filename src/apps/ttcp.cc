@@ -226,6 +226,37 @@ allPairs(std::size_t n_hosts)
     return pairs;
 }
 
+std::vector<TtcpPair>
+uniformShiftPairs(std::size_t n_hosts, std::size_t n_shifts)
+{
+    if (n_shifts >= n_hosts)
+        sim::panic("uniformShiftPairs: n_shifts %zu must be below "
+                   "n_hosts %zu",
+                   n_shifts, n_hosts);
+    std::vector<TtcpPair> pairs;
+    pairs.reserve(n_hosts * n_shifts);
+    for (std::size_t s = 1; s <= n_shifts; ++s) {
+        for (std::size_t i = 0; i < n_hosts; ++i)
+            pairs.push_back(TtcpPair{i, (i + s) % n_hosts});
+    }
+    return pairs;
+}
+
+std::vector<TtcpPair>
+incastPairs(std::size_t n_hosts, std::size_t dst)
+{
+    if (dst >= n_hosts)
+        sim::panic("incastPairs: dst %zu out of range (n_hosts %zu)",
+                   dst, n_hosts);
+    std::vector<TtcpPair> pairs;
+    pairs.reserve(n_hosts - 1);
+    for (std::size_t i = 0; i < n_hosts; ++i) {
+        if (i != dst)
+            pairs.push_back(TtcpPair{i, dst});
+    }
+    return pairs;
+}
+
 MultiTtcpResult
 runSocketsTtcpPairs(SocketsTestbed &bed,
                     const std::vector<TtcpPair> &pairs,

@@ -60,6 +60,24 @@ struct MultiTtcpResult
 std::vector<TtcpPair> allPairs(std::size_t n_hosts);
 
 /**
+ * All-to-all traffic as @p n_shifts shift permutations: for shift s in
+ * [1, n_shifts], every host i sends to (i + s) mod n. With
+ * n_shifts = n-1 this is the full all-to-all (== allPairs reordered);
+ * smaller values sample it while still loading every host's NIC in
+ * both directions — the tractable datacenter-scale sweep workload.
+ * @pre n_shifts < n_hosts.
+ */
+std::vector<TtcpPair> uniformShiftPairs(std::size_t n_hosts,
+                                        std::size_t n_shifts);
+
+/**
+ * Incast: every host except @p dst sends to @p dst, the classic
+ * fan-in burst that congests the destination's last-hop link.
+ */
+std::vector<TtcpPair> incastPairs(std::size_t n_hosts,
+                                  std::size_t dst);
+
+/**
  * Run concurrent bulk TCP transfers for every pair in @p pairs
  * (pair k listens on port 5001+k and connects from port 30000+k).
  * The scale-out ttcp workload: with a multi-switch fabric and a

@@ -30,7 +30,22 @@ HostStack::~HostStack() = default;
 void
 HostStack::attachNic(HostNicDriver &nic)
 {
-    nic_ = &nic;
+    nics_.push_back(&nic);
+}
+
+void
+HostStack::setEgress(net::NodeId dst_node, HostNicDriver &nic)
+{
+    egress_[dst_node] = &nic;
+}
+
+HostNicDriver *
+HostStack::egressFor(net::NodeId dst_node) const
+{
+    const auto it = egress_.find(dst_node);
+    if (it != egress_.end())
+        return it->second;
+    return primaryNic();
 }
 
 void
@@ -49,7 +64,8 @@ inet::TcpConfig
 HostStack::defaultTcpConfig() const
 {
     inet::TcpConfig cfg;
-    const std::uint32_t mtu = nic_ ? nic_->mtu() : 1500;
+    const HostNicDriver *nic = primaryNic();
+    const std::uint32_t mtu = nic ? nic->mtu() : 1500;
     // Conservative: leave room for a 40/60-byte network header plus
     // TCP header with timestamps.
     cfg.mss = mtu - 60 - 12;
@@ -140,7 +156,8 @@ HostStack::emitTcpSegment(IpDatagram &&dgram,
                     costs().driverTxPerPkt;
     // Retransmissions re-checksum data already resident in the kernel
     // (the original checksum was folded into the user copy).
-    if (meta.retransmit && nic_ && !nic_->checksumOffload()) {
+    const HostNicDriver *nic = primaryNic();
+    if (meta.retransmit && nic && !nic->checksumOffload()) {
         c += HostOS::byteCycles(costs().copyPerByte - 1.0,
                                 meta.payloadBytes);
     }
@@ -164,11 +181,12 @@ HostStack::udpOutput(IpDatagram &&dgram,
 }
 
 std::optional<std::uint32_t>
-HostStack::txMtu()
+HostStack::txMtu(net::NodeId next_hop)
 {
-    if (nic_ == nullptr)
+    const HostNicDriver *nic = egressFor(next_hop);
+    if (nic == nullptr)
         return std::nullopt;
-    return nic_->mtu();
+    return nic->mtu();
 }
 
 void
@@ -184,13 +202,15 @@ void
 HostStack::wireTx(std::vector<std::vector<std::uint8_t>> &&frames,
                   bool ipv6, net::NodeId dst_node)
 {
+    // Same per-route decision ipOutput's txMtu probe saw.
+    HostNicDriver *nic = egressFor(dst_node);
     for (auto &frame : frames) {
         auto pkt = net::makePacket();
-        pkt->src = nic_->nodeId();
+        pkt->src = nic->nodeId();
         pkt->dst = dst_node;
         pkt->proto = ipv6 ? net::NetProto::Ipv6 : net::NetProto::Ipv4;
         pkt->data = std::move(frame);
-        nic_->transmit(std::move(pkt));
+        nic->transmit(std::move(pkt));
     }
 }
 
@@ -217,7 +237,8 @@ void
 HostStack::chargeTcpInput(std::size_t payload_bytes, bool)
 {
     sim::Cycles c = costs().tcpInputPerSeg;
-    if (nic_ && !nic_->checksumOffload()) {
+    const HostNicDriver *nic = primaryNic();
+    if (nic && !nic->checksumOffload()) {
         // The rx checksum pass over the payload.
         c += HostOS::byteCycles(1.0, payload_bytes);
     }
@@ -228,7 +249,8 @@ void
 HostStack::chargeUdpInput(std::size_t payload_bytes)
 {
     sim::Cycles c = costs().udpInputPerDgram;
-    if (nic_ && !nic_->checksumOffload())
+    const HostNicDriver *nic = primaryNic();
+    if (nic && !nic->checksumOffload())
         c += HostOS::byteCycles(1.0, payload_bytes);
     os_.charge(c);
 }

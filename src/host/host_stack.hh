@@ -15,6 +15,7 @@
 #include <map>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "host/host_os.hh"
 #include "host/socket.hh"
@@ -53,7 +54,29 @@ class HostStack : public sim::SimObject, public inet::InetEnv
     HostStack(sim::Simulation &sim, std::string name, HostOS &os);
     ~HostStack() override;
 
+    /**
+     * Attach an interface. The first NIC attached is the primary
+     * (default egress and the source of MSS-deriving MTU); additional
+     * NICs are reached per route via setEgress.
+     */
     void attachNic(HostNicDriver &nic);
+
+    /**
+     * Pin the egress interface for traffic routed to fabric node
+     * @p dst_node — the multi-homed host's per-route output-interface
+     * decision. Unpinned routes use the primary NIC.
+     */
+    void setEgress(net::NodeId dst_node, HostNicDriver &nic);
+
+    /** The egress NIC for @p dst_node (primary unless pinned). */
+    HostNicDriver *egressFor(net::NodeId dst_node) const;
+
+    /** The first-attached NIC, or nullptr before attachNic. */
+    HostNicDriver *
+    primaryNic() const
+    {
+        return nics_.empty() ? nullptr : nics_.front();
+    }
 
     /** Register a local interface address. */
     void addAddress(const inet::InetAddr &addr);
@@ -103,7 +126,8 @@ class HostStack : public sim::SimObject, public inet::InetEnv
     sim::Cycles
     txCopyCycles(std::size_t n) const
     {
-        const bool offload = nic_ && nic_->checksumOffload();
+        const HostNicDriver *nic = primaryNic();
+        const bool offload = nic && nic->checksumOffload();
         return HostOS::byteCycles(offload ? costs().copyPerByte
                                           : costs().copyChecksumPerByte,
                                   n);
@@ -118,7 +142,7 @@ class HostStack : public sim::SimObject, public inet::InetEnv
     const std::string &inetName() const override;
     void connectionClosed(inet::TcpConnection &conn) override;
 
-    std::optional<std::uint32_t> txMtu() override;
+    std::optional<std::uint32_t> txMtu(net::NodeId next_hop) override;
     void chargeFragmentsTx(std::size_t extra) override;
     void wireTx(std::vector<std::vector<std::uint8_t>> &&frames,
                 bool ipv6, net::NodeId dst_node) override;
@@ -138,7 +162,10 @@ class HostStack : public sim::SimObject, public inet::InetEnv
 
   private:
     HostOS &os_;
-    HostNicDriver *nic_ = nullptr;
+    /** Attached interfaces in attach order; front is the primary. */
+    std::vector<HostNicDriver *> nics_;
+    // Lookup only, never iterated — safe despite hash ordering.
+    std::unordered_map<net::NodeId, HostNicDriver *> egress_;
     inet::InetStack inet_;
 
   public:

@@ -49,17 +49,19 @@ InetStack::ipOutput(IpDatagram &&dgram)
         ipInput(std::move(dgram));
         return IpSendResult::Ok;
     }
-    const auto mtu = env_.txMtu();
-    if (!mtu) {
-        sim::warn("%s: no NIC attached, dropping",
-                  env_.inetName().c_str());
-        return IpSendResult::NoLink;
-    }
+    // Route first: the egress interface — and with it the MTU — is a
+    // property of the chosen next hop on a multi-homed context.
     const auto route = routes_.lookup(dgram.dst);
     if (!route) {
         sim::warn("%s: no route to %s", env_.inetName().c_str(),
                   dgram.dst.toString().c_str());
         return IpSendResult::NoRoute;
+    }
+    const auto mtu = env_.txMtu(*route);
+    if (!mtu) {
+        sim::warn("%s: no NIC attached, dropping",
+                  env_.inetName().c_str());
+        return IpSendResult::NoLink;
     }
 
     env_.chargeIpHeaderTx();

@@ -93,8 +93,14 @@ class InetEnv
     virtual void connectionClosed(TcpConnection &conn) = 0;
 
     // --- transmit path ----------------------------------------------
-    /** Link MTU, or nullopt when there is no transmit path. */
-    virtual std::optional<std::uint32_t> txMtu() = 0;
+    /**
+     * MTU of the egress interface toward @p next_hop, or nullopt when
+     * there is no transmit path. Multi-homed contexts (a host with
+     * several NICs) resolve the interface per route; the engine always
+     * pairs this with a wireTx carrying the same @p next_hop, so the
+     * two see one consistent egress decision.
+     */
+    virtual std::optional<std::uint32_t> txMtu(net::NodeId next_hop) = 0;
 
     /** Cost of building the IP header (firmware: Build IP Hdr). */
     virtual void chargeIpHeaderTx() {}

@@ -192,6 +192,24 @@ FatTreeFabric::addNode(NodeId node)
     return *links_.back().second;
 }
 
+std::unique_ptr<FatTreeFabric>
+makeKAryFatTree(sim::Simulation &sim, std::string name,
+                LinkConfig link_config, std::size_t k,
+                std::size_t n_hosts)
+{
+    if (k < 4 || k % 2 != 0)
+        sim::panic("%s: k-ary fat-tree needs even k >= 4 (k=%zu)",
+                   name.c_str(), k);
+    const std::size_t radix = k / 2;
+    if (n_hosts == 0 || n_hosts % radix != 0) {
+        sim::panic("%s: n_hosts=%zu is not a positive multiple of "
+                   "k/2=%zu",
+                   name.c_str(), n_hosts, radix);
+    }
+    return std::make_unique<FatTreeFabric>(
+        sim, std::move(name), link_config, n_hosts, radix, radix);
+}
+
 // --- partitionFabric ------------------------------------------------
 
 void
@@ -226,6 +244,22 @@ partitionFabric(sim::ParallelEngine &engine, Fabric &fabric,
             b.rng = &src->rng();
             b.outbox =
                 src == dst ? nullptr : &engine.mailbox(*src, *dst);
+            if (b.outbox != nullptr) {
+                // Declare this edge's own lookahead: the propagation
+                // delay of the link it carries plus its serialization
+                // floor — arrival is busyUntil + propDelay, and even
+                // an empty frame occupies the wire for the link
+                // overhead bytes, so no delivery can undercut this.
+                // Several links can share one mailbox (parallel
+                // trunks between the same partition pair), so keep
+                // the minimum.
+                const sim::Tick l =
+                    e.link->config().propDelay +
+                    e.link->serializationDelay(
+                        e.link->config().overheadBytes);
+                if (l < b.outbox->lookahead())
+                    b.outbox->setLookahead(l);
+            }
             e.link->bindSide(side, b);
         }
         Link *link = e.link;

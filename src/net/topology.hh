@@ -187,11 +187,26 @@ class FatTreeFabric : public Fabric
 };
 
 /**
+ * Build the k-ary 2-level fat-tree: k-port switches, so every edge
+ * switch carries k/2 host spokes and k/2 spine uplinks. k=8 reaches
+ * 128 hosts at 32 edge switches, k=16 reaches 1024 at 128 — the
+ * datacenter-scale shapes the parallel-engine scaling sweep runs on.
+ * @p n_hosts must be a positive multiple of k/2, bounded by what the
+ * edge tier can carry; @p k must be even and >= 4.
+ */
+std::unique_ptr<FatTreeFabric>
+makeKAryFatTree(sim::Simulation &sim, std::string name,
+                LinkConfig link_config, std::size_t k,
+                std::size_t n_hosts);
+
+/**
  * Shard @p fabric across @p engine: one new partition per switch,
  * hosts in the caller's partitions (@p host_parts indexed by
  * NodeId), every link direction bound to its sending partition with
- * a mailbox toward the receiver, lookahead set to the fabric's
- * minimum propagation delay, and per-link fold hooks registered.
+ * a mailbox toward the receiver, the global default lookahead set to
+ * the fabric's minimum propagation delay and every mailbox edge
+ * declaring its own link's propagation delay (per-edge horizons),
+ * and per-link fold hooks registered.
  * Call after every addNode (the edge list must be complete).
  */
 void partitionFabric(sim::ParallelEngine &engine, Fabric &fabric,

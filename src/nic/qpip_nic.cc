@@ -567,8 +567,9 @@ QpipNic::emitTcpSegment(IpDatagram &&dgram, const inet::TcpSegMeta &meta)
 }
 
 std::optional<std::uint32_t>
-QpipNic::txMtu()
+QpipNic::txMtu(net::NodeId)
 {
+    // Single interface: the NIC's link MTU regardless of next hop.
     return link_.config().mtu;
 }
 

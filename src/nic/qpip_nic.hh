@@ -210,7 +210,7 @@ class QpipNic : public sim::SimObject,
     const std::string &inetName() const override;
     void connectionClosed(inet::TcpConnection &conn) override;
 
-    std::optional<std::uint32_t> txMtu() override;
+    std::optional<std::uint32_t> txMtu(net::NodeId next_hop) override;
     void chargeIpHeaderTx() override;
     void chargeFragmentsTx(std::size_t extra) override;
     void chargeMediaSend() override;

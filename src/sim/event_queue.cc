@@ -16,6 +16,22 @@ EventQueue::panicPast(Tick when) const
           static_cast<unsigned long long>(now_));
 }
 
+void
+EventQueue::advanceTo(Tick t)
+{
+    if (t == maxTick || t <= now_)
+        return;
+    const Tick next = nextEventTick();
+    if (next < t) {
+        panic("%s: advanceTo(%llu) would skip a runnable event at "
+              "%llu",
+              label_.empty() ? "event queue" : label_.c_str(),
+              static_cast<unsigned long long>(t),
+              static_cast<unsigned long long>(next));
+    }
+    now_ = t;
+}
+
 bool
 EventQueue::handlePending(std::uint32_t slot, std::uint32_t gen) const
 {

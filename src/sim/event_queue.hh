@@ -233,6 +233,16 @@ class EventQueue
     std::uint64_t run() { return runUntil(maxTick); }
 
     /**
+     * Advance the clock to @p t without running anything — the
+     * parallel engine's idle-partition fast path: a partition with no
+     * event below its epoch bound still owns the time, so later
+     * schedule() calls must be measured against it. maxTick is
+     * ignored (mirroring runUntil); skipping a runnable event would
+     * corrupt causality and panics.
+     */
+    void advanceTo(Tick t);
+
+    /**
      * Run a single event if one is runnable before @p until.
      * @return true if an event ran.
      */

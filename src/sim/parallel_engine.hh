@@ -6,31 +6,69 @@
  * owning a private event queue and RNG stream. Execution proceeds in
  * barrier epochs:
  *
- *   1. drain every Mailbox and inject the messages into the
- *      destination queues in deterministic merge order, sorted by
+ *   1. merge every Mailbox batch and inject the messages into the
+ *      destination queues in deterministic order, sorted by
  *      (tick, priority, seq, source partition id);
- *   2. compute the global next event tick N = min over partitions;
- *   3. run every partition independently up to the epoch horizon
- *      H = N + lookahead (workers claim partitions from a shared
+ *   2. compute per-partition horizons from per-edge lookaheads (see
+ *      below) — each partition gets its own bound instead of the
+ *      whole fabric marching at the pace of its slowest link;
+ *   3. run every partition with runnable work up to its horizon
+ *      (workers claim partitions from a shared, work-estimate-sorted
  *      index — which thread runs which partition is arbitrary, the
  *      outcome is not);
  *   4. barrier; repeat.
  *
- * The lookahead L is the minimum latency of any cross-partition link.
- * Because a message posted while executing an event at tick t arrives
- * no earlier than t + L >= (epoch start) + L = H, every cross-
- * partition effect of the running epoch lands at or beyond the
- * horizon — injecting it at the next barrier is causally exact, not
- * an approximation. Mailbox::post asserts this invariant.
+ * Per-edge horizons. Every mailbox edge e = (q -> p) declares a
+ * lookahead L_e: a lower bound on the delivery latency of anything
+ * posted through it. At each barrier the engine computes, for every
+ * partition q, a conservative floor B_q on the earliest tick at which
+ * q can execute *any* event this epoch or later:
+ *
+ *     B_q = min(next_q, min over incoming e=(r->q) of B_r + L_e)
+ *
+ * — a shortest-path relaxation (all L_e >= 1, so the fixpoint exists
+ * and rounds of edge relaxation over the partition graph reach it in
+ * at most P-1 passes; fabric graphs are shallow, so two or three
+ * suffice in practice). The epoch horizon of
+ * p is then H_p = min over incoming e=(q->p) of B_q + L_e. Any
+ * message q posts is sent by an event executing at t >= B_q and
+ * arrives at t + L_e >= H_p, so injecting it at the next barrier is
+ * causally exact, not an approximation; Mailbox::post asserts this
+ * against the destination's horizon. Note the floor must be B_q, not
+ * next_q: a neighbor stalled behind *its own* slow neighbor can
+ * receive an injection below its next event and wake earlier than
+ * next_q, which is exactly the multi-hop chain the relaxation
+ * accounts for. Progress: the partition holding the global minimum
+ * next tick N has B = N and H >= N + min L_e > N, so every epoch
+ * executes at least one event.
+ *
+ * Each partition's horizon is kept monotone across epochs (max with
+ * its previous value). The per-epoch bound alone can dip — a
+ * neighbor's floor drops when an injection wakes it below its old
+ * next-event tick — but a bound once proven covers every future post
+ * too (the floors it was computed from remain lower bounds forever),
+ * so the running maximum is still causally exact, and it is what the
+ * destination's clock has actually reached. Mailbox::post asserts
+ * against this monotone frontier; each epoch runs a partition to
+ * min(frontier, run deadline).
+ *
+ * Batched posts. During an epoch each mailbox accumulates posts in a
+ * local append buffer (no synchronization: only the source's worker
+ * touches it). The worker that ran the source sorts each outgoing
+ * batch while still inside the parallel region; the barrier then
+ * k-way-merges the sorted runs straight into the destination queues —
+ * the same (tick, priority, seq, srcId) total order as a global sort,
+ * at merge cost.
  *
  * Determinism: each partition's queue preserves the serial
  * (when, priority, seq) total order; injection order into a queue is
- * fixed by the merge sort above; RNG streams are per-partition. None
- * of that depends on the number of worker threads, so an N-thread run
- * is bit-identical to a 1-thread run of the same partitioning. (A
- * partitioned run may differ from the unpartitioned serial schedule —
- * per-partition RNG/seq streams — which is why `threads=1` without an
- * engine remains the default and untouched code path.)
+ * fixed by the merge above; horizons are computed from queue state
+ * alone; RNG streams are per-partition. None of that depends on the
+ * number of worker threads, so an N-thread run is bit-identical to a
+ * 1-thread run of the same partitioning. (A partitioned run may
+ * differ from the unpartitioned serial schedule — per-partition
+ * RNG/seq streams — which is why `threads=1` without an engine
+ * remains the default and untouched code path.)
  *
  * This is the one place in the tree allowed to use threading
  * primitives (see qpip-lint rule T1): all protocol code stays
@@ -52,6 +90,7 @@
 
 #include "sim/partition.hh"
 #include "sim/simulation.hh"
+#include "sim/stats.hh"
 #include "sim/types.hh"
 
 namespace qpip::sim {
@@ -87,8 +126,9 @@ class ParallelEngine
     void assignByPrefix(const std::string &prefix, Partition &p);
 
     /**
-     * Set the conservative synchronization window: the minimum
-     * cross-partition delivery latency. @pre l >= 1 tick.
+     * Set the global default edge lookahead: the minimum
+     * cross-partition delivery latency. Edges with a tighter bound
+     * declare their own via Mailbox::setLookahead. @pre l >= 1 tick.
      */
     void setLookahead(Tick l);
     Tick lookahead() const { return lookahead_; }
@@ -103,14 +143,14 @@ class ParallelEngine
 
     int threads() const { return threads_; }
 
-    /** Epoch horizon of the latest epoch (the engine's "now"). */
+    /** Conservative global frontier of the latest epoch. */
     Tick now() const { return now_; }
 
     /** Total events executed across all partitions. */
     std::uint64_t executed() const;
 
     /** Barrier epochs run so far (diagnostics/tests). */
-    std::uint64_t epochs() const { return epochs_; }
+    std::uint64_t epochs() const { return statEpochs_.value(); }
 
     /** Run until all partitions drain. @return events executed. */
     std::uint64_t run() { return runUntil(maxTick); }
@@ -139,8 +179,18 @@ class ParallelEngine
   private:
     void checkRunnable();
     void injectMail();
-    Tick globalNextTick();
-    void runEpoch(Tick horizon);
+    /** Refresh nextTick_; @return the global minimum. */
+    Tick refreshNextTicks();
+    /**
+     * Compute per-partition horizons for the next epoch (relaxation
+     * floors + incoming-edge minima), build the work-estimate-sorted
+     * claim order, and count stalls. @return the min horizon (the
+     * epoch's conservative global frontier).
+     */
+    Tick prepareEpoch(Tick until);
+    void runEpoch();
+    /** Per-epoch bookkeeping: work estimates + imbalance stats. */
+    void finishEpoch();
     void claimLoop(std::unique_lock<std::mutex> &lock);
     void workerLoop();
     void foldAll();
@@ -149,21 +199,51 @@ class ParallelEngine
     int threads_;
     Tick lookahead_ = maxTick;
     Tick now_ = 0;
-    std::uint64_t epochs_ = 0;
     std::vector<std::unique_ptr<Partition>> parts_;
     std::vector<std::unique_ptr<Mailbox>> mail_;
+    /** Outgoing / incoming mailboxes by partition id. */
+    std::vector<std::vector<Mailbox *>> outMail_;
+    std::vector<std::vector<Mailbox *>> inMail_;
     std::vector<std::function<void()>> foldHooks_;
-    /** Scratch for the injection merge sort (kept to reuse capacity). */
-    struct Inject
+
+    // Barrier scratch (sized to parts_, reused across epochs).
+    std::vector<Tick> nextTick_;
+    std::vector<Tick> floor_;
+    /** Per-partition incoming-edge horizon bound (phase-2 scratch). */
+    std::vector<Tick> hbound_;
+    /**
+     * The partition graph flattened for the per-epoch relaxation
+     * passes (rebuilt from mail_ at the start of every run).
+     */
+    struct FlatEdge
     {
-        Tick when;
-        int priority;
-        std::uint64_t seq;
-        std::uint32_t srcId;
-        Partition *dst;
-        std::function<void()> fn;
+        std::uint32_t src;
+        std::uint32_t dst;
+        Tick lookahead;
     };
-    std::vector<Inject> inject_;
+    std::vector<FlatEdge> edges_;
+    /** Cursor into one mailbox's sorted batch (barrier merge). */
+    struct RunCursor
+    {
+        Mailbox *mb;
+        std::size_t idx;
+    };
+    std::vector<RunCursor> merge_;
+    std::vector<std::uint64_t> prevExecuted_;
+    std::vector<std::uint64_t> lastEpochEvents_;
+    /** Partition ids to run this epoch, heaviest estimate first. */
+    std::vector<std::uint32_t> claimOrder_;
+
+    // Scaling observability (registered as "parallel.*"; all values
+    // derive from the deterministic schedule, so they are identical
+    // for any thread count).
+    StatGroup statGroup_;
+    Counter statEpochs_;
+    Counter statMailboxPosts_;
+    Counter statBatchedPosts_;
+    Counter statHorizonStalls_;
+    SampleStat statEpochEventsMax_;
+    SampleStat statEpochEventsMin_;
 
     // Worker pool. All shared coordination state lives under m_; the
     // mutex handoffs order every cross-epoch access to partition
@@ -173,7 +253,6 @@ class ParallelEngine
     std::condition_variable cvStart_;
     std::condition_variable cvDone_;
     std::uint64_t epochGen_ = 0;
-    Tick epochHorizon_ = 0;
     std::size_t nextPart_ = 0;
     std::size_t busy_ = 0;
     bool stop_ = false;

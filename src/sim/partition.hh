@@ -7,11 +7,19 @@
  * during one barrier epoch it is executed by exactly one worker
  * thread, so everything bound to a partition runs single-threaded.
  * Cross-partition communication goes through Mailbox: the source
- * partition posts closures timestamped at least one lookahead window
- * into the future, and the engine injects them into the destination
- * queues at the next epoch barrier in a deterministic merge order —
- * sorted by (tick, priority, seq, source partition id) — so the
- * resulting schedule is independent of thread count and interleaving.
+ * partition appends closures to the edge's local batch buffer, the
+ * worker that ran the source sorts the batch while still inside the
+ * parallel region, and the engine merges all batches at the epoch
+ * barrier in one deterministic (tick, priority, seq, source partition
+ * id) pass — so the resulting schedule is independent of thread count
+ * and interleaving.
+ *
+ * Every edge carries its own lookahead (the minimum delivery latency
+ * of that link), and every partition carries the horizon of the epoch
+ * it is currently running. A post below the *destination's* horizon
+ * means the destination may already have executed past the delivery
+ * tick — a causality violation — and panics with enough context to
+ * debug at thousand-host scale.
  *
  * The thread-local ExecContext lets objects constructed *while a
  * partition is executing* (e.g. a TCP connection spun up by an
@@ -34,6 +42,7 @@
 
 namespace qpip::sim {
 
+class Mailbox;
 class ParallelEngine;
 
 /**
@@ -96,20 +105,51 @@ class Partition
     /** Next mailbox message sequence number (deterministic). */
     std::uint64_t nextMailSeq() { return mailSeq_++; }
 
+    /**
+     * This partition's safe frontier (engine-set at each barrier):
+     * the monotone maximum of every epoch bound the engine has ever
+     * computed for it. The partition's clock never exceeds it, no
+     * cross-partition message may be addressed below it, and each
+     * epoch runs it to min(frontier, run deadline). Monotone on
+     * purpose: the per-epoch bound itself can dip (the conservative
+     * floor of a neighbor drops when an injection wakes the neighbor
+     * early), but a bound once proven stays proven — every future
+     * post still arrives at or beyond it.
+     */
+    Tick epochHorizon() const { return horizon_; }
+
   private:
+    friend class Mailbox;
+    friend class ParallelEngine;
+
     std::uint32_t id_;
     std::string name_;
     EventQueue eq_;
     Random rng_;
     ExecContext ctx_;
     std::uint64_t mailSeq_ = 0;
+    /** Written by the engine between epochs (mutex-ordered). */
+    Tick horizon_ = 0;
+    /** This epoch's run bound: min(horizon_, run deadline). */
+    Tick runTo_ = 0;
+    /**
+     * Outgoing mailboxes with pending posts. Same ownership rule as
+     * the batch buffers themselves: touched only by this partition's
+     * executing worker during an epoch and by the engine's barrier
+     * (mutex-ordered) between them. Lets the barrier visit only the
+     * edges that were actually posted to instead of scanning every
+     * mailbox in the fabric.
+     */
+    std::vector<Mailbox *> dirtyOut_;
 };
 
 /**
  * A one-way cross-partition channel. Only the source partition's
- * executing thread may post; only the engine (at the epoch barrier,
- * all workers parked) drains. Posted timestamps must be at or beyond
- * the current epoch horizon — that is exactly the conservative
+ * executing thread may post; posts accumulate in a local batch buffer
+ * with no synchronization. The worker that ran the source sorts the
+ * batch, and the engine merges all batches at the epoch barrier (all
+ * workers parked). Posted timestamps must be at or beyond the
+ * *destination's* epoch horizon — that is exactly the conservative
  * lookahead guarantee the engine's synchronization window rests on,
  * so a violation is a simulator bug and panics.
  */
@@ -124,18 +164,35 @@ class Mailbox
     Partition &src() { return src_; }
     Partition &dst() { return dst_; }
 
+    /**
+     * Declare this edge's lookahead: a lower bound on the delivery
+     * latency of every message posted through it (for a link edge,
+     * the link's propagation delay). Edges that never declare one
+     * inherit the engine's global lookahead. When several physical
+     * links share the edge, declare the minimum. @pre l >= 1 tick.
+     */
+    void
+    setLookahead(Tick l)
+    {
+        if (l == 0)
+            panic("Mailbox %s->%s: edge lookahead must be at least "
+                  "one tick",
+                  src_.name().c_str(), dst_.name().c_str());
+        lookahead_ = l;
+    }
+
+    /** The declared edge lookahead (maxTick until resolved). */
+    Tick lookahead() const { return lookahead_; }
+
     /** Post a closure for delivery at @p when in the destination. */
     template <typename F>
     void
     post(Tick when, int priority, F &&fn)
     {
-        if (horizon_ != nullptr && when < *horizon_) [[unlikely]] {
-            panic("Mailbox %s->%s: post at %llu violates the epoch "
-                  "horizon %llu (lookahead too large?)",
-                  src_.name().c_str(), dst_.name().c_str(),
-                  static_cast<unsigned long long>(when),
-                  static_cast<unsigned long long>(*horizon_));
-        }
+        if (when < dst_.epochHorizon()) [[unlikely]]
+            panicBelowHorizon(when);
+        if (msgs_.empty())
+            src_.dirtyOut_.push_back(this);
         msgs_.push_back(Msg{when, priority, src_.nextMailSeq(),
                             std::function<void()>(std::forward<F>(fn))});
     }
@@ -151,10 +208,21 @@ class Mailbox
         std::function<void()> fn;
     };
 
+    /**
+     * Sort the pending batch by (when, priority, seq) — a strict
+     * total order, seq streams are per-source. Called by the worker
+     * that ran the source partition so the barrier merge only pays
+     * for merging, and again defensively (O(n) is_sorted check) at
+     * injection for batches posted outside an epoch.
+     */
+    void sortBatch();
+
+    [[noreturn]] void panicBelowHorizon(Tick when) const;
+
     Partition &src_;
     Partition &dst_;
-    /** Installed by the engine: the running epoch's horizon. */
-    const Tick *horizon_ = nullptr;
+    /** This edge's lookahead; maxTick = inherit the engine global. */
+    Tick lookahead_ = maxTick;
     std::vector<Msg> msgs_;
 };
 

@@ -337,6 +337,29 @@ runParallelRdmaSrq(int threads, std::uint64_t seed)
 }
 
 /**
+ * One shift permutation of the all-to-all (host i -> host i+1 mod n)
+ * over a partitioned 128-host k=8 fat-tree: the datacenter-scale
+ * workload of the per-edge-horizon engine, with every host, edge
+ * switch and spine in its own partition. Kept to one shift and small
+ * transfers so the 1-vs-N comparison stays CI- and TSan-budgeted.
+ */
+ParallelArtifacts
+runParallelFatTreeShift(int threads, std::uint64_t seed)
+{
+    apps::SocketsTestbed bed(128, apps::SocketsFabric::GigabitEthernet,
+                             seed, host::HostCostModel{},
+                             apps::FabricTopology::FatTreeK8);
+    bed.enableParallel(threads);
+    const auto taps = tapAllEdges(bed.fabric());
+    const auto r = apps::runSocketsTtcpPairs(
+        bed, apps::uniformShiftPairs(128, 1), 8 * 1024);
+    ParallelArtifacts out;
+    out.completed = r.completed && r.pairsCompleted == 128;
+    collectParallel(bed, taps, out);
+    return out;
+}
+
+/**
  * The RUD fan-in of runParallelRudFanIn with the whole batching path
  * switched on: chained posts (postSendList / SRQ postRecvList), the
  * doorbell coalescing window and completion-event moderation. Batch
@@ -680,6 +703,21 @@ TEST(ParallelDeterminism, RudFanInThreadCountInvariant)
     const auto again = runParallelRudFanIn(4, 29);
     EXPECT_EQ(four.statsJson, again.statsJson);
     EXPECT_EQ(four.pcap, again.pcap);
+}
+
+TEST(ParallelDeterminism, FatTree128ThreadCountInvariant)
+{
+    const auto one = runParallelFatTreeShift(1, 77);
+    const auto four = runParallelFatTreeShift(4, 77);
+    ASSERT_TRUE(one.completed);
+    ASSERT_TRUE(four.completed);
+    EXPECT_EQ(one.endTick, four.endTick);
+    EXPECT_EQ(one.executed, four.executed);
+    EXPECT_EQ(one.statsJson, four.statsJson);
+    EXPECT_EQ(one.pcap, four.pcap);
+    // Sanity: 128 hosts really pushed traffic through the tree.
+    EXPECT_GT(one.statsJson.size(), 10000u);
+    EXPECT_GT(one.pcap.size(), 100000u);
 }
 
 TEST(ParallelDeterminism, BatchedPostsThreadCountInvariant)

@@ -150,6 +150,68 @@ TEST(HostSockets, UdpRoundTripWithPayload)
     EXPECT_EQ(from, bed.addr(0, 5454));
 }
 
+TEST(HostSockets, MultiNicPerRouteEgressAndMtu)
+{
+    // A dual-homed host: nicA (node 0, 1500 B MTU) is the primary,
+    // nicB (node 2, 576 B MTU) a second spoke into the same fabric.
+    // Egress — and with it the interface MTU the IP layer fragments
+    // against — follows the per-route pin, not the primary.
+    sim::Simulation simv(3);
+    net::StarFabric fabric(simv, "fabric", net::gigabitEthernetLink());
+    host::Host h0(simv, "host0");
+    host::Host h1(simv, "host1");
+    auto paramsB = nic::pro1000Params();
+    paramsB.mtu = 576;
+    nic::EthNic nicA(simv, "host0.nic", h0.stack(), fabric.addNode(0),
+                     0, nic::pro1000Params());
+    nic::EthNic nic1(simv, "host1.nic", h1.stack(), fabric.addNode(1),
+                     1, nic::pro1000Params());
+    nic::EthNic nicB(simv, "host0.nic2", h0.stack(), fabric.addNode(2),
+                     2, paramsB);
+
+    const auto a0 = inet::InetAddr(*inet::Ipv4Addr::parse("10.0.0.1"));
+    const auto a1 = inet::InetAddr(*inet::Ipv4Addr::parse("10.0.0.2"));
+    h0.stack().addAddress(a0);
+    h1.stack().addAddress(a1);
+    h0.stack().routes().add(a1, 1);
+    h1.stack().routes().add(a0, 0);
+
+    EXPECT_EQ(h0.stack().primaryNic(), &nicA);
+    EXPECT_EQ(h0.stack().egressFor(1), &nicA);
+
+    auto srv = h1.stack().udpBind(inet::SockAddr{a1, 5353});
+    auto cli = h0.stack().udpBind(inet::SockAddr{a0, 5454});
+    std::vector<std::vector<std::uint8_t>> got;
+    auto waitOne = std::make_shared<std::function<void()>>();
+    *waitOne = [&, waitOne] {
+        srv->recvFrom([&, waitOne](UdpSocket::Datagram d) {
+            got.push_back(std::move(d.data));
+            (*waitOne)();
+        });
+    };
+    (*waitOne)();
+
+    // Default egress: the primary NIC carries the frame unfragmented.
+    cli->sendTo(pattern(1000), inet::SockAddr{a1, 5353}, nullptr);
+    simv.runUntilCondition([&] { return got.size() == 1; },
+                           sim::oneSec);
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(nicA.txPackets.value(), 1u);
+    EXPECT_EQ(nicB.txPackets.value(), 0u);
+
+    // Pin the route to nicB: same destination, new egress, and the
+    // 576 B interface MTU now fragments the kilobyte datagram.
+    h0.stack().setEgress(1, nicB);
+    EXPECT_EQ(h0.stack().egressFor(1), &nicB);
+    cli->sendTo(pattern(1000, 2), inet::SockAddr{a1, 5353}, nullptr);
+    simv.runUntilCondition([&] { return got.size() == 2; },
+                           simv.now() + sim::oneSec);
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_EQ(got[1], pattern(1000, 2));
+    EXPECT_EQ(nicA.txPackets.value(), 1u);
+    EXPECT_EQ(nicB.txPackets.value(), 2u);
+}
+
 TEST(HostSockets, UdpQueuesWhenNoWaiter)
 {
     SocketsTestbed bed(2, SocketsFabric::GigabitEthernet);

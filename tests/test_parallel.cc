@@ -187,8 +187,14 @@ TEST(ParallelEngine, RunUntilConditionChecksAtBarriers)
     sim::Simulation simu(3);
     sim::ParallelEngine eng(simu, 2);
     auto &a = eng.addPartition("a");
-    eng.addPartition("b");
-    eng.setLookahead(10);
+    auto &b = eng.addPartition("b");
+    // Mutual edges bound a's horizon: under per-edge horizons a
+    // partition with no incoming edges runs clean to the deadline in
+    // one epoch. L=5 both ways makes H_a = next_a + 10, so with events
+    // spaced 10 apart each epoch executes exactly one.
+    eng.mailbox(a, b);
+    eng.mailbox(b, a);
+    eng.setLookahead(5);
     int count = 0;
     for (Tick t = 0; t < 100; t += 10)
         a.eventQueue().schedule(t, [&] { ++count; });
@@ -197,10 +203,129 @@ TEST(ParallelEngine, RunUntilConditionChecksAtBarriers)
     const bool ok =
         simu.runUntilCondition([&] { return count >= 3; }, 1000);
     EXPECT_TRUE(ok);
-    // Conservative window: exactly one event per epoch here, and the
-    // predicate fires at the barrier after the third.
+    // The predicate fires at the barrier after the third event.
     EXPECT_EQ(count, 3);
     EXPECT_EQ(simu.now(), eng.now());
+}
+
+TEST(ParallelEngine, PerEdgeHorizonsDecoupleSlowEdges)
+{
+    sim::Simulation simu(7);
+    sim::ParallelEngine eng(simu, 2);
+    auto &fa = eng.addPartition("fa");
+    auto &fb = eng.addPartition("fb");
+    auto &sa = eng.addPartition("sa");
+    auto &sb = eng.addPartition("sb");
+    // Two disjoint pairs: the fast pair's edges declare a wide
+    // lookahead, the slow pair's a narrow one.
+    eng.mailbox(fa, fb).setLookahead(1000);
+    eng.mailbox(fb, fa).setLookahead(1000);
+    eng.mailbox(sa, sb).setLookahead(10);
+    eng.mailbox(sb, sa).setLookahead(10);
+    int fast = 0;
+    int slow = 0;
+    for (Tick t = 0; t < 100; t += 10) {
+        fa.eventQueue().schedule(t, [&] { ++fast; });
+        sa.eventQueue().schedule(t, [&] { ++slow; });
+    }
+    eng.run();
+    EXPECT_EQ(fast, 10);
+    EXPECT_EQ(slow, 10);
+    // The slow pair paces the epoch count at H_sa = next_sa + 20
+    // (two events per epoch), but the fast pair drains entirely in
+    // the first epoch instead of being throttled to the global
+    // minimum lookahead: 5 epochs total, not 10.
+    EXPECT_EQ(eng.epochs(), 5u);
+}
+
+TEST(ParallelEngine, HorizonFloorsPropagateThroughStalledChains)
+{
+    sim::Simulation simu(11);
+    sim::ParallelEngine eng(simu, 2);
+    auto &a = eng.addPartition("a");
+    auto &b = eng.addPartition("b");
+    auto &c = eng.addPartition("c");
+    // Per-edge lookaheads only — no engine-global fallback needed.
+    auto &ab = eng.mailbox(a, b);
+    auto &bc = eng.mailbox(b, c);
+    ab.setLookahead(10);
+    bc.setLookahead(10);
+
+    // b starts empty and wakes only when a's post arrives, then
+    // forwards into c below c's far-future local event. c's horizon
+    // must be bounded by b's *floor* (B_a + 10), not b's next-event
+    // tick (infinity): otherwise c runs its tick-1000 event in the
+    // first epoch and the tick-20 delivery violates its horizon.
+    std::vector<Tick> cOrder; // written only by partition c
+    a.eventQueue().schedule(0, [&] {
+        ab.post(10, 0, [&] {
+            bc.post(20, 0,
+                    [&] { cOrder.push_back(c.eventQueue().now()); });
+        });
+    });
+    c.eventQueue().schedule(1000,
+                            [&] { cOrder.push_back(c.eventQueue().now()); });
+    eng.run();
+    const std::vector<Tick> expect = {20, 1000};
+    EXPECT_EQ(cOrder, expect);
+    EXPECT_EQ(eng.executed(), 4u);
+}
+
+TEST(ParallelEngine, TightestIncomingEdgeBoundsHorizon)
+{
+    sim::Simulation simu(13);
+    sim::ParallelEngine eng(simu, 2);
+    auto &a = eng.addPartition("a");
+    auto &b = eng.addPartition("b");
+    auto &c = eng.addPartition("c");
+    // c has two incoming edges: a wide one from a and a tight one
+    // from b (whose own floor tracks c through the return edge). The
+    // tight edge must win: H_c = next_c + 4.
+    eng.mailbox(a, c).setLookahead(1000);
+    eng.mailbox(b, c).setLookahead(2);
+    eng.mailbox(c, b).setLookahead(2);
+    int count = 0;
+    a.eventQueue().schedule(0, [] {});
+    for (Tick t = 0; t < 100; t += 10)
+        c.eventQueue().schedule(t, [&] { ++count; });
+    eng.run();
+    EXPECT_EQ(count, 10);
+    // One event per epoch; had the wide edge bounded the horizon, all
+    // ten would have drained in the first.
+    EXPECT_EQ(eng.epochs(), 10u);
+}
+
+TEST(ParallelEngine, RegistersParallelStats)
+{
+    sim::Simulation simu(1);
+    {
+        sim::ParallelEngine eng(simu, 2);
+        auto &a = eng.addPartition("a");
+        auto &b = eng.addPartition("b");
+        auto &ab = eng.mailbox(a, b);
+        eng.setLookahead(10);
+        for (const char *leaf :
+             {"parallel.epochs", "parallel.mailboxPosts",
+              "parallel.batchedPosts", "parallel.horizonStalls",
+              "parallel.epochEventsMax", "parallel.epochEventsMin"})
+            EXPECT_TRUE(simu.stats().contains(leaf)) << leaf;
+        int got = 0;
+        a.eventQueue().schedule(0, [&] {
+            ab.post(10, 0, [&] { ++got; });
+            ab.post(11, 0, [&] { ++got; });
+        });
+        eng.run();
+        EXPECT_EQ(got, 2);
+        EXPECT_EQ(simu.stats().counterValue("parallel.epochs"),
+                  eng.epochs());
+        EXPECT_EQ(simu.stats().counterValue("parallel.mailboxPosts"),
+                  2u);
+        // Both posts travelled in one batch.
+        EXPECT_EQ(simu.stats().counterValue("parallel.batchedPosts"),
+                  2u);
+    }
+    // The stat group unregisters with the engine.
+    EXPECT_FALSE(simu.stats().contains("parallel.epochs"));
 }
 
 TEST(ParallelEngine, SimulationDelegatesRunCalls)

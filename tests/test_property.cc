@@ -14,6 +14,7 @@
 #include <deque>
 
 #include "apps/testbed.hh"
+#include "apps/ttcp.hh"
 #include "apps/verbs_util.hh"
 #include "inet/byte_fifo.hh"
 #include "inet/checksum.hh"
@@ -335,6 +336,45 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(LossCase{1, 0.0}, LossCase{2, 0.02},
                       LossCase{3, 0.05}, LossCase{4, 0.10},
                       LossCase{5, 0.02}, LossCase{6, 0.05}));
+
+// ---------------------------------------------------------------------
+// Incast bursts over the fixed-radix fat-tree
+// ---------------------------------------------------------------------
+
+struct IncastCase
+{
+    std::uint64_t seed;
+    int threads;
+};
+
+class IncastProperty : public ::testing::TestWithParam<IncastCase>
+{};
+
+TEST_P(IncastProperty, BurstDeliversEveryByteThroughCongestion)
+{
+    // 32 hosts on the k=8 tree: every other host bursts at host 0
+    // concurrently, oversubscribing its last-hop link. The property:
+    // however contended, every pair's payload lands in full, serial
+    // or partitioned alike.
+    apps::SocketsTestbed bed(32, apps::SocketsFabric::GigabitEthernet,
+                             GetParam().seed, host::HostCostModel{},
+                             apps::FabricTopology::FatTreeK8);
+    bed.enableParallel(GetParam().threads);
+    const auto pairs = apps::incastPairs(32, 0);
+    const auto r = apps::runSocketsTtcpPairs(bed, pairs, 16 * 1024);
+    ASSERT_TRUE(r.completed);
+    EXPECT_EQ(r.pairsCompleted, pairs.size());
+    EXPECT_GT(r.aggMbPerSec, 0.0);
+    // The destination's NIC really funneled the whole burst.
+    EXPECT_GT(bed.sim().stats().counterValue("host0.nic.rxPackets"),
+              static_cast<std::uint64_t>(pairs.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Bursts, IncastProperty,
+                         ::testing::Values(IncastCase{101, 1},
+                                           IncastCase{101, 4},
+                                           IncastCase{202, 4},
+                                           IncastCase{303, 2}));
 
 // ---------------------------------------------------------------------
 // QPIP end-to-end message integrity across MTUs and sizes
